@@ -1,0 +1,56 @@
+"""Shared fixtures and settings for the benchmark harness.
+
+Each ``test_bench_*.py`` file regenerates one table or figure of the paper
+(see DESIGN.md's experiment index) at a reduced-but-representative scale,
+asserts the qualitative claims, and reports the wall-clock cost of the
+regeneration through pytest-benchmark.  Heavy experiments run exactly once
+per benchmark (``pedantic`` mode) — the interesting output is the table the
+experiment prints, not a timing distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import OptimizerSettings
+from repro.core.solver import SolverOptions
+from repro.machine.presets import cascade_lake_i9_10980xe, coffee_lake_i7_9700k
+
+
+@pytest.fixture(scope="session")
+def i7_machine():
+    """The paper's first platform (Figure 5/6/7, search time)."""
+    return coffee_lake_i7_9700k()
+
+
+@pytest.fixture(scope="session")
+def i9_machine():
+    """The paper's second platform (Figure 8)."""
+    return cascade_lake_i9_10980xe()
+
+
+@pytest.fixture(scope="session")
+def bench_optimizer_settings():
+    """MOpt settings used inside benchmark comparisons.
+
+    A reduced solver budget and a subset of pruned classes keep each
+    operator's optimization to a few seconds; the selected configurations
+    remain representative (the dropped classes are rarely optimal for the
+    benchmarked layers).
+    """
+    return OptimizerSettings(
+        levels=("Reg", "L1", "L2", "L3"),
+        fix_register_tile=True,
+        parallel=True,
+        threads=8,
+        solver=SolverOptions(multistarts=0, maxiter=50, fallback_samples=80),
+        permutation_class_names=("inner-w", "inner-h", "inner-s", "inner-r"),
+        top_k=5,
+    )
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,26 @@
+"""Benchmark ``fig6``: predicted rank ordering vs. measured performance/counters.
+
+Paper claim (Figure 6): for Resnet9, Mobnet2 and Yolo5, configurations with
+better model-predicted scores also have better measured performance (strong
+correlation), and the hardware counter of the predicted bottleneck resource
+correlates as well, while some other levels may not.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ValidationSettings, run_figure6
+
+SETTINGS = ValidationSettings(samples_per_operator=16, max_macs=1.0e6, seed=0)
+
+
+def test_bench_fig6(benchmark):
+    result = run_once(benchmark, run_figure6, SETTINGS)
+    print("\n" + result.text)
+    assert set(result.per_operator) == {"Resnet9", "Mobnet2", "Yolo5"}
+    for label, validation in result.per_operator.items():
+        # Strong positive correlation between predicted and measured performance.
+        assert validation.performance_correlation.spearman > 0.35, label
+        # The ordered series exist for the plot: GFLOPS plus the four counters.
+        series = result.series[label]
+        assert set(series) == {"gflops", "Reg", "L1", "L2", "L3"}
+        assert len(series["gflops"]) == validation.num_configs

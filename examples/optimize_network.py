@@ -1,0 +1,96 @@
+"""Optimize every conv2d stage of a DNN pipeline and compare with the baselines.
+
+This reproduces, for one network of Table 1 (default: ResNet-18), the core
+of the paper's Section 10 evaluation on the i7-9700K: for each conv2d
+operator it runs
+
+* MOpt (analytical design-space exploration, Algorithm 1),
+* the oneDNN-like vendor-library baseline (heuristic dispatch, no search),
+* the AutoTVM-like tuner (template-constrained, ML-guided empirical search),
+
+measures all of them on the same virtual machine, and prints a per-layer
+table plus geometric-mean speedups.
+
+Run with:  python examples/optimize_network.py [network] [num_layers]
+           e.g.  python examples/optimize_network.py mobilenet 4
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import coffee_lake_i7_9700k, fast_settings, network_benchmarks
+from repro.analysis import format_table, geometric_mean
+from repro.baselines import run_autotvm_like, run_onednn_like
+from repro.core.optimizer import MOptOptimizer
+from repro.sim import virtual_measurement
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "resnet18"
+    limit = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    threads = 8
+    machine = coffee_lake_i7_9700k()
+    specs = network_benchmarks(network)[:limit]
+
+    print(f"Network: {network} ({len(specs)} of {len(network_benchmarks(network))} stages)")
+    print(f"Machine: {machine.name}, {threads} threads")
+    print()
+
+    rows = []
+    mopt_scores, onednn_scores, tvm_scores = {}, {}, {}
+    for spec in specs:
+        print(f"optimizing {spec.name} ({spec.flops / 1e9:.2f} GFLOP)...")
+        optimizer = MOptOptimizer(machine, fast_settings(parallel=True, threads=threads))
+        result = optimizer.optimize(spec)
+        mopt_measurements = [
+            virtual_measurement(spec, c.config, machine, threads=threads, seed=i)
+            for i, c in enumerate(result.top(5))
+        ]
+        mopt5 = max(m.gflops for m in mopt_measurements)
+        onednn = run_onednn_like(spec, machine, threads=threads)
+        tvm = run_autotvm_like(spec, machine, threads=threads, n_trials=96)
+
+        mopt_scores[spec.name] = mopt5
+        onednn_scores[spec.name] = onednn.gflops
+        tvm_scores[spec.name] = tvm.best_gflops
+        rows.append(
+            [
+                spec.name,
+                result.best.class_name,
+                result.best.bottleneck_level,
+                mopt5,
+                onednn.gflops,
+                tvm.best_gflops,
+                mopt5 / onednn.gflops,
+                mopt5 / tvm.best_gflops,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "layer",
+                "MOpt class",
+                "bottleneck",
+                "MOpt-5 GF/s",
+                "oneDNN GF/s",
+                "TVM GF/s",
+                "vs oneDNN",
+                "vs TVM",
+            ],
+            rows,
+            float_format="{:.2f}",
+        )
+    )
+    print()
+    print(
+        f"geomean speedup of MOpt-5: "
+        f"{geometric_mean([mopt_scores[n] / onednn_scores[n] for n in mopt_scores]):.2f}x vs oneDNN, "
+        f"{geometric_mean([mopt_scores[n] / tvm_scores[n] for n in mopt_scores]):.2f}x vs TVM"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all project metadata; this shim exists so that
+``pip install -e .`` works in offline environments where the ``wheel``
+package (needed by PEP 517 editable installs) is unavailable and pip falls
+back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""Reproduction of "Analytical Characterization and Design Space Exploration
+for Optimization of CNNs" (Li et al., ASPLOS 2021).
+
+The package implements the MOpt system described in the paper and the
+substrates needed to evaluate it without the paper's hardware/software
+stack:
+
+* :mod:`repro.core` — the analytical data-movement model, the eight-class
+  permutation pruning, multi-level tile-size optimization (Algorithm 1),
+  the parallel cost model and the microkernel design.
+* :mod:`repro.machine` — machine descriptions (i7-9700K, i9-10980XE) and
+  bandwidth modeling.
+* :mod:`repro.sim` — a memory-hierarchy simulator, tiled executor and
+  performance model standing in for the paper's hardware measurements.
+* :mod:`repro.codegen` — a loop-nest IR and code emission for the tiled
+  convolutions.
+* :mod:`repro.baselines` — oneDNN-like and AutoTVM-like comparators plus
+  random/grid/exhaustive search.
+* :mod:`repro.workloads` — the Table 1 conv2d operators and configuration
+  sampling.
+* :mod:`repro.analysis` and :mod:`repro.experiments` — statistics and the
+  drivers that regenerate every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import ConvSpec, MOptOptimizer, coffee_lake_i7_9700k
+
+    spec = ConvSpec("example", batch=1, out_channels=64, in_channels=64,
+                    in_height=56, in_width=56, kernel_h=3, kernel_w=3, padding=1)
+    result = MOptOptimizer(coffee_lake_i7_9700k()).optimize(spec)
+    print(result.best.config.describe())
+"""
+
+from .core import (
+    ConvSpec,
+    MOptOptimizer,
+    MultiLevelConfig,
+    OptimizationResult,
+    OptimizerSettings,
+    TilingConfig,
+    data_volume,
+    design_microkernel,
+    fast_settings,
+    multilevel_cost,
+    optimize_conv,
+    pruned_permutation_classes,
+)
+from .machine import (
+    MachineSpec,
+    cascade_lake_i9_10980xe,
+    coffee_lake_i7_9700k,
+    get_machine,
+    tiny_test_machine,
+)
+from .workloads import all_benchmarks, benchmark_by_name, network_benchmarks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvSpec",
+    "MachineSpec",
+    "MOptOptimizer",
+    "MultiLevelConfig",
+    "OptimizationResult",
+    "OptimizerSettings",
+    "TilingConfig",
+    "all_benchmarks",
+    "benchmark_by_name",
+    "cascade_lake_i9_10980xe",
+    "coffee_lake_i7_9700k",
+    "data_volume",
+    "design_microkernel",
+    "fast_settings",
+    "get_machine",
+    "multilevel_cost",
+    "network_benchmarks",
+    "optimize_conv",
+    "pruned_permutation_classes",
+    "tiny_test_machine",
+]

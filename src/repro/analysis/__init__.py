@@ -1,0 +1,28 @@
+"""Analysis utilities: ranking metrics, statistics and text reporting."""
+
+from .ranking import RankCorrelation, TopKLoss, order_by_prediction, rank_correlation, top_k_loss
+from .reporting import format_bar_chart, format_speedup_summary, format_table, indent
+from .stats import (
+    MeasurementSummary,
+    geometric_mean,
+    geometric_mean_speedup,
+    speedups,
+    summarize_runs,
+)
+
+__all__ = [
+    "MeasurementSummary",
+    "RankCorrelation",
+    "TopKLoss",
+    "format_bar_chart",
+    "format_speedup_summary",
+    "format_table",
+    "geometric_mean",
+    "geometric_mean_speedup",
+    "indent",
+    "order_by_prediction",
+    "rank_correlation",
+    "speedups",
+    "summarize_runs",
+    "top_k_loss",
+]

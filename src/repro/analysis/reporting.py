@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment results (tables and figure series).
+
+The paper's figures are bar/scatter charts; with no plotting stack assumed,
+experiments render their results as aligned text tables and simple ASCII
+bar charts so the regenerated numbers can be read directly from the
+terminal or from the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    unit: str = "",
+    reference: Optional[float] = None,
+) -> str:
+    """Render a simple horizontal ASCII bar chart.
+
+    ``reference`` (when given) draws bars relative to that value instead of
+    the maximum — Figure 7/8 style "normalized to TVM" charts use it.
+    """
+    if not values:
+        return "(no data)"
+    scale = reference if reference else max(values.values())
+    scale = max(scale, 1e-12)
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(width * value / scale))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def format_speedup_summary(
+    title: str, speedup_by_network: Mapping[str, float]
+) -> str:
+    """Render geometric-mean speedups per network, paper-summary style."""
+    parts = [f"{network}: {value:.2f}x" for network, value in speedup_by_network.items()]
+    return f"{title}: " + ", ".join(parts)
+
+
+def indent(text: str, prefix: str = "  ") -> str:
+    """Indent every line of a block of text."""
+    return "\n".join(prefix + line for line in text.splitlines())

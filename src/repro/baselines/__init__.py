@@ -1,0 +1,58 @@
+"""Comparator systems: oneDNN-like library, AutoTVM-like tuner, simple searches.
+
+These are the reproduction's stand-ins for the systems the paper compares
+against (Section 10, Table 2), plus the exhaustive permutation search used
+to verify the Section 4 pruning claim.
+"""
+
+from .autotvm_like import (
+    ConvTemplate,
+    TuningResult,
+    XGBLikeTuner,
+    TEMPLATE_PERMUTATION,
+    run_autotvm_like,
+)
+from .exhaustive import (
+    PermutationSolution,
+    PruningVerification,
+    best_over_all_permutations,
+    best_over_pruned_classes,
+    sample_permutations,
+    verify_pruning,
+)
+from .ml_model import DecisionTreeRegressor, GradientBoostedTrees, featurize_config
+from .onednn_like import (
+    ONEDNN_KERNEL_EFFICIENCY,
+    LibrarySchedule,
+    OneDnnLikeResult,
+    choose_schedule,
+    run_onednn_like,
+    schedule_library,
+)
+from .random_search import SearchResult, grid_search, random_search
+
+__all__ = [
+    "ConvTemplate",
+    "DecisionTreeRegressor",
+    "GradientBoostedTrees",
+    "LibrarySchedule",
+    "ONEDNN_KERNEL_EFFICIENCY",
+    "OneDnnLikeResult",
+    "PermutationSolution",
+    "PruningVerification",
+    "SearchResult",
+    "TEMPLATE_PERMUTATION",
+    "TuningResult",
+    "XGBLikeTuner",
+    "best_over_all_permutations",
+    "best_over_pruned_classes",
+    "choose_schedule",
+    "featurize_config",
+    "grid_search",
+    "random_search",
+    "run_autotvm_like",
+    "run_onednn_like",
+    "sample_permutations",
+    "schedule_library",
+    "verify_pruning",
+]

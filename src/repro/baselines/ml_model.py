@@ -1,0 +1,274 @@
+"""Gradient-boosted regression trees, implemented from scratch.
+
+AutoTVM guides its search with an XGBoost cost model trained online on the
+measurements it collects.  XGBoost (and scikit-learn) are not available in
+this environment, so this module provides a small, dependency-free
+gradient-boosted-trees regressor with the pieces the tuner needs:
+
+* :class:`DecisionTreeRegressor` — CART regression tree with squared-error
+  splits, depth and leaf-size limits,
+* :class:`GradientBoostedTrees` — stage-wise boosting of regression trees
+  on residuals with shrinkage and optional row subsampling,
+* :func:`featurize_config` — the feature encoding of a tiling configuration
+  used by the AutoTVM-like tuner (log tile sizes, derived footprints and
+  ratios).
+
+The implementation is NumPy-vectorized per split search and is easily fast
+enough for the few hundred training points a tuning session produces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import MultiLevelConfig, TilingConfig
+from ..core.cost_model import combined_footprint, tensor_footprint
+from ..core.tensor_spec import ConvSpec, LOOP_INDICES
+
+
+@dataclass
+class _TreeNode:
+    """Internal node (or leaf) of a regression tree."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree minimizing squared error.
+
+    Parameters mirror the scikit-learn API subset the booster needs:
+    ``max_depth`` limits tree depth, ``min_samples_leaf`` prevents tiny
+    leaves, ``max_features`` (fraction) subsamples candidate split features
+    per node (adds de-correlation across boosting stages).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._root: Optional[_TreeNode] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        """Fit the tree on a feature matrix and target vector."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        if len(features) != len(targets):
+            raise ValueError("features and targets length mismatch")
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._root = self._build(features, targets, depth=0)
+        return self
+
+    def _candidate_features(self, num_features: int) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(num_features)
+        count = max(1, int(round(self.max_features * num_features)))
+        return self.rng.choice(num_features, size=count, replace=False)
+
+    def _build(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _TreeNode:
+        node_value = float(targets.mean())
+        if (
+            depth >= self.max_depth
+            or len(targets) < 2 * self.min_samples_leaf
+            or np.allclose(targets, targets[0])
+        ):
+            return _TreeNode(node_value)
+
+        best_feature, best_threshold, best_score = -1, 0.0, np.inf
+        base_sse = float(((targets - node_value) ** 2).sum())
+        for feature in self._candidate_features(features.shape[1]):
+            column = features[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_col = column[order]
+            sorted_tgt = targets[order]
+            # Candidate split points between distinct consecutive values.
+            prefix = np.cumsum(sorted_tgt)
+            prefix_sq = np.cumsum(sorted_tgt**2)
+            total = prefix[-1]
+            total_sq = prefix_sq[-1]
+            n = len(sorted_tgt)
+            counts = np.arange(1, n)
+            left_sse = prefix_sq[:-1] - prefix[:-1] ** 2 / counts
+            right_counts = n - counts
+            right_sum = total - prefix[:-1]
+            right_sse = (total_sq - prefix_sq[:-1]) - right_sum**2 / right_counts
+            score = left_sse + right_sse
+            valid = (
+                (sorted_col[1:] > sorted_col[:-1] + 1e-12)
+                & (counts >= self.min_samples_leaf)
+                & (right_counts >= self.min_samples_leaf)
+            )
+            if not valid.any():
+                continue
+            score = np.where(valid, score, np.inf)
+            idx = int(np.argmin(score))
+            if score[idx] < best_score:
+                best_score = float(score[idx])
+                best_feature = int(feature)
+                best_threshold = float(0.5 * (sorted_col[idx] + sorted_col[idx + 1]))
+
+        if best_feature < 0 or best_score >= base_sse - 1e-12:
+            return _TreeNode(node_value)
+
+        mask = features[:, best_feature] <= best_threshold
+        left = self._build(features[mask], targets[mask], depth + 1)
+        right = self._build(features[~mask], targets[~mask], depth + 1)
+        return _TreeNode(node_value, best_feature, best_threshold, left, right)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        features = np.asarray(features, dtype=float)
+        return np.array([self._predict_one(row) for row in features])
+
+    def _predict_one(self, row: np.ndarray) -> float:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node.value
+
+
+class GradientBoostedTrees:
+    """Stage-wise gradient boosting of regression trees (squared loss).
+
+    With squared loss the negative gradient is simply the residual, so each
+    stage fits a :class:`DecisionTreeRegressor` to the current residuals and
+    the ensemble prediction adds ``learning_rate`` times its output.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.15,
+        max_depth: int = 4,
+        min_samples_leaf: int = 2,
+        subsample: float = 0.9,
+        max_features: Optional[float] = 0.9,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: List[DecisionTreeRegressor] = []
+        self._base: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostedTrees":
+        """Fit the ensemble on a feature matrix and target vector."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        self._base = float(targets.mean())
+        predictions = np.full(len(targets), self._base)
+        for _ in range(self.n_estimators):
+            residuals = targets - predictions
+            if self.subsample < 1.0 and len(targets) > 4:
+                size = max(2, int(round(self.subsample * len(targets))))
+                rows = rng.choice(len(targets), size=size, replace=False)
+            else:
+                rows = np.arange(len(targets))
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            tree.fit(features[rows], residuals[rows])
+            predictions = predictions + self.learning_rate * tree.predict(features)
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix."""
+        features = np.asarray(features, dtype=float)
+        predictions = np.full(len(features), self._base)
+        for tree in self._trees:
+            predictions = predictions + self.learning_rate * tree.predict(features)
+        return predictions
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has been called."""
+        return bool(self._trees)
+
+
+def featurize_config(
+    spec: ConvSpec, config: MultiLevelConfig | TilingConfig
+) -> np.ndarray:
+    """Feature vector of a tiling configuration for the tuner's cost model.
+
+    Features: log2 tile sizes of every level, log2 footprints of the three
+    tensors for the innermost level, log2 combined footprint per level, and
+    the index of the permutation's innermost iterator.
+    """
+    if isinstance(config, TilingConfig):
+        levels = [("L1", config)]
+    else:
+        levels = list(zip(config.levels, config.configs))
+    features: List[float] = []
+    for _, level_config in levels:
+        tiles = level_config.tiles
+        features.extend(math.log2(max(1.0, tiles[i])) for i in LOOP_INDICES)
+        features.append(
+            math.log2(
+                max(
+                    1.0,
+                    combined_footprint(tiles, stride=spec.stride, dilation=spec.dilation),
+                )
+            )
+        )
+    inner_tiles = levels[0][1].tiles
+    for tensor in ("Out", "In", "Ker"):
+        features.append(
+            math.log2(
+                max(
+                    1.0,
+                    tensor_footprint(
+                        tensor, inner_tiles, stride=spec.stride, dilation=spec.dilation
+                    ),
+                )
+            )
+        )
+    innermost = levels[0][1].permutation[-1]
+    features.append(float(LOOP_INDICES.index(innermost)))
+    return np.array(features, dtype=float)

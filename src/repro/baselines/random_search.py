@@ -1,0 +1,116 @@
+"""Random-search and grid-search baselines over the tiling space.
+
+These simple searchers exist for ablations: they bound what "no model, just
+sampling" achieves on the same virtual machine the other systems are
+measured on, and they provide the sampled-configuration pools used by the
+model-validation experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.config import MultiLevelConfig
+from ..core.tensor_spec import ConvSpec
+from ..machine.spec import MachineSpec
+from ..sim.perfmodel import PerformanceEstimate, virtual_measurement
+from ..workloads.sampling import SamplerOptions, grid_configurations, sample_configurations
+
+MeasureFn = Callable[[MultiLevelConfig, int], PerformanceEstimate]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a sampling-based search."""
+
+    spec_name: str
+    method: str
+    best_config: MultiLevelConfig
+    best_gflops: float
+    evaluated: int
+    search_seconds: float
+    all_gflops: Tuple[float, ...]
+
+
+def _default_measure(
+    spec: ConvSpec, machine: MachineSpec, threads: int, seed: int
+) -> MeasureFn:
+    def measure(config: MultiLevelConfig, trial: int) -> PerformanceEstimate:
+        return virtual_measurement(
+            spec, config, machine, threads=threads, seed=seed * 7919 + trial
+        )
+
+    return measure
+
+
+def random_search(
+    spec: ConvSpec,
+    machine: MachineSpec,
+    *,
+    threads: int = 1,
+    trials: int = 100,
+    seed: int = 0,
+    measure_fn: Optional[MeasureFn] = None,
+) -> SearchResult:
+    """Measure ``trials`` uniformly sampled configurations; keep the best."""
+    start = time.perf_counter()
+    measure = measure_fn or _default_measure(spec, machine, threads, seed)
+    configs = sample_configurations(
+        spec, count=trials, options=SamplerOptions(seed=seed)
+    )
+    best_config: Optional[MultiLevelConfig] = None
+    best_gflops = -1.0
+    scores: List[float] = []
+    for index, config in enumerate(configs):
+        estimate = measure(config, index)
+        scores.append(estimate.gflops)
+        if estimate.gflops > best_gflops:
+            best_gflops = estimate.gflops
+            best_config = config
+    assert best_config is not None
+    return SearchResult(
+        spec_name=spec.name,
+        method="random",
+        best_config=best_config,
+        best_gflops=best_gflops,
+        evaluated=len(configs),
+        search_seconds=time.perf_counter() - start,
+        all_gflops=tuple(scores),
+    )
+
+
+def grid_search(
+    spec: ConvSpec,
+    machine: MachineSpec,
+    permutation: Sequence[str],
+    *,
+    threads: int = 1,
+    per_index: int = 4,
+    seed: int = 0,
+    measure_fn: Optional[MeasureFn] = None,
+) -> SearchResult:
+    """Measure a deterministic coordinate grid of single-level configurations."""
+    start = time.perf_counter()
+    measure = measure_fn or _default_measure(spec, machine, threads, seed)
+    configs = grid_configurations(spec, permutation, per_index=per_index)
+    best_config: Optional[MultiLevelConfig] = None
+    best_gflops = -1.0
+    scores: List[float] = []
+    for index, config in enumerate(configs):
+        estimate = measure(config, index)
+        scores.append(estimate.gflops)
+        if estimate.gflops > best_gflops:
+            best_gflops = estimate.gflops
+            best_config = config
+    assert best_config is not None
+    return SearchResult(
+        spec_name=spec.name,
+        method="grid",
+        best_config=best_config,
+        best_gflops=best_gflops,
+        evaluated=len(configs),
+        search_seconds=time.perf_counter() - start,
+        all_gflops=tuple(scores),
+    )

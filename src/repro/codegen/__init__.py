@@ -1,0 +1,23 @@
+"""Code generation: loop-nest IR, C/Python emitters and validation."""
+
+from .c_emitter import emit_c, emitted_loop_count
+from .ir import Loop, LoopNest, Statement, TensorDecl
+from .py_emitter import compile_python, emit_python
+from .tiling import build_tiled_nest, loop_structure_summary
+from .validate import ValidationReport, assert_valid, validate_config
+
+__all__ = [
+    "Loop",
+    "LoopNest",
+    "Statement",
+    "TensorDecl",
+    "ValidationReport",
+    "assert_valid",
+    "build_tiled_nest",
+    "compile_python",
+    "emit_c",
+    "emit_python",
+    "emitted_loop_count",
+    "loop_structure_summary",
+    "validate_config",
+]

@@ -1,0 +1,81 @@
+"""C source emission for the tiled loop nest.
+
+Renders a :class:`~repro.codegen.ir.LoopNest` as the C code MOpt's code
+generator would produce: nested ``for`` loops with ``#pragma omp parallel
+for`` on the parallelization band, and either a call to the packed
+microkernel or an explicit scalar accumulation at the innermost level.  The
+emitted source is meant for inspection and for diffing configurations (it
+is not compiled in this environment); the numerically equivalent executable
+form is produced by :mod:`repro.codegen.py_emitter` and by
+:func:`repro.sim.executor.tiled_conv2d`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .ir import Loop, LoopNest, Statement
+
+_HEADER = """\
+#include <stddef.h>
+#include <math.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+static inline size_t min_sz(size_t a, size_t b) { return a < b ? a : b; }
+"""
+
+
+def _render_statement(statement: Statement, indent: int) -> List[str]:
+    pad = "    " * indent
+    lines = []
+    if statement.comment:
+        lines.append(f"{pad}/* {statement.comment} */")
+    text = statement.text
+    if not text.endswith(";"):
+        text += ";"
+    lines.append(f"{pad}{text}")
+    return lines
+
+
+def _render_loop(loop: Loop, indent: int) -> List[str]:
+    pad = "    " * indent
+    lines: List[str] = []
+    if loop.comment:
+        lines.append(f"{pad}/* {loop.comment} */")
+    if loop.parallel:
+        lines.append(f"{pad}#pragma omp parallel for schedule(static)")
+    bound = loop.bound.replace("min(", "min_sz(")
+    lines.append(
+        f"{pad}for (size_t {loop.iterator} = {loop.start}; "
+        f"{loop.iterator} < {bound}; {loop.iterator} += {loop.step}) {{"
+    )
+    for node in loop.body:
+        if isinstance(node, Loop):
+            lines.extend(_render_loop(node, indent + 1))
+        else:
+            lines.extend(_render_statement(node, indent + 1))
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def emit_c(nest: LoopNest) -> str:
+    """Render the loop nest as a self-contained C translation unit."""
+    lines: List[str] = [_HEADER]
+    args = ", ".join(
+        f"{tensor.dtype} *restrict {tensor.name}" for tensor in nest.tensors
+    )
+    for statement in nest.preamble:
+        lines.append(f"/* {statement.text} */")
+    lines.append(f"void {nest.name}({args}) {{")
+    for loop in nest.loops:
+        lines.extend(_render_loop(loop, 1))
+    lines.append("}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def emitted_loop_count(source: str) -> int:
+    """Number of ``for`` loops in emitted C source (used by tests)."""
+    return source.count("for (size_t")

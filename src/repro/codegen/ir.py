@@ -1,0 +1,110 @@
+"""Loop-nest intermediate representation for generated tiled CNN code.
+
+The paper's code generator emits C with tile loops surrounding an assembly
+microkernel.  This reproduction keeps the same structure but in a small
+explicit IR, which the emitters in :mod:`repro.codegen.c_emitter` and
+:mod:`repro.codegen.py_emitter` turn into source text:
+
+* :class:`Loop` — a counted loop over one tile iterator (with start, bound,
+  step expressed as strings so levels can reference their parent loop's
+  iterator),
+* :class:`Statement` — an opaque body statement (the microkernel call or
+  the innermost accumulation),
+* :class:`LoopNest` — the root container with the tensor declarations.
+
+The IR is intentionally minimal — just enough to faithfully render the
+multi-level tile loop structure MOpt selects, including partial-tile
+clamping and the parallelization band of Section 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+
+@dataclass
+class Statement:
+    """An opaque body statement rendered verbatim (per-language)."""
+
+    text: str
+    comment: Optional[str] = None
+
+
+@dataclass
+class Loop:
+    """One loop of the generated nest.
+
+    ``iterator`` is the loop variable name (e.g. ``"h_l2"``), ``start`` /
+    ``bound`` / ``step`` are source-level expressions (strings), and
+    ``parallel`` marks loops distributed across cores (rendered as an OpenMP
+    pragma in C and as a comment in Python).
+    """
+
+    iterator: str
+    start: str
+    bound: str
+    step: str
+    body: List[Union["Loop", Statement]] = field(default_factory=list)
+    parallel: bool = False
+    comment: Optional[str] = None
+
+    def add(self, node: Union["Loop", Statement]) -> Union["Loop", Statement]:
+        """Append a child node and return it (for fluent construction)."""
+        self.body.append(node)
+        return node
+
+    def walk(self) -> Iterator[Union["Loop", Statement]]:
+        """Depth-first traversal of the subtree rooted at this loop."""
+        yield self
+        for node in self.body:
+            if isinstance(node, Loop):
+                yield from node.walk()
+            else:
+                yield node
+
+    @property
+    def depth(self) -> int:
+        """Maximum loop nesting depth of this subtree."""
+        child_depths = [node.depth for node in self.body if isinstance(node, Loop)]
+        return 1 + (max(child_depths) if child_depths else 0)
+
+
+@dataclass
+class TensorDecl:
+    """Declaration of one tensor operand of the generated function."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "float"
+
+
+@dataclass
+class LoopNest:
+    """Root of the generated code: declarations plus the outermost loops."""
+
+    name: str
+    tensors: List[TensorDecl]
+    loops: List[Loop]
+    preamble: List[Statement] = field(default_factory=list)
+
+    def walk(self) -> Iterator[Union[Loop, Statement]]:
+        """Depth-first traversal of all loops and statements."""
+        for statement in self.preamble:
+            yield statement
+        for loop in self.loops:
+            yield from loop.walk()
+
+    @property
+    def num_loops(self) -> int:
+        """Total number of loops in the nest."""
+        return sum(1 for node in self.walk() if isinstance(node, Loop))
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest loop nesting of the generated code."""
+        return max((loop.depth for loop in self.loops), default=0)
+
+    def iterators(self) -> List[str]:
+        """All loop iterator names, outermost first."""
+        return [node.iterator for node in self.walk() if isinstance(node, Loop)]

@@ -1,0 +1,192 @@
+"""Construction of the multi-level tiled loop nest from a configuration.
+
+Turns a :class:`~repro.core.config.MultiLevelConfig` chosen by the optimizer
+into the :mod:`repro.codegen.ir` loop nest the paper's code generator would
+emit: one band of seven tile loops per level (ordered by that level's
+permutation, outermost level first), a parallelization band over the
+non-reduction dimensions (Section 7) when requested, and a microkernel call
+(or explicit scalar accumulation) at the innermost position.
+
+Partial tiles are handled by clamping each loop's bound with a ``min``
+against the parent region — the code generator "handles the general case of
+partial tiles" (Section 3) even though the cost model assumes perfect
+divisibility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.config import MultiLevelConfig, TilingConfig, single_level
+from ..core.parallel import ParallelPlan
+from ..core.tensor_spec import ConvSpec, LOOP_INDICES
+from .ir import Loop, LoopNest, Statement, TensorDecl
+
+
+def _level_suffix(level: str) -> str:
+    return level.lower()
+
+
+def _iterator(index: str, level: str) -> str:
+    return f"{index}_{_level_suffix(level)}"
+
+
+def region_bound(
+    ancestors: Sequence[Tuple[str, TilingConfig]], index: str, extent: int
+) -> str:
+    """Upper bound expression for loops over ``index`` inside the given ancestors.
+
+    ``ancestors`` are the enclosing tiling levels, outermost first; the bound
+    is the minimum of every ancestor's region end (``iterator + tile``) and
+    the problem extent, rendered as nested binary ``min`` calls so both the C
+    and the Python emitters can consume it.
+    """
+    terms = [
+        f"{_iterator(index, level)} + {max(1, int(config.tiles[index]))}"
+        for level, config in ancestors
+    ]
+    terms.append(str(extent))
+    bound = terms[-1]
+    for term in reversed(terms[:-1]):
+        bound = f"min({term}, {bound})"
+    return bound
+
+
+def microkernel_statement(spec: ConvSpec, innermost_level: str) -> Statement:
+    """The innermost statement: a call to the register-tile microkernel."""
+    args = ", ".join(_iterator(index, innermost_level) for index in LOOP_INDICES)
+    return Statement(
+        text=f"cnn_microkernel(Out, In, Ker, {args})",
+        comment="register-tiled outer-product microkernel (Section 6)",
+    )
+
+
+def scalar_statement(spec: ConvSpec, innermost_level: str) -> Statement:
+    """The innermost statement as an explicit scalar accumulation."""
+    lvl = innermost_level
+    n, k, c = _iterator("n", lvl), _iterator("k", lvl), _iterator("c", lvl)
+    r, s = _iterator("r", lvl), _iterator("s", lvl)
+    h, w = _iterator("h", lvl), _iterator("w", lvl)
+    stride, dil = spec.stride, spec.dilation
+    return Statement(
+        text=(
+            f"Out[{n}][{k}][{h}][{w}] += "
+            f"In[{n}][{c}][{h}*{stride}+{r}*{dil}][{w}*{stride}+{s}*{dil}]"
+            f" * Ker[{k}][{c}][{r}][{s}]"
+        ),
+        comment="direct accumulation (used when no microkernel is plugged in)",
+    )
+
+
+def build_tiled_nest(
+    spec: ConvSpec,
+    config: MultiLevelConfig | TilingConfig,
+    *,
+    parallel_plan: Optional[ParallelPlan] = None,
+    use_microkernel: bool = True,
+    name: Optional[str] = None,
+) -> LoopNest:
+    """Build the full multi-level tiled loop nest for one configuration.
+
+    Levels are emitted outermost first; within each level the tile loops
+    follow that level's permutation.  When a :class:`ParallelPlan` is given,
+    the loops of the second-outermost level whose dimensions carry a
+    parallel factor > 1 are marked ``parallel`` (they form the
+    parallelization band of Listing 5).
+    """
+    if isinstance(config, TilingConfig):
+        config = single_level(config)
+    extents = spec.loop_extents
+    levels_outer_first: List[Tuple[str, TilingConfig]] = list(
+        zip(config.levels, config.configs)
+    )[::-1]
+
+    tensors = [
+        TensorDecl("Out", (spec.batch, spec.out_channels, spec.out_height, spec.out_width)),
+        TensorDecl(
+            "In",
+            (
+                spec.batch,
+                spec.in_channels,
+                spec.in_height + 2 * spec.padding,
+                spec.in_width + 2 * spec.padding,
+            ),
+        ),
+        TensorDecl("Ker", (spec.out_channels, spec.in_channels, spec.kernel_h, spec.kernel_w)),
+    ]
+    nest = LoopNest(
+        name=name or f"conv2d_{spec.name}",
+        tensors=tensors,
+        loops=[],
+        preamble=[Statement(text=f"generated for {spec.describe()}")],
+    )
+
+    parallel_level_index = len(levels_outer_first) - 2  # the level inside the outermost
+    current_children: List[Loop] = []
+    innermost_level = config.levels[0]
+
+    # Build from the innermost level outward so loops can be nested easily.
+    innermost_statement = (
+        microkernel_statement(spec, innermost_level)
+        if use_microkernel
+        else scalar_statement(spec, innermost_level)
+    )
+    body_nodes: List = [innermost_statement]
+
+    for position in range(len(levels_outer_first) - 1, -1, -1):
+        level, level_config = levels_outer_first[position]
+        outer_level = levels_outer_first[position - 1][0] if position > 0 else None
+        new_body: List = []
+        loops_for_level: List[Loop] = []
+        for index in level_config.permutation:
+            tile = max(1, int(level_config.tiles[index]))
+            if outer_level is None:
+                start = "0"
+                bound = str(extents[index])
+            else:
+                parent_iter = _iterator(index, outer_level)
+                start = parent_iter
+                # The loop must not run past *any* enclosing tile's region,
+                # so the bound is the minimum over every ancestor level's
+                # region end and the problem extent (handles ragged tiles).
+                bound = region_bound(levels_outer_first[:position], index, extents[index])
+            is_parallel = (
+                parallel_plan is not None
+                and position == max(parallel_level_index, 0)
+                and parallel_plan.factors.get(index, 1) > 1
+            )
+            loop = Loop(
+                iterator=_iterator(index, level),
+                start=start,
+                bound=bound,
+                step=str(tile),
+                parallel=is_parallel,
+                comment=f"{level} tile loop over {index} (T{index}={tile})",
+            )
+            loops_for_level.append(loop)
+        # Chain the level's loops into a nest (first in permutation = outermost).
+        for outer, inner in zip(loops_for_level, loops_for_level[1:]):
+            outer.body = [inner]
+        loops_for_level[-1].body = list(body_nodes)
+        body_nodes = [loops_for_level[0]]
+
+    nest.loops = list(body_nodes)
+    return nest
+
+
+def loop_structure_summary(nest: LoopNest) -> str:
+    """Readable one-loop-per-line summary of the generated nest."""
+    lines: List[str] = []
+
+    def visit(node, depth: int) -> None:
+        if isinstance(node, Loop):
+            marker = " [parallel]" if node.parallel else ""
+            lines.append("  " * depth + f"for {node.iterator} step {node.step}{marker}")
+            for child in node.body:
+                visit(child, depth + 1)
+        else:
+            lines.append("  " * depth + node.text)
+
+    for loop in nest.loops:
+        visit(loop, 0)
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""End-to-end validation of generated tiled code against the reference.
+
+Every configuration the optimizer (or a baseline, or the sampler) produces
+must compute the same convolution as the direct reference implementation.
+This module wires the pieces together: build the loop nest, emit and
+compile the Python rendering, run it on random tensors, and compare against
+:func:`repro.sim.executor.reference_conv2d`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import MultiLevelConfig, TilingConfig
+from ..core.packing import pack_input_nchw
+from ..core.tensor_spec import ConvSpec
+from ..sim.executor import max_abs_error, random_tensors, reference_conv2d
+from .py_emitter import compile_python
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Result of validating one generated configuration."""
+
+    spec_name: str
+    max_error: float
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        """True when the generated code matched the reference within tolerance."""
+        return self.max_error <= self.tolerance
+
+
+def validate_config(
+    spec: ConvSpec,
+    config: MultiLevelConfig | TilingConfig,
+    *,
+    seed: int = 0,
+    tolerance: float = 1e-3,
+) -> ValidationReport:
+    """Emit, compile and run one configuration; compare with the reference.
+
+    ``tolerance`` is an absolute elementwise bound; tiled execution
+    reassociates the floating-point reduction so exact equality is not
+    expected (the reference accumulates in a different order).
+    """
+    input_tensor, kernel = random_tensors(spec, seed=seed)
+    reference = reference_conv2d(spec, input_tensor, kernel)
+
+    generated = compile_python(spec, config)
+    out = np.zeros(
+        (spec.batch, spec.out_channels, spec.out_height, spec.out_width), dtype=np.float64
+    )
+    padded = pack_input_nchw(input_tensor.astype(np.float64), spec.padding)
+    generated(out, padded, kernel.astype(np.float64))
+
+    error = max_abs_error(reference, out)
+    return ValidationReport(spec.name, error, tolerance)
+
+
+def assert_valid(
+    spec: ConvSpec,
+    config: MultiLevelConfig | TilingConfig,
+    *,
+    seed: int = 0,
+    tolerance: float = 1e-3,
+) -> None:
+    """Raise ``AssertionError`` if the generated code does not match the reference."""
+    report = validate_config(spec, config, seed=seed, tolerance=tolerance)
+    if not report.passed:
+        raise AssertionError(
+            f"generated code for {spec.name!r} deviates from the reference by "
+            f"{report.max_error:.3e} (tolerance {report.tolerance:.1e})"
+        )

@@ -1,0 +1,119 @@
+"""Capacity constraints for tile footprints (Eq. 4 and its multi-level form).
+
+At each level of the memory hierarchy the combined data footprint of one
+tile (the slices of ``In``, ``Out`` and ``Ker`` it touches) must fit in that
+level's capacity.  The optimizer additionally wants tiles that *use* the
+capacity (the modeling assumption is that two adjacent tiles together
+overflow the cache), so helpers are provided both for checking feasibility
+and for measuring utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..machine.spec import MachineSpec
+from .config import MultiLevelConfig, TilingConfig
+from .cost_model import combined_footprint
+from .tensor_spec import ConvSpec, LOOP_INDICES
+
+
+@dataclass(frozen=True)
+class CapacityCheck:
+    """Result of checking one tile footprint against one capacity."""
+
+    level: str
+    footprint_elements: float
+    capacity_elements: float
+
+    @property
+    def fits(self) -> bool:
+        """True when the footprint does not exceed the capacity."""
+        return self.footprint_elements <= self.capacity_elements + 1e-9
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the capacity used by one tile footprint."""
+        return self.footprint_elements / self.capacity_elements
+
+
+def level_capacities(
+    machine: MachineSpec, levels: Sequence[str]
+) -> Dict[str, float]:
+    """Capacity in elements for each requested tiling level.
+
+    ``"Reg"`` maps to the vector register file capacity, cache names to the
+    corresponding cache capacity.
+    """
+    return {level: machine.capacity_elements(level) for level in levels}
+
+
+def check_level(
+    spec: ConvSpec,
+    tiles: Mapping[str, float],
+    level: str,
+    capacity_elements: float,
+) -> CapacityCheck:
+    """Check the footprint of one level's tile against a capacity."""
+    footprint = combined_footprint(tiles, stride=spec.stride, dilation=spec.dilation)
+    return CapacityCheck(level, footprint, capacity_elements)
+
+
+def check_config(
+    spec: ConvSpec,
+    config: MultiLevelConfig,
+    machine: MachineSpec,
+) -> Dict[str, CapacityCheck]:
+    """Check every level of a multi-level configuration against the machine."""
+    checks: Dict[str, CapacityCheck] = {}
+    for level in config.levels:
+        capacity = machine.capacity_elements(level)
+        checks[level] = check_level(spec, config.tiles(level), level, capacity)
+    return checks
+
+
+def fits_all_levels(
+    spec: ConvSpec, config: MultiLevelConfig, machine: MachineSpec
+) -> bool:
+    """True when every level's tile footprint fits its capacity."""
+    return all(check.fits for check in check_config(spec, config, machine).values())
+
+
+def utilization_report(
+    spec: ConvSpec, config: MultiLevelConfig, machine: MachineSpec
+) -> Dict[str, float]:
+    """Per-level capacity utilization (footprint / capacity)."""
+    return {
+        level: check.utilization
+        for level, check in check_config(spec, config, machine).items()
+    }
+
+
+def max_feasible_uniform_tile(
+    spec: ConvSpec, capacity_elements: float
+) -> Dict[str, float]:
+    """A feasible starting tile that scales all extents by a common factor.
+
+    Used by the solver to build an interior starting point: all tile sizes
+    are set to ``alpha * N_j`` with ``alpha`` chosen so the combined
+    footprint is comfortably within the capacity (half of it), then clamped
+    to at least 1.
+    """
+    extents = spec.loop_extents
+    lo, hi = 0.0, 1.0
+    target = capacity_elements * 0.5
+
+    def footprint_of(alpha: float) -> float:
+        tiles = {i: max(1.0, alpha * extents[i]) for i in LOOP_INDICES}
+        return combined_footprint(tiles, stride=spec.stride, dilation=spec.dilation)
+
+    if footprint_of(1.0) <= target:
+        return {i: float(extents[i]) for i in LOOP_INDICES}
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if footprint_of(mid) <= target:
+            lo = mid
+        else:
+            hi = mid
+    return {i: max(1.0, lo * extents[i]) for i in LOOP_INDICES}

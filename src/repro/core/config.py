@@ -1,0 +1,217 @@
+"""Tiling configurations: permutations plus tile sizes, single- and multi-level.
+
+A *tiling configuration* in the paper (Section 3) is a pair of a tile-loop
+permutation and a tile-size vector.  For multi-level tiling (Section 5)
+there is one such pair per memory-hierarchy level; tile sizes must nest
+(the level-``l`` tile of each index is no larger than the level-``l+1``
+tile).  These dataclasses are the common currency passed between the cost
+model, the optimizer, the simulator, the code generator and the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .tensor_spec import (
+    LOOP_INDICES,
+    ConvSpec,
+    InvalidSpecError,
+    clamp_tiles,
+    total_footprint,
+    validate_tiles,
+)
+
+#: Canonical names of tiling levels, innermost first.  ``Reg`` is the
+#: register tile realized by the microkernel; ``L1``/``L2``/``L3`` are cache
+#: tiles.  Not every machine/model uses all four.
+LEVEL_NAMES: Tuple[str, ...] = ("Reg", "L1", "L2", "L3")
+
+
+def _normalize_permutation(permutation: Sequence[str]) -> Tuple[str, ...]:
+    perm = tuple(permutation)
+    if sorted(perm) != sorted(LOOP_INDICES):
+        raise InvalidSpecError(
+            f"permutation must contain each of {LOOP_INDICES} exactly once, got {perm}"
+        )
+    return perm
+
+
+@dataclass(frozen=True)
+class TilingConfig:
+    """Single-level tiling configuration ⟨permutation, tile sizes⟩.
+
+    Parameters
+    ----------
+    permutation:
+        Tile-loop order from *outermost to innermost* (length 7).  The
+        paper writes permutations as ⟨p7, ..., p1⟩ with p1 innermost; here
+        ``permutation[0]`` is the outermost tile loop and
+        ``permutation[-1]`` the innermost one.
+    tiles:
+        Mapping from loop index to tile size.  Real-valued tile sizes are
+        allowed (the solver works over the reals and integerizes later).
+    """
+
+    permutation: Tuple[str, ...]
+    tiles: Dict[str, float]
+
+    def __init__(self, permutation: Sequence[str], tiles: Mapping[str, float]):
+        object.__setattr__(self, "permutation", _normalize_permutation(permutation))
+        object.__setattr__(self, "tiles", {i: float(tiles[i]) for i in LOOP_INDICES})
+
+    # -- permutation helpers --------------------------------------------
+    @property
+    def innermost(self) -> str:
+        """Innermost tile-loop index."""
+        return self.permutation[-1]
+
+    def position(self, index: str) -> int:
+        """1-based position of ``index`` counted from the innermost loop.
+
+        This matches the paper's convention where the innermost tile loop is
+        at position 1.
+        """
+        if index not in LOOP_INDICES:
+            raise InvalidSpecError(f"unknown loop index {index!r}")
+        return len(self.permutation) - self.permutation.index(index)
+
+    def indices_at_or_above(self, position: int) -> Tuple[str, ...]:
+        """Indices at positions ``>= position`` (i.e. ``index`` and everything outside it)."""
+        return tuple(i for i in self.permutation if self.position(i) >= position)
+
+    def indices_above(self, position: int) -> Tuple[str, ...]:
+        """Indices strictly outside ``position``."""
+        return tuple(i for i in self.permutation if self.position(i) > position)
+
+    # -- tile helpers -----------------------------------------------------
+    def tile(self, index: str) -> float:
+        """Tile size of one loop index."""
+        return self.tiles[index]
+
+    def rounded(self) -> "TilingConfig":
+        """Return a copy with every tile size rounded down to an integer (>= 1)."""
+        return TilingConfig(self.permutation, {i: max(1, int(self.tiles[i])) for i in LOOP_INDICES})
+
+    def with_tiles(self, tiles: Mapping[str, float]) -> "TilingConfig":
+        """Return a copy with replaced tile sizes."""
+        return TilingConfig(self.permutation, tiles)
+
+    def validate(self, spec: ConvSpec, *, integral: bool = False) -> None:
+        """Check tile sizes against the problem extents."""
+        validate_tiles(spec, self.tiles, integral=integral)
+
+    def footprint(self, spec: ConvSpec) -> float:
+        """Combined tile footprint in elements (Eq. 4 left-hand side)."""
+        return total_footprint(spec, self.tiles)
+
+    def clamped(self, spec: ConvSpec) -> "TilingConfig":
+        """Return a copy with tile sizes clamped into ``[1, N_j]``."""
+        return TilingConfig(self.permutation, clamp_tiles(spec, self.tiles))
+
+    def key(self) -> Tuple[Tuple[str, ...], Tuple[float, ...]]:
+        """Hashable identity used for caching / deduplication."""
+        return self.permutation, tuple(self.tiles[i] for i in LOOP_INDICES)
+
+    def describe(self) -> str:
+        """Short human-readable description."""
+        tiles = ", ".join(f"T{i}={self.tiles[i]:g}" for i in LOOP_INDICES)
+        return f"perm=({', '.join(self.permutation)}) [{tiles}]"
+
+
+@dataclass(frozen=True)
+class MultiLevelConfig:
+    """Multi-level tiling configuration: one :class:`TilingConfig` per level.
+
+    Levels are ordered from the innermost (register tile) outwards.  The
+    configuration is *nested*: for every loop index, the tile size at level
+    ``l`` divides into (is no larger than) the tile size at level ``l+1``,
+    and the outermost level's tile size is no larger than the problem size.
+    """
+
+    levels: Tuple[str, ...]
+    configs: Tuple[TilingConfig, ...]
+
+    def __init__(self, levels: Sequence[str], configs: Sequence[TilingConfig]):
+        if len(levels) != len(configs):
+            raise InvalidSpecError("levels and configs must have the same length")
+        if len(levels) == 0:
+            raise InvalidSpecError("at least one tiling level is required")
+        if len(set(levels)) != len(levels):
+            raise InvalidSpecError(f"duplicate level names in {levels}")
+        object.__setattr__(self, "levels", tuple(levels))
+        object.__setattr__(self, "configs", tuple(configs))
+
+    @property
+    def num_levels(self) -> int:
+        """Number of tiling levels."""
+        return len(self.levels)
+
+    def level_index(self, level: str) -> int:
+        """Position of a named level (0 = innermost)."""
+        try:
+            return self.levels.index(level)
+        except ValueError as exc:
+            raise InvalidSpecError(f"unknown level {level!r}; have {self.levels}") from exc
+
+    def config(self, level: str) -> TilingConfig:
+        """The :class:`TilingConfig` of one named level."""
+        return self.configs[self.level_index(level)]
+
+    def tiles(self, level: str) -> Dict[str, float]:
+        """Tile sizes of one named level."""
+        return dict(self.config(level).tiles)
+
+    def outer_tiles(self, level: str, spec: ConvSpec) -> Dict[str, float]:
+        """Tile sizes of the next-outer level (problem sizes for the outermost)."""
+        idx = self.level_index(level)
+        if idx + 1 < self.num_levels:
+            return dict(self.configs[idx + 1].tiles)
+        return {i: float(e) for i, e in spec.loop_extents.items()}
+
+    def validate(self, spec: ConvSpec, *, integral: bool = False) -> None:
+        """Validate per-level tile sizes and the nesting property."""
+        for config in self.configs:
+            config.validate(spec, integral=integral)
+        for inner, outer in zip(self.configs, self.configs[1:]):
+            for index in LOOP_INDICES:
+                if inner.tiles[index] > outer.tiles[index] + 1e-9:
+                    raise InvalidSpecError(
+                        f"tile nesting violated for {index!r}: "
+                        f"{inner.tiles[index]} > {outer.tiles[index]}"
+                    )
+
+    def rounded(self) -> "MultiLevelConfig":
+        """Round all tile sizes down to integers, preserving nesting."""
+        rounded: List[TilingConfig] = []
+        prev: Optional[TilingConfig] = None
+        for config in self.configs:
+            cfg = config.rounded()
+            if prev is not None:
+                cfg = cfg.with_tiles(
+                    {i: max(cfg.tiles[i], prev.tiles[i]) for i in LOOP_INDICES}
+                )
+            rounded.append(cfg)
+            prev = cfg
+        return MultiLevelConfig(self.levels, rounded)
+
+    def describe(self) -> str:
+        """Multi-line human-readable description."""
+        lines = []
+        for level, config in zip(self.levels, self.configs):
+            lines.append(f"{level}: {config.describe()}")
+        return "\n".join(lines)
+
+
+def single_level(config: TilingConfig, level: str = "L1") -> MultiLevelConfig:
+    """Wrap a single-level configuration into a :class:`MultiLevelConfig`."""
+    return MultiLevelConfig((level,), (config,))
+
+
+def uniform_config(
+    spec: ConvSpec,
+    permutation: Sequence[str],
+    tile_sizes: Mapping[str, float],
+) -> TilingConfig:
+    """Build and clamp a :class:`TilingConfig` against a problem spec."""
+    return TilingConfig(permutation, tile_sizes).clamped(spec)

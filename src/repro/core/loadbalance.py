@@ -1,0 +1,158 @@
+"""Integerization and load balancing of solver tile sizes (Algorithm 1, lines 23–24).
+
+The nonlinear solver returns real-valued tile sizes.  Algorithm 1 floors
+them to integers and then adjusts them to minimize core idling.  This
+module implements both steps:
+
+* :func:`floor_tiles` — floor to integers while keeping every size >= 1 and
+  preserving the multi-level nesting property,
+* :func:`round_to_divisors` — optionally snap each tile size to a divisor of
+  the corresponding extent (avoiding ragged partial tiles, which both the
+  sampler and the code generator prefer),
+* :func:`balance_parallel_chunks` — adjust the parallelized tile sizes so
+  the number of chunks along each parallel dimension is a multiple of that
+  dimension's core factor (no idle cores in the steady state).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from .config import MultiLevelConfig, TilingConfig
+from .tensor_spec import LOOP_INDICES, ConvSpec, divisor_tiles
+
+
+def floor_tiles(tiles: Mapping[str, float]) -> Dict[str, int]:
+    """Floor real-valued tile sizes to integers, keeping each >= 1."""
+    return {index: max(1, int(math.floor(tiles[index] + 1e-9))) for index in LOOP_INDICES}
+
+
+def nearest_divisor(extent: int, value: float, *, prefer_smaller: bool = True) -> int:
+    """Divisor of ``extent`` closest to ``value``.
+
+    Ties are broken toward the smaller divisor when ``prefer_smaller`` (a
+    smaller tile always satisfies capacity constraints).
+    """
+    best = 1
+    best_distance = float("inf")
+    for divisor in divisor_tiles(extent):
+        distance = abs(divisor - value)
+        if distance < best_distance or (
+            distance == best_distance and prefer_smaller and divisor < best
+        ):
+            best = divisor
+            best_distance = distance
+    return best
+
+
+def round_to_divisors(
+    spec: ConvSpec, tiles: Mapping[str, float], *, allow_round_up: bool = False
+) -> Dict[str, int]:
+    """Snap each tile size to a divisor of its extent.
+
+    Choosing divisors keeps every tile full (no partial tiles), which both
+    simplifies generated code and matches the presentation assumption of the
+    cost model.  By default the chosen divisor never exceeds the real-valued
+    solver tile (rounding down, like Algorithm 1's floor), so capacity
+    constraints satisfied by the real solution remain satisfied after
+    integerization; pass ``allow_round_up=True`` to pick the nearest divisor
+    instead.
+    """
+    extents = spec.loop_extents
+    result: Dict[str, int] = {}
+    for index in LOOP_INDICES:
+        extent = extents[index]
+        value = min(max(1.0, tiles[index]), float(extent))
+        if allow_round_up:
+            divisor = nearest_divisor(extent, value)
+            if divisor > value * 1.5:
+                smaller = [d for d in divisor_tiles(extent) if d <= value]
+                divisor = max(smaller) if smaller else 1
+        else:
+            candidates = [d for d in divisor_tiles(extent) if d <= value + 1e-9]
+            divisor = max(candidates) if candidates else 1
+        result[index] = divisor
+    return result
+
+
+def integerize_config(
+    spec: ConvSpec,
+    config: MultiLevelConfig,
+    *,
+    snap_to_divisors: bool = True,
+) -> MultiLevelConfig:
+    """Integerize a multi-level configuration, preserving the nesting property.
+
+    Levels are processed innermost first; each outer level is kept at least
+    as large as the level inside it.
+    """
+    new_configs = []
+    previous: Optional[Dict[str, int]] = None
+    for level_config in config.configs:
+        if snap_to_divisors:
+            tiles = round_to_divisors(spec, level_config.tiles)
+        else:
+            tiles = floor_tiles(level_config.tiles)
+        if previous is not None:
+            tiles = {i: max(tiles[i], previous[i]) for i in LOOP_INDICES}
+        tiles = {i: min(tiles[i], spec.loop_extents[i]) for i in LOOP_INDICES}
+        new_configs.append(TilingConfig(level_config.permutation, tiles))
+        previous = tiles
+    return MultiLevelConfig(config.levels, tuple(new_configs))
+
+
+def chunk_counts(
+    spec: ConvSpec, outer_tiles: Mapping[str, float], inner_tiles: Mapping[str, float]
+) -> Dict[str, int]:
+    """Number of inner tiles along each dimension inside one outer tile."""
+    return {
+        index: max(1, math.ceil(outer_tiles[index] / inner_tiles[index]))
+        for index in LOOP_INDICES
+    }
+
+
+def imbalance(chunks: int, ways: int) -> float:
+    """Fractional idle time when ``chunks`` units are split across ``ways`` workers.
+
+    Zero when ``chunks`` is a multiple of ``ways``; approaches
+    ``1 - chunks/(ways*ceil(chunks/ways))`` otherwise.
+    """
+    if ways <= 1:
+        return 0.0
+    rounds = math.ceil(chunks / ways)
+    used = chunks / (rounds * ways)
+    return 1.0 - used
+
+
+def balance_parallel_chunks(
+    spec: ConvSpec,
+    outer_tiles: Mapping[str, float],
+    inner_tiles: Mapping[str, float],
+    factors: Mapping[str, int],
+) -> Dict[str, int]:
+    """Adjust inner (parallel-band) tile sizes to reduce core idling.
+
+    For each parallelized dimension ``a`` with core factor ``factors[a]``,
+    the number of inner chunks inside one outer tile should be a multiple of
+    the factor.  The inner tile size is nudged downward to the largest value
+    that makes the chunk count a multiple of the factor (or at worst 1).
+    """
+    balanced = {index: max(1, int(round(inner_tiles[index]))) for index in LOOP_INDICES}
+    for index, ways in factors.items():
+        if ways <= 1:
+            continue
+        outer = max(1, int(round(outer_tiles[index])))
+        size = balanced[index]
+        best_size = size
+        best_imbalance = imbalance(math.ceil(outer / size), ways)
+        candidate = size
+        while candidate >= 1 and best_imbalance > 1e-9:
+            chunks = math.ceil(outer / candidate)
+            score = imbalance(chunks, ways)
+            if score < best_imbalance - 1e-12:
+                best_imbalance = score
+                best_size = candidate
+            candidate -= 1
+        balanced[index] = best_size
+    return balanced

@@ -1,0 +1,182 @@
+"""Register-tile microkernel design (Section 6 of the paper).
+
+The innermost level of the tiled loop nest is a small *microkernel* whose
+shape is dictated purely by the FMA latency and throughput of the target
+core, not by cache or problem parameters.  The paper's AVX2 microkernel:
+
+* vectorizes the output-channel dimension ``k`` and keeps **two** kernel
+  vectors (2 x 8 = 16 output channels) in registers,
+* broadcasts **six** input pixels (``h``/``w`` positions) into registers,
+* computes their outer product into 6 x 2 = 12 accumulator vector
+  registers with FMA instructions,
+* needs ``latency x throughput`` independent FMAs in flight (Little's law)
+  to saturate the two FMA pipes — 12 independent accumulator updates
+  against the ~10–12 required keeps the pipeline full.
+
+This module reproduces that design procedure for any
+:class:`~repro.machine.spec.MachineSpec`, yields the register-level tile
+sizes used by the optimizer, and provides a simple throughput-efficiency
+model consumed by the performance simulator (the paper notes its generated
+microkernel is "not as highly optimized" as oneDNN's — the efficiency knob
+lets the baselines reflect that difference).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..machine.spec import MachineSpec, VectorISA
+from .tensor_spec import LOOP_INDICES, ConvSpec
+
+
+@dataclass(frozen=True)
+class MicrokernelDesign:
+    """Shape and modeled efficiency of the register-tile microkernel.
+
+    ``register_tiles`` maps every loop index to its register-tile size; the
+    non-trivial entries are ``k`` (vectorized output channels) and ``h``/``w``
+    (the broadcast output pixels).  ``accumulator_registers`` and
+    ``required_fmas_in_flight`` express the Little's-law calculation.
+    """
+
+    vector_lanes: int
+    kernel_vectors: int
+    spatial_points: int
+    register_tiles: Dict[str, int]
+    accumulator_registers: int
+    broadcast_registers: int
+    required_fmas_in_flight: int
+    efficiency: float
+
+    @property
+    def k_tile(self) -> int:
+        """Output channels computed per microkernel invocation."""
+        return self.register_tiles["k"]
+
+    @property
+    def output_points(self) -> int:
+        """Output pixels (h x w) computed per microkernel invocation."""
+        return self.register_tiles["h"] * self.register_tiles["w"]
+
+    @property
+    def flops_per_invocation(self) -> int:
+        """FLOPs executed by one microkernel invocation over one (c, r, s) step."""
+        return 2 * self.k_tile * self.output_points
+
+    def describe(self) -> str:
+        """Human-readable summary similar to the paper's Figure 4 narrative."""
+        return (
+            f"microkernel: {self.kernel_vectors} kernel vectors x {self.vector_lanes} lanes "
+            f"(Tk={self.k_tile}), {self.spatial_points} broadcast pixels, "
+            f"{self.accumulator_registers} accumulators, "
+            f"need {self.required_fmas_in_flight} FMAs in flight, "
+            f"efficiency {self.efficiency:.2f}"
+        )
+
+
+def _pipeline_efficiency(
+    isa: VectorISA, accumulators: int, loads_per_step: int, fmas_per_step: int
+) -> float:
+    """Modeled fraction of peak FMA throughput the microkernel sustains.
+
+    Two effects are captured: (i) insufficient independent accumulators to
+    cover the FMA latency (Little's law), and (ii) load/broadcast
+    instructions competing for issue slots with FMAs.
+    """
+    required = max(1, isa.required_independent_fmas())
+    latency_cover = min(1.0, accumulators / required)
+    # Two FMA pipes retire `fma_units` vector FMAs per cycle; loads/broadcasts
+    # occupy roughly one issue slot each and partially overlap with FMAs.
+    issue_pressure = fmas_per_step / (fmas_per_step + 0.35 * loads_per_step)
+    return max(0.05, latency_cover * issue_pressure)
+
+
+def design_microkernel(
+    machine: MachineSpec,
+    spec: Optional[ConvSpec] = None,
+    *,
+    kernel_vectors: int = 2,
+    target_spatial_points: int = 6,
+) -> MicrokernelDesign:
+    """Design the register-tile microkernel for a machine (Section 6).
+
+    The design depends only on the FMA latency/throughput and register count
+    of the machine; when a ``spec`` is given the tile sizes are additionally
+    clamped to the problem extents (e.g. a 1x1-kernel layer with ``N_w < 6``).
+    """
+    isa = machine.isa
+    lanes = isa.vector_lanes(machine.dtype_bytes)
+
+    # Clamp the number of kernel vectors so accumulators + kernel + broadcast
+    # registers fit in the architectural register file.
+    kernel_vectors = max(1, kernel_vectors)
+    spatial = max(1, target_spatial_points)
+    while True:
+        accumulators = kernel_vectors * spatial
+        needed = accumulators + kernel_vectors + 1  # +1 broadcast register reused
+        if needed <= isa.num_vector_registers or spatial == 1:
+            break
+        spatial -= 1
+
+    k_tile = kernel_vectors * lanes
+    tiles: Dict[str, int] = {i: 1 for i in LOOP_INDICES}
+    tiles["k"] = k_tile
+    # Distribute the spatial unroll over w first, then h.
+    if spec is not None:
+        w_points = min(spatial, spec.out_width)
+        h_points = min(max(1, spatial // max(1, w_points)), spec.out_height)
+    else:
+        w_points = spatial
+        h_points = 1
+    tiles["w"] = max(1, w_points)
+    tiles["h"] = max(1, h_points)
+    if spec is not None:
+        tiles["k"] = min(tiles["k"], spec.out_channels)
+        for index in LOOP_INDICES:
+            tiles[index] = min(tiles[index], spec.loop_extents[index])
+
+    accumulators = kernel_vectors * tiles["w"] * tiles["h"]
+    loads_per_step = kernel_vectors + tiles["w"] * tiles["h"]  # kernel loads + broadcasts
+    fmas_per_step = accumulators
+    efficiency = _pipeline_efficiency(isa, accumulators, loads_per_step, fmas_per_step)
+
+    return MicrokernelDesign(
+        vector_lanes=lanes,
+        kernel_vectors=kernel_vectors,
+        spatial_points=tiles["w"] * tiles["h"],
+        register_tiles=tiles,
+        accumulator_registers=accumulators,
+        broadcast_registers=tiles["w"] * tiles["h"],
+        required_fmas_in_flight=isa.required_independent_fmas(),
+        efficiency=efficiency,
+    )
+
+
+def register_tile_sizes(
+    machine: MachineSpec, spec: Optional[ConvSpec] = None
+) -> Dict[str, float]:
+    """Register-level tile sizes (as floats) for use in the optimizer."""
+    design = design_microkernel(machine, spec)
+    return {index: float(size) for index, size in design.register_tiles.items()}
+
+
+def compute_time_seconds(
+    spec: ConvSpec,
+    machine: MachineSpec,
+    *,
+    threads: int = 1,
+    efficiency: Optional[float] = None,
+) -> float:
+    """Pure compute time of the operator at the microkernel's sustained rate."""
+    design = design_microkernel(machine, spec)
+    eff = design.efficiency if efficiency is None else efficiency
+    sustained = machine.peak_gflops(threads) * eff * 1e9
+    return spec.flops / sustained
+
+
+def microkernel_flop_rate(machine: MachineSpec, spec: Optional[ConvSpec] = None) -> float:
+    """Sustained GFLOP/s of one core running the designed microkernel."""
+    design = design_microkernel(machine, spec)
+    return machine.peak_gflops(cores=1) * design.efficiency

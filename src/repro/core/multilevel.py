@@ -1,0 +1,167 @@
+"""Multi-level tiled cost model and bandwidth-scaled bottleneck objective.
+
+Section 5 of the paper extends the single-level model to ``L`` levels of
+tiling.  The data volume moved between levels ``l`` and ``l+1`` of the
+hierarchy is obtained from the single-level expression by treating the
+level-``l+1`` tile as the "problem" and the level-``l`` tile as the "tile",
+multiplied by the number of level-``l+1`` tiles executed over the whole
+problem.  The optimization objective is the *bandwidth-scaled* maximum,
+
+    max_l  DV_l / BW_l ,
+
+i.e. the time of the slowest (bottleneck) level assuming transfers at the
+different levels proceed concurrently.  The min–max problem is solved by
+the per-level decomposition described in Section 5 and implemented in
+:mod:`repro.core.minmax` / :mod:`repro.core.optimizer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..machine.spec import MachineSpec
+from .config import MultiLevelConfig, TilingConfig
+from .cost_model import volume_general
+from .tensor_spec import ConvSpec, LOOP_INDICES
+
+
+@dataclass(frozen=True)
+class LevelTraffic:
+    """Data movement of one hierarchy level under a multi-level configuration."""
+
+    level: str
+    #: Modeled data volume in elements moved into (and, for Out, out of) the level.
+    volume_elements: float
+    #: Bandwidth feeding this level, in elements per second.
+    bandwidth_elements_per_s: float
+
+    @property
+    def time_seconds(self) -> float:
+        """Bandwidth-scaled cost ``DV_l / BW_l`` of this level."""
+        return self.volume_elements / self.bandwidth_elements_per_s
+
+
+@dataclass(frozen=True)
+class MultiLevelCost:
+    """Full multi-level cost: per-level traffic plus the bottleneck summary."""
+
+    config: MultiLevelConfig
+    per_level: Dict[str, LevelTraffic]
+
+    @property
+    def bottleneck_level(self) -> str:
+        """Hierarchy level with the largest bandwidth-scaled cost."""
+        return max(self.per_level.values(), key=lambda t: t.time_seconds).level
+
+    @property
+    def bottleneck_time(self) -> float:
+        """The min–max objective value: ``max_l DV_l / BW_l`` in seconds."""
+        return max(t.time_seconds for t in self.per_level.values())
+
+    @property
+    def volumes(self) -> Dict[str, float]:
+        """Per-level data volumes in elements."""
+        return {level: t.volume_elements for level, t in self.per_level.items()}
+
+    @property
+    def times(self) -> Dict[str, float]:
+        """Per-level bandwidth-scaled times in seconds."""
+        return {level: t.time_seconds for level, t in self.per_level.items()}
+
+
+def level_data_volume(
+    spec: ConvSpec,
+    config: MultiLevelConfig,
+    level: str,
+    *,
+    line_size: int = 1,
+) -> float:
+    """Modeled data volume (elements) moved between ``level`` and the next outer level.
+
+    For the outermost tiling level this is the memory↔cache traffic of the
+    single-level model; for an inner level ``l`` it is the single-level
+    expression evaluated with the level-``l+1`` tile as the problem,
+    multiplied by the number of level-``l+1`` tiles in the whole problem.
+    """
+    idx = config.level_index(level)
+    level_config = config.configs[idx]
+    problem = config.outer_tiles(level, spec)
+
+    inner_volume = volume_general(
+        problem,
+        level_config,
+        stride=spec.stride,
+        dilation=spec.dilation,
+        line_size=line_size,
+    )
+
+    # Number of executions of one next-outer tile over the full problem.
+    extents = spec.loop_extents
+    outer_count = 1.0
+    for index in LOOP_INDICES:
+        outer_count *= extents[index] / problem[index]
+    return inner_volume * outer_count
+
+
+def level_bandwidths(
+    machine: MachineSpec,
+    levels: Sequence[str],
+    *,
+    parallel: bool = False,
+    overrides: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Bandwidth (elements/s) feeding each tiling level.
+
+    ``overrides`` may supply measured bandwidths in GB/s (e.g. from
+    :func:`repro.machine.bandwidth.effective_bandwidths_for_model` in the
+    parallel case); levels not overridden fall back to the machine's
+    single-core figures.
+    """
+    result: Dict[str, float] = {}
+    for level in levels:
+        if overrides is not None and level in overrides:
+            gbps = overrides[level]
+            result[level] = gbps * 1e9 / machine.dtype_bytes
+        else:
+            result[level] = machine.bandwidth_elements_per_second(level, parallel=parallel)
+    return result
+
+
+def multilevel_cost(
+    spec: ConvSpec,
+    config: MultiLevelConfig,
+    machine: MachineSpec,
+    *,
+    parallel: bool = False,
+    bandwidth_overrides: Optional[Mapping[str, float]] = None,
+    line_size: int = 1,
+) -> MultiLevelCost:
+    """Evaluate the multi-level bandwidth-scaled cost of a configuration."""
+    bandwidths = level_bandwidths(
+        machine, config.levels, parallel=parallel, overrides=bandwidth_overrides
+    )
+    per_level: Dict[str, LevelTraffic] = {}
+    for level in config.levels:
+        volume = level_data_volume(spec, config, level, line_size=line_size)
+        per_level[level] = LevelTraffic(level, volume, bandwidths[level])
+    return MultiLevelCost(config, per_level)
+
+
+def uniform_multilevel_config(
+    spec: ConvSpec,
+    permutation: Sequence[str],
+    per_level_tiles: Mapping[str, Mapping[str, float]],
+    levels: Sequence[str],
+) -> MultiLevelConfig:
+    """Assemble a :class:`MultiLevelConfig` using one permutation for all levels."""
+    configs = [TilingConfig(permutation, per_level_tiles[level]) for level in levels]
+    return MultiLevelConfig(tuple(levels), tuple(configs))
+
+
+def arithmetic_intensity(spec: ConvSpec, cost: MultiLevelCost, level: str) -> float:
+    """FLOPs per element moved at one level — a useful diagnostic for reports."""
+    volume = cost.per_level[level].volume_elements
+    if volume <= 0:
+        return float("inf")
+    return spec.flops / volume

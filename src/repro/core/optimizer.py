@@ -1,0 +1,533 @@
+"""MOpt permutation and tile-size selection (Algorithm 1 of the paper).
+
+For each of the eight pruned permutation classes, the optimizer solves a
+sequence of constrained nonlinear problems that realize the min–max
+formulation of Section 5:
+
+1. The register-level tile is either fixed by the microkernel design
+   (Section 6/8: the microkernel shape depends only on the machine) or left
+   to the solver.
+2. While unvisited levels remain, every unvisited level is hypothesised in
+   turn to be the *most constraining* one: its bandwidth-scaled data volume
+   is minimized subject to capacity/nesting constraints and to the
+   constraint that it dominates every other level's bandwidth-scaled
+   volume.  The hypothesis with the smallest cost identifies the true
+   bottleneck; its tile sizes are frozen and the loop repeats on the
+   remaining levels.
+3. The real-valued solution is floored/snapped to integer tile sizes and,
+   in the parallel case, a core-distribution plan is chosen and load
+   balanced (Section 7, Algorithm 1 lines 23–24).
+
+The result records every candidate (one per permutation class) so the
+``MOpt-5`` variant of the paper's evaluation (take the best of the top five
+modeled configurations) can be reproduced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.spec import MachineSpec
+from .capacity import level_capacities, max_feasible_uniform_tile
+from .config import MultiLevelConfig, TilingConfig
+from .cost_model import CompiledPermutationCost
+from .loadbalance import integerize_config
+from .microkernel import MicrokernelDesign, design_microkernel
+from .multilevel import MultiLevelCost, multilevel_cost
+from .parallel import (
+    ParallelPlan,
+    choose_parallel_plan,
+    parallel_bandwidth_overrides,
+    parallel_multilevel_cost,
+)
+from .pruning import PermutationClass, pruned_permutation_classes
+from .solver import ConstrainedProblem, SolverOptions, minimize_constrained
+from .tensor_spec import LOOP_INDICES, ConvSpec
+
+
+@dataclass(frozen=True)
+class OptimizerSettings:
+    """Configuration of the MOpt optimizer.
+
+    Parameters
+    ----------
+    levels:
+        Tiling levels from innermost outwards.  ``"Reg"`` plus the machine's
+        cache levels reproduces the paper's four-level setup.
+    fix_register_tile:
+        Freeze the register tile to the microkernel design (the paper's
+        choice) instead of solving for it.
+    parallel:
+        Use the parallel cost model (Section 7) and select a core plan.
+    threads:
+        Number of threads for the parallel model (defaults to all cores).
+    capacity_fraction:
+        Fraction of each cache level the tiles may occupy.  Real caches also
+        hold stack data, prefetches and suffer conflict misses, so planning
+        for ~80% of the nominal capacity is the usual practice.
+    line_size_elements:
+        When > 1, model data movement at cache-line granularity
+        (Section 12's spatial-locality extension).
+    top_k:
+        Number of candidate configurations retained (for MOpt-5).
+    snap_to_divisors:
+        Integerize tile sizes to divisors of the problem extents.
+    solver:
+        Options of the nonlinear solver.
+    permutation_class_names:
+        Restrict the search to a subset of the eight pruned classes (mainly
+        for tests and ablations); ``None`` searches all eight.
+    """
+
+    levels: Tuple[str, ...] = ("Reg", "L1", "L2", "L3")
+    fix_register_tile: bool = True
+    parallel: bool = False
+    threads: Optional[int] = None
+    capacity_fraction: float = 0.8
+    line_size_elements: int = 1
+    top_k: int = 5
+    snap_to_divisors: bool = True
+    solver: SolverOptions = field(default_factory=SolverOptions)
+    permutation_class_names: Optional[Tuple[str, ...]] = None
+
+    def with_solver(self, solver: SolverOptions) -> "OptimizerSettings":
+        """Copy with different solver options."""
+        return replace(self, solver=solver)
+
+
+def fast_settings(**overrides) -> OptimizerSettings:
+    """Settings tuned for sweeps over many operators (fewer solver restarts)."""
+    solver = SolverOptions(
+        multistarts=1, maxiter=60, fallback_samples=120, tolerance=1e-6
+    )
+    defaults = dict(solver=solver, top_k=5)
+    defaults.update(overrides)
+    return OptimizerSettings(**defaults)
+
+
+@dataclass(frozen=True)
+class CandidateSolution:
+    """One fully-solved configuration (one pruned permutation class)."""
+
+    class_name: str
+    permutation: Tuple[str, ...]
+    config: MultiLevelConfig
+    cost: MultiLevelCost
+    parallel_plan: Optional[ParallelPlan]
+    data_time_seconds: float
+    compute_time_seconds: float
+
+    @property
+    def predicted_time_seconds(self) -> float:
+        """Modeled execution time: data movement and compute overlap."""
+        return max(self.data_time_seconds, self.compute_time_seconds)
+
+    def predicted_gflops(self, spec: ConvSpec) -> float:
+        """Modeled performance in GFLOP/s."""
+        return spec.flops / self.predicted_time_seconds / 1e9
+
+    @property
+    def bottleneck_level(self) -> str:
+        """Hierarchy level predicted to limit performance."""
+        return self.cost.bottleneck_level
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of optimizing one conv2d operator on one machine."""
+
+    spec: ConvSpec
+    machine: MachineSpec
+    settings: OptimizerSettings
+    candidates: Tuple[CandidateSolution, ...]
+    search_seconds: float
+    microkernel: MicrokernelDesign
+
+    @property
+    def best(self) -> CandidateSolution:
+        """The configuration with the lowest predicted execution time (MOpt-1)."""
+        return self.candidates[0]
+
+    def top(self, k: int) -> Tuple[CandidateSolution, ...]:
+        """The ``k`` best candidates by predicted time (MOpt-5 uses k=5)."""
+        return self.candidates[:k]
+
+    @property
+    def predicted_gflops(self) -> float:
+        """Predicted performance of the best configuration."""
+        return self.best.predicted_gflops(self.spec)
+
+
+class MOptOptimizer:
+    """Modeling-based optimizer: analytical design-space exploration for conv2d.
+
+    Typical use::
+
+        machine = presets.coffee_lake_i7_9700k()
+        optimizer = MOptOptimizer(machine)
+        result = optimizer.optimize(spec)
+        best = result.best            # MOpt-1
+        topk = result.top(5)          # MOpt-5 candidates
+    """
+
+    def __init__(self, machine: MachineSpec, settings: Optional[OptimizerSettings] = None):
+        self.machine = machine
+        self.settings = settings or OptimizerSettings()
+        unknown = [
+            level
+            for level in self.settings.levels
+            if level != "Reg" and level not in machine.cache_names
+        ]
+        if unknown:
+            raise ValueError(
+                f"levels {unknown} not present on machine {machine.name!r}; "
+                f"available: {('Reg',) + machine.cache_names}"
+            )
+
+    # ------------------------------------------------------------------
+    def optimize(self, spec: ConvSpec) -> OptimizationResult:
+        """Run Algorithm 1 and return all candidate solutions, best first."""
+        settings = self.settings
+        start = time.perf_counter()
+        microkernel = design_microkernel(self.machine, spec)
+        classes = self._permutation_classes()
+        candidates: List[CandidateSolution] = []
+        for cls in classes:
+            candidate = self._solve_class(spec, cls, microkernel)
+            candidates.append(candidate)
+        candidates.sort(key=lambda c: c.predicted_time_seconds)
+        elapsed = time.perf_counter() - start
+        return OptimizationResult(
+            spec=spec,
+            machine=self.machine,
+            settings=settings,
+            candidates=tuple(candidates[: max(settings.top_k, 1)]),
+            search_seconds=elapsed,
+            microkernel=microkernel,
+        )
+
+    # ------------------------------------------------------------------
+    def _permutation_classes(self) -> Tuple[PermutationClass, ...]:
+        classes = pruned_permutation_classes()
+        names = self.settings.permutation_class_names
+        if names is None:
+            return classes
+        selected = tuple(cls for cls in classes if cls.name in names)
+        if not selected:
+            raise ValueError(f"no permutation classes matched {names}")
+        return selected
+
+    def _bandwidths(self) -> Dict[str, float]:
+        """Per-level bandwidths in elements/second used during solving."""
+        settings = self.settings
+        machine = self.machine
+        threads = settings.threads or machine.cores
+        if settings.parallel:
+            overrides = parallel_bandwidth_overrides(machine, threads)
+            return {
+                level: overrides[level] * 1e9 / machine.dtype_bytes
+                for level in settings.levels
+            }
+        return {
+            level: machine.bandwidth_elements_per_second(level)
+            for level in settings.levels
+        }
+
+    def _capacities(self) -> Dict[str, float]:
+        caps = level_capacities(self.machine, self.settings.levels)
+        frac = self.settings.capacity_fraction
+        # The register file is fully managed by the microkernel; do not derate it.
+        return {
+            level: cap * (1.0 if level == "Reg" else frac) for level, cap in caps.items()
+        }
+
+    # ------------------------------------------------------------------
+    def _solve_class(
+        self,
+        spec: ConvSpec,
+        cls: PermutationClass,
+        microkernel: MicrokernelDesign,
+    ) -> CandidateSolution:
+        settings = self.settings
+        permutation = cls.representative
+        compiled = CompiledPermutationCost(
+            permutation, stride=spec.stride, dilation=spec.dilation
+        )
+        levels = list(settings.levels)
+        extents = {i: float(e) for i, e in spec.loop_extents.items()}
+        capacities = self._capacities()
+        bandwidths = self._bandwidths()
+
+        fixed: Dict[str, Dict[str, float]] = {}
+        if settings.fix_register_tile and "Reg" in levels:
+            fixed["Reg"] = {
+                i: float(min(microkernel.register_tiles[i], spec.loop_extents[i]))
+                for i in LOOP_INDICES
+            }
+
+        not_visited = [level for level in levels if level not in fixed]
+        while not_visited:
+            best_level: Optional[str] = None
+            best_cost = float("inf")
+            best_tiles: Optional[Dict[str, Dict[str, float]]] = None
+            for objective_level in not_visited:
+                cost, tiles = self._arg_min_solve(
+                    spec,
+                    compiled,
+                    levels,
+                    extents,
+                    capacities,
+                    bandwidths,
+                    fixed,
+                    not_visited,
+                    objective_level,
+                )
+                if cost < best_cost:
+                    best_cost = cost
+                    best_level = objective_level
+                    best_tiles = tiles
+            assert best_level is not None and best_tiles is not None
+            fixed[best_level] = best_tiles[best_level]
+            not_visited.remove(best_level)
+
+        config = MultiLevelConfig(
+            tuple(levels),
+            tuple(TilingConfig(permutation, fixed[level]) for level in levels),
+        )
+        config = integerize_config(
+            spec, config, snap_to_divisors=settings.snap_to_divisors
+        )
+        return self._evaluate_candidate(spec, cls, config, microkernel)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _level_time_array(
+        compiled: CompiledPermutationCost,
+        level_order: Sequence[str],
+        tiles_arrays: Mapping[str, np.ndarray],
+        extents_array: np.ndarray,
+        bandwidths: Mapping[str, float],
+        level: str,
+    ) -> float:
+        """Bandwidth-scaled time of one level; tile sizes given as arrays."""
+        idx = level_order.index(level)
+        if idx + 1 < len(level_order):
+            outer = tiles_arrays[level_order[idx + 1]]
+        else:
+            outer = extents_array
+        inner = tiles_arrays[level]
+        volume = compiled.volume_array(outer, inner)
+        count = float(np.prod(extents_array / outer))
+        return volume * count / bandwidths[level]
+
+    def _arg_min_solve(
+        self,
+        spec: ConvSpec,
+        compiled: CompiledPermutationCost,
+        levels: Sequence[str],
+        extents: Mapping[str, float],
+        capacities: Mapping[str, float],
+        bandwidths: Mapping[str, float],
+        fixed: Mapping[str, Mapping[str, float]],
+        not_visited: Sequence[str],
+        objective_level: str,
+    ) -> Tuple[float, Dict[str, Dict[str, float]]]:
+        """One ``ArgMinSolve`` call of Algorithm 1 (line 9).
+
+        Minimizes the bandwidth-scaled volume of ``objective_level`` over the
+        tile sizes of all unvisited levels, subject to capacity and nesting
+        constraints and to ``objective_level`` dominating the other levels.
+        Returns the achieved cost and the per-level tile sizes (free and
+        fixed).
+        """
+        free_levels = list(not_visited)
+        level_order = list(levels)
+        extents_array = np.array([extents[i] for i in LOOP_INDICES], dtype=float)
+        fixed_arrays = {
+            level: np.array([values[i] for i in LOOP_INDICES], dtype=float)
+            for level, values in fixed.items()
+        }
+
+        # Bounds: each free level's tile is bounded below by the nearest fixed
+        # inner level (or 1) and above by the nearest fixed outer level (or N).
+        bounds: List[Tuple[float, float]] = []
+        for level in free_levels:
+            idx = level_order.index(level)
+            lower = np.ones(7)
+            for inner_idx in range(idx - 1, -1, -1):
+                if level_order[inner_idx] in fixed_arrays:
+                    lower = fixed_arrays[level_order[inner_idx]]
+                    break
+            upper = extents_array
+            for outer_idx in range(idx + 1, len(level_order)):
+                if level_order[outer_idx] in fixed_arrays:
+                    upper = fixed_arrays[level_order[outer_idx]]
+                    break
+            for position in range(7):
+                low = min(lower[position], upper[position])
+                bounds.append((low, max(low, upper[position])))
+
+        def unpack(x: np.ndarray) -> Dict[str, np.ndarray]:
+            tiles_arrays: Dict[str, np.ndarray] = dict(fixed_arrays)
+            for pos, level in enumerate(free_levels):
+                tiles_arrays[level] = x[pos * 7 : (pos + 1) * 7]
+            return tiles_arrays
+
+        # SLSQP evaluates the objective and the constraint function at the
+        # same points (and at finite-difference perturbations of them); a tiny
+        # memo keyed on the raw variable bytes avoids recomputing the per-level
+        # times twice per point.
+        times_cache: Dict[bytes, Dict[str, float]] = {}
+
+        def level_times(x: np.ndarray) -> Dict[str, float]:
+            key = x.tobytes()
+            cached = times_cache.get(key)
+            if cached is not None:
+                return cached
+            tiles_arrays = unpack(x)
+            times = {
+                level: self._level_time_array(
+                    compiled, level_order, tiles_arrays, extents_array, bandwidths, level
+                )
+                for level in level_order
+            }
+            if len(times_cache) > 4096:
+                times_cache.clear()
+            times_cache[key] = times
+            return times
+
+        def objective(x: np.ndarray) -> float:
+            return level_times(np.asarray(x, dtype=float))[objective_level]
+
+        # Single vectorized inequality function: capacity constraints of the
+        # free levels, nesting between adjacent levels that involve a free
+        # level, and dominance of the objective level over every other level.
+        nesting_pairs = [
+            (level_order[idx], level_order[idx + 1])
+            for idx in range(len(level_order) - 1)
+            if level_order[idx] in free_levels or level_order[idx + 1] in free_levels
+        ]
+        other_levels = [level for level in level_order if level != objective_level]
+
+        def constraints(x: np.ndarray) -> np.ndarray:
+            x = np.asarray(x, dtype=float)
+            tiles_arrays = unpack(x)
+            values: List[float] = []
+            for level in free_levels:
+                cap = capacities[level]
+                values.append((cap - compiled.footprint_array(tiles_arrays[level])) / cap)
+            for inner_level, outer_level in nesting_pairs:
+                diff = (tiles_arrays[outer_level] - tiles_arrays[inner_level]) / extents_array
+                values.extend(diff.tolist())
+            times = level_times(x)
+            obj_time = times[objective_level]
+            scale = max(obj_time, 1e-30)
+            for level in other_levels:
+                values.append((obj_time - times[level]) / scale)
+            return np.array(values)
+
+        problem = ConstrainedProblem(objective, (constraints,), tuple(bounds))
+        result = minimize_constrained(problem, self.settings.solver)
+        if not result.feasible:
+            # The hypothesis "objective_level dominates all other levels" may
+            # simply be unsatisfiable for this permutation (that level can
+            # never be the bottleneck).  Re-solve without the dominance
+            # constraints so the returned tiles are still sensible; the
+            # returned cost below (the bottleneck time over *all* levels)
+            # keeps Algorithm 1's level selection honest either way.
+            def relaxed_constraints(x: np.ndarray) -> np.ndarray:
+                x = np.asarray(x, dtype=float)
+                tiles_arrays = unpack(x)
+                values: List[float] = []
+                for level in free_levels:
+                    cap = capacities[level]
+                    values.append(
+                        (cap - compiled.footprint_array(tiles_arrays[level])) / cap
+                    )
+                for inner_level, outer_level in nesting_pairs:
+                    diff = (
+                        tiles_arrays[outer_level] - tiles_arrays[inner_level]
+                    ) / extents_array
+                    values.extend(diff.tolist())
+                return np.array(values)
+
+            relaxed = ConstrainedProblem(objective, (relaxed_constraints,), tuple(bounds))
+            result = minimize_constrained(relaxed, self.settings.solver)
+
+        times = level_times(np.asarray(result.x, dtype=float))
+        # Algorithm 1 compares hypotheses by the cost of the level assumed to
+        # be most constraining; using the bottleneck over all levels at the
+        # returned solution is equivalent when the dominance constraints hold
+        # and remains meaningful when they had to be relaxed.
+        cost = max(times.values())
+        tiles_arrays = unpack(np.asarray(result.x, dtype=float))
+        tiles_by_level = {
+            level: {index: float(value) for index, value in zip(LOOP_INDICES, array)}
+            for level, array in tiles_arrays.items()
+        }
+        return cost, tiles_by_level
+
+    # ------------------------------------------------------------------
+    def _evaluate_candidate(
+        self,
+        spec: ConvSpec,
+        cls: PermutationClass,
+        config: MultiLevelConfig,
+        microkernel: MicrokernelDesign,
+    ) -> CandidateSolution:
+        settings = self.settings
+        machine = self.machine
+        threads = settings.threads or machine.cores
+
+        plan: Optional[ParallelPlan] = None
+        if settings.parallel:
+            levels = config.levels
+            outer_tiles = config.tiles(levels[-1])
+            inner_level = levels[-2] if len(levels) > 1 else levels[-1]
+            inner_tiles = config.tiles(inner_level)
+            plan = choose_parallel_plan(spec, outer_tiles, inner_tiles, threads)
+            cost = parallel_multilevel_cost(
+                spec,
+                config,
+                machine,
+                plan,
+                threads=threads,
+                line_size=settings.line_size_elements,
+            )
+            compute_threads = threads
+        else:
+            cost = multilevel_cost(
+                spec,
+                config,
+                machine,
+                parallel=False,
+                line_size=settings.line_size_elements,
+            )
+            compute_threads = 1
+
+        compute_time = spec.flops / (
+            machine.peak_gflops(compute_threads) * microkernel.efficiency * 1e9
+        )
+        return CandidateSolution(
+            class_name=cls.name,
+            permutation=cls.representative,
+            config=config,
+            cost=cost,
+            parallel_plan=plan,
+            data_time_seconds=cost.bottleneck_time,
+            compute_time_seconds=compute_time,
+        )
+
+
+def optimize_conv(
+    spec: ConvSpec,
+    machine: MachineSpec,
+    *,
+    settings: Optional[OptimizerSettings] = None,
+) -> OptimizationResult:
+    """Convenience wrapper: optimize one operator with default settings."""
+    return MOptOptimizer(machine, settings).optimize(spec)

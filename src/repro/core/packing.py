@@ -1,0 +1,116 @@
+"""Data-layout packing transformations (Section 6, "Packing").
+
+Efficient vectorization needs unit-stride access along the vectorized
+dimension.  The microkernel vectorizes the output-channel dimension ``k``,
+but the kernel tensor is stored as ``[K, C, R, S]`` where ``K`` is the
+slowest-varying dimension.  MOpt therefore packs the kernel into the layout
+``[K / VecLen, C, R, S, VecLen]`` before running the convolution; the
+packing cost is charged to every measurement.
+
+This module provides the packing/unpacking transforms as NumPy functions,
+the equivalent transform for the output tensor (used by the executor when
+it computes with packed kernels), and the data-movement cost the packing
+adds (which the performance model includes, exactly as the paper does).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .tensor_spec import ConvSpec
+
+
+class PackingError(ValueError):
+    """Raised for invalid packing requests (e.g. non-positive vector length)."""
+
+
+@dataclass(frozen=True)
+class PackedKernelLayout:
+    """Shape bookkeeping for a ``[K/VecLen, C, R, S, VecLen]`` packed kernel."""
+
+    out_channels: int
+    vec_len: int
+
+    def __post_init__(self) -> None:
+        if self.vec_len <= 0:
+            raise PackingError(f"vector length must be positive, got {self.vec_len}")
+        if self.out_channels <= 0:
+            raise PackingError(f"out_channels must be positive, got {self.out_channels}")
+
+    @property
+    def padded_out_channels(self) -> int:
+        """``K`` rounded up to a whole number of vector chunks."""
+        return self.num_chunks * self.vec_len
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of ``VecLen``-wide output-channel chunks."""
+        return math.ceil(self.out_channels / self.vec_len)
+
+    def packed_shape(self, in_channels: int, kernel_h: int, kernel_w: int) -> Tuple[int, ...]:
+        """Array shape of the packed kernel tensor."""
+        return (self.num_chunks, in_channels, kernel_h, kernel_w, self.vec_len)
+
+
+def pack_kernel(kernel: np.ndarray, vec_len: int) -> np.ndarray:
+    """Pack a ``[K, C, R, S]`` kernel into ``[K/VecLen, C, R, S, VecLen]``.
+
+    ``K`` is zero-padded up to a multiple of ``vec_len`` (the generated code
+    masks the padded lanes; zero padding keeps results exact).
+    """
+    if kernel.ndim != 4:
+        raise PackingError(f"kernel must be 4-D [K, C, R, S], got shape {kernel.shape}")
+    layout = PackedKernelLayout(kernel.shape[0], vec_len)
+    k, c, r, s = kernel.shape
+    padded = np.zeros((layout.padded_out_channels, c, r, s), dtype=kernel.dtype)
+    padded[:k] = kernel
+    packed = padded.reshape(layout.num_chunks, vec_len, c, r, s)
+    return np.ascontiguousarray(np.transpose(packed, (0, 2, 3, 4, 1)))
+
+
+def unpack_kernel(packed: np.ndarray, out_channels: int) -> np.ndarray:
+    """Invert :func:`pack_kernel`, trimming any zero padding."""
+    if packed.ndim != 5:
+        raise PackingError(
+            f"packed kernel must be 5-D [K/VecLen, C, R, S, VecLen], got shape {packed.shape}"
+        )
+    chunks, c, r, s, vec_len = packed.shape
+    kernel = np.transpose(packed, (0, 4, 1, 2, 3)).reshape(chunks * vec_len, c, r, s)
+    return np.ascontiguousarray(kernel[:out_channels])
+
+
+def packing_traffic_elements(spec: ConvSpec, vec_len: int) -> float:
+    """Extra data movement (elements) incurred by the kernel packing step.
+
+    Every kernel element is read once from memory and the packed copy is
+    written back once; padding lanes add a small overhead for layers whose
+    ``K`` is not a multiple of the vector length.
+    """
+    layout = PackedKernelLayout(spec.out_channels, vec_len)
+    original = spec.ker_elements
+    packed = layout.padded_out_channels * spec.in_channels * spec.kernel_h * spec.kernel_w
+    return float(original + packed)
+
+
+def packing_time_seconds(spec: ConvSpec, vec_len: int, dram_bandwidth_gbps: float,
+                         dtype_bytes: int = 4) -> float:
+    """Time charged for packing, at streaming memory bandwidth."""
+    if dram_bandwidth_gbps <= 0:
+        raise PackingError("bandwidth must be positive")
+    elements = packing_traffic_elements(spec, vec_len)
+    return elements * dtype_bytes / (dram_bandwidth_gbps * 1e9)
+
+
+def pack_input_nchw(tensor: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad an NCHW input tensor symmetrically in the spatial dimensions."""
+    if tensor.ndim != 4:
+        raise PackingError(f"input must be 4-D [N, C, H, W], got shape {tensor.shape}")
+    if pad < 0:
+        raise PackingError(f"padding must be >= 0, got {pad}")
+    if pad == 0:
+        return tensor
+    return np.pad(tensor, ((0, 0), (0, 0), (pad, pad), (pad, pad)))

@@ -1,0 +1,226 @@
+"""Parallel cost model: multicore execution of the tiled loop nest (Section 7).
+
+The paper parallelizes the loops that iterate over L2 tiles inside an L3
+tile (coarser than L1 loops, finer than L3 loops, so the shared L3 is not
+thrashed and per-core L2 locality is preserved).  Only non-reduction
+dimensions (``n``, ``k``, ``h``, ``w``) are parallelized — parallel updates
+of ``Out`` along ``c``/``r``/``s`` would need atomics.  The amount of
+parallelism along each dimension ``a`` is ``T3_a / PT3_a`` and the product
+over the parallel dimensions must equal the number of cores.
+
+The parallel cost model keeps the sequential formulas and replaces, for the
+L3→L2 level, the outer L3 tile by the per-core chunk ``PT3``, uses the
+measured per-core L3 bandwidth, and uses the aggregate (socket) memory
+bandwidth for the memory→L3 level.  Per-core traffic at the private levels
+(L2→L1, L1→register) is the sequential traffic divided across the cores.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..machine.bandwidth import effective_bandwidths_for_model
+from ..machine.spec import MachineSpec
+from .config import MultiLevelConfig, TilingConfig
+from .cost_model import volume_general
+from .loadbalance import imbalance
+from .multilevel import LevelTraffic, MultiLevelCost, level_data_volume
+from .tensor_spec import LOOP_INDICES, PARALLEL_INDICES, ConvSpec
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """How the cores are distributed over the parallelizable dimensions.
+
+    ``factors[a]`` is the number of cores cooperating along dimension ``a``;
+    the product of all factors equals the total number of active cores.
+    """
+
+    factors: Dict[str, int]
+
+    def __init__(self, factors: Mapping[str, int]):
+        cleaned = {index: int(factors.get(index, 1)) for index in PARALLEL_INDICES}
+        for index, value in cleaned.items():
+            if value < 1:
+                raise ValueError(f"parallel factor for {index!r} must be >= 1, got {value}")
+        object.__setattr__(self, "factors", cleaned)
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of cores the plan uses."""
+        product = 1
+        for value in self.factors.values():
+            product *= value
+        return product
+
+    def chunk_tiles(self, outer_tiles: Mapping[str, float]) -> Dict[str, float]:
+        """Per-core chunk of the outer (L3) tile: ``PT3_a = T3_a / factor_a``."""
+        chunk = {index: float(outer_tiles[index]) for index in LOOP_INDICES}
+        for index, ways in self.factors.items():
+            chunk[index] = max(1.0, outer_tiles[index] / ways)
+        return chunk
+
+    def load_imbalance(self, outer_tiles: Mapping[str, float], inner_tiles: Mapping[str, float]) -> float:
+        """Worst-case fractional idle time induced by uneven chunk counts."""
+        worst = 0.0
+        for index, ways in self.factors.items():
+            chunks = math.ceil(outer_tiles[index] / max(1.0, inner_tiles[index]))
+            worst = max(worst, imbalance(chunks, ways))
+        return worst
+
+    def describe(self) -> str:
+        """Short rendering such as ``n1 k4 h2 w1``."""
+        return " ".join(f"{i}{self.factors[i]}" for i in PARALLEL_INDICES)
+
+
+def _factorizations(cores: int, ways: int) -> Iterable[Tuple[int, ...]]:
+    """All ordered factorizations of ``cores`` into ``ways`` positive factors."""
+    if ways == 1:
+        yield (cores,)
+        return
+    for first in range(1, cores + 1):
+        if cores % first:
+            continue
+        for rest in _factorizations(cores // first, ways - 1):
+            yield (first,) + rest
+
+
+def enumerate_parallel_plans(
+    cores: int,
+    *,
+    max_plans: Optional[int] = None,
+) -> List[ParallelPlan]:
+    """Every way of distributing ``cores`` over the four parallel dimensions."""
+    if cores <= 0:
+        raise ValueError(f"cores must be positive, got {cores}")
+    plans = []
+    for combo in _factorizations(cores, len(PARALLEL_INDICES)):
+        plans.append(ParallelPlan(dict(zip(PARALLEL_INDICES, combo))))
+        if max_plans is not None and len(plans) >= max_plans:
+            break
+    return plans
+
+
+def feasible_plans(
+    spec: ConvSpec,
+    outer_tiles: Mapping[str, float],
+    inner_tiles: Mapping[str, float],
+    cores: int,
+) -> List[ParallelPlan]:
+    """Plans whose per-core chunk still contains at least one inner tile.
+
+    A factor along dimension ``a`` larger than ``T3_a / T2_a`` would leave
+    some cores without a full inner tile to work on; such plans are allowed
+    only if nothing better exists (they are simply ranked worse by the
+    imbalance score).
+    """
+    plans = enumerate_parallel_plans(cores)
+    good = []
+    for plan in plans:
+        ok = True
+        for index, ways in plan.factors.items():
+            available = max(1.0, outer_tiles[index] / max(1.0, inner_tiles[index]))
+            if ways > available + 1e-9:
+                ok = False
+                break
+        if ok:
+            good.append(plan)
+    return good or plans
+
+
+def choose_parallel_plan(
+    spec: ConvSpec,
+    outer_tiles: Mapping[str, float],
+    inner_tiles: Mapping[str, float],
+    cores: int,
+) -> ParallelPlan:
+    """Pick the plan with the least load imbalance (ties: prefer k/h splits).
+
+    The preference order for tie-breaking mirrors common practice (and the
+    paper's microkernel, which already vectorizes ``k``): split ``k`` and
+    ``h`` before ``w`` (to keep unit-stride vectors long) and before ``n``
+    (batch is 1 in all Table 1 operators).
+    """
+    candidates = feasible_plans(spec, outer_tiles, inner_tiles, cores)
+    preference = {"k": 0, "h": 1, "w": 2, "n": 3}
+
+    def sort_key(plan: ParallelPlan) -> Tuple[float, int]:
+        balance = plan.load_imbalance(outer_tiles, inner_tiles)
+        pref = sum(preference[i] * (f - 1) for i, f in plan.factors.items())
+        return (round(balance, 6), pref)
+
+    return min(candidates, key=sort_key)
+
+
+def parallel_multilevel_cost(
+    spec: ConvSpec,
+    config: MultiLevelConfig,
+    machine: MachineSpec,
+    plan: ParallelPlan,
+    *,
+    threads: Optional[int] = None,
+    line_size: int = 1,
+) -> MultiLevelCost:
+    """Bandwidth-scaled per-level times for parallel execution.
+
+    The returned :class:`MultiLevelCost` stores *per-core* volumes for the
+    private levels and the per-core L3 share, and the full memory→L3 volume
+    for the outermost level; each level's bandwidth is the effective
+    (measured) figure from :func:`effective_bandwidths_for_model`, so
+    ``bottleneck_time`` is directly the modeled parallel execution time of
+    the data-movement component.
+    """
+    threads = plan.total_cores if threads is None else threads
+    bandwidths_gbps = effective_bandwidths_for_model(machine, threads)
+    dtype = machine.dtype_bytes
+    extents = spec.loop_extents
+    levels = config.levels
+    outermost = levels[-1]
+
+    per_level: Dict[str, LevelTraffic] = {}
+    for level in levels:
+        bandwidth = bandwidths_gbps[level] * 1e9 / dtype
+        if level == outermost:
+            # memory -> L3: full problem traffic, aggregate socket bandwidth.
+            volume = level_data_volume(spec, config, level, line_size=line_size)
+            per_level[level] = LevelTraffic(level, volume, bandwidth)
+            continue
+        idx = config.level_index(level)
+        outer_level = levels[idx + 1]
+        inner_cfg = config.configs[idx]
+        outer_tiles = config.tiles(outer_level)
+        if outer_level == outermost:
+            # L3 -> L2: each core streams its own chunk PT3 of every L3 tile.
+            chunk = plan.chunk_tiles(outer_tiles)
+            chunk = {i: max(chunk[i], inner_cfg.tiles[i]) for i in LOOP_INDICES}
+            per_chunk = volume_general(
+                chunk,
+                inner_cfg,
+                stride=spec.stride,
+                dilation=spec.dilation,
+                line_size=line_size,
+            )
+            l3_tiles = 1.0
+            for index in LOOP_INDICES:
+                l3_tiles *= extents[index] / outer_tiles[index]
+            volume = per_chunk * l3_tiles
+        else:
+            # Private levels: per-core share of the sequential traffic.
+            volume = level_data_volume(spec, config, level, line_size=line_size) / threads
+        per_level[level] = LevelTraffic(level, volume, bandwidth)
+
+    return MultiLevelCost(config, per_level)
+
+
+def parallel_bandwidth_overrides(machine: MachineSpec, threads: int) -> Dict[str, float]:
+    """Effective per-level bandwidths (GB/s) used while *solving* tile sizes.
+
+    Algorithm 1 runs the same min–max solve in the parallel case, just with
+    the measured parallel bandwidths substituted (Section 7); this helper
+    exposes those numbers in the form :func:`repro.core.multilevel.level_bandwidths`
+    accepts as overrides.
+    """
+    return effective_bandwidths_for_model(machine, threads)

@@ -1,0 +1,237 @@
+"""Pruning the tile-loop permutation space: 5040 permutations → 8 classes.
+
+Section 4 of the paper shows, by algebraic reasoning over the cost
+expressions of Section 3, that only eight equivalence classes of tile-loop
+permutations need to be considered when optimizing a single level of
+tiling; solutions obtained from one representative of each class dominate
+(are at least as good as) every one of the remaining 5032 permutations.
+
+The eight classes are written in the paper's band notation
+``⟨{outer band}, {middle band}, innermost⟩`` where iterators within a band
+may appear in any relative order without changing the cost expression:
+
+====  ======================================================
+ #    class
+====  ======================================================
+ 1    ⟨{k, c, r, s}, {n, h}, w⟩
+ 2    ⟨{k, c, r, s}, {n, w}, h⟩
+ 3    ⟨{n, k, h, w}, {c, r}, s⟩
+ 4    ⟨{n, k, h, w}, {c, s}, r⟩
+ 5    ⟨{n, c, h, r, s}, w, k⟩
+ 6    ⟨{n, c, w, r, s}, h, k⟩
+ 7    ⟨{n, c, h, w, r}, s, k⟩
+ 8    ⟨{n, c, h, w, s}, r, k⟩
+====  ======================================================
+
+This module provides the classes, canonical representatives, membership
+tests, enumeration of all permutations in a class, and utilities used by the
+tests and the exhaustive baseline to *verify* the dominance claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .config import TilingConfig
+from .cost_model import data_volume
+from .tensor_spec import LOOP_INDICES, ConvSpec, InvalidSpecError
+
+
+@dataclass(frozen=True)
+class PermutationClass:
+    """One equivalence class of cost-identical tile-loop permutations.
+
+    ``bands`` lists groups of iterators from the outermost band to the
+    innermost single iterator; iterators inside one band can be permuted
+    freely without changing the data-movement cost expression.
+    """
+
+    name: str
+    bands: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        flat = [i for band in self.bands for i in band]
+        if sorted(flat) != sorted(LOOP_INDICES):
+            raise InvalidSpecError(
+                f"permutation class {self.name!r} must cover all loop indices, got {flat}"
+            )
+
+    @property
+    def innermost(self) -> str:
+        """The fixed innermost tile-loop iterator of the class."""
+        return self.bands[-1][-1]
+
+    @property
+    def representative(self) -> Tuple[str, ...]:
+        """Canonical representative permutation (outermost → innermost)."""
+        return tuple(i for band in self.bands for i in band)
+
+    @property
+    def size(self) -> int:
+        """Number of concrete permutations contained in the class."""
+        count = 1
+        for band in self.bands:
+            count *= _factorial(len(band))
+        return count
+
+    def contains(self, permutation: Sequence[str]) -> bool:
+        """True if ``permutation`` (outermost → innermost) belongs to this class."""
+        perm = tuple(permutation)
+        if sorted(perm) != sorted(LOOP_INDICES):
+            raise InvalidSpecError(f"not a permutation of {LOOP_INDICES}: {perm}")
+        start = 0
+        for band in self.bands:
+            segment = perm[start : start + len(band)]
+            if sorted(segment) != sorted(band):
+                return False
+            start += len(band)
+        return True
+
+    def members(self) -> Iterator[Tuple[str, ...]]:
+        """Enumerate every concrete permutation in the class."""
+        band_perms = [list(itertools.permutations(band)) for band in self.bands]
+        for combo in itertools.product(*band_perms):
+            yield tuple(i for segment in combo for i in segment)
+
+    def describe(self) -> str:
+        """Band notation string, e.g. ``⟨{k,c,r,s},{n,h},w⟩``."""
+        parts = []
+        for band in self.bands:
+            if len(band) == 1:
+                parts.append(band[0])
+            else:
+                parts.append("{" + ",".join(band) + "}")
+        return "<" + ", ".join(parts) + ">"
+
+
+def _factorial(n: int) -> int:
+    result = 1
+    for value in range(2, n + 1):
+        result *= value
+    return result
+
+
+def pruned_permutation_classes() -> Tuple[PermutationClass, ...]:
+    """The eight pruned permutation classes of Section 4 (Summary table)."""
+    return (
+        PermutationClass("inner-w", (("k", "c", "r", "s"), ("n", "h"), ("w",))),
+        PermutationClass("inner-h", (("k", "c", "r", "s"), ("n", "w"), ("h",))),
+        PermutationClass("inner-s", (("n", "k", "h", "w"), ("c", "r"), ("s",))),
+        PermutationClass("inner-r", (("n", "k", "h", "w"), ("c", "s"), ("r",))),
+        PermutationClass("inner-wk", (("n", "c", "h", "r", "s"), ("w",), ("k",))),
+        PermutationClass("inner-hk", (("n", "c", "w", "r", "s"), ("h",), ("k",))),
+        PermutationClass("inner-sk", (("n", "c", "h", "w", "r"), ("s",), ("k",))),
+        PermutationClass("inner-rk", (("n", "c", "h", "w", "s"), ("r",), ("k",))),
+    )
+
+
+def pruned_representatives() -> Tuple[Tuple[str, ...], ...]:
+    """Canonical representative permutations of the eight classes."""
+    return tuple(cls.representative for cls in pruned_permutation_classes())
+
+
+def get_class(name: str) -> PermutationClass:
+    """Look up one of the eight classes by name."""
+    for cls in pruned_permutation_classes():
+        if cls.name == name:
+            return cls
+    raise InvalidSpecError(
+        f"unknown permutation class {name!r}; "
+        f"known: {[c.name for c in pruned_permutation_classes()]}"
+    )
+
+
+def classify(permutation: Sequence[str]) -> Optional[PermutationClass]:
+    """Return the pruned class containing ``permutation``, or ``None``.
+
+    Most of the 5040 permutations belong to no pruned class (they are the
+    dominated ones); the eight classes jointly contain
+    ``48 + 48 + 48 + 48 + 120 + 120 + 120 + 120 = 672`` permutations.
+    """
+    for cls in pruned_permutation_classes():
+        if cls.contains(permutation):
+            return cls
+    return None
+
+
+def all_permutations() -> Iterator[Tuple[str, ...]]:
+    """Enumerate all 5040 tile-loop permutations (outermost → innermost)."""
+    return itertools.permutations(LOOP_INDICES)
+
+
+def class_cost_equivalence_check(
+    spec: ConvSpec, tiles: Dict[str, float], cls: PermutationClass
+) -> bool:
+    """Check that every member of ``cls`` has the same modeled cost.
+
+    Used by the test-suite to verify the paper's claim that all permutations
+    within one band-class share a single cost expression.
+    """
+    costs = set()
+    for permutation in cls.members():
+        config = TilingConfig(permutation, tiles)
+        costs.add(round(data_volume(spec, config).total_volume, 6))
+        if len(costs) > 1:
+            return False
+    return True
+
+
+def dominating_class_for_innermost(innermost: str) -> Tuple[PermutationClass, ...]:
+    """Pruned classes whose innermost iterator matches ``innermost``.
+
+    Choosing ``n`` or ``c`` innermost is always dominated (Section 4,
+    "Innermost nt and ct"), so this returns an empty tuple for those.
+    """
+    return tuple(
+        cls for cls in pruned_permutation_classes() if cls.innermost == innermost
+    )
+
+
+def best_pruned_cost(
+    spec: ConvSpec, tiles: Dict[str, float]
+) -> Tuple[PermutationClass, float]:
+    """Minimum modeled cost over the eight class representatives for fixed tiles."""
+    best_cls: Optional[PermutationClass] = None
+    best_cost = float("inf")
+    for cls in pruned_permutation_classes():
+        config = TilingConfig(cls.representative, tiles)
+        cost = data_volume(spec, config).total_volume
+        if cost < best_cost:
+            best_cost = cost
+            best_cls = cls
+    assert best_cls is not None
+    return best_cls, best_cost
+
+
+def exhaustive_best_cost(
+    spec: ConvSpec, tiles: Dict[str, float]
+) -> Tuple[Tuple[str, ...], float]:
+    """Minimum modeled cost over all 5040 permutations for fixed tile sizes.
+
+    Exists to validate the pruning argument experimentally (tests and the
+    ``pruning`` benchmark); it is intentionally brute force.
+    """
+    best_perm: Optional[Tuple[str, ...]] = None
+    best_cost = float("inf")
+    for permutation in all_permutations():
+        config = TilingConfig(permutation, tiles)
+        cost = data_volume(spec, config).total_volume
+        if cost < best_cost:
+            best_cost = cost
+            best_perm = permutation
+    assert best_perm is not None
+    return best_perm, best_cost
+
+
+def pruning_statistics() -> Dict[str, int]:
+    """Counts quoted in the paper: total permutations, classes, members."""
+    classes = pruned_permutation_classes()
+    covered = sum(cls.size for cls in classes)
+    return {
+        "total_permutations": _factorial(len(LOOP_INDICES)),
+        "num_classes": len(classes),
+        "covered_permutations": covered,
+        "dominated_permutations": _factorial(len(LOOP_INDICES)) - covered,
+    }

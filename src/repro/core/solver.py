@@ -1,0 +1,279 @@
+"""Constrained nonlinear tile-size solver (the AMPL/Ipopt substitute).
+
+The paper formulates tile-size selection as constrained nonlinear
+minimization problems and solves them with AMPL + Ipopt.  Neither is
+available in this environment, so this module provides an equivalent solver
+built on ``scipy.optimize``:
+
+* objectives and constraints are supplied as plain Python callables over a
+  flat vector of tile sizes,
+* a multi-start SLSQP loop (with objective/constraint scaling) finds local
+  minima from several deterministic and pseudo-random interior starting
+  points,
+* a projected random/coordinate search acts as a derivative-free fallback
+  when SLSQP fails to return a feasible point (the objectives are smooth
+  posynomial-like functions, so this is rare and exists for robustness).
+
+The problems involved are small — at most a few dozen variables — so a
+multi-start local method reliably finds the same optima Ipopt would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from .capacity import max_feasible_uniform_tile
+from .config import TilingConfig
+from .cost_model import combined_footprint, volume_general
+from .tensor_spec import ConvSpec, LOOP_INDICES
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Tunable knobs of the nonlinear solver.
+
+    ``multistarts`` counts additional pseudo-random interior starting points
+    on top of the deterministic ones; ``maxiter`` bounds each SLSQP run;
+    ``fallback_samples`` bounds the derivative-free rescue search.
+    """
+
+    multistarts: int = 3
+    maxiter: int = 150
+    seed: int = 0
+    fallback_samples: int = 300
+    tolerance: float = 1e-7
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of one constrained minimization."""
+
+    x: np.ndarray
+    value: float
+    feasible: bool
+    success: bool
+    message: str
+    starts_tried: int
+
+    def as_tiles(self, indices: Sequence[str] = LOOP_INDICES) -> Dict[str, float]:
+        """Interpret the solution vector as a tile-size mapping (single level)."""
+        return {index: float(v) for index, v in zip(indices, self.x)}
+
+
+@dataclass(frozen=True)
+class ConstrainedProblem:
+    """A generic smooth constrained minimization problem.
+
+    ``objective`` maps the variable vector to a scalar cost;
+    ``inequalities`` are callables that must be **non-negative** at feasible
+    points (scipy's convention for ``type='ineq'``) and may return either a
+    scalar or an array of constraint values; ``bounds`` gives per-variable
+    (low, high) pairs.
+    """
+
+    objective: Callable[[np.ndarray], float]
+    inequalities: Tuple[Callable[[np.ndarray], np.ndarray], ...]
+    bounds: Tuple[Tuple[float, float], ...]
+
+    @property
+    def dimension(self) -> int:
+        """Number of optimization variables."""
+        return len(self.bounds)
+
+    def is_feasible(self, x: np.ndarray, tolerance: float = 1e-6) -> bool:
+        """Check bounds and inequality constraints at a point."""
+        for value, (low, high) in zip(x, self.bounds):
+            if value < low - tolerance or value > high + tolerance:
+                return False
+        return all(np.min(np.atleast_1d(g(x))) >= -tolerance for g in self.inequalities)
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Project a point into the variable bounds."""
+        lows = np.array([b[0] for b in self.bounds])
+        highs = np.array([b[1] for b in self.bounds])
+        return np.minimum(np.maximum(x, lows), highs)
+
+
+def _scaled(problem: ConstrainedProblem, x0: np.ndarray) -> ConstrainedProblem:
+    """Rescale the objective so SLSQP sees O(1) values (helps convergence)."""
+    base = abs(problem.objective(x0))
+    scale = base if base > 0 else 1.0
+
+    def objective(x: np.ndarray) -> float:
+        return problem.objective(x) / scale
+
+    return ConstrainedProblem(objective, problem.inequalities, problem.bounds)
+
+
+def _default_starts(
+    problem: ConstrainedProblem, options: SolverOptions
+) -> List[np.ndarray]:
+    """Deterministic + pseudo-random interior starting points."""
+    lows = np.array([b[0] for b in problem.bounds], dtype=float)
+    highs = np.array([b[1] for b in problem.bounds], dtype=float)
+    starts = [
+        lows + 0.5 * (highs - lows),
+        np.sqrt(np.maximum(lows, 1e-12) * np.maximum(highs, 1e-12)),  # geometric mid
+        lows + 0.15 * (highs - lows),
+        highs.copy(),
+    ]
+    rng = np.random.default_rng(options.seed)
+    for _ in range(options.multistarts):
+        fraction = rng.uniform(0.05, 0.95, size=len(lows))
+        starts.append(lows + fraction * (highs - lows))
+    return [problem.clip(s) for s in starts]
+
+
+def _fallback_search(
+    problem: ConstrainedProblem, options: SolverOptions
+) -> Optional[Tuple[np.ndarray, float]]:
+    """Derivative-free projected random search used when SLSQP fails."""
+    rng = np.random.default_rng(options.seed + 1)
+    lows = np.array([b[0] for b in problem.bounds], dtype=float)
+    highs = np.array([b[1] for b in problem.bounds], dtype=float)
+    best: Optional[Tuple[np.ndarray, float]] = None
+    for _ in range(options.fallback_samples):
+        # Sample log-uniformly: tile-size objectives vary over orders of magnitude.
+        u = rng.uniform(size=len(lows))
+        x = np.exp(np.log(np.maximum(lows, 1e-9)) + u * (np.log(np.maximum(highs, 1e-9)) - np.log(np.maximum(lows, 1e-9))))
+        x = problem.clip(x)
+        if not problem.is_feasible(x):
+            continue
+        value = problem.objective(x)
+        if best is None or value < best[1]:
+            best = (x, value)
+    return best
+
+
+def minimize_constrained(
+    problem: ConstrainedProblem, options: Optional[SolverOptions] = None
+) -> SolverResult:
+    """Multi-start constrained minimization of a smooth problem.
+
+    Returns the best feasible local minimum found across all starting
+    points; falls back to projected random search if every SLSQP run fails
+    or returns an infeasible point.
+    """
+    options = options or SolverOptions()
+    starts = _default_starts(problem, options)
+    best_x: Optional[np.ndarray] = None
+    best_value = float("inf")
+    any_success = False
+    message = "no feasible solution found"
+
+    constraints = [{"type": "ineq", "fun": g} for g in problem.inequalities]
+    for start in starts:
+        scaled = _scaled(problem, start)
+        try:
+            result = optimize.minimize(
+                scaled.objective,
+                start,
+                method="SLSQP",
+                bounds=problem.bounds,
+                constraints=constraints,
+                options={"maxiter": options.maxiter, "ftol": options.tolerance},
+            )
+        except (ValueError, OverflowError, FloatingPointError):  # pragma: no cover
+            continue
+        x = problem.clip(np.asarray(result.x, dtype=float))
+        if not problem.is_feasible(x, tolerance=1e-5):
+            continue
+        value = problem.objective(x)
+        any_success = any_success or bool(result.success)
+        if value < best_value:
+            best_value = value
+            best_x = x
+            message = str(result.message)
+
+    if best_x is None:
+        fallback = _fallback_search(problem, options)
+        if fallback is not None:
+            best_x, best_value = fallback
+            message = "fallback projected random search"
+        else:
+            # Last resort: return the most conservative corner (all lower bounds).
+            best_x = np.array([b[0] for b in problem.bounds], dtype=float)
+            best_value = problem.objective(best_x)
+            message = "no feasible point found; returned lower-bound corner"
+
+    return SolverResult(
+        x=np.asarray(best_x, dtype=float),
+        value=float(best_value),
+        feasible=problem.is_feasible(np.asarray(best_x)),
+        success=any_success,
+        message=message,
+        starts_tried=len(starts),
+    )
+
+
+# ----------------------------------------------------------------------
+# Single-level tile-size optimization (Section 3/4 problems)
+# ----------------------------------------------------------------------
+def solve_single_level(
+    spec: ConvSpec,
+    permutation: Sequence[str],
+    capacity_elements: float,
+    *,
+    options: Optional[SolverOptions] = None,
+    line_size: int = 1,
+) -> Tuple[TilingConfig, float]:
+    """Optimal real-valued tile sizes for one permutation and one cache level.
+
+    Minimizes the single-level data-movement volume of
+    :func:`repro.core.cost_model.volume_general` subject to the capacity
+    constraint (Eq. 4) and ``1 <= T_j <= N_j``.  Returns the (real-valued)
+    optimal configuration and its modeled volume.
+    """
+    extents = spec.loop_extents
+    problem_map = {i: float(extents[i]) for i in LOOP_INDICES}
+    bounds = tuple((1.0, float(extents[i])) for i in LOOP_INDICES)
+
+    def tiles_of(x: np.ndarray) -> Dict[str, float]:
+        return {index: float(v) for index, v in zip(LOOP_INDICES, x)}
+
+    def objective(x: np.ndarray) -> float:
+        config = TilingConfig(permutation, tiles_of(x))
+        return volume_general(
+            problem_map,
+            config,
+            stride=spec.stride,
+            dilation=spec.dilation,
+            line_size=line_size,
+        )
+
+    def capacity_constraint(x: np.ndarray) -> float:
+        footprint = combined_footprint(
+            tiles_of(x), stride=spec.stride, dilation=spec.dilation
+        )
+        return (capacity_elements - footprint) / max(capacity_elements, 1.0)
+
+    problem = ConstrainedProblem(objective, (capacity_constraint,), bounds)
+    result = minimize_constrained(problem, options)
+    config = TilingConfig(permutation, result.as_tiles())
+    return config, result.value
+
+
+def solve_best_single_level(
+    spec: ConvSpec,
+    permutations: Sequence[Sequence[str]],
+    capacity_elements: float,
+    *,
+    options: Optional[SolverOptions] = None,
+    line_size: int = 1,
+) -> Tuple[TilingConfig, float]:
+    """Best single-level configuration across a set of candidate permutations."""
+    best_config: Optional[TilingConfig] = None
+    best_volume = float("inf")
+    for permutation in permutations:
+        config, volume = solve_single_level(
+            spec, permutation, capacity_elements, options=options, line_size=line_size
+        )
+        if volume < best_volume:
+            best_volume = volume
+            best_config = config
+    assert best_config is not None
+    return best_config, best_volume

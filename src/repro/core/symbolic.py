@@ -1,0 +1,218 @@
+"""Symbolic (sympy) derivation of the data-movement cost expressions.
+
+The paper derives closed-form parametric expressions for the data-movement
+volume of each of the eight pruned permutation classes (Section 4).  This
+module reproduces those expressions symbolically with ``sympy`` so that
+
+* the closed forms printed in the paper (e.g. Eq. 5) can be regenerated and
+  inspected,
+* the numeric cost model in :mod:`repro.core.cost_model` can be
+  cross-checked against an independently constructed symbolic expression
+  (this is one of the test-suite's integration checks), and
+* downstream users can manipulate the expressions (substitute, differentiate,
+  lambdify) when building their own optimizers.
+
+Symbols follow the paper's notation: ``N_x`` for problem extents and ``T_x``
+for tile sizes, with ``x`` ranging over ``n, k, c, r, s, h, w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+import sympy as sp
+
+from .config import TilingConfig
+from .cost_model import OUT_TRAFFIC_FACTOR, reuse_position
+from .pruning import PermutationClass, pruned_permutation_classes
+from .tensor_spec import LOOP_INDICES, TENSOR_INDICES, TENSOR_NAMES, ConvSpec, InvalidSpecError
+
+
+@lru_cache(maxsize=None)
+def problem_symbols() -> Dict[str, sp.Symbol]:
+    """Positive symbols ``N_n, ..., N_w`` for the problem extents."""
+    return {i: sp.Symbol(f"N_{i}", positive=True) for i in LOOP_INDICES}
+
+
+@lru_cache(maxsize=None)
+def tile_symbols(level: str = "") -> Dict[str, sp.Symbol]:
+    """Positive symbols ``T_n, ..., T_w`` for tile sizes.
+
+    ``level`` adds a suffix (e.g. ``"1"`` → ``T_n1``) so multi-level
+    expressions can distinguish per-level tile sizes.
+    """
+    return {i: sp.Symbol(f"T_{i}{level}", positive=True) for i in LOOP_INDICES}
+
+
+def _footprint_expr(
+    tensor: str, tiles: Mapping[str, sp.Expr], stride: int = 1, dilation: int = 1
+) -> sp.Expr:
+    """Symbolic tile footprint of one tensor (Section 3.1)."""
+    t = tiles
+    if tensor == "Out":
+        return t["n"] * t["k"] * t["h"] * t["w"]
+    if tensor == "Ker":
+        return t["k"] * t["c"] * t["r"] * t["s"]
+    if tensor == "In":
+        ext_h = (t["h"] - 1) * stride + (t["r"] - 1) * dilation + 1
+        ext_w = (t["w"] - 1) * stride + (t["s"] - 1) * dilation + 1
+        return t["n"] * t["c"] * ext_h * ext_w
+    raise InvalidSpecError(f"unknown tensor {tensor!r}")
+
+
+def tensor_volume_expr(
+    permutation: Sequence[str],
+    tensor: str,
+    *,
+    problem: Mapping[str, sp.Expr] | None = None,
+    tiles: Mapping[str, sp.Expr] | None = None,
+    stride: int = 1,
+    dilation: int = 1,
+) -> sp.Expr:
+    """Symbolic single-level data-movement expression for one tensor.
+
+    Mirrors :func:`repro.core.cost_model.tensor_data_volume` but builds a
+    sympy expression parametric in the problem extents and tile sizes.
+    """
+    problem = dict(problem_symbols()) if problem is None else dict(problem)
+    tiles = dict(tile_symbols()) if tiles is None else dict(tiles)
+    config = TilingConfig(permutation, {i: 2.0 for i in LOOP_INDICES})
+    position, iterator = reuse_position(config, tensor)
+    footprint = _footprint_expr(tensor, tiles, stride, dilation)
+
+    if tensor == "In" and iterator in ("w", "s", "h", "r"):
+        outer = config.indices_above(position)
+        outer_product = sp.Integer(1)
+        for index in outer:
+            outer_product *= problem[index] / tiles[index]
+        t = tiles
+        ext_h = (t["h"] - 1) * stride + (t["r"] - 1) * dilation + 1
+        ext_w = (t["w"] - 1) * stride + (t["s"] - 1) * dilation + 1
+        steps = problem[iterator] / tiles[iterator] - 1
+        if iterator == "w":
+            partial = t["n"] * t["c"] * ext_h * (t["w"] * stride) * steps
+        elif iterator == "s":
+            partial = t["n"] * t["c"] * ext_h * (t["s"] * dilation) * steps
+        elif iterator == "h":
+            partial = t["n"] * t["c"] * (t["h"] * stride) * ext_w * steps
+        else:  # "r"
+            partial = t["n"] * t["c"] * (t["r"] * dilation) * ext_w * steps
+        return sp.simplify(outer_product * (partial + footprint))
+
+    at_or_above = config.indices_at_or_above(position)
+    product = sp.Integer(1)
+    for index in at_or_above:
+        product *= problem[index] / tiles[index]
+    factor = sp.Integer(2) if tensor == "Out" else sp.Integer(1)
+    return sp.simplify(factor * product * footprint)
+
+
+def total_volume_expr(
+    permutation: Sequence[str],
+    *,
+    stride: int = 1,
+    dilation: int = 1,
+) -> sp.Expr:
+    """Total symbolic single-level data-movement expression for a permutation."""
+    return sp.simplify(
+        sum(
+            tensor_volume_expr(permutation, tensor, stride=stride, dilation=dilation)
+            for tensor in TENSOR_NAMES
+        )
+    )
+
+
+def class_volume_expr(cls: PermutationClass, **kwargs) -> sp.Expr:
+    """Symbolic cost expression of a pruned permutation class (via its representative)."""
+    return total_volume_expr(cls.representative, **kwargs)
+
+
+def capacity_constraint_expr(
+    *, tiles: Mapping[str, sp.Expr] | None = None, stride: int = 1, dilation: int = 1
+) -> sp.Expr:
+    """Left-hand side of the capacity constraint, Eq. (4)."""
+    tiles = dict(tile_symbols()) if tiles is None else dict(tiles)
+    return sp.simplify(
+        sum(_footprint_expr(tensor, tiles, stride, dilation) for tensor in TENSOR_NAMES)
+    )
+
+
+@dataclass(frozen=True)
+class SymbolicCostModel:
+    """Bundle of symbolic cost expression, constraint and fast numeric callables.
+
+    ``lambdify``-compiled callables take the seven tile sizes (in the
+    canonical :data:`~repro.core.tensor_spec.LOOP_INDICES` order) and return
+    the data volume / footprint, with the problem extents already
+    substituted.
+    """
+
+    permutation: Tuple[str, ...]
+    expression: sp.Expr
+    constraint: sp.Expr
+    volume_fn: Callable[..., float]
+    footprint_fn: Callable[..., float]
+
+    def volume(self, tiles: Mapping[str, float]) -> float:
+        """Evaluate the data-volume expression at concrete tile sizes."""
+        return float(self.volume_fn(*[tiles[i] for i in LOOP_INDICES]))
+
+    def footprint(self, tiles: Mapping[str, float]) -> float:
+        """Evaluate the tile-footprint expression at concrete tile sizes."""
+        return float(self.footprint_fn(*[tiles[i] for i in LOOP_INDICES]))
+
+
+def build_symbolic_model(spec: ConvSpec, permutation: Sequence[str]) -> SymbolicCostModel:
+    """Build a :class:`SymbolicCostModel` for one problem and permutation.
+
+    The problem extents of ``spec`` are substituted into the parametric
+    expression; the tile sizes remain symbolic and are compiled with
+    ``sympy.lambdify`` for fast numeric evaluation (used by tests to
+    cross-check the hand-written numeric model).
+    """
+    problem = problem_symbols()
+    tiles = tile_symbols()
+    expr = total_volume_expr(permutation, stride=spec.stride, dilation=spec.dilation)
+    constraint = capacity_constraint_expr(stride=spec.stride, dilation=spec.dilation)
+    substitutions = {problem[i]: spec.loop_extents[i] for i in LOOP_INDICES}
+    expr_concrete = expr.subs(substitutions)
+    tile_args = [tiles[i] for i in LOOP_INDICES]
+    volume_fn = sp.lambdify(tile_args, expr_concrete, modules="numpy")
+    footprint_fn = sp.lambdify(tile_args, constraint, modules="numpy")
+    return SymbolicCostModel(
+        tuple(permutation), expr_concrete, constraint, volume_fn, footprint_fn
+    )
+
+
+def paper_equation5_expr() -> sp.Expr:
+    """The paper's Eq. (5): cost of ⟨{kt,ct,rt,st},{nt,ht},wt⟩ at stride 1.
+
+    Returned as written in the paper so tests can confirm that the generic
+    derivation reproduces it term for term.
+    """
+    n = problem_symbols()
+    t = tile_symbols()
+    outer = (n["k"] / t["k"]) * (n["c"] / t["c"]) * (n["r"] / t["r"]) * (n["s"] / t["s"])
+    ker_term = t["k"] * t["c"] * t["r"] * t["s"]
+    inner = (n["n"] / t["n"]) * (n["h"] / t["h"]) * (
+        2 * (n["w"] / t["w"]) * t["n"] * t["k"] * t["h"] * t["w"]
+        + t["n"] * t["c"] * (t["h"] + t["r"] - 1) * (n["w"] + t["s"] - 1)
+    )
+    return sp.simplify(outer * (ker_term + inner))
+
+
+def all_class_expressions() -> Dict[str, sp.Expr]:
+    """Symbolic cost expressions for all eight pruned classes (stride 1)."""
+    return {cls.name: class_volume_expr(cls) for cls in pruned_permutation_classes()}
+
+
+def pretty_print_class_costs() -> str:
+    """Human-readable rendering of the eight class cost expressions."""
+    lines = []
+    for cls in pruned_permutation_classes():
+        expr = class_volume_expr(cls)
+        lines.append(f"{cls.describe()}:")
+        lines.append(f"  DV = {sp.simplify(expr)}")
+    return "\n".join(lines)

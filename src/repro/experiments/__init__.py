@@ -1,0 +1,64 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+==============  =====================================================
+experiment      regenerates
+==============  =====================================================
+``table1``      Table 1 — benchmark operator configurations
+``table2``      Table 2 — strengths/limitations of oneDNN/TVM/MOpt
+``fig5``        Figure 5 — model top-1/2/5 loss-of-performance
+``fig6``        Figure 6 — predicted rank vs. measured perf/counters
+``fig7``        Figure 7 — comparison on the i7-9700K (8 threads)
+``fig8``        Figure 8 — comparison on the i9-10980XE (16 threads)
+``searchtime``  Section 12 — MOpt vs. auto-tuner search time
+``pruning``     Section 4 — 5040 -> 8 permutation pruning check
+==============  =====================================================
+"""
+
+from .comparison import (
+    ComparisonResult,
+    ComparisonSettings,
+    OperatorComparison,
+    compare_operator,
+    run_comparison,
+    run_figure7,
+    run_figure8,
+)
+from .model_validation import (
+    Figure5Result,
+    Figure6Result,
+    OperatorValidation,
+    ValidationSettings,
+    run_figure5,
+    run_figure6,
+    validate_operator,
+)
+from .pruning_check import PruningCheckResult, run_pruning_check
+from .search_time import SearchTimeRecord, SearchTimeResult, run_search_time
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+
+__all__ = [
+    "ComparisonResult",
+    "ComparisonSettings",
+    "Figure5Result",
+    "Figure6Result",
+    "OperatorComparison",
+    "OperatorValidation",
+    "PruningCheckResult",
+    "SearchTimeRecord",
+    "SearchTimeResult",
+    "Table1Result",
+    "Table2Result",
+    "ValidationSettings",
+    "compare_operator",
+    "run_comparison",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_pruning_check",
+    "run_search_time",
+    "run_table1",
+    "run_table2",
+    "validate_operator",
+]

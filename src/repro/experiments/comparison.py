@@ -1,0 +1,263 @@
+"""Experiments ``fig7`` and ``fig8``: MOpt vs. oneDNN-like vs. AutoTVM-like.
+
+Section 10 of the paper compares, for every Table 1 operator and on two
+machines (8 threads on the i7-9700K, 16 threads on the i9-10980XE):
+
+* **MOpt-1** — the single configuration with minimum modeled cost,
+* **MOpt-5** — the best (by measurement) of the top five modeled
+  configurations, representing MOpt plus a tiny amount of empirical tuning,
+* **oneDNN** — the vendor library,
+* **TVM** — AutoTVM with the recommended template and 1000 trials,
+
+reporting mean GFLOPS over 50 runs with 95% confidence intervals,
+normalized to TVM, and geometric-mean speedups per network.
+
+In the reproduction all four systems are measured on the same *virtual
+machine* (:func:`repro.sim.perfmodel.virtual_measurement`): analytical
+per-level volumes, configuration-dependent microkernel efficiency, a
+deterministic conflict-miss penalty that the analytical model cannot see,
+and small run-to-run noise.  MOpt and AutoTVM search with their own
+machinery; oneDNN dispatches heuristically; the paper's qualitative result
+— MOpt matches or beats the library and clearly beats the constrained
+auto-tuner — should and does survive the substitution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.reporting import format_bar_chart, format_speedup_summary, format_table
+from ..analysis.stats import MeasurementSummary, geometric_mean, summarize_runs
+from ..baselines.autotvm_like import XGBLikeTuner
+from ..baselines.onednn_like import run_onednn_like
+from ..core.config import MultiLevelConfig
+from ..core.optimizer import MOptOptimizer, OptimizerSettings, fast_settings
+from ..core.tensor_spec import ConvSpec
+from ..machine.presets import cascade_lake_i9_10980xe, coffee_lake_i7_9700k
+from ..machine.spec import MachineSpec
+from ..sim.perfmodel import virtual_measurement
+from ..workloads.benchmarks import benchmark_by_name, network_benchmarks, network_names
+
+#: Systems reported by the comparison, in presentation order.
+SYSTEMS = ("MOpt-1", "MOpt-5", "oneDNN", "TVM")
+
+#: Default operator subset for the quick comparison (2 per network); the full
+#: paper figure uses every Table 1 operator (pass ``operators="all"``).
+DEFAULT_OPERATORS = ("Y5", "Y12", "R2", "R9", "M2", "M7")
+
+
+@dataclass(frozen=True)
+class ComparisonSettings:
+    """Parameters of the Figure 7/8 comparison."""
+
+    threads: int = 8
+    tvm_trials: int = 200
+    runs: int = 50
+    noise: float = 0.02
+    seed: int = 0
+    optimizer_settings: Optional[OptimizerSettings] = None
+
+
+@dataclass(frozen=True)
+class OperatorComparison:
+    """All systems' measured performance on one operator."""
+
+    operator: str
+    network: str
+    gflops: Dict[str, float]
+    summaries: Dict[str, MeasurementSummary]
+    relative_to_tvm: Dict[str, float]
+    mopt_search_seconds: float
+    tvm_search_seconds: float
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Full Figure 7/8-style result on one machine."""
+
+    machine_name: str
+    threads: int
+    per_operator: Dict[str, OperatorComparison]
+    geomean_speedup_vs_tvm: Dict[str, float]
+    geomean_speedup_vs_onednn: Dict[str, float]
+    text: str
+
+    def gflops_table(self) -> Dict[str, Dict[str, float]]:
+        """operator -> system -> GFLOPS (used by benchmarks and tests)."""
+        return {name: dict(result.gflops) for name, result in self.per_operator.items()}
+
+
+def _network_of(operator: str) -> str:
+    prefix = operator[0].upper()
+    return {"Y": "yolo9000", "R": "resnet18", "M": "mobilenet"}[prefix]
+
+
+def _sample_runs(nominal: float, runs: int, noise: float, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return nominal * np.clip(rng.normal(1.0, max(noise, 1e-6), size=max(1, runs)), 0.7, 1.3)
+
+
+def compare_operator(
+    operator: str,
+    machine: MachineSpec,
+    settings: Optional[ComparisonSettings] = None,
+) -> OperatorComparison:
+    """Run all four systems on one operator and summarize their performance."""
+    settings = settings or ComparisonSettings()
+    spec = benchmark_by_name(operator)
+    threads = settings.threads
+    seed = settings.seed
+
+    # --- MOpt: analytical design-space exploration (Algorithm 1).
+    optimizer_settings = settings.optimizer_settings or fast_settings(
+        parallel=True, threads=threads
+    )
+    optimizer = MOptOptimizer(machine, optimizer_settings)
+    mopt_result = optimizer.optimize(spec)
+    mopt_candidates = mopt_result.top(5)
+    mopt_measurements = [
+        virtual_measurement(
+            spec,
+            candidate.config,
+            machine,
+            threads=threads,
+            seed=seed + 17 * index,
+        )
+        for index, candidate in enumerate(mopt_candidates)
+    ]
+    mopt1_gflops = mopt_measurements[0].gflops
+    mopt5_gflops = max(m.gflops for m in mopt_measurements)
+
+    # --- oneDNN-like vendor library.
+    onednn = run_onednn_like(spec, machine, threads=threads, seed=seed)
+
+    # --- AutoTVM-like tuner.
+    tuner = XGBLikeTuner(spec, machine, threads=threads, seed=seed)
+    tvm = tuner.tune(settings.tvm_trials)
+
+    gflops = {
+        "MOpt-1": mopt1_gflops,
+        "MOpt-5": mopt5_gflops,
+        "oneDNN": onednn.gflops,
+        "TVM": tvm.best_gflops,
+    }
+    summaries = {
+        system: summarize_runs(
+            _sample_runs(value, settings.runs, settings.noise, seed + hash(system) % 1000)
+        )
+        for system, value in gflops.items()
+    }
+    relative = {system: value / gflops["TVM"] for system, value in gflops.items()}
+    return OperatorComparison(
+        operator=operator,
+        network=_network_of(operator),
+        gflops=gflops,
+        summaries=summaries,
+        relative_to_tvm=relative,
+        mopt_search_seconds=mopt_result.search_seconds,
+        tvm_search_seconds=tvm.search_seconds,
+    )
+
+
+def run_comparison(
+    machine: MachineSpec,
+    *,
+    operators: Sequence[str] | str | None = None,
+    settings: Optional[ComparisonSettings] = None,
+) -> ComparisonResult:
+    """Regenerate Figure 7 (i7-9700K) or Figure 8 (i9-10980XE).
+
+    ``operators`` may be an explicit list of Table 1 operator names, the
+    string ``"all"`` for the full 32-operator sweep, or ``None`` for a quick
+    representative subset.
+    """
+    settings = settings or ComparisonSettings()
+    if operators is None:
+        names: Sequence[str] = DEFAULT_OPERATORS
+    elif operators == "all":
+        names = [spec.name for net in network_names() for spec in network_benchmarks(net)]
+    else:
+        names = list(operators)
+
+    per_operator = {
+        name: compare_operator(name, machine, settings) for name in names
+    }
+
+    geomean_tvm: Dict[str, float] = {}
+    geomean_onednn: Dict[str, float] = {}
+    for network in network_names():
+        rows = [r for r in per_operator.values() if r.network == network]
+        if not rows:
+            continue
+        geomean_tvm[network] = geometric_mean(
+            [r.gflops["MOpt-5"] / r.gflops["TVM"] for r in rows]
+        )
+        geomean_onednn[network] = geometric_mean(
+            [r.gflops["MOpt-5"] / r.gflops["oneDNN"] for r in rows]
+        )
+
+    headers = ["operator", "network"] + [f"{s} GFLOPS" for s in SYSTEMS] + [
+        "MOpt-1/TVM",
+        "MOpt-5/oneDNN",
+    ]
+    rows = []
+    for name, result in per_operator.items():
+        rows.append(
+            [
+                name,
+                result.network,
+                *[result.gflops[s] for s in SYSTEMS],
+                result.relative_to_tvm["MOpt-1"],
+                result.gflops["MOpt-5"] / result.gflops["oneDNN"],
+            ]
+        )
+    text = format_table(headers, rows, float_format="{:.2f}")
+    text += "\n\n" + format_speedup_summary("geomean MOpt-5 / TVM", geomean_tvm)
+    text += "\n" + format_speedup_summary("geomean MOpt-5 / oneDNN", geomean_onednn)
+    return ComparisonResult(
+        machine_name=machine.name,
+        threads=settings.threads,
+        per_operator=per_operator,
+        geomean_speedup_vs_tvm=geomean_tvm,
+        geomean_speedup_vs_onednn=geomean_onednn,
+        text=text,
+    )
+
+
+def run_figure7(
+    *,
+    operators: Sequence[str] | str | None = None,
+    settings: Optional[ComparisonSettings] = None,
+) -> ComparisonResult:
+    """Figure 7: comparison on the i7-9700K with 8 threads."""
+    settings = settings or ComparisonSettings(threads=8)
+    return run_comparison(coffee_lake_i7_9700k(), operators=operators, settings=settings)
+
+
+def run_figure8(
+    *,
+    operators: Sequence[str] | str | None = None,
+    settings: Optional[ComparisonSettings] = None,
+) -> ComparisonResult:
+    """Figure 8: comparison on the i9-10980XE with 16 threads."""
+    settings = settings or ComparisonSettings(threads=16)
+    return run_comparison(
+        cascade_lake_i9_10980xe(), operators=operators, settings=settings
+    )
+
+
+def main() -> None:
+    """Run the quick versions of Figures 7 and 8 and print their tables."""
+    for label, runner in (("Figure 7 (i7-9700K)", run_figure7), ("Figure 8 (i9-10980XE)", run_figure8)):
+        result = runner()
+        print(label)
+        print(result.text)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,277 @@
+"""Experiments ``fig5`` and ``fig6``: model validation against simulated hardware.
+
+Section 9 of the paper validates the analytical model on a single core of
+the i7-9700K by sampling ~100 tile configurations per operator, measuring
+each with hardware counters, and checking that
+
+* the model's top-1/2/5 picks lose at most a few percent against the best
+  sampled configuration (Figure 5), and
+* the model-predicted ranking correlates with measured performance and with
+  the data-movement counters of the predicted bottleneck level (Figure 6,
+  for Resnet9, Mobnet2 and Yolo5).
+
+The reproduction replaces the hardware with the slice-level cache-hierarchy
+simulator (:mod:`repro.sim.tilesim`): each sampled configuration is
+replayed against set-associative caches, yielding register/L1/L2/L3
+traffic counters, and the performance model converts those measurements
+into GFLOPS.  The model side is untouched — it predicts from the analytical
+expressions alone — so the comparison remains meaningful.
+
+Because the simulator runs in Python, the experiment defaults to spatially
+scaled-down operators and a few dozen samples per operator; pass
+``full=True`` (and patience) for the full-size sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.ranking import RankCorrelation, order_by_prediction, rank_correlation, top_k_loss
+from ..analysis.reporting import format_table
+from ..core.config import MultiLevelConfig
+from ..core.tensor_spec import ConvSpec
+from ..machine.presets import coffee_lake_i7_9700k
+from ..machine.spec import MachineSpec
+from ..sim.perfmodel import estimate_performance, predicted_rank_score
+from ..sim.tilesim import SimulationOptions, count_tiles, simulate_execution
+from ..workloads.benchmarks import (
+    all_benchmarks,
+    benchmark_by_name,
+    figure6_operators,
+    uniformly_scaled,
+)
+from ..workloads.sampling import SamplerOptions, sample_configurations
+
+#: Default operators used for the quick Figure 5 sweep (one per network size
+#: class); the full sweep uses all 32 operators.
+DEFAULT_FIG5_OPERATORS = ("Y5", "Y13", "R2", "R9", "R12", "M2", "M5", "M9")
+
+
+@dataclass(frozen=True)
+class ValidationSettings:
+    """Parameters of the model-validation experiments."""
+
+    machine: Optional[MachineSpec] = None
+    samples_per_operator: int = 24
+    seed: int = 0
+    #: Operators are scaled down (channels and spatial extents shrunk by a
+    #: common factor, preserving each layer's character) so each stays below
+    #: this many MACs — keeps the Python cache simulation tractable; ``None``
+    #: disables scaling.
+    max_macs: Optional[float] = 3.0e6
+    #: Configurations whose innermost-tile count exceeds this are re-sampled.
+    max_sim_tiles: int = 12_000
+    ideal_caches: bool = False
+    threads: int = 1
+
+
+@dataclass(frozen=True)
+class OperatorValidation:
+    """Per-operator result: ranking quality of the analytical model."""
+
+    operator: str
+    num_configs: int
+    topk_loss: Dict[int, float]
+    performance_correlation: RankCorrelation
+    counter_correlations: Dict[str, RankCorrelation]
+    predicted_scores: Tuple[float, ...]
+    measured_gflops: Tuple[float, ...]
+    measured_counters: Dict[str, Tuple[float, ...]]
+    elapsed_seconds: float
+
+
+def _prepare_spec(name: str, settings: ValidationSettings) -> ConvSpec:
+    spec = benchmark_by_name(name)
+    if settings.max_macs is None:
+        return spec
+    return uniformly_scaled(spec, max_macs=settings.max_macs)
+
+
+def _sample_simulatable_configs(
+    spec: ConvSpec, settings: ValidationSettings
+) -> List[MultiLevelConfig]:
+    """Sample configurations whose simulation cost is acceptable."""
+    wanted = settings.samples_per_operator
+    options = SamplerOptions(seed=settings.seed)
+    pool = sample_configurations(spec, count=wanted * 4, options=options)
+    selected = [cfg for cfg in pool if count_tiles(spec, cfg) <= settings.max_sim_tiles]
+    return selected[:wanted]
+
+
+def validate_operator(name: str, settings: Optional[ValidationSettings] = None) -> OperatorValidation:
+    """Run the Figure 5/6 protocol for one operator."""
+    settings = settings or ValidationSettings()
+    machine = settings.machine or coffee_lake_i7_9700k()
+    spec = _prepare_spec(name, settings)
+    configs = _sample_simulatable_configs(spec, settings)
+    if len(configs) < 5:
+        raise RuntimeError(
+            f"could not sample enough simulatable configurations for {name!r}; "
+            "increase max_sim_tiles or reduce max_macs"
+        )
+
+    sim_options = SimulationOptions(
+        ideal_caches=settings.ideal_caches, max_tiles=settings.max_sim_tiles * 4
+    )
+    predicted: List[float] = []
+    measured: List[float] = []
+    counters: Dict[str, List[float]] = {"Reg": [], "L1": [], "L2": [], "L3": []}
+    start = time.perf_counter()
+    for config in configs:
+        predicted.append(predicted_rank_score(spec, config, machine, threads=settings.threads))
+        measurement = simulate_execution(spec, config, machine, sim_options)
+        estimate = estimate_performance(
+            spec, config, machine, threads=settings.threads, counters=measurement
+        )
+        measured.append(estimate.gflops)
+        for level in counters:
+            counters[level].append(measurement.level_volume_elements(level))
+    elapsed = time.perf_counter() - start
+
+    losses = {
+        k: loss.loss for k, loss in top_k_loss(predicted, measured, ks=(1, 2, 5)).items()
+    }
+    perf_corr = rank_correlation(predicted, measured)
+    counter_corr = {
+        # Counters measure *cost*, so a good model ranking anti-correlates
+        # with them; negate so "higher is better" like the performance case.
+        level: rank_correlation(predicted, [-v for v in values])
+        for level, values in counters.items()
+    }
+    return OperatorValidation(
+        operator=name,
+        num_configs=len(configs),
+        topk_loss=losses,
+        performance_correlation=perf_corr,
+        counter_correlations=counter_corr,
+        predicted_scores=tuple(predicted),
+        measured_gflops=tuple(measured),
+        measured_counters={level: tuple(values) for level, values in counters.items()},
+        elapsed_seconds=elapsed,
+    )
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Top-k loss-of-performance per operator (the bars of Figure 5)."""
+
+    per_operator: Dict[str, OperatorValidation]
+    text: str
+
+    def loss_table(self) -> Dict[str, Dict[int, float]]:
+        """Mapping operator -> {k: loss} used by the benchmark assertions."""
+        return {name: result.topk_loss for name, result in self.per_operator.items()}
+
+    @property
+    def worst_top5_loss(self) -> float:
+        """Largest top-5 loss across operators (paper: < 4.5% for top-1)."""
+        return max(result.topk_loss[5] for result in self.per_operator.values())
+
+
+def run_figure5(
+    operators: Optional[Sequence[str]] = None,
+    settings: Optional[ValidationSettings] = None,
+) -> Figure5Result:
+    """Regenerate Figure 5: model-predicted top-1/2/5 loss per operator."""
+    settings = settings or ValidationSettings()
+    names = tuple(operators) if operators is not None else DEFAULT_FIG5_OPERATORS
+    per_operator = {name: validate_operator(name, settings) for name in names}
+    rows = [
+        [
+            name,
+            result.num_configs,
+            100.0 * result.topk_loss[1],
+            100.0 * result.topk_loss[2],
+            100.0 * result.topk_loss[5],
+            result.performance_correlation.spearman,
+        ]
+        for name, result in per_operator.items()
+    ]
+    text = format_table(
+        ["operator", "configs", "top-1 loss %", "top-2 loss %", "top-5 loss %", "spearman"],
+        rows,
+        float_format="{:.2f}",
+    )
+    return Figure5Result(per_operator=per_operator, text=text)
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Rank-ordered series for the three Figure 6 operators."""
+
+    per_operator: Dict[str, OperatorValidation]
+    series: Dict[str, Dict[str, Tuple[float, ...]]]
+    text: str
+
+
+def run_figure6(settings: Optional[ValidationSettings] = None) -> Figure6Result:
+    """Regenerate Figure 6: predicted rank ordering vs. measured metrics.
+
+    For each of Resnet9, Mobnet2 and Yolo5, the configurations are ordered
+    by decreasing model-predicted performance and the measured GFLOPS and
+    per-level counters are reported in that order (the paper plots these
+    series; here they are returned for inspection and the correlations are
+    summarized in the rendered table).
+    """
+    settings = settings or ValidationSettings()
+    operators = {"Resnet9": "R9", "Mobnet2": "M2", "Yolo5": "Y5"}
+    per_operator: Dict[str, OperatorValidation] = {}
+    series: Dict[str, Dict[str, Tuple[float, ...]]] = {}
+    for label, name in operators.items():
+        result = validate_operator(name, settings)
+        per_operator[label] = result
+        ordered: Dict[str, Tuple[float, ...]] = {
+            "gflops": tuple(
+                order_by_prediction(result.predicted_scores, result.measured_gflops)
+            )
+        }
+        for level, values in result.measured_counters.items():
+            ordered[level] = tuple(order_by_prediction(result.predicted_scores, values))
+        series[label] = ordered
+
+    rows = []
+    for label, result in per_operator.items():
+        rows.append(
+            [
+                label,
+                result.num_configs,
+                result.performance_correlation.spearman,
+                result.counter_correlations["Reg"].spearman,
+                result.counter_correlations["L1"].spearman,
+                result.counter_correlations["L2"].spearman,
+                result.counter_correlations["L3"].spearman,
+            ]
+        )
+    text = format_table(
+        [
+            "operator",
+            "configs",
+            "perf corr",
+            "reg corr",
+            "L1 corr",
+            "L2 corr",
+            "L3 corr",
+        ],
+        rows,
+        float_format="{:.2f}",
+    )
+    return Figure6Result(per_operator=per_operator, series=series, text=text)
+
+
+def main() -> None:
+    """Run the quick versions of Figures 5 and 6 and print their tables."""
+    fig5 = run_figure5()
+    print("Figure 5 (model-prediction loss-of-performance):")
+    print(fig5.text)
+    print()
+    fig6 = run_figure6()
+    print("Figure 6 (predicted rank vs. measured performance / counters):")
+    print(fig6.text)
+
+
+if __name__ == "__main__":
+    main()

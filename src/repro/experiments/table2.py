@@ -1,0 +1,106 @@
+"""Experiment ``table2``: strengths/limitations matrix of oneDNN, TVM and MOpt.
+
+Table 2 of the paper is qualitative: it contrasts the three systems along
+three axes — whether they use empirical auto-tuning, the quality of their
+microkernel, and the extent of their design-space exploration.  Rather than
+hard-coding the table, this experiment *derives* each cell from the actual
+properties of the reproduction's implementations (e.g. the size of the
+search space each system explores for a representative operator), so the
+table doubles as a consistency check on the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.reporting import format_table
+from ..baselines.autotvm_like import ConvTemplate
+from ..baselines.onednn_like import ONEDNN_KERNEL_EFFICIENCY, schedule_library
+from ..core.microkernel import design_microkernel
+from ..core.pruning import pruning_statistics
+from ..machine.presets import coffee_lake_i7_9700k
+from ..machine.spec import MachineSpec
+from ..workloads.benchmarks import benchmark_by_name
+
+
+@dataclass(frozen=True)
+class SystemCharacterization:
+    """Derived properties of one system for the Table 2 comparison."""
+
+    system: str
+    auto_tuning: bool
+    microkernel: str
+    design_space: str
+    explored_configurations: int
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The derived characterization of all three systems, plus its rendering."""
+
+    systems: List[SystemCharacterization]
+    text: str
+
+
+def run_table2(machine: MachineSpec | None = None, operator: str = "Y12") -> Table2Result:
+    """Derive Table 2 from the implementations, for one representative operator."""
+    machine = machine or coffee_lake_i7_9700k()
+    spec = benchmark_by_name(operator)
+
+    onednn_schedules = schedule_library(spec, machine)
+    onednn = SystemCharacterization(
+        system="oneDNN (library baseline)",
+        auto_tuning=False,
+        microkernel=f"highly optimized (efficiency ~{ONEDNN_KERNEL_EFFICIENCY:.2f} of peak)",
+        design_space=f"minimal: {len(onednn_schedules)} pre-determined schedules, heuristic dispatch",
+        explored_configurations=len(onednn_schedules),
+    )
+
+    template = ConvTemplate(spec)
+    tvm = SystemCharacterization(
+        system="TVM / AutoTVM (auto-tuner baseline)",
+        auto_tuning=True,
+        microkernel="n/a (LLVM-vectorized code, no fixed microkernel)",
+        design_space=(
+            f"limited: fixed loop-order template, {template.space_size()} knob settings, "
+            "auto-tuned by actual execution"
+        ),
+        explored_configurations=template.space_size(),
+    )
+
+    stats = pruning_statistics()
+    microkernel = design_microkernel(machine, spec)
+    mopt = SystemCharacterization(
+        system="MOpt (this work)",
+        auto_tuning=False,
+        microkernel=(
+            f"generated, not highly optimized (efficiency ~{microkernel.efficiency:.2f} of peak)"
+        ),
+        design_space=(
+            "comprehensive: all tile-loop permutations and tile sizes via analytical "
+            f"modeling ({stats['total_permutations']} permutations pruned to "
+            f"{stats['num_classes']} solved cases per level)"
+        ),
+        explored_configurations=stats["total_permutations"],
+    )
+
+    systems = [onednn, tvm, mopt]
+    headers = ["System", "Auto-tuning", "Microkernel", "Design-space exploration"]
+    rows = [
+        [s.system, "yes" if s.auto_tuning else "no", s.microkernel, s.design_space]
+        for s in systems
+    ]
+    text = format_table(headers, rows)
+    return Table2Result(systems=systems, text=text)
+
+
+def main() -> None:
+    """Print Table 2 (module entry point)."""
+    result = run_table2()
+    print("Table 2: strengths and limitations of oneDNN, TVM and MOpt")
+    print(result.text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Machine descriptions and bandwidth modeling for the MOpt optimizer."""
+
+from .bandwidth import BandwidthReport, effective_bandwidths_for_model, measure_bandwidths
+from .presets import (
+    available_machines,
+    cascade_lake_i9_10980xe,
+    coffee_lake_i7_9700k,
+    get_machine,
+    tiny_test_machine,
+)
+from .spec import CacheLevel, MachineSpec, MachineSpecError, VectorISA
+
+__all__ = [
+    "BandwidthReport",
+    "CacheLevel",
+    "MachineSpec",
+    "MachineSpecError",
+    "VectorISA",
+    "available_machines",
+    "cascade_lake_i9_10980xe",
+    "coffee_lake_i7_9700k",
+    "effective_bandwidths_for_model",
+    "get_machine",
+    "measure_bandwidths",
+    "tiny_test_machine",
+]

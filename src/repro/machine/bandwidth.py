@@ -1,0 +1,137 @@
+"""Synthetic bandwidth "benchmark" used by the parallel cost model.
+
+Section 7 of the paper measures, with synthetic benchmarks on the real
+machine, (i) the parallel memory-to-L3 bandwidth and (ii) the per-core
+L3-to-L2 bandwidth, because those differ from the single-core values when
+all cores stream data simultaneously.  There is no hardware here, so this
+module *models* that benchmark: it derives the effective per-core and
+aggregate bandwidths from a machine description using a simple contention
+model, and returns them in the same shape the optimizer consumes.
+
+The contention model is deliberately simple and documented:
+
+* private levels (register, L1, L2 fills) scale linearly with cores — each
+  core owns its private caches, so per-core bandwidth is unchanged;
+* the shared L3 serves all cores, so per-core L3 bandwidth is the total L3
+  bandwidth divided by the active cores (with a small concurrency bonus,
+  since Sectoin 7 notes measured parallel bandwidths are not a perfect
+  1/cores split);
+* DRAM bandwidth saturates: the aggregate grows with core count but is
+  capped at the socket's ``parallel_dram_bandwidth_gbps``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .spec import MachineSpec
+
+#: Aggregate bandwidth a banked, shared L3 sustains relative to the
+#: single-core figure when all cores stream from it concurrently.
+_L3_CONTENTION_EFFICIENCY = 2.5
+#: Fraction of the socket DRAM bandwidth one additional core contributes.
+_DRAM_SCALING_PER_CORE = 0.45
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Effective bandwidths (GB/s) for one machine and thread count.
+
+    ``per_core`` holds the bandwidth available to one core for filling each
+    level; ``aggregate`` holds the machine-wide totals.  Keys are the level
+    names accepted by :meth:`MachineSpec.level_bandwidth_gbps` (``"Reg"``,
+    cache names, ``"DRAM"``).
+    """
+
+    machine: str
+    threads: int
+    per_core: Dict[str, float]
+    aggregate: Dict[str, float]
+
+    def per_core_elements_per_second(self, level: str, dtype_bytes: int = 4) -> float:
+        """Per-core bandwidth converted to elements/second."""
+        return self.per_core[level] * 1e9 / dtype_bytes
+
+    def aggregate_elements_per_second(self, level: str, dtype_bytes: int = 4) -> float:
+        """Aggregate bandwidth converted to elements/second."""
+        return self.aggregate[level] * 1e9 / dtype_bytes
+
+
+def measure_bandwidths(machine: MachineSpec, threads: Optional[int] = None) -> BandwidthReport:
+    """Model the synthetic bandwidth benchmark of Section 7.
+
+    Returns effective bandwidths for ``threads`` active cores (defaults to
+    all cores of the machine).  For ``threads == 1`` the report reproduces
+    the single-core bandwidths stored in the machine description.
+    """
+    threads = machine.cores if threads is None else threads
+    if threads <= 0:
+        raise ValueError(f"threads must be positive, got {threads}")
+    threads = min(threads, machine.cores)
+
+    per_core: Dict[str, float] = {}
+    aggregate: Dict[str, float] = {}
+
+    # Register fill (L1 -> Reg) and private cache fills scale with cores.
+    for level in ("Reg",) + machine.cache_names[:-1]:
+        bandwidth = machine.level_bandwidth_gbps(level)
+        per_core[level] = bandwidth
+        aggregate[level] = bandwidth * threads
+
+    # Shared last-level cache: total bandwidth split across cores with a
+    # small concurrency bonus (banked L3 delivers slightly more than the
+    # single-core figure in aggregate).
+    last_level = machine.cache_names[-1]
+    single_core_l3 = machine.level_bandwidth_gbps(machine.cache_names[-2]) if len(
+        machine.cache_names
+    ) > 1 else machine.level_bandwidth_gbps(last_level)
+    total_l3 = single_core_l3 * _L3_CONTENTION_EFFICIENCY
+    if threads == 1:
+        per_core_l3 = single_core_l3
+    else:
+        per_core_l3 = max(total_l3 / threads, single_core_l3 / threads)
+    # The level name keyed here is the level being *filled from* L3, i.e. the
+    # second-to-last cache (L2): its fill bandwidth is what contention reduces.
+    if len(machine.cache_names) > 1:
+        fill_level = machine.cache_names[-2]
+        per_core[fill_level] = per_core_l3
+        aggregate[fill_level] = per_core_l3 * threads
+
+    # Memory -> L3: saturating scaling up to the socket limit.
+    single = machine.dram_bandwidth_gbps
+    socket_cap = machine.parallel_dram_bandwidth_gbps or single
+    if threads == 1:
+        total_dram = single
+    else:
+        total_dram = min(socket_cap, single * (1.0 + _DRAM_SCALING_PER_CORE * (threads - 1)))
+    per_core["DRAM"] = total_dram / threads
+    aggregate["DRAM"] = total_dram
+    per_core[last_level] = total_dram / threads
+    aggregate[last_level] = total_dram
+
+    return BandwidthReport(machine.name, threads, per_core, aggregate)
+
+
+def effective_bandwidths_for_model(
+    machine: MachineSpec, threads: Optional[int] = None
+) -> Dict[str, float]:
+    """Bandwidths (GB/s) keyed by tiling level for the min–max cost model.
+
+    The optimizer divides each level's data volume by the bandwidth feeding
+    that level:
+
+    * ``"Reg"``: L1→register traffic uses the per-core L1 bandwidth,
+    * ``"L1"``: L2→L1 traffic uses the per-core L2 bandwidth,
+    * ``"L2"``: L3→L2 traffic uses the per-core (contended) L3 bandwidth,
+    * ``"L3"``: memory→L3 traffic uses the aggregate DRAM bandwidth.
+    """
+    report = measure_bandwidths(machine, threads)
+    result: Dict[str, float] = {"Reg": report.per_core["Reg"]}
+    names = machine.cache_names
+    for idx, name in enumerate(names):
+        if idx + 1 < len(names):
+            result[name] = report.per_core[name]
+        else:
+            result[name] = report.aggregate["DRAM"]
+    return result

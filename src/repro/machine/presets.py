@@ -1,0 +1,130 @@
+"""Machine presets for the two evaluation platforms of the paper.
+
+Section 9/10 of the paper evaluate on:
+
+* an 8-core Intel Core i7-9700K (Coffee Lake): 32 KB L1 and 256 KB L2 per
+  core, 12 MB shared L3, AVX2 (two 256-bit FMA units per core), and
+* an 18-core Intel Core i9-10980XE (Cascade Lake): 32 KB L1, 1 MB L2 per
+  core, 24.75 MB shared L3, AVX-512 — the paper runs it with 16 threads.
+
+Cache capacities and core counts are taken from the paper; sustained
+bandwidths and FMA latencies are representative figures for those
+microarchitectures (they act as the ``BW_l`` constants of Section 5 and are
+what the synthetic bandwidth benchmark of Section 7 would measure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .spec import CacheLevel, MachineSpec, VectorISA
+
+KiB = 1024
+MiB = 1024 * KiB
+
+
+def coffee_lake_i7_9700k() -> MachineSpec:
+    """8-core Intel Core i7-9700K, AVX2 — the paper's first platform."""
+    return MachineSpec(
+        name="i7-9700K",
+        cores=8,
+        frequency_ghz=3.6,
+        caches=(
+            CacheLevel("L1", 32 * KiB, line_bytes=64, shared=False, associativity=8,
+                       bandwidth_gbps=350.0),
+            CacheLevel("L2", 256 * KiB, line_bytes=64, shared=False, associativity=4,
+                       bandwidth_gbps=150.0),
+            CacheLevel("L3", 12 * MiB, line_bytes=64, shared=True, associativity=16,
+                       bandwidth_gbps=80.0),
+        ),
+        isa=VectorISA(
+            name="avx2",
+            vector_bytes=32,
+            fma_units=2,
+            fma_latency_cycles=5.0,
+            num_vector_registers=16,
+        ),
+        dram_bandwidth_gbps=20.0,
+        parallel_dram_bandwidth_gbps=38.0,
+    )
+
+
+def cascade_lake_i9_10980xe() -> MachineSpec:
+    """18-core Intel Core i9-10980XE, AVX-512 — the paper's second platform.
+
+    The paper's experiments use 16 threads on this machine; comparison
+    experiments therefore call :meth:`MachineSpec.with_cores` with 16.
+    """
+    return MachineSpec(
+        name="i9-10980XE",
+        cores=18,
+        frequency_ghz=3.0,
+        caches=(
+            CacheLevel("L1", 32 * KiB, line_bytes=64, shared=False, associativity=8,
+                       bandwidth_gbps=400.0),
+            CacheLevel("L2", 1 * MiB, line_bytes=64, shared=False, associativity=16,
+                       bandwidth_gbps=180.0),
+            CacheLevel("L3", int(24.75 * MiB), line_bytes=64, shared=True, associativity=11,
+                       bandwidth_gbps=70.0),
+        ),
+        isa=VectorISA(
+            name="avx512",
+            vector_bytes=64,
+            fma_units=2,
+            fma_latency_cycles=4.0,
+            num_vector_registers=32,
+        ),
+        dram_bandwidth_gbps=21.0,
+        parallel_dram_bandwidth_gbps=80.0,
+    )
+
+
+def tiny_test_machine() -> MachineSpec:
+    """A deliberately small machine used by unit tests and examples.
+
+    Small caches make capacity effects visible for small problem sizes, which
+    keeps slice-level simulation fast while still exercising every code
+    path of the optimizer and the simulator.
+    """
+    return MachineSpec(
+        name="tiny-test",
+        cores=4,
+        frequency_ghz=2.0,
+        caches=(
+            CacheLevel("L1", 4 * KiB, line_bytes=64, shared=False, associativity=4,
+                       bandwidth_gbps=200.0),
+            CacheLevel("L2", 32 * KiB, line_bytes=64, shared=False, associativity=4,
+                       bandwidth_gbps=100.0),
+            CacheLevel("L3", 256 * KiB, line_bytes=64, shared=True, associativity=8,
+                       bandwidth_gbps=50.0),
+        ),
+        isa=VectorISA(
+            name="avx2",
+            vector_bytes=32,
+            fma_units=2,
+            fma_latency_cycles=5.0,
+            num_vector_registers=16,
+        ),
+        dram_bandwidth_gbps=10.0,
+        parallel_dram_bandwidth_gbps=20.0,
+    )
+
+
+_PRESETS = {
+    "i7-9700k": coffee_lake_i7_9700k,
+    "i9-10980xe": cascade_lake_i9_10980xe,
+    "tiny": tiny_test_machine,
+}
+
+
+def available_machines() -> Tuple[str, ...]:
+    """Names accepted by :func:`get_machine`."""
+    return tuple(sorted(_PRESETS))
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine preset by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _PRESETS:
+        raise KeyError(f"unknown machine {name!r}; available: {available_machines()}")
+    return _PRESETS[key]()

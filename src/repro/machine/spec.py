@@ -1,0 +1,239 @@
+"""Machine descriptions: memory hierarchy, bandwidths, cores and SIMD.
+
+The analytical optimizer needs, per Section 5 and 7 of the paper:
+
+* the capacity of each cache level (and the register file),
+* the bandwidth between adjacent levels of the hierarchy (``BW_l``), used to
+  scale the per-level data volumes in the min–max objective,
+* the core count and SIMD width/FMA characteristics used by the microkernel
+  design (Section 6) and the parallel model (Section 7).
+
+The paper measures bandwidths with synthetic benchmarks on real hardware;
+this reproduction records representative sustained-bandwidth figures in the
+machine presets and exposes a small synthetic "bandwidth benchmark"
+(:mod:`repro.machine.bandwidth`) that derives parallel-scaled bandwidths the
+way Section 7 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class MachineSpecError(ValueError):
+    """Raised for malformed machine descriptions."""
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Level name (``"L1"``, ``"L2"``, ``"L3"``).
+    capacity_bytes:
+        Capacity of the cache.  For private caches this is the per-core
+        capacity; for shared caches the total capacity.
+    line_bytes:
+        Cache line size in bytes.
+    shared:
+        Whether the cache is shared by all cores (paper: L3) or private to a
+        core (paper: L1, L2).
+    associativity:
+        Set associativity; used only by the set-associative simulator in
+        :mod:`repro.sim.cache` (the analytical model assumes full
+        associativity).
+    bandwidth_gbps:
+        Sustained bandwidth, in GB/s, for moving data between this level and
+        the next *faster* level (i.e. L1's figure is the L1→register
+        bandwidth, L3's figure is the L3→L2 bandwidth), measured per core.
+    """
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int = 64
+    shared: bool = False
+    associativity: int = 8
+    bandwidth_gbps: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise MachineSpecError(f"{self.name}: capacity must be positive")
+        if self.line_bytes <= 0:
+            raise MachineSpecError(f"{self.name}: line size must be positive")
+        if self.associativity <= 0:
+            raise MachineSpecError(f"{self.name}: associativity must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise MachineSpecError(f"{self.name}: bandwidth must be positive")
+
+    def capacity_elements(self, dtype_bytes: int = 4) -> float:
+        """Capacity in tensor elements of the given width."""
+        return self.capacity_bytes / dtype_bytes
+
+    def line_elements(self, dtype_bytes: int = 4) -> int:
+        """Cache-line size in tensor elements."""
+        return max(1, self.line_bytes // dtype_bytes)
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """SIMD/FMA characteristics used for microkernel design (Section 6)."""
+
+    name: str = "avx2"
+    vector_bytes: int = 32
+    fma_units: int = 2
+    fma_latency_cycles: float = 5.0
+    num_vector_registers: int = 16
+
+    def vector_lanes(self, dtype_bytes: int = 4) -> int:
+        """Number of elements per vector register."""
+        return max(1, self.vector_bytes // dtype_bytes)
+
+    def fma_per_cycle(self, dtype_bytes: int = 4) -> int:
+        """Element FMAs retired per cycle per core at peak."""
+        return self.fma_units * self.vector_lanes(dtype_bytes)
+
+    def required_independent_fmas(self, dtype_bytes: int = 4) -> int:
+        """Independent FMAs needed to saturate the pipeline (Little's law).
+
+        The paper computes ``latency x throughput`` vector FMAs; expressed in
+        vector operations this is ``fma_latency_cycles * fma_units``.
+        """
+        return int(round(self.fma_latency_cycles * self.fma_units))
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Full machine description used by the optimizer and the simulator.
+
+    ``caches`` are ordered from the fastest/smallest (L1) outwards.  The
+    register file is described implicitly via ``isa`` (register count and
+    vector width).  ``dram_bandwidth_gbps`` is the single-core sustained
+    memory bandwidth; ``parallel_dram_bandwidth_gbps`` is the whole-socket
+    figure the parallel model uses (Section 7 notes the effective
+    memory-to-L3 bandwidth is higher when all cores stream).
+    """
+
+    name: str
+    cores: int
+    frequency_ghz: float
+    caches: Tuple[CacheLevel, ...]
+    isa: VectorISA = field(default_factory=VectorISA)
+    dram_bandwidth_gbps: float = 20.0
+    parallel_dram_bandwidth_gbps: Optional[float] = None
+    dtype_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise MachineSpecError("cores must be positive")
+        if self.frequency_ghz <= 0:
+            raise MachineSpecError("frequency must be positive")
+        if not self.caches:
+            raise MachineSpecError("at least one cache level is required")
+        names = [c.name for c in self.caches]
+        if len(set(names)) != len(names):
+            raise MachineSpecError(f"duplicate cache level names: {names}")
+
+    # -- lookups ----------------------------------------------------------
+    @property
+    def cache_names(self) -> Tuple[str, ...]:
+        """Cache level names ordered from fastest (L1) outwards."""
+        return tuple(c.name for c in self.caches)
+
+    def cache(self, name: str) -> CacheLevel:
+        """Look up a cache level by name."""
+        for level in self.caches:
+            if level.name == name:
+                return level
+        raise MachineSpecError(f"unknown cache level {name!r}; have {self.cache_names}")
+
+    @property
+    def register_capacity_elements(self) -> int:
+        """Accumulator capacity of the register file in elements.
+
+        The microkernel keeps output accumulators, kernel vectors and
+        broadcast input values in the vector register file; its usable
+        capacity is ``num_vector_registers * vector_lanes``.
+        """
+        return self.isa.num_vector_registers * self.isa.vector_lanes(self.dtype_bytes)
+
+    def capacity_elements(self, level: str) -> float:
+        """Capacity in elements of a named level (``"Reg"`` or a cache name)."""
+        if level == "Reg":
+            return float(self.register_capacity_elements)
+        return self.cache(level).capacity_elements(self.dtype_bytes)
+
+    # -- bandwidths ---------------------------------------------------------
+    def peak_gflops(self, cores: Optional[int] = None) -> float:
+        """Peak single-precision GFLOP/s (2 flops per FMA element)."""
+        cores = self.cores if cores is None else cores
+        return (
+            2.0
+            * self.isa.fma_per_cycle(self.dtype_bytes)
+            * self.frequency_ghz
+            * cores
+        )
+
+    def level_bandwidth_gbps(self, level: str, *, parallel: bool = False) -> float:
+        """Bandwidth for filling a named level from the next outer level.
+
+        ``level`` is ``"Reg"``, a cache name, or ``"DRAM"``:
+
+        * ``"Reg"`` — L1→register bandwidth (per core),
+        * ``"L1"`` — L2→L1, ``"L2"`` — L3→L2, ``"L3"``/``"DRAM"`` — memory→L3.
+
+        With ``parallel=True`` the memory→L3 figure switches to the
+        whole-socket sustained bandwidth while the inner levels stay per-core
+        (each core owns its L1/L2 — Section 7).
+        """
+        order = list(self.cache_names)
+        if level == "Reg":
+            return self.cache(order[0]).bandwidth_gbps
+        if level in order:
+            idx = order.index(level)
+            if idx + 1 < len(order):
+                return self.cache(order[idx + 1]).bandwidth_gbps
+            return self._dram_bandwidth(parallel)
+        if level.upper() == "DRAM":
+            return self._dram_bandwidth(parallel)
+        raise MachineSpecError(f"unknown level {level!r}")
+
+    def _dram_bandwidth(self, parallel: bool) -> float:
+        if parallel and self.parallel_dram_bandwidth_gbps is not None:
+            return self.parallel_dram_bandwidth_gbps
+        return self.dram_bandwidth_gbps
+
+    def bandwidth_elements_per_second(
+        self, level: str, *, parallel: bool = False
+    ) -> float:
+        """Bandwidth converted to tensor elements per second."""
+        return self.level_bandwidth_gbps(level, parallel=parallel) * 1e9 / self.dtype_bytes
+
+    # -- tiling levels -------------------------------------------------------
+    def tiling_levels(self, *, include_register: bool = True) -> Tuple[str, ...]:
+        """Tiling levels from innermost outwards (``Reg``, then the caches)."""
+        levels: List[str] = ["Reg"] if include_register else []
+        levels.extend(self.cache_names)
+        return tuple(levels)
+
+    def with_cores(self, cores: int) -> "MachineSpec":
+        """Copy of the machine with a different active core count."""
+        return replace(self, cores=cores)
+
+    def describe(self) -> str:
+        """Multi-line human readable description."""
+        lines = [
+            f"{self.name}: {self.cores} cores @ {self.frequency_ghz} GHz, "
+            f"{self.isa.name} ({self.isa.vector_lanes(self.dtype_bytes)} lanes x "
+            f"{self.isa.fma_units} FMA), peak {self.peak_gflops():.0f} GFLOP/s"
+        ]
+        for cache in self.caches:
+            scope = "shared" if cache.shared else "per-core"
+            lines.append(
+                f"  {cache.name}: {cache.capacity_bytes // 1024} KiB {scope}, "
+                f"{cache.bandwidth_gbps:.0f} GB/s"
+            )
+        lines.append(f"  DRAM: {self.dram_bandwidth_gbps:.0f} GB/s single core")
+        return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Simulation substrate: cache hierarchy, tiled executor and performance model.
+
+This package plays the role of the paper's physical test machines and
+hardware counters: it measures per-level data movement by replaying tiled
+executions against software cache models, verifies numerical correctness of
+tilings with a NumPy executor, and converts data-movement/compute costs
+into execution time and GFLOPS.
+"""
+
+from .cache import CacheStats, LRUCache, SetAssociativeCache
+from .counters import SimulatedCounters, merge_counters
+from .executor import (
+    max_abs_error,
+    packed_conv2d,
+    random_tensors,
+    reference_conv2d,
+    tiled_conv2d,
+)
+from .hierarchy import CacheHierarchy, HierarchyStats, ideal_hierarchy, realistic_hierarchy
+from .perfmodel import (
+    PerformanceEstimate,
+    config_compute_efficiency,
+    conflict_miss_penalty,
+    estimate_performance,
+    measure_performance,
+    predicted_rank_score,
+    virtual_measurement,
+)
+from .tilesim import (
+    SimulationOptions,
+    SimulationTooLargeError,
+    count_tiles,
+    enumerate_tiles,
+    simulate_execution,
+    simulate_single_level,
+)
+from .trace import TensorLayout, element_trace
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheStats",
+    "HierarchyStats",
+    "LRUCache",
+    "PerformanceEstimate",
+    "SetAssociativeCache",
+    "SimulatedCounters",
+    "SimulationOptions",
+    "SimulationTooLargeError",
+    "TensorLayout",
+    "config_compute_efficiency",
+    "conflict_miss_penalty",
+    "count_tiles",
+    "element_trace",
+    "enumerate_tiles",
+    "estimate_performance",
+    "ideal_hierarchy",
+    "max_abs_error",
+    "measure_performance",
+    "merge_counters",
+    "packed_conv2d",
+    "predicted_rank_score",
+    "random_tensors",
+    "realistic_hierarchy",
+    "reference_conv2d",
+    "simulate_execution",
+    "simulate_single_level",
+    "tiled_conv2d",
+    "virtual_measurement",
+]

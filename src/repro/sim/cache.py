@@ -1,0 +1,231 @@
+"""Cache simulators: fully-associative LRU and set-associative write-back caches.
+
+The analytical model of the paper assumes an idealized fully-associative LRU
+cache with unit line size.  To *validate* the model (Section 9) the paper
+reads hardware counters on real CPUs; this reproduction instead replays the
+tiled execution against software cache models.  Two models are provided:
+
+* :class:`LRUCache` — fully associative, true LRU, capacity counted in
+  lines.  This is the idealized cache of the paper's model and is the
+  default for the hierarchy simulator.
+* :class:`SetAssociativeCache` — a set-associative LRU cache with a
+  configurable number of ways.  It exhibits conflict misses, which the
+  analytical model deliberately ignores; the comparison experiments use it
+  to inject the "pathological conflict miss" behaviour the paper observed
+  on a few layers (e.g. Yolo9/Yolo18).
+
+Both caches operate on hashable *block keys* (the hierarchy simulator uses
+``(tensor_id, line_index)`` tuples) and collect hit/miss/eviction
+statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses."""
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of accesses that missed (0 when there were no accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+
+class LRUCache:
+    """Fully-associative LRU cache over hashable block keys.
+
+    ``capacity_lines`` is the number of blocks the cache can hold.  Writes
+    are modeled as write-back / write-allocate: a written block is marked
+    dirty and counted as a writeback when evicted (or flushed).
+    """
+
+    def __init__(self, capacity_lines: int, name: str = "cache"):
+        if capacity_lines <= 0:
+            raise ValueError(f"capacity_lines must be positive, got {capacity_lines}")
+        self.name = name
+        self.capacity_lines = int(capacity_lines)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, bool]" = OrderedDict()  # key -> dirty
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def access(self, key: Hashable, *, write: bool = False) -> bool:
+        """Access one block; returns ``True`` on hit.
+
+        On a miss the block is installed, evicting the least recently used
+        block if the cache is full.
+        """
+        entries = self._entries
+        if key in entries:
+            dirty = entries.pop(key)
+            entries[key] = dirty or write
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(entries) >= self.capacity_lines:
+            _, dirty = entries.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        entries[key] = write
+        return False
+
+    def access_many(self, keys: Iterable[Hashable], *, write: bool = False) -> int:
+        """Access a sequence of blocks; returns the number of misses."""
+        return len(self.access_many_collect(keys, write=write))
+
+    def access_many_collect(
+        self, keys: Iterable[Hashable], *, write: bool = False
+    ) -> List[Hashable]:
+        """Access a sequence of blocks; return the keys that missed.
+
+        This is the hot path of the hierarchy simulator, so the LRU logic is
+        inlined rather than delegating to :meth:`access` per key.
+        """
+        entries = self._entries
+        stats = self.stats
+        capacity = self.capacity_lines
+        missed: List[Hashable] = []
+        hits = 0
+        for key in keys:
+            if key in entries:
+                dirty = entries.pop(key)
+                entries[key] = dirty or write
+                hits += 1
+                continue
+            missed.append(key)
+            if len(entries) >= capacity:
+                _, dirty = entries.popitem(last=False)
+                stats.evictions += 1
+                if dirty:
+                    stats.writebacks += 1
+            entries[key] = write
+        stats.hits += hits
+        stats.misses += len(missed)
+        return missed
+
+    def flush(self) -> int:
+        """Empty the cache, counting writebacks of dirty blocks; returns them."""
+        dirty = sum(1 for d in self._entries.values() if d)
+        self.stats.writebacks += dirty
+        self.stats.evictions += len(self._entries)
+        self._entries.clear()
+        return dirty
+
+    def resident_keys(self) -> List[Hashable]:
+        """Keys currently resident, least-recently-used first."""
+        return list(self._entries.keys())
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self._entries.clear()
+        self.stats.reset()
+
+
+class SetAssociativeCache:
+    """Set-associative LRU cache over integer line addresses.
+
+    Unlike :class:`LRUCache`, keys must be integers (line numbers); the set
+    index is ``line % num_sets``, which is how conflict misses arise for
+    power-of-two strides.
+    """
+
+    def __init__(self, capacity_lines: int, associativity: int, name: str = "cache"):
+        if capacity_lines <= 0:
+            raise ValueError(f"capacity_lines must be positive, got {capacity_lines}")
+        if associativity <= 0:
+            raise ValueError(f"associativity must be positive, got {associativity}")
+        associativity = min(associativity, capacity_lines)
+        self.name = name
+        self.capacity_lines = int(capacity_lines)
+        self.associativity = int(associativity)
+        self.num_sets = max(1, self.capacity_lines // self.associativity)
+        self.stats = CacheStats()
+        self._sets: List["OrderedDict[int, bool]"] = [OrderedDict() for _ in range(self.num_sets)]
+
+    def _set_for(self, line: int) -> "OrderedDict[int, bool]":
+        return self._sets[line % self.num_sets]
+
+    def access(self, line: int, *, write: bool = False) -> bool:
+        """Access one line address; returns ``True`` on hit."""
+        cache_set = self._set_for(int(line))
+        if line in cache_set:
+            dirty = cache_set.pop(line)
+            cache_set[line] = dirty or write
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.associativity:
+            _, dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        cache_set[line] = write
+        return False
+
+    def access_many(self, lines: Iterable[int], *, write: bool = False) -> int:
+        """Access a sequence of line addresses; returns the number of misses."""
+        return len(self.access_many_collect(lines, write=write))
+
+    def access_many_collect(
+        self, lines: Iterable[int], *, write: bool = False
+    ) -> List[int]:
+        """Access a sequence of line addresses; return the lines that missed."""
+        sets = self._sets
+        num_sets = self.num_sets
+        associativity = self.associativity
+        stats = self.stats
+        missed: List[int] = []
+        hits = 0
+        for line in lines:
+            line = int(line)
+            cache_set = sets[line % num_sets]
+            if line in cache_set:
+                dirty = cache_set.pop(line)
+                cache_set[line] = dirty or write
+                hits += 1
+                continue
+            missed.append(line)
+            if len(cache_set) >= associativity:
+                _, dirty = cache_set.popitem(last=False)
+                stats.evictions += 1
+                if dirty:
+                    stats.writebacks += 1
+            cache_set[line] = write
+        stats.hits += hits
+        stats.misses += len(missed)
+        return missed
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.stats.reset()

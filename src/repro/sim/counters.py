@@ -1,0 +1,75 @@
+"""Hardware-counter-style measurement records produced by the simulator.
+
+The paper's model-validation experiments (Section 9, Figures 5–6) profile
+register load/stores and L1/L2/L3 cache misses with Likwid.  The
+reproduction's memory-hierarchy simulator produces the same quantities;
+this module defines the container they are reported in and conversions to
+data volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class SimulatedCounters:
+    """Per-level data-movement measurements of one simulated execution.
+
+    ``level_miss_lines`` maps each cache level name to the number of
+    cache-line misses observed when filling that level (L1 misses are the
+    lines brought into L1 from L2, and so on).  ``register_transfers`` is the
+    modeled number of element loads/stores between L1 and the register file.
+    ``line_elements`` records the line granularity used so volumes can be
+    converted back to elements.
+    """
+
+    level_miss_lines: Dict[str, int]
+    register_transfers: float
+    line_elements: int
+    writeback_lines: Dict[str, int] = field(default_factory=dict)
+
+    def level_volume_elements(self, level: str) -> float:
+        """Data volume in elements moved into one level (misses + writebacks)."""
+        if level == "Reg":
+            return float(self.register_transfers)
+        lines = self.level_miss_lines.get(level, 0) + self.writeback_lines.get(level, 0)
+        return float(lines * self.line_elements)
+
+    def volumes_elements(self) -> Dict[str, float]:
+        """Volumes (elements) for every measured level, including registers."""
+        result = {"Reg": float(self.register_transfers)}
+        for level in self.level_miss_lines:
+            result[level] = self.level_volume_elements(level)
+        return result
+
+    def level_volume_bytes(self, level: str, dtype_bytes: int = 4) -> float:
+        """Data volume in bytes moved into one level."""
+        return self.level_volume_elements(level) * dtype_bytes
+
+    def describe(self) -> str:
+        """One-line summary used in logs and example output."""
+        parts = [f"reg={self.register_transfers:.3g}"]
+        for level, lines in self.level_miss_lines.items():
+            parts.append(f"{level}={lines} misses")
+        return ", ".join(parts)
+
+
+def merge_counters(parts: Mapping[str, SimulatedCounters]) -> SimulatedCounters:
+    """Sum counters from independently simulated chunks (e.g. per-core shards)."""
+    if not parts:
+        raise ValueError("no counters to merge")
+    first = next(iter(parts.values()))
+    levels: Dict[str, int] = {}
+    writebacks: Dict[str, int] = {}
+    register = 0.0
+    for counters in parts.values():
+        if counters.line_elements != first.line_elements:
+            raise ValueError("cannot merge counters with different line granularities")
+        register += counters.register_transfers
+        for level, lines in counters.level_miss_lines.items():
+            levels[level] = levels.get(level, 0) + lines
+        for level, lines in counters.writeback_lines.items():
+            writebacks[level] = writebacks.get(level, 0) + lines
+    return SimulatedCounters(levels, register, first.line_elements, writebacks)

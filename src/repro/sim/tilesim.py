@@ -1,0 +1,207 @@
+"""Slice-level simulation of multi-level tiled CNN execution.
+
+This is the reproduction's stand-in for the paper's hardware-counter
+measurements: it replays the exact sequence of tiles that a multi-level
+tiled execution visits and drives a software cache hierarchy with the
+cache lines each tile touches.  Unlike the analytical model it
+
+* tracks actual residency (so it captures reuse the model conservatively
+  ignores and capacity effects the model approximates),
+* sees partial overlap of input slices exactly,
+* can use set-associative caches and therefore exhibits conflict misses,
+
+which makes it a genuinely independent measurement of per-level data
+movement, suitable for validating the analytical model (Figures 5 and 6).
+
+The simulation granularity is the innermost *cache* tile (usually the L1
+tile): all lines of one such tile are accessed once per visit, in tile
+order.  Register-file traffic is accounted separately from the microkernel
+structure (kernel vector loads, input broadcasts and accumulator spills),
+since individual register accesses are far below the useful granularity of
+a Python simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import MultiLevelConfig, TilingConfig, single_level
+from ..core.tensor_spec import ConvSpec, LOOP_INDICES
+from ..machine.spec import MachineSpec
+from .counters import SimulatedCounters
+from .hierarchy import CacheHierarchy, ideal_hierarchy, realistic_hierarchy
+from .trace import TensorLayout
+
+
+class SimulationTooLargeError(RuntimeError):
+    """Raised when a simulation would visit more tiles than the configured cap."""
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Options of the slice-level simulator.
+
+    ``ideal_caches`` selects fully-associative LRU caches (the model's
+    idealized cache) versus set-associative ones (realistic, with conflict
+    misses).  ``line_elements`` defaults to the machine's cache-line size.
+    ``max_tiles`` bounds the number of innermost tiles visited; exceeding it
+    raises :class:`SimulationTooLargeError` so callers know to scale the
+    problem down rather than silently waiting forever.
+    """
+
+    ideal_caches: bool = True
+    line_elements: Optional[int] = None
+    max_tiles: int = 2_000_000
+    include_writebacks: bool = True
+
+
+def _simulated_levels(config: MultiLevelConfig) -> MultiLevelConfig:
+    """Drop the register level (if present) — it is modeled, not simulated."""
+    if "Reg" not in config.levels:
+        return config
+    keep = [
+        (level, cfg)
+        for level, cfg in zip(config.levels, config.configs)
+        if level != "Reg"
+    ]
+    return MultiLevelConfig(tuple(l for l, _ in keep), tuple(c for _, c in keep))
+
+
+def count_tiles(spec: ConvSpec, config: MultiLevelConfig) -> int:
+    """Number of innermost cache tiles a simulation of ``config`` would visit."""
+    sim_config = _simulated_levels(config)
+    inner = sim_config.configs[0]
+    extents = spec.loop_extents
+    count = 1
+    for index in LOOP_INDICES:
+        count *= math.ceil(extents[index] / max(1, int(inner.tiles[index])))
+    return count
+
+
+def enumerate_tiles(
+    spec: ConvSpec, config: MultiLevelConfig
+) -> Iterator[Tuple[Dict[str, int], Dict[str, int]]]:
+    """Yield ``(origin, sizes)`` of every innermost cache tile, in execution order.
+
+    The order is the lexicographic order induced by the multi-level tile
+    loop nest: outermost level's permutation outermost, each level's
+    innermost iterator varying fastest within it.  Partial tiles at region
+    boundaries are clipped.
+    """
+    sim_config = _simulated_levels(config)
+    # Levels outermost first for the recursive descent.
+    levels = list(zip(sim_config.levels, sim_config.configs))[::-1]
+    extents = spec.loop_extents
+
+    def recurse(
+        level_idx: int, origin: Dict[str, int], region: Dict[str, int]
+    ) -> Iterator[Tuple[Dict[str, int], Dict[str, int]]]:
+        if level_idx == len(levels):
+            yield dict(origin), dict(region)
+            return
+        _, level_config = levels[level_idx]
+        permutation = level_config.permutation
+        chunk_lists: List[Tuple[str, List[Tuple[int, int]]]] = []
+        for index in permutation:
+            start = origin[index]
+            size = region[index]
+            step = max(1, int(level_config.tiles[index]))
+            chunks = [
+                (start + offset, min(step, size - offset))
+                for offset in range(0, size, step)
+            ]
+            chunk_lists.append((index, chunks))
+        for combo in itertools.product(*(chunks for _, chunks in chunk_lists)):
+            new_origin = dict(origin)
+            new_region = dict(region)
+            for (index, _), (chunk_start, chunk_size) in zip(chunk_lists, combo):
+                new_origin[index] = chunk_start
+                new_region[index] = chunk_size
+            yield from recurse(level_idx + 1, new_origin, new_region)
+
+    initial_origin = {index: 0 for index in LOOP_INDICES}
+    initial_region = {index: extents[index] for index in LOOP_INDICES}
+    yield from recurse(0, initial_origin, initial_region)
+
+
+def _register_traffic(sizes: Mapping[str, int], vec_len: int) -> float:
+    """L1↔register transfers of one innermost tile under the outer-product microkernel.
+
+    Per (c, r, s) reduction step the microkernel loads the kernel vectors
+    covering the tile's ``k`` extent and broadcasts each of the tile's
+    ``h x w`` input pixels; the output accumulators are loaded and stored
+    once per tile (they live in registers across the reduction).
+    """
+    reduction_steps = sizes["c"] * sizes["r"] * sizes["s"]
+    kernel_loads = reduction_steps * max(1, math.ceil(sizes["k"] / vec_len)) * vec_len
+    broadcasts = reduction_steps * sizes["h"] * sizes["w"]
+    accumulator_traffic = 2 * sizes["n"] * sizes["k"] * sizes["h"] * sizes["w"]
+    return float(sizes["n"] * (kernel_loads + broadcasts) + accumulator_traffic)
+
+
+def simulate_execution(
+    spec: ConvSpec,
+    config: MultiLevelConfig,
+    machine: MachineSpec,
+    options: Optional[SimulationOptions] = None,
+) -> SimulatedCounters:
+    """Replay a multi-level tiled execution and measure per-level data movement.
+
+    Returns hardware-counter-like measurements: cache-line misses per cache
+    level (including final writebacks of dirty output lines when
+    ``include_writebacks`` is set) and modeled register transfers.
+    """
+    options = options or SimulationOptions()
+    total = count_tiles(spec, config)
+    if total > options.max_tiles:
+        raise SimulationTooLargeError(
+            f"simulation would visit {total} tiles (cap {options.max_tiles}); "
+            "scale the operator down (see repro.workloads.scaled_benchmarks) or "
+            "raise SimulationOptions.max_tiles"
+        )
+
+    line_elements = options.line_elements or machine.caches[0].line_elements(
+        machine.dtype_bytes
+    )
+    vec_len = machine.isa.vector_lanes(machine.dtype_bytes)
+    layout = TensorLayout(spec, line_elements=line_elements, vec_len=vec_len)
+    hierarchy = (
+        ideal_hierarchy(machine, line_elements=line_elements)
+        if options.ideal_caches
+        else realistic_hierarchy(machine, line_elements=line_elements)
+    )
+
+    register_transfers = 0.0
+    for origin, sizes in enumerate_tiles(spec, config):
+        lines = layout.tile_lines(origin, sizes)
+        hierarchy.access_many(lines["In"], write=False)
+        hierarchy.access_many(lines["Ker"], write=False)
+        hierarchy.access_many(lines["Out"], write=True)
+        register_transfers += _register_traffic(sizes, vec_len)
+
+    if options.include_writebacks:
+        hierarchy.flush()
+    stats = hierarchy.stats()
+    return SimulatedCounters(
+        level_miss_lines=dict(stats.misses),
+        register_transfers=register_transfers,
+        line_elements=line_elements,
+        writeback_lines=dict(stats.writebacks) if options.include_writebacks else {},
+    )
+
+
+def simulate_single_level(
+    spec: ConvSpec,
+    config: TilingConfig,
+    machine: MachineSpec,
+    *,
+    level: str = "L1",
+    options: Optional[SimulationOptions] = None,
+) -> SimulatedCounters:
+    """Convenience wrapper to simulate a single-level tiling configuration."""
+    return simulate_execution(spec, single_level(config, level), machine, options)

@@ -1,0 +1,242 @@
+"""Memory-layout modeling and cache-line trace generation for the simulator.
+
+The hierarchy simulator replays the tiled execution of the convolution at
+the granularity of cache lines.  To do that it needs the linearized memory
+layout of each tensor:
+
+* ``Out`` and ``In`` are stored in NCHW order (the paper's evaluation
+  setup), with ``w`` fastest varying,
+* ``Ker`` is stored in the packed layout produced by
+  :mod:`repro.core.packing`, ``[K / VecLen, C, R, S, VecLen]`` — the layout
+  the generated code actually streams.
+
+Given a hyper-rectangular tile (origin + sizes in the seven loop indices)
+the functions here enumerate the distinct cache-line identifiers the tile
+touches in each tensor.  Line identifiers are integers that are unique
+across tensors (each tensor occupies its own address-space segment), so
+they can be fed directly to the cache models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.tensor_spec import ConvSpec, LOOP_INDICES
+
+
+@dataclass(frozen=True)
+class TensorLayout:
+    """Linearized layout of the three convolution tensors for one problem.
+
+    ``line_elements`` is the cache-line size in tensor elements.  Each
+    tensor is assigned a disjoint base line offset so line identifiers never
+    collide across tensors.
+    """
+
+    spec: ConvSpec
+    line_elements: int
+    vec_len: int
+
+    def __post_init__(self) -> None:
+        if self.line_elements <= 0:
+            raise ValueError(f"line_elements must be positive, got {self.line_elements}")
+        if self.vec_len <= 0:
+            raise ValueError(f"vec_len must be positive, got {self.vec_len}")
+
+    # -- shapes -----------------------------------------------------------
+    @property
+    def out_shape(self) -> Tuple[int, int, int, int]:
+        """NCHW shape of the output tensor."""
+        s = self.spec
+        return (s.batch, s.out_channels, s.out_height, s.out_width)
+
+    @property
+    def in_shape(self) -> Tuple[int, int, int, int]:
+        """NCHW shape of the (padded) input tensor."""
+        s = self.spec
+        return (
+            s.batch,
+            s.in_channels,
+            s.in_height + 2 * s.padding,
+            s.in_width + 2 * s.padding,
+        )
+
+    @property
+    def ker_chunks(self) -> int:
+        """Number of VecLen-wide output-channel chunks of the packed kernel."""
+        return math.ceil(self.spec.out_channels / self.vec_len)
+
+    @property
+    def ker_shape(self) -> Tuple[int, int, int, int, int]:
+        """Packed kernel shape ``[K/VecLen, C, R, S, VecLen]``."""
+        s = self.spec
+        return (self.ker_chunks, s.in_channels, s.kernel_h, s.kernel_w, self.vec_len)
+
+    def _elements(self, shape: Sequence[int]) -> int:
+        count = 1
+        for extent in shape:
+            count *= extent
+        return count
+
+    # -- line-id segments --------------------------------------------------
+    def _lines(self, shape: Sequence[int]) -> int:
+        return math.ceil(self._elements(shape) / self.line_elements)
+
+    @property
+    def out_base_line(self) -> int:
+        """First line identifier of the output tensor segment."""
+        return 0
+
+    @property
+    def in_base_line(self) -> int:
+        """First line identifier of the input tensor segment."""
+        return self._lines(self.out_shape)
+
+    @property
+    def ker_base_line(self) -> int:
+        """First line identifier of the packed-kernel segment."""
+        return self.in_base_line + self._lines(self.in_shape)
+
+    @property
+    def total_lines(self) -> int:
+        """Total number of distinct lines across the three tensors."""
+        return self.ker_base_line + self._lines(self.ker_shape)
+
+    # -- tile -> line ids ---------------------------------------------------
+    def out_tile_lines(self, origin: Mapping[str, int], tiles: Mapping[str, int]) -> np.ndarray:
+        """Line identifiers of the output slice touched by one tile."""
+        n_dim, k_dim, h_dim, w_dim = self.out_shape
+        n0, k0, h0, w0 = origin["n"], origin["k"], origin["h"], origin["w"]
+        tn = min(tiles["n"], n_dim - n0)
+        tk = min(tiles["k"], k_dim - k0)
+        th = min(tiles["h"], h_dim - h0)
+        tw = min(tiles["w"], w_dim - w0)
+        if min(tn, tk, th, tw) <= 0:
+            return np.empty(0, dtype=np.int64)
+        n_idx = (np.arange(n0, n0 + tn) * k_dim)[:, None, None]
+        k_idx = np.arange(k0, k0 + tk)[None, :, None]
+        h_idx = np.arange(h0, h0 + th)[None, None, :]
+        row_base = ((n_idx + k_idx) * h_dim + h_idx) * w_dim
+        first = (row_base + w0) // self.line_elements
+        last = (row_base + w0 + tw - 1) // self.line_elements
+        return self.out_base_line + _expand_line_ranges(first.ravel(), last.ravel())
+
+    def in_tile_lines(self, origin: Mapping[str, int], tiles: Mapping[str, int]) -> np.ndarray:
+        """Line identifiers of the input slice touched by one tile.
+
+        The slice covers the input rows ``h*stride + r*dilation`` and columns
+        ``w*stride + s*dilation`` reachable from the tile's ``h``/``w``/``r``/``s``
+        ranges, clamped to the padded input extents.
+        """
+        spec = self.spec
+        n_dim, c_dim, ih_dim, iw_dim = self.in_shape
+        n0, c0 = origin["n"], origin["c"]
+        tn = min(tiles["n"], n_dim - n0)
+        tc = min(tiles["c"], c_dim - c0)
+        h_start = origin["h"] * spec.stride + origin["r"] * spec.dilation
+        h_end = (
+            (origin["h"] + tiles["h"] - 1) * spec.stride
+            + (origin["r"] + tiles["r"] - 1) * spec.dilation
+        )
+        w_start = origin["w"] * spec.stride + origin["s"] * spec.dilation
+        w_end = (
+            (origin["w"] + tiles["w"] - 1) * spec.stride
+            + (origin["s"] + tiles["s"] - 1) * spec.dilation
+        )
+        h_start, h_end = max(0, h_start), min(ih_dim - 1, h_end)
+        w_start, w_end = max(0, w_start), min(iw_dim - 1, w_end)
+        if min(tn, tc) <= 0 or h_end < h_start or w_end < w_start:
+            return np.empty(0, dtype=np.int64)
+        n_idx = (np.arange(n0, n0 + tn) * c_dim)[:, None, None]
+        c_idx = np.arange(c0, c0 + tc)[None, :, None]
+        h_idx = np.arange(h_start, h_end + 1)[None, None, :]
+        row_base = ((n_idx + c_idx) * ih_dim + h_idx) * iw_dim
+        first = (row_base + w_start) // self.line_elements
+        last = (row_base + w_end) // self.line_elements
+        return self.in_base_line + _expand_line_ranges(first.ravel(), last.ravel())
+
+    def ker_tile_lines(self, origin: Mapping[str, int], tiles: Mapping[str, int]) -> np.ndarray:
+        """Line identifiers of the packed-kernel slice touched by one tile."""
+        chunks, c_dim, r_dim, s_dim, vec = self.ker_shape
+        k0, c0, r0, s0 = origin["k"], origin["c"], origin["r"], origin["s"]
+        tk = min(tiles["k"], self.spec.out_channels - k0)
+        tc = min(tiles["c"], c_dim - c0)
+        tr = min(tiles["r"], r_dim - r0)
+        ts = min(tiles["s"], s_dim - s0)
+        if min(tk, tc, tr, ts) <= 0:
+            return np.empty(0, dtype=np.int64)
+        chunk_start = k0 // vec
+        chunk_end = (k0 + tk - 1) // vec
+        chunk_idx = (np.arange(chunk_start, chunk_end + 1) * c_dim)[:, None, None]
+        c_idx = np.arange(c0, c0 + tc)[None, :, None]
+        r_idx = np.arange(r0, r0 + tr)[None, None, :]
+        row_base = ((chunk_idx + c_idx) * r_dim + r_idx) * s_dim
+        # Within one (chunk, c, r) row, the s-range spans ts*vec contiguous elements.
+        first = (row_base + s0) * vec // self.line_elements
+        last = ((row_base + s0 + ts) * vec - 1) // self.line_elements
+        return self.ker_base_line + _expand_line_ranges(first.ravel(), last.ravel())
+
+    def tile_lines(
+        self, origin: Mapping[str, int], tiles: Mapping[str, int]
+    ) -> Dict[str, np.ndarray]:
+        """Line identifiers per tensor for one tile."""
+        return {
+            "Out": self.out_tile_lines(origin, tiles),
+            "In": self.in_tile_lines(origin, tiles),
+            "Ker": self.ker_tile_lines(origin, tiles),
+        }
+
+
+def _expand_line_ranges(first: np.ndarray, last: np.ndarray) -> np.ndarray:
+    """Expand per-row [first, last] line ranges into a flat unique array."""
+    if first.size == 0:
+        return np.empty(0, dtype=np.int64)
+    widths = (last - first + 1).astype(np.int64)
+    max_width = int(widths.max())
+    if max_width == 1:
+        return np.unique(first.astype(np.int64))
+    offsets = np.arange(max_width, dtype=np.int64)[None, :]
+    grid = first.astype(np.int64)[:, None] + offsets
+    mask = offsets < widths[:, None]
+    return np.unique(grid[mask])
+
+
+def element_trace(
+    spec: ConvSpec, loop_order: Sequence[str] | None = None
+) -> Iterator[Tuple[str, int, bool]]:
+    """Element-granularity access trace of the *untiled* loop nest.
+
+    Yields ``(tensor, element_index, is_write)`` triples in the order the
+    seven-deep loop nest of Listing 2 touches them.  Only practical for tiny
+    problems; used by tests to validate the cache simulators and the
+    slice-level simulator against first principles.
+    """
+    order = tuple(loop_order) if loop_order is not None else LOOP_INDICES
+    extents = spec.loop_extents
+    layout = TensorLayout(spec, line_elements=1, vec_len=1)
+    n_dim, k_dim, h_dim, w_dim = layout.out_shape
+    _, c_dim, ih_dim, iw_dim = layout.in_shape
+
+    def recurse(depth: int, point: Dict[str, int]) -> Iterator[Tuple[str, int, bool]]:
+        if depth == len(order):
+            n, k, c = point["n"], point["k"], point["c"]
+            r, s, h, w = point["r"], point["s"], point["h"], point["w"]
+            ih = h * spec.stride + r * spec.dilation
+            iw = w * spec.stride + s * spec.dilation
+            out_idx = ((n * k_dim + k) * h_dim + h) * w_dim + w
+            in_idx = ((n * c_dim + c) * ih_dim + ih) * iw_dim + iw
+            ker_idx = ((k * c_dim + c) * spec.kernel_h + r) * spec.kernel_w + s
+            yield ("In", in_idx, False)
+            yield ("Ker", ker_idx, False)
+            yield ("Out", out_idx, True)
+            return
+        index = order[depth]
+        for value in range(extents[index]):
+            point[index] = value
+            yield from recurse(depth + 1, point)
+
+    yield from recurse(0, {})

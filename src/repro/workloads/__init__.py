@@ -1,0 +1,21 @@
+"""Benchmark workloads (Table 1 operators) and tile-configuration sampling."""
+
+from .benchmarks import (
+    all_benchmarks,
+    benchmark_by_name,
+    figure6_operators,
+    network_benchmarks,
+    network_names,
+    scaled_benchmarks,
+    table1_rows,
+)
+
+__all__ = [
+    "all_benchmarks",
+    "benchmark_by_name",
+    "figure6_operators",
+    "network_benchmarks",
+    "network_names",
+    "scaled_benchmarks",
+    "table1_rows",
+]

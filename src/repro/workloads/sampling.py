@@ -1,0 +1,151 @@
+"""Sampling of tiling configurations (the ~100-point grids of Section 9).
+
+For the model-validation experiments the paper samples, for each conv2d
+operator, about 100 configurations "uniformly distributed in the full space
+of tile-size combinations", generates code for each, and compares the
+model's ranking with measured performance and hardware counters.
+
+This module reproduces that sampler.  Configurations are drawn as follows:
+
+* the tile-loop permutation is drawn uniformly from the eight pruned class
+  representatives (plus, optionally, arbitrary random permutations so the
+  sample also contains configurations *outside* the pruned set),
+* per level (L1 ⊆ L2 ⊆ L3), each loop index gets a tile size drawn from the
+  divisors of its extent, constrained to nest properly,
+* no capacity filtering is applied — deliberately: the sample must contain
+  both good and bad configurations for the ranking comparison to be
+  meaningful.
+
+Sampling is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import MultiLevelConfig, TilingConfig
+from ..core.pruning import pruned_representatives
+from ..core.tensor_spec import ConvSpec, LOOP_INDICES, divisor_tiles
+
+
+@dataclass(frozen=True)
+class SamplerOptions:
+    """Knobs of the configuration sampler.
+
+    ``levels`` lists the cache levels (innermost first) to draw tiles for;
+    ``max_divisors`` bounds the per-index divisor menu (keeps huge prime-ish
+    extents manageable); ``include_random_permutations`` adds permutations
+    outside the pruned set with the given probability.
+    """
+
+    levels: Tuple[str, ...] = ("L1", "L2", "L3")
+    max_divisors: int = 12
+    include_random_permutations: float = 0.25
+    seed: int = 0
+
+
+def _divisor_menu(spec: ConvSpec, max_divisors: int) -> Dict[str, Tuple[int, ...]]:
+    return {
+        index: divisor_tiles(spec.loop_extents[index], max_values=max_divisors)
+        for index in LOOP_INDICES
+    }
+
+
+def _draw_permutation(rng: np.random.Generator, options: SamplerOptions) -> Tuple[str, ...]:
+    representatives = pruned_representatives()
+    if rng.random() < options.include_random_permutations:
+        perm = list(LOOP_INDICES)
+        rng.shuffle(perm)
+        return tuple(perm)
+    return representatives[int(rng.integers(len(representatives)))]
+
+
+def _draw_nested_tiles(
+    rng: np.random.Generator,
+    menu: Dict[str, Tuple[int, ...]],
+    num_levels: int,
+) -> List[Dict[str, int]]:
+    """Draw nested tile sizes, innermost level first."""
+    per_level: List[Dict[str, int]] = []
+    minimums = {index: 1 for index in LOOP_INDICES}
+    for _ in range(num_levels):
+        tiles: Dict[str, int] = {}
+        for index in LOOP_INDICES:
+            choices = [d for d in menu[index] if d >= minimums[index]]
+            if not choices:
+                choices = [minimums[index]]
+            tiles[index] = int(choices[int(rng.integers(len(choices)))])
+        per_level.append(tiles)
+        minimums = dict(tiles)
+    return per_level
+
+
+def sample_configurations(
+    spec: ConvSpec,
+    *,
+    count: int = 100,
+    options: Optional[SamplerOptions] = None,
+) -> List[MultiLevelConfig]:
+    """Draw ``count`` multi-level tiling configurations for one operator.
+
+    Duplicate configurations (possible for small operators with few
+    divisors) are removed, so the returned list may be slightly shorter than
+    ``count`` — matching the paper's "around 100 configurations".
+    """
+    options = options or SamplerOptions()
+    rng = np.random.default_rng(options.seed)
+    menu = _divisor_menu(spec, options.max_divisors)
+    seen = set()
+    configs: List[MultiLevelConfig] = []
+    attempts = 0
+    max_attempts = count * 20
+    while len(configs) < count and attempts < max_attempts:
+        attempts += 1
+        permutation = _draw_permutation(rng, options)
+        tiles_per_level = _draw_nested_tiles(rng, menu, len(options.levels))
+        level_configs = tuple(
+            TilingConfig(permutation, tiles) for tiles in tiles_per_level
+        )
+        config = MultiLevelConfig(options.levels, level_configs)
+        key = tuple(cfg.key() for cfg in config.configs)
+        if key in seen:
+            continue
+        seen.add(key)
+        configs.append(config)
+    return configs
+
+
+def grid_configurations(
+    spec: ConvSpec,
+    permutation: Sequence[str],
+    *,
+    level: str = "L1",
+    per_index: int = 3,
+) -> List[MultiLevelConfig]:
+    """Small deterministic grid of single-level configurations.
+
+    Used by tests and the grid-search baseline: for each loop index,
+    ``per_index`` divisors spread over the extent are combined (capped to a
+    manageable cross product by sweeping one index at a time around a
+    median configuration).
+    """
+    menu = _divisor_menu(spec, per_index)
+    median = {index: menu[index][len(menu[index]) // 2] for index in LOOP_INDICES}
+    configs: List[MultiLevelConfig] = []
+    seen = set()
+    for index in LOOP_INDICES:
+        for value in menu[index]:
+            tiles = dict(median)
+            tiles[index] = value
+            key = tuple(tiles[i] for i in LOOP_INDICES)
+            if key in seen:
+                continue
+            seen.add(key)
+            configs.append(
+                MultiLevelConfig((level,), (TilingConfig(permutation, tiles),))
+            )
+    return configs

@@ -1,0 +1,136 @@
+"""Tests for ranking metrics, statistics and reporting (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ranking import order_by_prediction, rank_correlation, top_k_loss
+from repro.analysis.reporting import (
+    format_bar_chart,
+    format_speedup_summary,
+    format_table,
+    indent,
+)
+from repro.analysis.stats import (
+    geometric_mean,
+    geometric_mean_speedup,
+    speedups,
+    summarize_runs,
+)
+
+
+class TestTopKLoss:
+    def test_perfect_model_has_zero_loss(self):
+        predicted = [5.0, 4.0, 3.0, 2.0, 1.0]
+        measured = [50.0, 40.0, 30.0, 20.0, 10.0]
+        losses = top_k_loss(predicted, measured)
+        assert losses[1].loss == pytest.approx(0.0)
+        assert losses[5].loss == pytest.approx(0.0)
+
+    def test_misranked_top1(self):
+        predicted = [5.0, 4.0, 3.0]
+        measured = [80.0, 100.0, 60.0]  # true best is the model's #2 pick
+        losses = top_k_loss(predicted, measured, ks=(1, 2))
+        assert losses[1].loss == pytest.approx(0.2)
+        assert losses[2].loss == pytest.approx(0.0)
+
+    def test_topk_monotone_in_k(self):
+        rng = np.random.default_rng(0)
+        predicted = rng.random(30)
+        measured = rng.random(30) * 100
+        losses = top_k_loss(predicted, measured, ks=(1, 2, 5, 10))
+        values = [losses[k].loss for k in (1, 2, 5, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            top_k_loss([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            top_k_loss([], [])
+
+
+class TestRankCorrelation:
+    def test_perfect_correlation(self):
+        corr = rank_correlation([1, 2, 3, 4], [10, 20, 30, 40])
+        assert corr.spearman == pytest.approx(1.0)
+        assert corr.kendall == pytest.approx(1.0)
+        assert corr.pearson == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        corr = rank_correlation([1, 2, 3, 4], [40, 30, 20, 10])
+        assert corr.spearman == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        corr = rank_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+        assert corr.spearman == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_correlation([1.0], [1.0])
+        with pytest.raises(ValueError):
+            rank_correlation([1.0, 2.0], [1.0])
+
+    def test_order_by_prediction(self):
+        ordered = order_by_prediction([1.0, 3.0, 2.0], [10.0, 30.0, 20.0])
+        assert ordered == [30.0, 20.0, 10.0]
+
+
+class TestStats:
+    def test_summarize_runs_interval_contains_mean(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(100.0, 2.0, size=50)
+        summary = summarize_runs(samples)
+        assert summary.ci_low < summary.mean < summary.ci_high
+        assert summary.runs == 50
+        assert summary.ci_half_width < 2.0
+
+    def test_summarize_single_run(self):
+        summary = summarize_runs([42.0])
+        assert summary.mean == summary.ci_low == summary.ci_high == 42.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_speedups_and_geomean(self):
+        ours = {"a": 20.0, "b": 30.0}
+        theirs = {"a": 10.0, "b": 30.0, "c": 5.0}
+        ratio = speedups(ours, theirs)
+        assert ratio == {"a": 2.0, "b": 1.0}
+        assert geometric_mean_speedup(ours, theirs) == pytest.approx(np.sqrt(2.0))
+
+    def test_speedups_validation(self):
+        with pytest.raises(ValueError):
+            speedups({"a": 1.0}, {"b": 2.0})
+        with pytest.raises(ValueError):
+            speedups({"a": 1.0}, {"a": 0.0})
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["row1", 1.5], ["longer-row", 22.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "22.125" in text
+
+    def test_format_bar_chart(self):
+        chart = format_bar_chart({"A": 2.0, "B": 1.0}, width=10)
+        assert "A" in chart and "#" in chart
+        assert format_bar_chart({}) == "(no data)"
+
+    def test_format_bar_chart_with_reference(self):
+        chart = format_bar_chart({"A": 2.0}, reference=1.0, unit="x")
+        assert "2.00x" in chart
+
+    def test_speedup_summary_and_indent(self):
+        summary = format_speedup_summary("geomean", {"resnet18": 1.4})
+        assert "resnet18: 1.40x" in summary
+        assert indent("a\nb", "> ") == "> a\n> b"

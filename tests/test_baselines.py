@@ -1,0 +1,198 @@
+"""Tests for the comparator systems (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.autotvm_like import (
+    TEMPLATE_PERMUTATION,
+    ConvTemplate,
+    XGBLikeTuner,
+    run_autotvm_like,
+)
+from repro.baselines.exhaustive import sample_permutations, verify_pruning
+from repro.baselines.ml_model import (
+    DecisionTreeRegressor,
+    GradientBoostedTrees,
+    featurize_config,
+)
+from repro.baselines.onednn_like import (
+    choose_schedule,
+    layout_transform_seconds,
+    run_onednn_like,
+    schedule_library,
+)
+from repro.baselines.random_search import grid_search, random_search
+from repro.core.solver import SolverOptions
+from repro.core.tensor_spec import LOOP_INDICES
+from repro.workloads.benchmarks import benchmark_by_name
+
+
+class TestMLModel:
+    def _dataset(self, n=120, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-2, 2, size=(n, 4))
+        y = 2.0 * x[:, 0] - 1.5 * np.abs(x[:, 1]) + 0.5 * x[:, 2] * x[:, 3]
+        return x, y
+
+    def test_tree_fits_piecewise_structure(self):
+        x, y = self._dataset()
+        tree = DecisionTreeRegressor(max_depth=5, min_samples_leaf=2)
+        tree.fit(x, y)
+        predictions = tree.predict(x)
+        residual = np.mean((predictions - y) ** 2)
+        assert residual < np.var(y) * 0.5
+
+    def test_tree_constant_target(self):
+        x = np.zeros((10, 3))
+        y = np.full(10, 7.0)
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert np.allclose(tree.predict(x), 7.0)
+
+    def test_tree_validation_errors(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((2, 2)))
+
+    def test_boosting_improves_over_single_tree(self):
+        x, y = self._dataset(200)
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        gbt = GradientBoostedTrees(n_estimators=60, max_depth=3, seed=1).fit(x, y)
+        tree_mse = np.mean((tree.predict(x) - y) ** 2)
+        gbt_mse = np.mean((gbt.predict(x) - y) ** 2)
+        assert gbt_mse < tree_mse
+
+    def test_boosting_generalizes(self):
+        x, y = self._dataset(300, seed=2)
+        x_test, y_test = self._dataset(100, seed=3)
+        gbt = GradientBoostedTrees(n_estimators=80, max_depth=3, seed=0).fit(x, y)
+        mse = np.mean((gbt.predict(x_test) - y_test) ** 2)
+        assert mse < np.var(y_test)
+
+    def test_boosting_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=0.0)
+
+    def test_is_fitted_flag(self):
+        gbt = GradientBoostedTrees(n_estimators=2)
+        assert not gbt.is_fitted
+        x, y = self._dataset(30)
+        gbt.fit(x, y)
+        assert gbt.is_fitted
+
+    def test_featurize_config(self, small_spec, sample_multilevel):
+        features = featurize_config(small_spec, sample_multilevel)
+        assert features.ndim == 1
+        assert np.all(np.isfinite(features))
+        # single-level config also works
+        single = featurize_config(small_spec, sample_multilevel.configs[0])
+        assert np.all(np.isfinite(single))
+
+
+class TestOneDnnLike:
+    def test_schedule_library_has_three_entries(self, i7_machine, small_spec):
+        assert len(schedule_library(small_spec, i7_machine)) == 3
+
+    def test_pointwise_layers_get_1x1_schedule(self, i7_machine):
+        spec = benchmark_by_name("Y5")
+        assert choose_schedule(spec, i7_machine).name == "direct-1x1"
+
+    def test_channel_heavy_layers_get_deep_schedule(self, i7_machine):
+        spec = benchmark_by_name("M9")
+        assert choose_schedule(spec, i7_machine).name == "direct-deep"
+
+    def test_generic_layers_get_wide_schedule(self, i7_machine):
+        spec = benchmark_by_name("Y0")
+        assert choose_schedule(spec, i7_machine).name == "direct-wide"
+
+    def test_schedules_are_valid_configs(self, i7_machine):
+        for name in ("Y0", "R9", "M2", "Y23"):
+            spec = benchmark_by_name(name)
+            for schedule in schedule_library(spec, i7_machine):
+                schedule.config.validate(spec, integral=True)
+
+    def test_run_produces_positive_gflops(self, i7_machine, small_spec):
+        result = run_onednn_like(small_spec, i7_machine, threads=4)
+        assert 0 < result.gflops < i7_machine.peak_gflops(4)
+        assert result.layout_transform_seconds > 0
+
+    def test_layout_transform_cost_scales_with_tensors(self, i7_machine):
+        big = benchmark_by_name("Y0")
+        small = benchmark_by_name("R12")
+        assert layout_transform_seconds(big, i7_machine, 8) > layout_transform_seconds(
+            small, i7_machine, 8
+        )
+
+
+class TestAutoTvmLike:
+    def test_template_space(self, small_spec):
+        template = ConvTemplate(small_spec)
+        assert template.space_size() == np.prod(
+            [len(v) for v in template.knob_choices().values()]
+        )
+        knobs = template.enumerate_knobs()
+        assert len(knobs) == template.space_size()
+
+    def test_template_instantiation_valid(self, small_spec):
+        template = ConvTemplate(small_spec)
+        config = template.instantiate(template.enumerate_knobs()[0])
+        config.validate(small_spec, integral=True)
+        assert config.configs[0].permutation == TEMPLATE_PERMUTATION
+
+    def test_tuning_improves_over_first_batch(self, i7_machine, small_spec):
+        tuner = XGBLikeTuner(small_spec, i7_machine, threads=4, batch_size=8, seed=0)
+        result = tuner.tune(n_trials=40)
+        first_batch_best = max(r.gflops for r in result.trials[:8])
+        assert result.best_gflops >= first_batch_best
+
+    def test_tuning_result_structure(self, i7_machine, small_spec):
+        result = run_autotvm_like(small_spec, i7_machine, threads=4, n_trials=24, seed=1)
+        assert result.num_trials <= 24
+        assert result.best_gflops > 0
+        assert result.search_seconds > 0
+        assert result.space_size > 24
+
+    def test_trials_do_not_exceed_space(self, i7_machine, tiny_spec):
+        result = run_autotvm_like(tiny_spec, i7_machine, threads=1, n_trials=10_000)
+        assert result.num_trials <= ConvTemplate(tiny_spec).space_size()
+
+
+class TestSimpleSearches:
+    def test_random_search(self, i7_machine, small_spec):
+        result = random_search(small_spec, i7_machine, threads=4, trials=20, seed=0)
+        assert result.evaluated == 20
+        assert result.best_gflops == max(result.all_gflops)
+
+    def test_grid_search(self, i7_machine, small_spec):
+        result = grid_search(
+            small_spec, i7_machine, ("n", "k", "c", "r", "s", "h", "w"), threads=4
+        )
+        assert result.evaluated > 5
+        assert result.best_gflops > 0
+
+
+class TestExhaustiveVerification:
+    def test_sample_permutations_distinct(self):
+        perms = sample_permutations(50, seed=1)
+        assert len(perms) == 50
+        assert len(set(perms)) == 50
+
+    def test_pruning_verified_on_sampled_permutations(self, small_spec):
+        verification = verify_pruning(
+            small_spec,
+            capacity_elements=2048.0,
+            sample_size=25,
+            seed=0,
+            options=SolverOptions(multistarts=0, maxiter=40),
+        )
+        assert verification.permutations_checked >= 25
+        assert verification.pruning_is_sound, (
+            verification.pruned_best,
+            verification.exhaustive_best,
+        )

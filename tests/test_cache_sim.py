@@ -1,0 +1,189 @@
+"""Tests for the cache simulators and hierarchy (repro.sim.cache, repro.sim.hierarchy)."""
+
+import pytest
+
+from repro.sim.cache import LRUCache, SetAssociativeCache
+from repro.sim.hierarchy import CacheHierarchy, ideal_hierarchy, realistic_hierarchy
+
+
+class TestLRUCache:
+    def test_cold_misses(self):
+        cache = LRUCache(4)
+        assert not cache.access(1)
+        assert not cache.access(2)
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 0
+
+    def test_hit_on_reuse(self):
+        cache = LRUCache(4)
+        cache.access(1)
+        assert cache.access(1)
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)        # 2 is now LRU
+        cache.access(3)        # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_capacity_never_exceeded(self):
+        cache = LRUCache(3)
+        for key in range(10):
+            cache.access(key)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+
+    def test_dirty_writeback_on_eviction(self):
+        cache = LRUCache(1)
+        cache.access("a", write=True)
+        cache.access("b")  # evicts dirty a
+        assert cache.stats.writebacks == 1
+
+    def test_flush_counts_dirty_lines(self):
+        cache = LRUCache(4)
+        cache.access("a", write=True)
+        cache.access("b")
+        dirty = cache.flush()
+        assert dirty == 1
+        assert len(cache) == 0
+
+    def test_access_many_collect(self):
+        cache = LRUCache(8)
+        missed = cache.access_many_collect([1, 2, 3, 1, 2])
+        assert missed == [1, 2, 3]
+        assert cache.stats.hits == 2
+
+    def test_access_many_returns_miss_count(self):
+        cache = LRUCache(8)
+        assert cache.access_many([5, 6, 5]) == 2
+
+    def test_miss_ratio(self):
+        cache = LRUCache(8)
+        cache.access_many([1, 2, 1, 2])
+        assert cache.stats.miss_ratio == pytest.approx(0.5)
+
+    def test_reset(self):
+        cache = LRUCache(2)
+        cache.access(1)
+        cache.reset()
+        assert len(cache) == 0 and cache.stats.accesses == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_resident_keys_order(self):
+        cache = LRUCache(3)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)
+        assert cache.resident_keys() == [2, 1]
+
+
+class TestSetAssociativeCache:
+    def test_conflict_misses_with_power_of_two_stride(self):
+        """Addresses mapping to the same set thrash a low-associativity cache."""
+        direct = SetAssociativeCache(capacity_lines=16, associativity=1)
+        # 16 sets; lines 0, 16, 32 all map to set 0 -> every access misses.
+        for _ in range(3):
+            for line in (0, 16, 32):
+                direct.access(line)
+        assert direct.stats.hits == 0
+        # A fully-associative cache of the same size has no such problem.
+        full = LRUCache(16)
+        for _ in range(3):
+            for line in (0, 16, 32):
+                full.access(line)
+        assert full.stats.hits == 6
+
+    def test_high_associativity_behaves_like_lru(self):
+        cache = SetAssociativeCache(capacity_lines=8, associativity=8)
+        for line in range(8):
+            cache.access(line)
+        assert all(cache.access(line) for line in range(8))
+
+    def test_associativity_clamped_to_capacity(self):
+        cache = SetAssociativeCache(capacity_lines=2, associativity=16)
+        assert cache.associativity == 2
+
+    def test_writeback_on_dirty_eviction(self):
+        cache = SetAssociativeCache(capacity_lines=1, associativity=1)
+        cache.access(0, write=True)
+        cache.access(1)
+        assert cache.stats.writebacks == 1
+
+    def test_access_many_collect(self):
+        cache = SetAssociativeCache(capacity_lines=8, associativity=2)
+        missed = cache.access_many_collect([1, 2, 1])
+        assert missed == [1, 2]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 2)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(8, 0)
+
+    def test_reset(self):
+        cache = SetAssociativeCache(8, 2)
+        cache.access(3)
+        cache.reset()
+        assert cache.stats.accesses == 0
+
+
+class TestHierarchy:
+    def test_miss_propagates_outward(self):
+        hierarchy = CacheHierarchy([("L1", LRUCache(2)), ("L2", LRUCache(8))])
+        hierarchy.access(1)
+        assert hierarchy.caches["L1"].stats.misses == 1
+        assert hierarchy.caches["L2"].stats.misses == 1
+
+    def test_hit_in_l1_does_not_touch_l2(self):
+        hierarchy = CacheHierarchy([("L1", LRUCache(4)), ("L2", LRUCache(8))])
+        hierarchy.access(1)
+        hierarchy.access(1)
+        assert hierarchy.caches["L2"].stats.accesses == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = CacheHierarchy([("L1", LRUCache(1)), ("L2", LRUCache(16))])
+        hierarchy.access(1)
+        hierarchy.access(2)  # evicts 1 from L1, still in L2
+        assert hierarchy.access(1) == "L2"
+
+    def test_access_many_matches_scalar_access(self):
+        lines = [1, 2, 3, 1, 2, 4, 5, 1]
+        scalar = CacheHierarchy([("L1", LRUCache(2)), ("L2", LRUCache(4))])
+        for line in lines:
+            scalar.access(line)
+        batched = CacheHierarchy([("L1", LRUCache(2)), ("L2", LRUCache(4))])
+        batched.access_many(lines)
+        assert scalar.stats().misses == batched.stats().misses
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_stats_and_reset(self):
+        hierarchy = CacheHierarchy([("L1", LRUCache(2))])
+        hierarchy.access_many([1, 2, 3])
+        stats = hierarchy.stats()
+        assert stats.misses["L1"] == 3
+        assert stats.miss_ratio("L1") == 1.0
+        hierarchy.reset()
+        assert hierarchy.stats().accesses["L1"] == 0
+
+    def test_ideal_hierarchy_from_machine(self, tiny_machine):
+        hierarchy = ideal_hierarchy(tiny_machine)
+        assert hierarchy.level_names == ("L1", "L2", "L3")
+        assert isinstance(hierarchy.caches["L1"], LRUCache)
+
+    def test_realistic_hierarchy_from_machine(self, tiny_machine):
+        hierarchy = realistic_hierarchy(tiny_machine)
+        assert isinstance(hierarchy.caches["L1"], SetAssociativeCache)
+
+    def test_flush_writes_back_dirty_lines(self, tiny_machine):
+        hierarchy = ideal_hierarchy(tiny_machine)
+        hierarchy.access(1, write=True)
+        hierarchy.flush()
+        assert hierarchy.stats().writebacks["L1"] >= 1

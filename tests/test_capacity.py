@@ -1,0 +1,73 @@
+"""Tests for tile-footprint capacity checks (repro.core.capacity)."""
+
+import pytest
+
+from repro.core.capacity import (
+    CapacityCheck,
+    check_config,
+    check_level,
+    fits_all_levels,
+    level_capacities,
+    max_feasible_uniform_tile,
+    utilization_report,
+)
+from repro.core.config import MultiLevelConfig, TilingConfig
+from repro.core.cost_model import combined_footprint
+from repro.core.tensor_spec import LOOP_INDICES
+
+
+class TestCapacityCheck:
+    def test_fits_and_utilization(self):
+        check = CapacityCheck("L1", footprint_elements=500.0, capacity_elements=1000.0)
+        assert check.fits
+        assert check.utilization == pytest.approx(0.5)
+
+    def test_overflow_detected(self):
+        check = CapacityCheck("L1", footprint_elements=2000.0, capacity_elements=1000.0)
+        assert not check.fits
+
+    def test_check_level(self, small_spec, sample_tiles):
+        check = check_level(small_spec, sample_tiles, "L1", 1e6)
+        assert check.footprint_elements == pytest.approx(combined_footprint(sample_tiles))
+
+
+class TestLevelCapacities:
+    def test_includes_register_file(self, tiny_machine):
+        caps = level_capacities(tiny_machine, ("Reg", "L1", "L2"))
+        assert caps["Reg"] == tiny_machine.register_capacity_elements
+        assert caps["L1"] == tiny_machine.cache("L1").capacity_elements()
+
+    def test_monotone_capacities(self, i7_machine):
+        caps = level_capacities(i7_machine, ("Reg", "L1", "L2", "L3"))
+        assert caps["Reg"] < caps["L1"] < caps["L2"] < caps["L3"]
+
+
+class TestConfigChecks:
+    def test_check_config_and_fits(self, small_spec, sample_multilevel, i7_machine):
+        checks = check_config(small_spec, sample_multilevel, i7_machine)
+        assert set(checks) == {"L1", "L2"}
+        assert fits_all_levels(small_spec, sample_multilevel, i7_machine)
+
+    def test_oversized_tile_fails(self, small_spec, tiny_machine):
+        huge = TilingConfig(
+            ("n", "k", "c", "r", "s", "h", "w"),
+            {i: float(small_spec.loop_extents[i]) for i in LOOP_INDICES},
+        )
+        config = MultiLevelConfig(("L1",), (huge,))
+        assert not fits_all_levels(small_spec, config, tiny_machine)
+
+    def test_utilization_report(self, small_spec, sample_multilevel, i7_machine):
+        report = utilization_report(small_spec, sample_multilevel, i7_machine)
+        assert all(0 < value for value in report.values())
+
+
+class TestUniformStartingTile:
+    def test_half_capacity_target(self, small_spec):
+        capacity = 2000.0
+        tiles = max_feasible_uniform_tile(small_spec, capacity)
+        footprint = combined_footprint(tiles)
+        assert footprint <= capacity * 0.55  # targets ~half the capacity
+
+    def test_all_indices_present(self, small_spec):
+        tiles = max_feasible_uniform_tile(small_spec, 500.0)
+        assert set(tiles) == set(LOOP_INDICES)

@@ -1,0 +1,140 @@
+"""Unit tests for tiling configurations (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import LEVEL_NAMES, MultiLevelConfig, TilingConfig, single_level, uniform_config
+from repro.core.tensor_spec import LOOP_INDICES, InvalidSpecError
+
+
+class TestTilingConfig:
+    def test_permutation_normalized(self, sample_tiles):
+        config = TilingConfig(["w", "h", "s", "r", "c", "k", "n"], sample_tiles)
+        assert config.permutation == ("w", "h", "s", "r", "c", "k", "n")
+        assert config.innermost == "n"
+
+    def test_rejects_bad_permutation(self, sample_tiles):
+        with pytest.raises(InvalidSpecError):
+            TilingConfig(("n", "k", "c", "r", "s", "h", "h"), sample_tiles)
+        with pytest.raises(InvalidSpecError):
+            TilingConfig(("n", "k", "c", "r", "s", "h"), sample_tiles)
+
+    def test_position_counts_from_innermost(self, sample_tiles):
+        config = TilingConfig(("k", "c", "r", "s", "n", "h", "w"), sample_tiles)
+        assert config.position("w") == 1
+        assert config.position("h") == 2
+        assert config.position("k") == 7
+
+    def test_position_unknown_index(self, sample_config):
+        with pytest.raises(InvalidSpecError):
+            sample_config.position("q")
+
+    def test_indices_at_or_above(self, sample_tiles):
+        config = TilingConfig(("k", "c", "r", "s", "n", "h", "w"), sample_tiles)
+        assert set(config.indices_at_or_above(6)) == {"k", "c"}
+        assert set(config.indices_above(6)) == {"k"}
+        assert set(config.indices_at_or_above(1)) == set(LOOP_INDICES)
+
+    def test_tile_lookup_and_rounding(self, sample_tiles):
+        tiles = dict(sample_tiles, h=6.7)
+        config = TilingConfig(("k", "c", "r", "s", "n", "h", "w"), tiles)
+        assert config.tile("h") == pytest.approx(6.7)
+        assert config.rounded().tiles["h"] == 6
+
+    def test_rounded_never_below_one(self, sample_tiles):
+        tiles = dict(sample_tiles, c=0.3)
+        config = TilingConfig(("k", "c", "r", "s", "n", "h", "w"), tiles)
+        assert config.rounded().tiles["c"] == 1
+
+    def test_with_tiles(self, sample_config, sample_tiles):
+        new = sample_config.with_tiles(dict(sample_tiles, k=4))
+        assert new.tiles["k"] == 4
+        assert sample_config.tiles["k"] == 8  # original untouched
+
+    def test_validate_against_spec(self, small_spec, sample_config):
+        sample_config.validate(small_spec)
+        bad = sample_config.with_tiles(dict(sample_config.tiles, w=99))
+        with pytest.raises(InvalidSpecError):
+            bad.validate(small_spec)
+
+    def test_clamped(self, small_spec, sample_config):
+        oversized = sample_config.with_tiles({i: 1e6 for i in LOOP_INDICES})
+        clamped = oversized.clamped(small_spec)
+        for index in LOOP_INDICES:
+            assert clamped.tiles[index] == small_spec.loop_extents[index]
+
+    def test_footprint_positive(self, small_spec, sample_config):
+        assert sample_config.footprint(small_spec) > 0
+
+    def test_key_is_hashable_identity(self, sample_config):
+        key = sample_config.key()
+        assert hash(key)
+        assert key == sample_config.key()
+
+    def test_describe_contains_tiles(self, sample_config):
+        text = sample_config.describe()
+        assert "Tk=8" in text
+
+
+class TestMultiLevelConfig:
+    def test_level_names_constant(self):
+        assert LEVEL_NAMES == ("Reg", "L1", "L2", "L3")
+
+    def test_nesting_validation(self, small_spec, sample_multilevel):
+        sample_multilevel.validate(small_spec)
+
+    def test_nesting_violation_detected(self, small_spec, sample_config):
+        inner = sample_config
+        outer = sample_config.with_tiles(dict(sample_config.tiles, k=4))  # smaller than inner k=8
+        config = MultiLevelConfig(("L1", "L2"), (inner, outer))
+        with pytest.raises(InvalidSpecError):
+            config.validate(small_spec)
+
+    def test_requires_matching_lengths(self, sample_config):
+        with pytest.raises(InvalidSpecError):
+            MultiLevelConfig(("L1", "L2"), (sample_config,))
+
+    def test_rejects_duplicate_levels(self, sample_config):
+        with pytest.raises(InvalidSpecError):
+            MultiLevelConfig(("L1", "L1"), (sample_config, sample_config))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidSpecError):
+            MultiLevelConfig((), ())
+
+    def test_level_lookup(self, sample_multilevel, sample_config):
+        assert sample_multilevel.level_index("L1") == 0
+        assert sample_multilevel.config("L1").tiles == sample_config.tiles
+        with pytest.raises(InvalidSpecError):
+            sample_multilevel.config("L9")
+
+    def test_outer_tiles_of_outermost_is_problem(self, small_spec, sample_multilevel):
+        outer = sample_multilevel.outer_tiles("L2", small_spec)
+        assert outer == {i: float(e) for i, e in small_spec.loop_extents.items()}
+
+    def test_outer_tiles_of_inner_level(self, small_spec, sample_multilevel):
+        outer = sample_multilevel.outer_tiles("L1", small_spec)
+        assert outer == sample_multilevel.tiles("L2")
+
+    def test_rounded_preserves_nesting(self, small_spec, sample_config):
+        inner = sample_config.with_tiles({i: v + 0.6 for i, v in sample_config.tiles.items()})
+        outer = sample_config.with_tiles({i: v + 0.2 for i, v in sample_config.tiles.items()})
+        config = MultiLevelConfig(("L1", "L2"), (inner, outer))
+        rounded = config.rounded()
+        for index in LOOP_INDICES:
+            assert rounded.tiles("L1")[index] <= rounded.tiles("L2")[index]
+
+    def test_describe_lists_levels(self, sample_multilevel):
+        text = sample_multilevel.describe()
+        assert "L1" in text and "L2" in text
+
+    def test_single_level_wrapper(self, sample_config):
+        wrapped = single_level(sample_config, "L2")
+        assert wrapped.levels == ("L2",)
+        assert wrapped.config("L2") is sample_config
+
+    def test_uniform_config_clamps(self, small_spec):
+        config = uniform_config(
+            small_spec, ("n", "k", "c", "r", "s", "h", "w"), {i: 1e9 for i in LOOP_INDICES}
+        )
+        for index in LOOP_INDICES:
+            assert config.tiles[index] == small_spec.loop_extents[index]

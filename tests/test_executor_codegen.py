@@ -1,0 +1,190 @@
+"""Tests for the NumPy executor and the code generator (repro.sim.executor, repro.codegen)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    build_tiled_nest,
+    compile_python,
+    emit_c,
+    emit_python,
+    emitted_loop_count,
+    loop_structure_summary,
+    validate_config,
+)
+from repro.codegen.ir import Loop, LoopNest, Statement, TensorDecl
+from repro.core.config import MultiLevelConfig, TilingConfig, single_level
+from repro.core.parallel import ParallelPlan
+from repro.core.tensor_spec import LOOP_INDICES, ConvSpec
+from repro.sim.executor import (
+    max_abs_error,
+    packed_conv2d,
+    random_tensors,
+    reference_conv2d,
+    tiled_conv2d,
+)
+
+PERM = ("n", "k", "c", "r", "s", "h", "w")
+
+
+class TestReferenceExecutor:
+    def test_reference_matches_naive_loops(self):
+        spec = ConvSpec("nano", 1, 3, 2, 5, 5, 3, 3, padding=1)
+        inp, ker = random_tensors(spec, seed=7)
+        reference = reference_conv2d(spec, inp, ker)
+        naive = np.zeros_like(reference)
+        padded = np.pad(inp, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        for n in range(spec.batch):
+            for k in range(spec.out_channels):
+                for c in range(spec.in_channels):
+                    for r in range(3):
+                        for s in range(3):
+                            for h in range(spec.out_height):
+                                for w in range(spec.out_width):
+                                    naive[n, k, h, w] += (
+                                        padded[n, c, h + r, w + s] * ker[k, c, r, s]
+                                    )
+        assert max_abs_error(reference, naive) < 1e-4
+
+    def test_reference_strided(self, strided_spec):
+        inp, ker = random_tensors(strided_spec)
+        out = reference_conv2d(strided_spec, inp, ker)
+        assert out.shape == (1, 16, 8, 8)
+
+    def test_packed_matches_reference(self, tiny_spec):
+        inp, ker = random_tensors(tiny_spec)
+        reference = reference_conv2d(tiny_spec, inp, ker)
+        packed = packed_conv2d(tiny_spec, inp, ker, vec_len=8)
+        assert max_abs_error(reference, packed) < 1e-4
+
+    def test_packed_with_non_multiple_channels(self):
+        spec = ConvSpec("odd", 1, 13, 4, 6, 6, 3, 3, padding=1)
+        inp, ker = random_tensors(spec)
+        assert max_abs_error(
+            reference_conv2d(spec, inp, ker), packed_conv2d(spec, inp, ker, vec_len=8)
+        ) < 1e-4
+
+    def test_random_tensors_deterministic(self, tiny_spec):
+        a = random_tensors(tiny_spec, seed=5)
+        b = random_tensors(tiny_spec, seed=5)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+class TestTiledExecution:
+    @pytest.mark.parametrize(
+        "tiles",
+        [
+            {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3},
+            {"n": 1, "k": 8, "c": 4, "r": 1, "s": 1, "h": 6, "w": 2},
+            {"n": 1, "k": 3, "c": 3, "r": 2, "s": 2, "h": 4, "w": 5},  # ragged tiles
+        ],
+    )
+    def test_tiled_matches_reference(self, tiny_spec, tiles):
+        inp, ker = random_tensors(tiny_spec)
+        reference = reference_conv2d(tiny_spec, inp, ker)
+        tiled = tiled_conv2d(tiny_spec, TilingConfig(PERM, tiles), inp, ker)
+        assert max_abs_error(reference, tiled) < 1e-4
+
+    def test_tiled_multilevel_matches_reference(self, tiny_spec):
+        inner = TilingConfig(PERM, {"n": 1, "k": 2, "c": 2, "r": 3, "s": 3, "h": 2, "w": 3})
+        outer = TilingConfig(PERM, {"n": 1, "k": 4, "c": 4, "r": 3, "s": 3, "h": 6, "w": 6})
+        config = MultiLevelConfig(("L1", "L2"), (inner, outer))
+        inp, ker = random_tensors(tiny_spec)
+        assert max_abs_error(
+            reference_conv2d(tiny_spec, inp, ker), tiled_conv2d(tiny_spec, config, inp, ker)
+        ) < 1e-4
+
+    def test_tiled_strided_matches_reference(self, strided_spec):
+        config = TilingConfig(PERM, {"n": 1, "k": 8, "c": 4, "r": 3, "s": 3, "h": 4, "w": 4})
+        inp, ker = random_tensors(strided_spec)
+        assert max_abs_error(
+            reference_conv2d(strided_spec, inp, ker),
+            tiled_conv2d(strided_spec, config, inp, ker),
+        ) < 1e-4
+
+    def test_permutation_does_not_change_result(self, tiny_spec):
+        inp, ker = random_tensors(tiny_spec)
+        tiles = {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3}
+        out_a = tiled_conv2d(tiny_spec, TilingConfig(PERM, tiles), inp, ker)
+        out_b = tiled_conv2d(
+            tiny_spec, TilingConfig(("k", "c", "r", "s", "n", "h", "w"), tiles), inp, ker
+        )
+        assert max_abs_error(out_a, out_b) < 1e-6
+
+
+class TestIR:
+    def test_loop_nest_counts(self, tiny_spec, sample_multilevel, small_spec):
+        nest = build_tiled_nest(small_spec, sample_multilevel)
+        assert nest.num_loops == 14  # two levels x seven loops
+        assert nest.max_depth == 14
+        assert len(nest.iterators()) == 14
+
+    def test_parallel_band_marked(self, small_spec):
+        inner = TilingConfig(PERM, {"n": 1, "k": 8, "c": 4, "r": 3, "s": 3, "h": 7, "w": 7})
+        outer = TilingConfig(PERM, {"n": 1, "k": 32, "c": 16, "r": 3, "s": 3, "h": 14, "w": 14})
+        config = MultiLevelConfig(("L1", "L2"), (inner, outer))
+        plan = ParallelPlan({"k": 2, "h": 2})
+        nest = build_tiled_nest(small_spec, config, parallel_plan=plan)
+        parallel_loops = [n for n in nest.walk() if isinstance(n, Loop) and n.parallel]
+        # The loops stepping over L2 tiles form the parallel band (Section 7).
+        assert {loop.iterator for loop in parallel_loops} == {"k_l2", "h_l2"}
+
+    def test_ir_walk_and_depth(self):
+        inner = Loop("i", "0", "4", "1", body=[Statement("x += 1")])
+        outer = Loop("j", "0", "4", "1", body=[inner])
+        nest = LoopNest("f", [TensorDecl("A", (4,))], [outer])
+        assert nest.num_loops == 2
+        assert outer.depth == 2
+
+    def test_loop_structure_summary(self, small_spec, sample_multilevel):
+        text = loop_structure_summary(build_tiled_nest(small_spec, sample_multilevel))
+        assert "for n_l2" in text and "for w_l1" in text
+
+
+class TestEmitters:
+    def test_c_emission_structure(self, small_spec, sample_multilevel):
+        nest = build_tiled_nest(small_spec, sample_multilevel)
+        source = emit_c(nest)
+        assert emitted_loop_count(source) == 14
+        assert "void conv2d_small" in source
+        assert "cnn_microkernel" in source
+        assert "#pragma omp" not in source  # no parallel plan given
+
+    def test_c_emission_with_parallel_pragma(self, small_spec, sample_multilevel):
+        plan = ParallelPlan({"k": 2})
+        nest = build_tiled_nest(small_spec, sample_multilevel, parallel_plan=plan)
+        assert "#pragma omp parallel for" in emit_c(nest)
+
+    def test_python_emission_is_valid_source(self, tiny_spec):
+        config = single_level(
+            TilingConfig(PERM, {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3})
+        )
+        nest = build_tiled_nest(tiny_spec, config)
+        source = emit_python(nest, tiny_spec, config)
+        compile(source, "<test>", "exec")  # must parse
+        assert "def conv2d_tiny" in source
+
+    def test_compiled_python_matches_reference(self, tiny_spec):
+        config = TilingConfig(PERM, {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3})
+        report = validate_config(tiny_spec, config)
+        assert report.passed, report
+
+    def test_compiled_python_multilevel_and_ragged(self, tiny_spec):
+        inner = TilingConfig(PERM, {"n": 1, "k": 3, "c": 2, "r": 2, "s": 3, "h": 4, "w": 5})
+        outer = TilingConfig(PERM, {"n": 1, "k": 5, "c": 4, "r": 3, "s": 3, "h": 6, "w": 6})
+        report = validate_config(tiny_spec, MultiLevelConfig(("L1", "L2"), (inner, outer)))
+        assert report.passed, report
+
+    def test_compiled_python_strided(self, strided_spec):
+        config = TilingConfig(PERM, {"n": 1, "k": 8, "c": 4, "r": 3, "s": 3, "h": 4, "w": 4})
+        report = validate_config(strided_spec, config)
+        assert report.passed, report
+
+    def test_assert_valid_raises_on_failure(self, tiny_spec, monkeypatch):
+        from repro.codegen import validate as validate_module
+
+        config = TilingConfig(PERM, {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3})
+        report = validate_module.validate_config(tiny_spec, config, tolerance=-1.0)
+        assert not report.passed
+        with pytest.raises(AssertionError):
+            validate_module.assert_valid(tiny_spec, config, tolerance=-1.0)

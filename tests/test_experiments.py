@@ -1,0 +1,131 @@
+"""Tests for the experiment drivers (repro.experiments).
+
+Experiments are exercised with deliberately tiny settings (few samples,
+few tuner trials, reduced optimizer effort) — the goal here is to verify
+the plumbing and the qualitative claims, not to regenerate the full
+figures (the benchmarks directory does that).
+"""
+
+import pytest
+
+from repro.core.optimizer import OptimizerSettings
+from repro.core.solver import SolverOptions
+from repro.experiments import (
+    ComparisonSettings,
+    ValidationSettings,
+    compare_operator,
+    run_pruning_check,
+    run_search_time,
+    run_table1,
+    run_table2,
+    validate_operator,
+)
+from repro.machine.presets import coffee_lake_i7_9700k, tiny_test_machine
+
+QUICK_OPT = OptimizerSettings(
+    levels=("L1", "L2", "L3"),
+    fix_register_tile=False,
+    parallel=True,
+    threads=4,
+    solver=SolverOptions(multistarts=0, maxiter=40, fallback_samples=50),
+    permutation_class_names=("inner-w", "inner-s"),
+)
+
+
+class TestTables:
+    def test_table1_counts_match_paper(self):
+        result = run_table1()
+        assert result.counts == {"yolo9000": 11, "resnet18": 12, "mobilenet": 9}
+        assert result.total_operators == 32
+        assert "Y23" in result.text and "R12" in result.text
+
+    def test_table2_characterization(self):
+        result = run_table2()
+        systems = {s.system: s for s in result.systems}
+        mopt = next(s for name, s in systems.items() if "MOpt" in name)
+        tvm = next(s for name, s in systems.items() if "TVM" in name)
+        onednn = next(s for name, s in systems.items() if "oneDNN" in name)
+        assert tvm.auto_tuning and not mopt.auto_tuning and not onednn.auto_tuning
+        # MOpt covers the full permutation space; the others explore far less.
+        assert mopt.explored_configurations == 5040
+        assert onednn.explored_configurations <= 5
+        assert "5040" in result.text or "comprehensive" in result.text
+
+
+class TestModelValidation:
+    @pytest.fixture(scope="class")
+    def quick_validation(self):
+        settings = ValidationSettings(
+            samples_per_operator=10,
+            max_macs=4.0e5,
+            max_sim_tiles=4_000,
+            seed=1,
+        )
+        return validate_operator("R12", settings)
+
+    def test_topk_losses_are_fractions(self, quick_validation):
+        assert set(quick_validation.topk_loss) == {1, 2, 5}
+        for loss in quick_validation.topk_loss.values():
+            assert 0.0 <= loss <= 1.0
+
+    def test_topk_loss_monotone(self, quick_validation):
+        losses = quick_validation.topk_loss
+        assert losses[1] >= losses[2] >= losses[5]
+
+    def test_model_ranking_positively_correlates(self, quick_validation):
+        assert quick_validation.performance_correlation.spearman > 0.2
+
+    def test_counters_collected_for_all_levels(self, quick_validation):
+        assert set(quick_validation.measured_counters) == {"Reg", "L1", "L2", "L3"}
+        assert all(
+            len(v) == quick_validation.num_configs
+            for v in quick_validation.measured_counters.values()
+        )
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def quick_comparison(self):
+        settings = ComparisonSettings(
+            threads=4, tvm_trials=24, runs=10, seed=0, optimizer_settings=QUICK_OPT
+        )
+        return compare_operator("R12", coffee_lake_i7_9700k(), settings)
+
+    def test_all_systems_reported(self, quick_comparison):
+        assert set(quick_comparison.gflops) == {"MOpt-1", "MOpt-5", "oneDNN", "TVM"}
+        assert all(v > 0 for v in quick_comparison.gflops.values())
+
+    def test_mopt5_at_least_mopt1(self, quick_comparison):
+        assert quick_comparison.gflops["MOpt-5"] >= quick_comparison.gflops["MOpt-1"] * 0.999
+
+    def test_relative_to_tvm_normalization(self, quick_comparison):
+        assert quick_comparison.relative_to_tvm["TVM"] == pytest.approx(1.0)
+
+    def test_confidence_intervals_bracket_means(self, quick_comparison):
+        for system, summary in quick_comparison.summaries.items():
+            assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_search_times_recorded(self, quick_comparison):
+        assert quick_comparison.mopt_search_seconds > 0
+        assert quick_comparison.tvm_search_seconds > 0
+
+
+class TestSearchTimeAndPruning:
+    def test_search_time_shape(self):
+        result = run_search_time(
+            operators=("R12",),
+            machine=coffee_lake_i7_9700k(),
+            threads=4,
+            tuner_trials=16,
+        )
+        record = result.records["R12"]
+        assert record.mopt_seconds > 0
+        assert record.tuner_seconds_extrapolated_1000 > record.tuner_seconds_measured
+        assert "MOpt search" in result.text
+
+    def test_pruning_check_sound(self):
+        result = run_pruning_check(
+            operators=("R12",), machine=coffee_lake_i7_9700k(), sample_size=20
+        )
+        assert result.all_sound
+        assert "R12" in result.text

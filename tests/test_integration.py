@@ -1,0 +1,103 @@
+"""End-to-end integration tests: optimize → generate code → verify → simulate.
+
+These tests tie the whole pipeline together the way the examples and the
+paper's workflow (Figure 1) do: the optimizer picks a configuration, the
+code generator emits it and the generated code is checked for numerical
+correctness, the slice-level simulator measures its data movement, and the
+performance model turns that into GFLOPS — all of which must be mutually
+consistent.
+"""
+
+import pytest
+
+from repro.codegen import emit_c, build_tiled_nest, validate_config
+from repro.core.config import MultiLevelConfig
+from repro.core.cost_model import combined_footprint
+from repro.core.optimizer import MOptOptimizer, OptimizerSettings
+from repro.core.solver import SolverOptions
+from repro.core.tensor_spec import ConvSpec, LOOP_INDICES
+from repro.sim import (
+    SimulationOptions,
+    estimate_performance,
+    simulate_execution,
+)
+
+QUICK = OptimizerSettings(
+    levels=("L1", "L2"),
+    fix_register_tile=False,
+    solver=SolverOptions(multistarts=0, maxiter=40, fallback_samples=60),
+    permutation_class_names=("inner-w", "inner-s", "inner-wk"),
+    top_k=3,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_spec():
+    return ConvSpec("pipeline", 1, 16, 8, 10, 10, 3, 3, padding=1)
+
+
+@pytest.fixture(scope="module")
+def optimized(pipeline_spec, tiny_machine=None):
+    from repro.machine.presets import tiny_test_machine
+
+    machine = tiny_test_machine()
+    result = MOptOptimizer(machine, QUICK).optimize(pipeline_spec)
+    return machine, result
+
+
+class TestEndToEnd:
+    def test_optimizer_output_feeds_codegen(self, pipeline_spec, optimized):
+        _, result = optimized
+        nest = build_tiled_nest(pipeline_spec, result.best.config)
+        source = emit_c(nest)
+        assert "for (size_t" in source
+
+    def test_generated_code_is_numerically_correct(self, pipeline_spec, optimized):
+        _, result = optimized
+        for candidate in result.candidates:
+            report = validate_config(pipeline_spec, candidate.config)
+            assert report.passed, (candidate.class_name, report.max_error)
+
+    def test_model_and_simulator_agree_on_ranking(self, pipeline_spec, optimized):
+        """The configuration the model prefers should not move dramatically
+        more memory traffic than the one it ranks last."""
+        machine, result = optimized
+        options = SimulationOptions(ideal_caches=True, line_elements=1)
+        best = result.candidates[0]
+        worst = result.candidates[-1]
+        best_counters = simulate_execution(pipeline_spec, best.config, machine, options)
+        worst_counters = simulate_execution(pipeline_spec, worst.config, machine, options)
+        assert (
+            best_counters.level_volume_elements("L3")
+            <= worst_counters.level_volume_elements("L3") * 1.5
+        )
+
+    def test_measured_performance_is_physical(self, pipeline_spec, optimized):
+        machine, result = optimized
+        options = SimulationOptions(ideal_caches=False)
+        counters = simulate_execution(pipeline_spec, result.best.config, machine, options)
+        estimate = estimate_performance(
+            pipeline_spec, result.best.config, machine, counters=counters
+        )
+        assert 0 < estimate.gflops <= machine.peak_gflops(1)
+
+    def test_best_candidate_fits_caches(self, pipeline_spec, optimized):
+        machine, result = optimized
+        for level in result.best.config.levels:
+            tiles = result.best.config.tiles(level)
+            assert combined_footprint(tiles) <= machine.capacity_elements(level) * 1.01
+
+    def test_workflow_on_table1_operator(self):
+        """Small Table 1 operator through the whole pipeline on the i7 machine."""
+        from repro.machine.presets import coffee_lake_i7_9700k
+        from repro.workloads.benchmarks import benchmark_by_name, uniformly_scaled
+
+        machine = coffee_lake_i7_9700k()
+        spec = uniformly_scaled(benchmark_by_name("R12"), max_macs=3e5)
+        result = MOptOptimizer(machine, QUICK).optimize(spec)
+        report = validate_config(spec, result.best.config)
+        assert report.passed
+        counters = simulate_execution(
+            spec, result.best.config, machine, SimulationOptions(max_tiles=50_000)
+        )
+        assert counters.level_miss_lines["L3"] > 0

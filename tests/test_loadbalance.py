@@ -1,0 +1,99 @@
+"""Tests for integerization and load balancing (repro.core.loadbalance)."""
+
+import pytest
+
+from repro.core.config import MultiLevelConfig, TilingConfig
+from repro.core.loadbalance import (
+    balance_parallel_chunks,
+    chunk_counts,
+    floor_tiles,
+    imbalance,
+    integerize_config,
+    nearest_divisor,
+    round_to_divisors,
+)
+from repro.core.tensor_spec import LOOP_INDICES
+
+
+class TestFloorAndDivisors:
+    def test_floor_tiles(self):
+        tiles = {"n": 1.9, "k": 8.2, "c": 4.999, "r": 3.0, "s": 0.4, "h": 7.5, "w": 7.0}
+        floored = floor_tiles(tiles)
+        assert floored == {"n": 1, "k": 8, "c": 4, "r": 3, "s": 1, "h": 7, "w": 7}
+
+    def test_nearest_divisor(self):
+        assert nearest_divisor(12, 5.0) in (4, 6)
+        assert nearest_divisor(12, 12.7) == 12
+        assert nearest_divisor(13, 6.0) == 1
+
+    def test_round_to_divisors_bounds(self, small_spec):
+        tiles = {"n": 0.5, "k": 11.0, "c": 9.0, "r": 2.2, "s": 3.0, "h": 5.0, "w": 13.0}
+        rounded = round_to_divisors(small_spec, tiles)
+        for index in LOOP_INDICES:
+            assert small_spec.loop_extents[index] % rounded[index] == 0
+            assert rounded[index] >= 1
+
+    def test_round_to_divisors_does_not_explode(self, small_spec):
+        # A value just above 1 must not snap to a much larger divisor.
+        tiles = {i: 1.2 for i in LOOP_INDICES}
+        rounded = round_to_divisors(small_spec, tiles)
+        for index in LOOP_INDICES:
+            assert rounded[index] <= 2
+
+
+class TestIntegerize:
+    def test_preserves_nesting(self, small_spec):
+        inner = TilingConfig(("n", "k", "c", "r", "s", "h", "w"),
+                             {"n": 1, "k": 7.7, "c": 3.2, "r": 3, "s": 3, "h": 6.5, "w": 6.5})
+        outer = TilingConfig(inner.permutation,
+                             {"n": 1, "k": 9.0, "c": 5.0, "r": 3, "s": 3, "h": 9.0, "w": 9.0})
+        config = MultiLevelConfig(("L1", "L2"), (inner, outer))
+        result = integerize_config(small_spec, config)
+        result.validate(small_spec, integral=True)
+        for index in LOOP_INDICES:
+            assert result.tiles("L1")[index] <= result.tiles("L2")[index]
+
+    def test_without_divisor_snapping(self, small_spec, sample_multilevel):
+        result = integerize_config(small_spec, sample_multilevel, snap_to_divisors=False)
+        result.validate(small_spec, integral=True)
+
+    def test_never_exceeds_extents(self, small_spec, sample_multilevel):
+        result = integerize_config(small_spec, sample_multilevel)
+        for level in result.levels:
+            for index in LOOP_INDICES:
+                assert result.tiles(level)[index] <= small_spec.loop_extents[index]
+
+
+class TestImbalance:
+    def test_perfect_split_has_zero_imbalance(self):
+        assert imbalance(8, 4) == pytest.approx(0.0)
+        assert imbalance(4, 4) == pytest.approx(0.0)
+
+    def test_uneven_split(self):
+        # 5 chunks over 4 cores: 2 rounds, 8 slots, 5 used -> 3/8 idle.
+        assert imbalance(5, 4) == pytest.approx(3 / 8)
+
+    def test_single_worker(self):
+        assert imbalance(7, 1) == 0.0
+
+    def test_chunk_counts(self, small_spec):
+        outer = {i: float(small_spec.loop_extents[i]) for i in LOOP_INDICES}
+        inner = {i: 3.0 for i in LOOP_INDICES}
+        counts = chunk_counts(small_spec, outer, inner)
+        assert counts["h"] == 5  # ceil(14 / 3)
+
+    def test_balance_parallel_chunks_improves(self, small_spec):
+        outer = {i: float(small_spec.loop_extents[i]) for i in LOOP_INDICES}
+        inner = {"n": 1, "k": 6, "c": 4, "r": 3, "s": 3, "h": 5, "w": 7}
+        factors = {"k": 4, "h": 2}
+        balanced = balance_parallel_chunks(small_spec, outer, inner, factors)
+        for index, ways in factors.items():
+            before = imbalance(-(-int(outer[index]) // inner[index]), ways)
+            after = imbalance(-(-int(outer[index]) // balanced[index]), ways)
+            assert after <= before + 1e-9
+
+    def test_balance_ignores_unit_factors(self, small_spec):
+        outer = {i: float(small_spec.loop_extents[i]) for i in LOOP_INDICES}
+        inner = {i: 3 for i in LOOP_INDICES}
+        balanced = balance_parallel_chunks(small_spec, outer, inner, {"k": 1})
+        assert balanced["k"] == 3

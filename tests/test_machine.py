@@ -1,0 +1,147 @@
+"""Tests for machine descriptions and bandwidth modeling (repro.machine)."""
+
+import pytest
+
+from repro.machine.bandwidth import effective_bandwidths_for_model, measure_bandwidths
+from repro.machine.presets import (
+    available_machines,
+    cascade_lake_i9_10980xe,
+    coffee_lake_i7_9700k,
+    get_machine,
+    tiny_test_machine,
+)
+from repro.machine.spec import CacheLevel, MachineSpec, MachineSpecError, VectorISA
+
+
+class TestCacheLevel:
+    def test_capacity_conversion(self):
+        level = CacheLevel("L1", 32 * 1024)
+        assert level.capacity_elements(4) == 8192
+        assert level.line_elements(4) == 16
+
+    def test_validation(self):
+        with pytest.raises(MachineSpecError):
+            CacheLevel("L1", 0)
+        with pytest.raises(MachineSpecError):
+            CacheLevel("L1", 1024, line_bytes=0)
+        with pytest.raises(MachineSpecError):
+            CacheLevel("L1", 1024, bandwidth_gbps=-1)
+
+
+class TestVectorISA:
+    def test_avx2_lanes_and_throughput(self):
+        isa = VectorISA("avx2", vector_bytes=32, fma_units=2, fma_latency_cycles=5)
+        assert isa.vector_lanes(4) == 8
+        assert isa.fma_per_cycle(4) == 16
+        assert isa.required_independent_fmas() == 10
+
+    def test_avx512_lanes(self):
+        isa = VectorISA("avx512", vector_bytes=64)
+        assert isa.vector_lanes(4) == 16
+
+
+class TestMachineSpec:
+    def test_paper_platform_i7(self, i7_machine):
+        assert i7_machine.cores == 8
+        assert i7_machine.cache("L1").capacity_bytes == 32 * 1024
+        assert i7_machine.cache("L2").capacity_bytes == 256 * 1024
+        assert i7_machine.cache("L3").capacity_bytes == 12 * 1024 * 1024
+        assert i7_machine.cache("L3").shared
+
+    def test_paper_platform_i9(self):
+        machine = cascade_lake_i9_10980xe()
+        assert machine.cores == 18
+        assert machine.cache("L2").capacity_bytes == 1024 * 1024
+        assert machine.isa.vector_lanes(4) == 16
+
+    def test_peak_gflops_i7(self, i7_machine):
+        # 2 FMA units x 8 lanes x 2 flops x 3.6 GHz x 8 cores
+        assert i7_machine.peak_gflops() == pytest.approx(2 * 16 * 3.6 * 8, rel=1e-6)
+        assert i7_machine.peak_gflops(1) == pytest.approx(2 * 16 * 3.6, rel=1e-6)
+
+    def test_register_capacity(self, i7_machine):
+        assert i7_machine.register_capacity_elements == 16 * 8
+
+    def test_capacity_elements_lookup(self, i7_machine):
+        assert i7_machine.capacity_elements("Reg") == 128
+        assert i7_machine.capacity_elements("L1") == 8192
+
+    def test_level_bandwidth_ordering(self, i7_machine):
+        assert i7_machine.level_bandwidth_gbps("Reg") > i7_machine.level_bandwidth_gbps("L1")
+        assert i7_machine.level_bandwidth_gbps("L2") > i7_machine.level_bandwidth_gbps("L3")
+
+    def test_parallel_dram_bandwidth(self, i7_machine):
+        assert i7_machine.level_bandwidth_gbps("L3", parallel=True) > i7_machine.level_bandwidth_gbps(
+            "L3", parallel=False
+        )
+
+    def test_unknown_level_rejected(self, i7_machine):
+        with pytest.raises(MachineSpecError):
+            i7_machine.level_bandwidth_gbps("L7")
+        with pytest.raises(MachineSpecError):
+            i7_machine.cache("L7")
+
+    def test_tiling_levels(self, i7_machine):
+        assert i7_machine.tiling_levels() == ("Reg", "L1", "L2", "L3")
+        assert i7_machine.tiling_levels(include_register=False) == ("L1", "L2", "L3")
+
+    def test_with_cores(self, i7_machine):
+        assert i7_machine.with_cores(4).cores == 4
+
+    def test_describe(self, i7_machine):
+        text = i7_machine.describe()
+        assert "i7-9700K" in text and "L3" in text
+
+    def test_invalid_machine(self):
+        with pytest.raises(MachineSpecError):
+            MachineSpec("bad", 0, 3.0, (CacheLevel("L1", 1024),))
+        with pytest.raises(MachineSpecError):
+            MachineSpec("bad", 4, 3.0, ())
+
+
+class TestPresets:
+    def test_available_machines(self):
+        assert set(available_machines()) == {"i7-9700k", "i9-10980xe", "tiny"}
+
+    def test_get_machine_case_insensitive(self):
+        assert get_machine("I7-9700K").name == "i7-9700K"
+
+    def test_get_machine_unknown(self):
+        with pytest.raises(KeyError):
+            get_machine("epyc")
+
+    def test_tiny_machine_is_small(self):
+        tiny = tiny_test_machine()
+        assert tiny.cache("L1").capacity_bytes < 16 * 1024
+
+
+class TestBandwidthModel:
+    def test_single_thread_matches_machine(self, i7_machine):
+        report = measure_bandwidths(i7_machine, 1)
+        assert report.per_core["DRAM"] == pytest.approx(i7_machine.dram_bandwidth_gbps)
+        assert report.per_core["Reg"] == pytest.approx(i7_machine.level_bandwidth_gbps("Reg"))
+
+    def test_parallel_dram_saturates(self, i7_machine):
+        report = measure_bandwidths(i7_machine, i7_machine.cores)
+        assert report.aggregate["DRAM"] <= i7_machine.parallel_dram_bandwidth_gbps + 1e-9
+        assert report.aggregate["DRAM"] > i7_machine.dram_bandwidth_gbps
+
+    def test_per_core_l3_bandwidth_drops_with_threads(self, i7_machine):
+        one = measure_bandwidths(i7_machine, 1)
+        many = measure_bandwidths(i7_machine, 8)
+        assert many.per_core["L2"] < one.per_core["L2"]
+
+    def test_effective_bandwidths_keys(self, i7_machine):
+        bandwidths = effective_bandwidths_for_model(i7_machine, 8)
+        assert set(bandwidths) == {"Reg", "L1", "L2", "L3"}
+        assert all(v > 0 for v in bandwidths.values())
+
+    def test_invalid_threads(self, i7_machine):
+        with pytest.raises(ValueError):
+            measure_bandwidths(i7_machine, 0)
+
+    def test_elements_per_second_conversion(self, i7_machine):
+        report = measure_bandwidths(i7_machine, 2)
+        assert report.per_core_elements_per_second("Reg") == pytest.approx(
+            report.per_core["Reg"] * 1e9 / 4
+        )

@@ -1,0 +1,78 @@
+"""Tests for the microkernel design (repro.core.microkernel, Section 6)."""
+
+import pytest
+
+from repro.core.microkernel import (
+    compute_time_seconds,
+    design_microkernel,
+    microkernel_flop_rate,
+    register_tile_sizes,
+)
+from repro.core.tensor_spec import LOOP_INDICES
+from repro.machine.presets import cascade_lake_i9_10980xe, coffee_lake_i7_9700k
+
+
+class TestDesign:
+    def test_avx2_design_matches_paper(self, i7_machine):
+        """AVX2: 2 kernel vectors x 8 lanes = 16 output channels, 6 pixels, 12 accumulators."""
+        design = design_microkernel(i7_machine)
+        assert design.vector_lanes == 8
+        assert design.kernel_vectors == 2
+        assert design.k_tile == 16
+        assert design.spatial_points == 6
+        assert design.accumulator_registers == 12
+        assert design.required_fmas_in_flight == 10
+
+    def test_register_budget_respected(self, i7_machine):
+        design = design_microkernel(i7_machine)
+        used = design.accumulator_registers + design.kernel_vectors + 1
+        assert used <= i7_machine.isa.num_vector_registers
+
+    def test_avx512_design_uses_wider_vectors(self):
+        design = design_microkernel(cascade_lake_i9_10980xe())
+        assert design.vector_lanes == 16
+        assert design.k_tile == 32
+
+    def test_clamped_to_small_problem(self, i7_machine, tiny_spec):
+        design = design_microkernel(i7_machine, tiny_spec)
+        assert design.register_tiles["k"] <= tiny_spec.out_channels
+        assert design.register_tiles["w"] <= tiny_spec.out_width
+
+    def test_pointwise_spec_keeps_unit_rs(self, i7_machine, pointwise_spec):
+        design = design_microkernel(i7_machine, pointwise_spec)
+        assert design.register_tiles["r"] == 1
+        assert design.register_tiles["s"] == 1
+
+    def test_efficiency_in_unit_range(self, i7_machine):
+        design = design_microkernel(i7_machine)
+        assert 0.0 < design.efficiency <= 1.0
+
+    def test_flops_per_invocation(self, i7_machine):
+        design = design_microkernel(i7_machine)
+        assert design.flops_per_invocation == 2 * design.k_tile * design.output_points
+
+    def test_describe(self, i7_machine):
+        assert "kernel vectors" in design_microkernel(i7_machine).describe()
+
+    def test_machine_independent_of_problem_size(self, i7_machine, small_spec):
+        """Section 8: the same microkernel shape is used for all large problems."""
+        a = design_microkernel(i7_machine)
+        b = design_microkernel(i7_machine, small_spec)
+        assert a.k_tile == b.k_tile
+        assert a.spatial_points == b.spatial_points
+
+
+class TestDerivedQuantities:
+    def test_register_tile_sizes_mapping(self, i7_machine, small_spec):
+        tiles = register_tile_sizes(i7_machine, small_spec)
+        assert set(tiles) == set(LOOP_INDICES)
+        assert tiles["k"] >= 1 and tiles["w"] >= 1
+
+    def test_compute_time_scales_with_threads(self, i7_machine, small_spec):
+        one = compute_time_seconds(small_spec, i7_machine, threads=1)
+        eight = compute_time_seconds(small_spec, i7_machine, threads=8)
+        assert eight == pytest.approx(one / 8, rel=1e-6)
+
+    def test_flop_rate_below_peak(self, i7_machine, small_spec):
+        rate = microkernel_flop_rate(i7_machine, small_spec)
+        assert 0 < rate < i7_machine.peak_gflops(cores=1)

@@ -1,0 +1,100 @@
+"""Tests for the multi-level cost model (repro.core.multilevel, Section 5)."""
+
+import pytest
+
+from repro.core.config import MultiLevelConfig, TilingConfig, single_level
+from repro.core.cost_model import total_data_volume
+from repro.core.multilevel import (
+    arithmetic_intensity,
+    level_bandwidths,
+    level_data_volume,
+    multilevel_cost,
+    uniform_multilevel_config,
+)
+from repro.core.tensor_spec import LOOP_INDICES
+
+PERM = ("n", "k", "c", "r", "s", "h", "w")
+
+
+class TestLevelDataVolume:
+    def test_single_level_matches_flat_model(self, small_spec, sample_config):
+        config = single_level(sample_config, "L1")
+        assert level_data_volume(small_spec, config, "L1") == pytest.approx(
+            total_data_volume(small_spec, sample_config)
+        )
+
+    def test_outermost_level_uses_problem_extents(self, small_spec, sample_multilevel):
+        outer_volume = level_data_volume(small_spec, sample_multilevel, "L2")
+        flat = total_data_volume(small_spec, sample_multilevel.config("L2"))
+        assert outer_volume == pytest.approx(flat)
+
+    def test_inner_level_volume_at_least_outer(self, small_spec, sample_multilevel):
+        """Traffic into the smaller/faster level is at least the traffic into the larger one."""
+        inner = level_data_volume(small_spec, sample_multilevel, "L1")
+        outer = level_data_volume(small_spec, sample_multilevel, "L2")
+        assert inner >= outer * 0.999
+
+    def test_identical_levels_have_equal_volume(self, small_spec, sample_config):
+        config = MultiLevelConfig(("L1", "L2"), (sample_config, sample_config))
+        inner = level_data_volume(small_spec, config, "L1")
+        outer = level_data_volume(small_spec, config, "L2")
+        assert inner == pytest.approx(outer, rel=0.3)
+
+    def test_smaller_inner_tiles_increase_inner_traffic(self, small_spec):
+        outer = TilingConfig(PERM, {i: float(small_spec.loop_extents[i]) for i in LOOP_INDICES})
+        big_inner = TilingConfig(PERM, {"n": 1, "k": 16, "c": 16, "r": 3, "s": 3, "h": 7, "w": 7})
+        small_inner = TilingConfig(PERM, {"n": 1, "k": 4, "c": 4, "r": 1, "s": 1, "h": 2, "w": 2})
+        cfg_big = MultiLevelConfig(("L1", "L2"), (big_inner, outer))
+        cfg_small = MultiLevelConfig(("L1", "L2"), (small_inner, outer))
+        assert level_data_volume(small_spec, cfg_small, "L1") > level_data_volume(
+            small_spec, cfg_big, "L1"
+        )
+
+
+class TestBandwidths:
+    def test_level_bandwidths_keys(self, tiny_machine):
+        bandwidths = level_bandwidths(tiny_machine, ("Reg", "L1", "L2", "L3"))
+        assert set(bandwidths) == {"Reg", "L1", "L2", "L3"}
+        assert all(v > 0 for v in bandwidths.values())
+
+    def test_inner_levels_faster_than_outer(self, tiny_machine):
+        bandwidths = level_bandwidths(tiny_machine, ("Reg", "L1", "L2", "L3"))
+        assert bandwidths["Reg"] >= bandwidths["L1"] >= bandwidths["L2"] >= bandwidths["L3"]
+
+    def test_overrides_respected(self, tiny_machine):
+        bandwidths = level_bandwidths(
+            tiny_machine, ("L1", "L2"), overrides={"L1": 123.0}
+        )
+        assert bandwidths["L1"] == pytest.approx(123.0 * 1e9 / tiny_machine.dtype_bytes)
+
+
+class TestMultiLevelCost:
+    def test_bottleneck_identification(self, small_spec, sample_multilevel, tiny_machine):
+        cost = multilevel_cost(small_spec, sample_multilevel, tiny_machine)
+        assert cost.bottleneck_level in sample_multilevel.levels
+        assert cost.bottleneck_time == pytest.approx(max(cost.times.values()))
+
+    def test_times_are_volume_over_bandwidth(self, small_spec, sample_multilevel, tiny_machine):
+        cost = multilevel_cost(small_spec, sample_multilevel, tiny_machine)
+        for level, traffic in cost.per_level.items():
+            assert traffic.time_seconds == pytest.approx(
+                traffic.volume_elements / traffic.bandwidth_elements_per_s
+            )
+
+    def test_volumes_positive(self, small_spec, sample_multilevel, tiny_machine):
+        cost = multilevel_cost(small_spec, sample_multilevel, tiny_machine)
+        assert all(v > 0 for v in cost.volumes.values())
+
+    def test_uniform_builder(self, small_spec):
+        tiles = {
+            "L1": {"n": 1, "k": 8, "c": 4, "r": 3, "s": 3, "h": 7, "w": 7},
+            "L2": {"n": 1, "k": 16, "c": 16, "r": 3, "s": 3, "h": 14, "w": 14},
+        }
+        config = uniform_multilevel_config(small_spec, PERM, tiles, ("L1", "L2"))
+        config.validate(small_spec)
+        assert config.levels == ("L1", "L2")
+
+    def test_arithmetic_intensity(self, small_spec, sample_multilevel, tiny_machine):
+        cost = multilevel_cost(small_spec, sample_multilevel, tiny_machine)
+        intensity = arithmetic_intensity(small_spec, cost, "L2")
+        assert intensity > 0

@@ -1,0 +1,157 @@
+"""Tests for the MOpt optimizer (repro.core.optimizer, Algorithm 1).
+
+To keep the suite fast, most tests restrict the optimizer to a subset of the
+pruned permutation classes, two or three tiling levels, and the tiny test
+machine; one end-to-end test exercises the full default configuration.
+"""
+
+import pytest
+
+from repro.core.capacity import fits_all_levels
+from repro.core.optimizer import (
+    MOptOptimizer,
+    OptimizerSettings,
+    fast_settings,
+    optimize_conv,
+)
+from repro.core.solver import SolverOptions
+from repro.core.tensor_spec import LOOP_INDICES, ConvSpec
+
+QUICK_SOLVER = SolverOptions(multistarts=0, maxiter=40, fallback_samples=50)
+
+
+def quick_settings(**overrides):
+    defaults = dict(
+        levels=("L1", "L2"),
+        fix_register_tile=False,
+        solver=QUICK_SOLVER,
+        permutation_class_names=("inner-w", "inner-s"),
+        top_k=3,
+    )
+    defaults.update(overrides)
+    return OptimizerSettings(**defaults)
+
+
+class TestSettings:
+    def test_fast_settings_reduce_solver_work(self):
+        settings = fast_settings()
+        assert settings.solver.multistarts <= 2
+        assert settings.top_k == 5
+
+    def test_unknown_level_rejected(self, tiny_machine):
+        with pytest.raises(ValueError):
+            MOptOptimizer(tiny_machine, OptimizerSettings(levels=("Reg", "L4")))
+
+    def test_unknown_class_rejected(self, tiny_machine, small_spec):
+        optimizer = MOptOptimizer(
+            tiny_machine, quick_settings(permutation_class_names=("bogus",))
+        )
+        with pytest.raises(ValueError):
+            optimizer.optimize(small_spec)
+
+    def test_with_solver(self):
+        settings = OptimizerSettings().with_solver(QUICK_SOLVER)
+        assert settings.solver is QUICK_SOLVER
+
+
+class TestOptimization:
+    def test_result_structure(self, tiny_machine, small_spec):
+        result = MOptOptimizer(tiny_machine, quick_settings()).optimize(small_spec)
+        assert len(result.candidates) >= 1
+        assert result.best is result.candidates[0]
+        assert result.search_seconds > 0
+        assert result.predicted_gflops > 0
+
+    def test_candidates_sorted_by_predicted_time(self, tiny_machine, small_spec):
+        result = MOptOptimizer(tiny_machine, quick_settings()).optimize(small_spec)
+        times = [c.predicted_time_seconds for c in result.candidates]
+        assert times == sorted(times)
+
+    def test_best_configuration_is_valid_and_fits(self, tiny_machine, small_spec):
+        result = MOptOptimizer(tiny_machine, quick_settings()).optimize(small_spec)
+        best = result.best
+        best.config.validate(small_spec, integral=True)
+        assert fits_all_levels(small_spec, best.config, tiny_machine)
+
+    def test_capacity_fraction_respected(self, tiny_machine, small_spec):
+        settings = quick_settings(capacity_fraction=0.5)
+        result = MOptOptimizer(tiny_machine, settings).optimize(small_spec)
+        from repro.core.cost_model import combined_footprint
+
+        for level in result.best.config.levels:
+            tiles = result.best.config.tiles(level)
+            capacity = tiny_machine.capacity_elements(level)
+            assert combined_footprint(tiles) <= capacity * 0.5 * 1.05
+
+    def test_optimized_beats_naive_tiling(self, tiny_machine, small_spec):
+        from repro.core.config import MultiLevelConfig, TilingConfig
+        from repro.core.multilevel import multilevel_cost
+
+        result = MOptOptimizer(tiny_machine, quick_settings()).optimize(small_spec)
+        best_time = result.best.cost.bottleneck_time
+        naive = MultiLevelConfig(
+            ("L1", "L2"),
+            (
+                TilingConfig(result.best.permutation, {i: 1.0 for i in LOOP_INDICES}),
+                TilingConfig(result.best.permutation, {i: 1.0 for i in LOOP_INDICES}),
+            ),
+        )
+        naive_time = multilevel_cost(small_spec, naive, tiny_machine).bottleneck_time
+        assert best_time < naive_time
+
+    def test_register_tile_fixed_from_microkernel(self, tiny_machine, small_spec):
+        settings = quick_settings(
+            levels=("Reg", "L1", "L2"), fix_register_tile=True
+        )
+        result = MOptOptimizer(tiny_machine, settings).optimize(small_spec)
+        reg_tiles = result.best.config.tiles("Reg")
+        from repro.core.microkernel import design_microkernel
+
+        design = design_microkernel(tiny_machine, small_spec)
+        assert reg_tiles["k"] == min(design.register_tiles["k"], small_spec.out_channels)
+
+    def test_pointwise_operator(self, tiny_machine, pointwise_spec):
+        result = MOptOptimizer(tiny_machine, quick_settings()).optimize(pointwise_spec)
+        result.best.config.validate(pointwise_spec, integral=True)
+        # r and s tiles can only be 1 for a 1x1 kernel.
+        assert result.best.config.tiles("L1")["r"] == 1
+
+    def test_strided_operator(self, tiny_machine, strided_spec):
+        result = MOptOptimizer(tiny_machine, quick_settings()).optimize(strided_spec)
+        result.best.config.validate(strided_spec, integral=True)
+
+    def test_parallel_mode_produces_plan(self, tiny_machine, small_spec):
+        settings = quick_settings(parallel=True, threads=4)
+        result = MOptOptimizer(tiny_machine, settings).optimize(small_spec)
+        assert result.best.parallel_plan is not None
+        assert result.best.parallel_plan.total_cores == 4
+
+    def test_sequential_mode_has_no_plan(self, tiny_machine, small_spec):
+        result = MOptOptimizer(tiny_machine, quick_settings()).optimize(small_spec)
+        assert result.best.parallel_plan is None
+
+    def test_top_k(self, tiny_machine, small_spec):
+        result = MOptOptimizer(tiny_machine, quick_settings(top_k=2)).optimize(small_spec)
+        assert len(result.candidates) <= 2
+        assert len(result.top(1)) == 1
+
+    def test_optimize_conv_wrapper(self, tiny_machine, small_spec):
+        result = optimize_conv(small_spec, tiny_machine, settings=quick_settings())
+        assert result.best.predicted_time_seconds > 0
+
+    def test_predicted_gflops_below_peak(self, tiny_machine, small_spec):
+        result = MOptOptimizer(tiny_machine, quick_settings()).optimize(small_spec)
+        assert result.best.predicted_gflops(small_spec) <= tiny_machine.peak_gflops(1)
+
+
+@pytest.mark.slow
+class TestFullOptimizer:
+    def test_full_four_level_optimization_on_i7(self, i7_machine):
+        """End-to-end: the paper's setup (Reg/L1/L2/L3, all 8 classes) on one layer."""
+        spec = ConvSpec("r12-like", 1, 64, 64, 7, 7, 3, 3, padding=1)
+        result = MOptOptimizer(i7_machine, fast_settings()).optimize(spec)
+        assert len(result.candidates) == 5
+        best = result.best
+        best.config.validate(spec, integral=True)
+        assert best.bottleneck_level in ("Reg", "L1", "L2", "L3")
+        assert 0 < best.predicted_gflops(spec) <= i7_machine.peak_gflops(1)

@@ -1,0 +1,107 @@
+"""Tests for data-layout packing (repro.core.packing, Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.packing import (
+    PackedKernelLayout,
+    PackingError,
+    pack_input_nchw,
+    pack_kernel,
+    packing_time_seconds,
+    packing_traffic_elements,
+    unpack_kernel,
+)
+
+
+class TestPackedLayout:
+    def test_exact_multiple(self):
+        layout = PackedKernelLayout(32, 8)
+        assert layout.num_chunks == 4
+        assert layout.padded_out_channels == 32
+
+    def test_padding_up(self):
+        layout = PackedKernelLayout(30, 8)
+        assert layout.num_chunks == 4
+        assert layout.padded_out_channels == 32
+
+    def test_packed_shape(self):
+        layout = PackedKernelLayout(16, 8)
+        assert layout.packed_shape(4, 3, 3) == (2, 4, 3, 3, 8)
+
+    def test_invalid(self):
+        with pytest.raises(PackingError):
+            PackedKernelLayout(16, 0)
+        with pytest.raises(PackingError):
+            PackedKernelLayout(0, 8)
+
+
+class TestPackRoundTrip:
+    def test_roundtrip_exact(self):
+        rng = np.random.default_rng(0)
+        kernel = rng.standard_normal((16, 4, 3, 3)).astype(np.float32)
+        packed = pack_kernel(kernel, 8)
+        assert packed.shape == (2, 4, 3, 3, 8)
+        restored = unpack_kernel(packed, 16)
+        np.testing.assert_array_equal(kernel, restored)
+
+    def test_roundtrip_with_padding(self):
+        rng = np.random.default_rng(1)
+        kernel = rng.standard_normal((13, 2, 1, 1)).astype(np.float32)
+        packed = pack_kernel(kernel, 8)
+        assert packed.shape == (2, 2, 1, 1, 8)
+        # Padded lanes are zero.
+        assert np.all(packed[1, :, :, :, 5:] == 0)
+        restored = unpack_kernel(packed, 13)
+        np.testing.assert_array_equal(kernel, restored)
+
+    def test_packed_layout_is_k_fastest(self):
+        kernel = np.arange(16 * 2 * 1 * 1, dtype=np.float32).reshape(16, 2, 1, 1)
+        packed = pack_kernel(kernel, 8)
+        # Within one chunk the last axis runs over consecutive k values.
+        np.testing.assert_array_equal(packed[0, 0, 0, 0, :], kernel[:8, 0, 0, 0])
+
+    def test_pack_rejects_bad_rank(self):
+        with pytest.raises(PackingError):
+            pack_kernel(np.zeros((4, 4, 3)), 8)
+        with pytest.raises(PackingError):
+            unpack_kernel(np.zeros((2, 4, 3, 3)), 16)
+
+
+class TestPackingCost:
+    def test_traffic_counts_read_and_write(self, small_spec):
+        traffic = packing_traffic_elements(small_spec, 8)
+        assert traffic == pytest.approx(2 * small_spec.ker_elements)
+
+    def test_traffic_includes_padding(self):
+        from repro.core.tensor_spec import ConvSpec
+
+        spec = ConvSpec("odd", 1, 30, 4, 8, 8, 3, 3, padding=1)
+        traffic = packing_traffic_elements(spec, 8)
+        assert traffic == spec.ker_elements + 32 * 4 * 3 * 3
+
+    def test_time_positive_and_scales_with_bandwidth(self, small_spec):
+        slow = packing_time_seconds(small_spec, 8, dram_bandwidth_gbps=10.0)
+        fast = packing_time_seconds(small_spec, 8, dram_bandwidth_gbps=40.0)
+        assert slow == pytest.approx(4 * fast)
+        with pytest.raises(PackingError):
+            packing_time_seconds(small_spec, 8, dram_bandwidth_gbps=0.0)
+
+
+class TestInputPadding:
+    def test_zero_padding(self):
+        tensor = np.ones((1, 2, 4, 4), dtype=np.float32)
+        padded = pack_input_nchw(tensor, 1)
+        assert padded.shape == (1, 2, 6, 6)
+        assert padded[0, 0, 0, 0] == 0
+        assert padded[0, 0, 1, 1] == 1
+
+    def test_no_padding_returns_same(self):
+        tensor = np.ones((1, 2, 4, 4), dtype=np.float32)
+        assert pack_input_nchw(tensor, 0) is tensor
+
+    def test_invalid(self):
+        with pytest.raises(PackingError):
+            pack_input_nchw(np.zeros((2, 4, 4)), 1)
+        with pytest.raises(PackingError):
+            pack_input_nchw(np.zeros((1, 2, 4, 4)), -1)

@@ -1,0 +1,113 @@
+"""Tests for the parallel cost model (repro.core.parallel, Section 7)."""
+
+import pytest
+
+from repro.core.config import MultiLevelConfig, TilingConfig
+from repro.core.multilevel import multilevel_cost
+from repro.core.parallel import (
+    ParallelPlan,
+    choose_parallel_plan,
+    enumerate_parallel_plans,
+    feasible_plans,
+    parallel_bandwidth_overrides,
+    parallel_multilevel_cost,
+)
+from repro.core.tensor_spec import LOOP_INDICES, PARALLEL_INDICES
+
+
+class TestParallelPlan:
+    def test_total_cores(self):
+        plan = ParallelPlan({"n": 1, "k": 4, "h": 2, "w": 1})
+        assert plan.total_cores == 8
+
+    def test_only_non_reduction_dimensions(self):
+        plan = ParallelPlan({"k": 2})
+        assert set(plan.factors) == set(PARALLEL_INDICES)
+        assert plan.factors["k"] == 2
+        assert plan.factors["n"] == 1
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ParallelPlan({"k": 0})
+
+    def test_chunk_tiles(self):
+        plan = ParallelPlan({"k": 4, "h": 2})
+        outer = {i: 16.0 for i in LOOP_INDICES}
+        chunk = plan.chunk_tiles(outer)
+        assert chunk["k"] == 4.0
+        assert chunk["h"] == 8.0
+        assert chunk["c"] == 16.0  # reduction dims untouched
+
+    def test_describe(self):
+        assert "k4" in ParallelPlan({"k": 4}).describe()
+
+    def test_load_imbalance_zero_for_divisible(self):
+        plan = ParallelPlan({"k": 4})
+        outer = {i: 16.0 for i in LOOP_INDICES}
+        inner = {i: 4.0 for i in LOOP_INDICES}
+        assert plan.load_imbalance(outer, inner) == pytest.approx(0.0)
+
+
+class TestPlanEnumeration:
+    def test_all_plans_cover_cores(self):
+        plans = enumerate_parallel_plans(8)
+        assert all(plan.total_cores == 8 for plan in plans)
+        assert len(plans) > 10  # many factorizations of 8 over 4 dims
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            enumerate_parallel_plans(0)
+
+    def test_feasible_plans_respect_chunk_counts(self, small_spec):
+        outer = {i: float(small_spec.loop_extents[i]) for i in LOOP_INDICES}
+        inner = {"n": 1, "k": 8, "c": 4, "r": 3, "s": 3, "h": 7, "w": 7}
+        plans = feasible_plans(small_spec, outer, inner, 4)
+        for plan in plans:
+            # batch is 1, so no plan should parallelize n.
+            assert plan.factors["n"] == 1
+
+    def test_choose_plan_uses_all_cores(self, small_spec):
+        outer = {i: float(small_spec.loop_extents[i]) for i in LOOP_INDICES}
+        inner = {"n": 1, "k": 8, "c": 4, "r": 3, "s": 3, "h": 7, "w": 7}
+        plan = choose_parallel_plan(small_spec, outer, inner, 4)
+        assert plan.total_cores == 4
+        assert plan.factors["n"] == 1
+
+
+class TestParallelCost:
+    def test_memory_level_volume_unchanged(self, small_spec, sample_multilevel, tiny_machine):
+        plan = ParallelPlan({"k": 2, "h": 2})
+        sequential = multilevel_cost(small_spec, sample_multilevel, tiny_machine)
+        parallel = parallel_multilevel_cost(
+            small_spec, sample_multilevel, tiny_machine, plan, threads=4
+        )
+        outermost = sample_multilevel.levels[-1]
+        assert parallel.volumes[outermost] == pytest.approx(sequential.volumes[outermost])
+
+    def test_private_level_volume_split_across_cores(self, small_spec, tiny_machine):
+        inner = TilingConfig(("n", "k", "c", "r", "s", "h", "w"),
+                             {"n": 1, "k": 8, "c": 4, "r": 3, "s": 3, "h": 7, "w": 7})
+        mid = TilingConfig(inner.permutation,
+                           {"n": 1, "k": 16, "c": 8, "r": 3, "s": 3, "h": 14, "w": 14})
+        outer = TilingConfig(inner.permutation,
+                             {"n": 1, "k": 32, "c": 16, "r": 3, "s": 3, "h": 14, "w": 14})
+        config = MultiLevelConfig(("L1", "L2", "L3"), (inner, mid, outer))
+        plan = ParallelPlan({"k": 2, "h": 2})
+        sequential = multilevel_cost(small_spec, config, tiny_machine)
+        parallel = parallel_multilevel_cost(small_spec, config, tiny_machine, plan, threads=4)
+        assert parallel.volumes["L1"] == pytest.approx(sequential.volumes["L1"] / 4)
+
+    def test_parallel_bottleneck_time_not_worse_than_4x_sequential(
+        self, small_spec, sample_multilevel, tiny_machine
+    ):
+        plan = ParallelPlan({"k": 2, "h": 2})
+        sequential = multilevel_cost(small_spec, sample_multilevel, tiny_machine)
+        parallel = parallel_multilevel_cost(
+            small_spec, sample_multilevel, tiny_machine, plan, threads=4
+        )
+        assert parallel.bottleneck_time <= sequential.bottleneck_time * 4
+
+    def test_bandwidth_overrides_shape(self, i7_machine):
+        overrides = parallel_bandwidth_overrides(i7_machine, 8)
+        assert set(overrides) == {"Reg", "L1", "L2", "L3"}
+        assert all(v > 0 for v in overrides.values())

@@ -1,0 +1,149 @@
+"""Tests for the performance model (repro.sim.perfmodel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MultiLevelConfig, TilingConfig, single_level
+from repro.core.tensor_spec import LOOP_INDICES, ConvSpec
+from repro.sim.perfmodel import (
+    config_compute_efficiency,
+    conflict_miss_penalty,
+    estimate_performance,
+    measure_performance,
+    predicted_rank_score,
+    virtual_measurement,
+)
+from repro.sim.tilesim import SimulationOptions, simulate_execution
+
+PERM = ("n", "k", "c", "r", "s", "h", "w")
+
+
+class TestComputeEfficiency:
+    def test_within_unit_interval(self, small_spec, sample_multilevel, i7_machine):
+        efficiency = config_compute_efficiency(small_spec, sample_multilevel, i7_machine)
+        assert 0.0 < efficiency <= 1.0
+
+    def test_full_lane_utilization_beats_partial(self, small_spec, i7_machine):
+        aligned = TilingConfig(PERM, {"n": 1, "k": 16, "c": 4, "r": 3, "s": 3, "h": 2, "w": 7})
+        misaligned = TilingConfig(PERM, {"n": 1, "k": 2, "c": 4, "r": 3, "s": 3, "h": 2, "w": 7})
+        assert config_compute_efficiency(
+            small_spec, aligned, i7_machine
+        ) > config_compute_efficiency(small_spec, misaligned, i7_machine)
+
+    def test_base_efficiency_override_scales(self, small_spec, sample_config, i7_machine):
+        low = config_compute_efficiency(
+            small_spec, sample_config, i7_machine, base_efficiency=0.5
+        )
+        high = config_compute_efficiency(
+            small_spec, sample_config, i7_machine, base_efficiency=1.0
+        )
+        assert high == pytest.approx(2 * low, rel=1e-6)
+
+
+class TestEstimate:
+    def test_gflops_below_peak(self, small_spec, sample_multilevel, i7_machine):
+        estimate = estimate_performance(small_spec, sample_multilevel, i7_machine, threads=1)
+        assert 0 < estimate.gflops < i7_machine.peak_gflops(1)
+
+    def test_total_time_composition(self, small_spec, sample_multilevel, i7_machine):
+        estimate = estimate_performance(small_spec, sample_multilevel, i7_machine)
+        assert estimate.time_seconds == pytest.approx(
+            max(estimate.data_time_seconds, estimate.compute_time_seconds)
+            + estimate.packing_time_seconds
+        )
+
+    def test_threads_improve_performance(self, small_spec, sample_multilevel, i7_machine):
+        one = estimate_performance(small_spec, sample_multilevel, i7_machine, threads=1)
+        eight = estimate_performance(small_spec, sample_multilevel, i7_machine, threads=8)
+        assert eight.gflops > one.gflops
+
+    def test_packing_can_be_excluded(self, small_spec, sample_multilevel, i7_machine):
+        with_packing = estimate_performance(small_spec, sample_multilevel, i7_machine)
+        without = estimate_performance(
+            small_spec, sample_multilevel, i7_machine, include_packing=False
+        )
+        assert without.packing_time_seconds == 0.0
+        assert without.gflops >= with_packing.gflops
+
+    def test_counters_override_model(self, tiny_spec, tiny_machine):
+        config = TilingConfig(PERM, {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3})
+        counters = simulate_execution(
+            tiny_spec, single_level(config), tiny_machine, SimulationOptions()
+        )
+        measured = estimate_performance(
+            tiny_spec, config, tiny_machine, counters=counters
+        )
+        assert set(measured.per_level_times) == {"Reg", "L1", "L2", "L3"}
+
+    def test_describe(self, small_spec, sample_multilevel, i7_machine):
+        assert "GFLOPS" in estimate_performance(small_spec, sample_multilevel, i7_machine).describe()
+
+    def test_single_level_config_accepted(self, small_spec, sample_config, i7_machine):
+        estimate = estimate_performance(small_spec, sample_config, i7_machine)
+        assert estimate.gflops > 0
+
+
+class TestMeasurement:
+    def test_measure_performance_samples(self, tiny_spec, tiny_machine):
+        config = TilingConfig(PERM, {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3})
+        estimate, samples = measure_performance(
+            tiny_spec, config, tiny_machine, runs=20, noise=0.05, seed=1
+        )
+        assert len(samples) == 20
+        assert np.mean(samples) == pytest.approx(estimate.gflops, rel=0.1)
+        assert np.std(samples) > 0
+
+    def test_measurement_deterministic_given_seed(self, tiny_spec, tiny_machine):
+        config = TilingConfig(PERM, {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3})
+        _, a = measure_performance(tiny_spec, config, tiny_machine, runs=5, seed=3)
+        _, b = measure_performance(tiny_spec, config, tiny_machine, runs=5, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_predicted_rank_score_orders_by_time(self, small_spec, i7_machine):
+        good = TilingConfig(PERM, {"n": 1, "k": 16, "c": 16, "r": 3, "s": 3, "h": 7, "w": 14})
+        bad = TilingConfig(PERM, {"n": 1, "k": 1, "c": 1, "r": 1, "s": 1, "h": 1, "w": 1})
+        assert predicted_rank_score(small_spec, good, i7_machine) > predicted_rank_score(
+            small_spec, bad, i7_machine
+        )
+
+
+class TestVirtualMeasurement:
+    def test_deterministic(self, small_spec, sample_multilevel, i7_machine):
+        a = virtual_measurement(small_spec, sample_multilevel, i7_machine, threads=4, seed=9)
+        b = virtual_measurement(small_spec, sample_multilevel, i7_machine, threads=4, seed=9)
+        assert a.gflops == pytest.approx(b.gflops)
+
+    def test_noise_changes_with_seed(self, small_spec, sample_multilevel, i7_machine):
+        a = virtual_measurement(small_spec, sample_multilevel, i7_machine, seed=1)
+        b = virtual_measurement(small_spec, sample_multilevel, i7_machine, seed=2)
+        assert a.gflops != pytest.approx(b.gflops, rel=1e-9)
+
+    def test_never_exceeds_ideal_estimate_by_much(self, small_spec, sample_multilevel, i7_machine):
+        ideal = estimate_performance(small_spec, sample_multilevel, i7_machine, threads=4)
+        virtual = virtual_measurement(
+            small_spec, sample_multilevel, i7_machine, threads=4, noise=0.0
+        )
+        assert virtual.gflops <= ideal.gflops * 1.01
+
+    def test_conflict_penalty_deterministic_and_bounded(self, small_spec, i7_machine):
+        config = single_level(
+            TilingConfig(PERM, {"n": 1, "k": 8, "c": 4, "r": 3, "s": 3, "h": 7, "w": 7})
+        )
+        a = conflict_miss_penalty(small_spec, config, i7_machine)
+        b = conflict_miss_penalty(small_spec, config, i7_machine)
+        assert a == b
+        assert 1.0 <= a <= 1.8
+
+    def test_conflict_penalty_rate(self, small_spec, i7_machine):
+        """Roughly the configured fraction of configurations is penalized."""
+        from repro.workloads.sampling import SamplerOptions, sample_configurations
+
+        configs = sample_configurations(
+            small_spec, count=60, options=SamplerOptions(seed=11)
+        )
+        penalized = sum(
+            1
+            for c in configs
+            if conflict_miss_penalty(small_spec, c, i7_machine) > 1.0
+        )
+        assert 0 <= penalized <= len(configs) * 0.3

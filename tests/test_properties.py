@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the algebraic properties the paper's reasoning relies on:
+monotonicity and lower bounds of the cost model, the dominance of the
+pruned permutation classes, footprint/capacity relations, LRU cache
+behaviour, and packing round-trips.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TilingConfig
+from repro.core.cost_model import (
+    combined_footprint,
+    per_tensor_volumes,
+    tensor_footprint,
+    total_data_volume,
+)
+from repro.core.loadbalance import imbalance, nearest_divisor, round_to_divisors
+from repro.core.packing import pack_kernel, unpack_kernel
+from repro.core.pruning import best_pruned_cost, pruned_representatives
+from repro.core.tensor_spec import LOOP_INDICES, ConvSpec, divisor_tiles
+from repro.sim.cache import LRUCache
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def conv_specs(draw):
+    """Small random conv specs (kept tiny so derived checks stay fast)."""
+    kernel = draw(st.sampled_from([1, 3]))
+    spatial = draw(st.integers(min_value=kernel + 1, max_value=12))
+    return ConvSpec(
+        name="hyp",
+        batch=draw(st.integers(1, 2)),
+        out_channels=draw(st.integers(1, 24)),
+        in_channels=draw(st.integers(1, 16)),
+        in_height=spatial,
+        in_width=spatial,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        stride=draw(st.sampled_from([1, 2])),
+        padding=draw(st.integers(0, 1)),
+    )
+
+
+@st.composite
+def spec_and_tiles(draw):
+    spec = draw(conv_specs())
+    extents = spec.loop_extents
+    tiles = {
+        index: float(draw(st.integers(1, extents[index]))) for index in LOOP_INDICES
+    }
+    return spec, tiles
+
+
+@st.composite
+def spec_and_divisor_tiles(draw):
+    spec = draw(conv_specs())
+    extents = spec.loop_extents
+    tiles = {
+        index: float(draw(st.sampled_from(divisor_tiles(extents[index]))))
+        for index in LOOP_INDICES
+    }
+    return spec, tiles
+
+
+# ----------------------------------------------------------------------
+# Cost-model properties
+# ----------------------------------------------------------------------
+class TestCostModelProperties:
+    @SETTINGS
+    @given(spec_and_tiles())
+    def test_volumes_positive_and_finite(self, case):
+        spec, tiles = case
+        for permutation in pruned_representatives()[:2]:
+            volume = total_data_volume(spec, TilingConfig(permutation, tiles))
+            assert math.isfinite(volume) and volume > 0
+
+    @SETTINGS
+    @given(spec_and_tiles())
+    def test_compulsory_traffic_lower_bound(self, case):
+        """Ker is loaded at least once; Out is read+written at least once."""
+        spec, tiles = case
+        for permutation in pruned_representatives()[:3]:
+            volumes = per_tensor_volumes(spec, TilingConfig(permutation, tiles))
+            assert volumes["Ker"] >= spec.ker_elements * (1 - 1e-9)
+            assert volumes["Out"] >= 2 * spec.out_elements * (1 - 1e-9)
+
+    @SETTINGS
+    @given(spec_and_divisor_tiles())
+    def test_band_equivalence(self, case):
+        """All members of a pruned band-class share one cost value."""
+        spec, tiles = case
+        from repro.core.pruning import get_class
+
+        cls = get_class("inner-w")
+        members = list(cls.members())
+        reference = total_data_volume(spec, TilingConfig(members[0], tiles))
+        for member in members[:: max(1, len(members) // 5)]:
+            assert total_data_volume(spec, TilingConfig(member, tiles)) == pytest.approx(
+                reference, rel=1e-9
+            )
+
+    @SETTINGS
+    @given(spec_and_divisor_tiles())
+    def test_pruned_classes_dominate_random_permutations(self, case):
+        """For fixed tile sizes, no permutation beats the best pruned class."""
+        spec, tiles = case
+        _, pruned = best_pruned_cost(spec, tiles)
+        rng = np.random.default_rng(0)
+        indices = list(LOOP_INDICES)
+        for _ in range(6):
+            rng.shuffle(indices)
+            cost = total_data_volume(spec, TilingConfig(tuple(indices), tiles))
+            assert cost >= pruned * (1 - 1e-9)
+
+    @SETTINGS
+    @given(spec_and_tiles())
+    def test_footprint_monotone(self, case):
+        spec, tiles = case
+        grown = {i: min(spec.loop_extents[i], tiles[i] + 1) for i in LOOP_INDICES}
+        assert combined_footprint(grown, stride=spec.stride) >= combined_footprint(
+            tiles, stride=spec.stride
+        )
+
+    @SETTINGS
+    @given(spec_and_tiles())
+    def test_footprint_bounded_by_whole_tensors(self, case):
+        spec, tiles = case
+        assert tensor_footprint("Out", tiles) <= spec.out_elements
+        assert tensor_footprint("Ker", tiles) <= spec.ker_elements
+
+
+# ----------------------------------------------------------------------
+# Integerization / load-balance properties
+# ----------------------------------------------------------------------
+class TestIntegerizationProperties:
+    @SETTINGS
+    @given(spec_and_tiles())
+    def test_round_to_divisors_always_divides(self, case):
+        spec, tiles = case
+        rounded = round_to_divisors(spec, tiles)
+        for index in LOOP_INDICES:
+            assert spec.loop_extents[index] % rounded[index] == 0
+
+    @SETTINGS
+    @given(st.integers(1, 300), st.floats(0.5, 300.0))
+    def test_nearest_divisor_divides(self, extent, value):
+        divisor = nearest_divisor(extent, value)
+        assert extent % divisor == 0
+
+    @SETTINGS
+    @given(st.integers(1, 200), st.integers(1, 16))
+    def test_imbalance_in_unit_interval(self, chunks, ways):
+        value = imbalance(chunks, ways)
+        assert 0.0 <= value < 1.0
+
+
+# ----------------------------------------------------------------------
+# Cache properties
+# ----------------------------------------------------------------------
+class TestCacheProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=200),
+        st.integers(1, 16),
+    )
+    def test_lru_occupancy_and_counters(self, accesses, capacity):
+        cache = LRUCache(capacity)
+        for key in accesses:
+            cache.access(key)
+        assert len(cache) <= capacity
+        assert cache.stats.hits + cache.stats.misses == len(accesses)
+        assert cache.stats.misses >= len(set(accesses)) if capacity >= len(set(accesses)) else True
+
+    @SETTINGS
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=100))
+    def test_bigger_cache_never_misses_more(self, accesses):
+        small = LRUCache(2)
+        big = LRUCache(8)
+        for key in accesses:
+            small.access(key)
+            big.access(key)
+        assert big.stats.misses <= small.stats.misses
+
+    @SETTINGS
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=120))
+    def test_batched_equals_scalar_access(self, accesses):
+        scalar = LRUCache(4)
+        for key in accesses:
+            scalar.access(key)
+        batched = LRUCache(4)
+        batched.access_many(accesses)
+        assert batched.stats.misses == scalar.stats.misses
+
+
+# ----------------------------------------------------------------------
+# Packing properties
+# ----------------------------------------------------------------------
+class TestPackingProperties:
+    @SETTINGS
+    @given(
+        st.integers(1, 40),
+        st.integers(1, 8),
+        st.sampled_from([1, 3]),
+        st.sampled_from([4, 8, 16]),
+    )
+    def test_pack_unpack_roundtrip(self, k, c, kernel, vec_len):
+        rng = np.random.default_rng(k * 31 + c)
+        weights = rng.standard_normal((k, c, kernel, kernel)).astype(np.float32)
+        restored = unpack_kernel(pack_kernel(weights, vec_len), k)
+        assert np.array_equal(weights, restored)

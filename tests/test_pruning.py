@@ -1,0 +1,135 @@
+"""Tests for the permutation-space pruning (repro.core.pruning, Section 4)."""
+
+import itertools
+
+import pytest
+
+from repro.core.config import TilingConfig
+from repro.core.cost_model import total_data_volume
+from repro.core.pruning import (
+    PermutationClass,
+    all_permutations,
+    best_pruned_cost,
+    class_cost_equivalence_check,
+    classify,
+    dominating_class_for_innermost,
+    exhaustive_best_cost,
+    get_class,
+    pruned_permutation_classes,
+    pruned_representatives,
+    pruning_statistics,
+)
+from repro.core.tensor_spec import LOOP_INDICES, InvalidSpecError
+
+
+class TestClassStructure:
+    def test_exactly_eight_classes(self):
+        assert len(pruned_permutation_classes()) == 8
+
+    def test_class_names_unique(self):
+        names = [cls.name for cls in pruned_permutation_classes()]
+        assert len(set(names)) == 8
+
+    def test_innermost_iterators(self):
+        innermost = [cls.innermost for cls in pruned_permutation_classes()]
+        # Four classes end in w/h/s/r, four end in k (Section 4 summary).
+        assert sorted(innermost) == sorted(["w", "h", "s", "r", "k", "k", "k", "k"])
+
+    def test_no_class_with_n_or_c_innermost(self):
+        assert dominating_class_for_innermost("n") == ()
+        assert dominating_class_for_innermost("c") == ()
+        assert len(dominating_class_for_innermost("k")) == 4
+
+    def test_representative_is_member(self):
+        for cls in pruned_permutation_classes():
+            assert cls.contains(cls.representative)
+
+    def test_class_sizes(self):
+        sizes = {cls.name: cls.size for cls in pruned_permutation_classes()}
+        # <{k,c,r,s},{n,h},w>: 4! * 2! * 1 = 48; <{n,c,h,r,s},w,k>: 5! = 120.
+        assert sizes["inner-w"] == 48
+        assert sizes["inner-h"] == 48
+        assert sizes["inner-s"] == 48
+        assert sizes["inner-r"] == 48
+        assert sizes["inner-wk"] == 120
+        assert sizes["inner-rk"] == 120
+
+    def test_total_covered_permutations(self):
+        stats = pruning_statistics()
+        assert stats["total_permutations"] == 5040
+        assert stats["num_classes"] == 8
+        assert stats["covered_permutations"] == 4 * 48 + 4 * 120
+        assert stats["dominated_permutations"] == 5040 - stats["covered_permutations"]
+
+    def test_members_enumeration_matches_size(self):
+        cls = get_class("inner-w")
+        members = list(cls.members())
+        assert len(members) == cls.size
+        assert len(set(members)) == cls.size
+
+    def test_classify_representatives(self):
+        for cls in pruned_permutation_classes():
+            assert classify(cls.representative).name == cls.name
+
+    def test_classify_unpruned_permutation(self):
+        # n innermost is never in the pruned set.
+        assert classify(("k", "c", "r", "s", "h", "w", "n")) is None
+
+    def test_classify_rejects_non_permutation(self):
+        with pytest.raises(InvalidSpecError):
+            classify(("n", "n", "c", "r", "s", "h", "w"))
+
+    def test_get_class_unknown(self):
+        with pytest.raises(InvalidSpecError):
+            get_class("nope")
+
+    def test_classes_are_disjoint(self):
+        seen = set()
+        for cls in pruned_permutation_classes():
+            members = set(cls.members())
+            assert not (seen & members)
+            seen |= members
+
+    def test_invalid_class_definition_rejected(self):
+        with pytest.raises(InvalidSpecError):
+            PermutationClass("bad", (("n", "k"), ("c",)))
+
+    def test_describe_band_notation(self):
+        assert get_class("inner-w").describe() == "<{k,c,r,s}, {n,h}, w>"
+
+
+class TestCostEquivalenceAndDominance:
+    def test_band_members_cost_equivalent(self, small_spec, sample_tiles):
+        for cls in pruned_permutation_classes()[:4]:
+            assert class_cost_equivalence_check(small_spec, sample_tiles, cls)
+
+    def test_pruned_best_matches_exhaustive_for_fixed_tiles(self, tiny_spec):
+        """For fixed tile sizes, no permutation beats the best pruned class."""
+        tiles = {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3}
+        _, pruned_cost = best_pruned_cost(tiny_spec, tiles)
+        _, exhaustive_cost = exhaustive_best_cost(tiny_spec, tiles)
+        assert pruned_cost <= exhaustive_cost * (1 + 1e-9)
+
+    def test_pruned_best_matches_exhaustive_other_tiles(self, tiny_spec):
+        tiles = {"n": 1, "k": 8, "c": 4, "r": 1, "s": 3, "h": 6, "w": 2}
+        _, pruned_cost = best_pruned_cost(tiny_spec, tiles)
+        _, exhaustive_cost = exhaustive_best_cost(tiny_spec, tiles)
+        assert pruned_cost <= exhaustive_cost * (1 + 1e-9)
+
+    def test_n_innermost_dominated(self, small_spec, sample_tiles):
+        """Putting nt (or ct) innermost never beats the pruned classes."""
+        _, pruned_cost = best_pruned_cost(small_spec, sample_tiles)
+        for innermost in ("n", "c"):
+            others = [i for i in LOOP_INDICES if i != innermost]
+            for prefix in itertools.islice(itertools.permutations(others), 30):
+                permutation = tuple(prefix) + (innermost,)
+                cost = total_data_volume(small_spec, TilingConfig(permutation, sample_tiles))
+                assert cost >= pruned_cost - 1e-6
+
+    def test_all_permutations_count(self):
+        assert sum(1 for _ in all_permutations()) == 5040
+
+    def test_representatives_are_eight_distinct_permutations(self):
+        reps = pruned_representatives()
+        assert len(reps) == 8
+        assert len(set(reps)) == 8

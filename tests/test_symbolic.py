@@ -1,0 +1,99 @@
+"""Tests for the sympy symbolic cost derivation (repro.core.symbolic)."""
+
+import pytest
+import sympy as sp
+
+from repro.core.config import TilingConfig
+from repro.core.cost_model import total_data_volume
+from repro.core.pruning import pruned_permutation_classes
+from repro.core.symbolic import (
+    all_class_expressions,
+    build_symbolic_model,
+    capacity_constraint_expr,
+    class_volume_expr,
+    paper_equation5_expr,
+    pretty_print_class_costs,
+    problem_symbols,
+    tensor_volume_expr,
+    tile_symbols,
+    total_volume_expr,
+)
+from repro.core.tensor_spec import LOOP_INDICES
+
+INNER_W_PERM = ("k", "c", "r", "s", "n", "h", "w")
+
+
+class TestSymbols:
+    def test_problem_symbols_positive(self):
+        symbols = problem_symbols()
+        assert set(symbols) == set(LOOP_INDICES)
+        assert all(s.is_positive for s in symbols.values())
+
+    def test_tile_symbols_level_suffix(self):
+        level1 = tile_symbols("1")
+        assert str(level1["n"]) == "T_n1"
+
+
+class TestExpressions:
+    def test_equation5_reproduced(self):
+        generic = total_volume_expr(INNER_W_PERM)
+        assert sp.simplify(generic - paper_equation5_expr()) == 0
+
+    def test_capacity_constraint_matches_eq4(self):
+        t = tile_symbols()
+        expected = (
+            t["n"] * t["c"] * (t["h"] + t["r"] - 1) * (t["w"] + t["s"] - 1)
+            + t["k"] * t["c"] * t["r"] * t["s"]
+            + t["n"] * t["k"] * t["h"] * t["w"]
+        )
+        assert sp.simplify(capacity_constraint_expr() - expected) == 0
+
+    def test_band_members_same_expression(self):
+        cls = pruned_permutation_classes()[0]
+        members = list(cls.members())
+        reference = total_volume_expr(members[0])
+        for member in members[5:10]:
+            assert sp.simplify(total_volume_expr(member) - reference) == 0
+
+    def test_all_class_expressions_present(self):
+        expressions = all_class_expressions()
+        assert len(expressions) == 8
+        for expr in expressions.values():
+            assert expr.free_symbols  # parametric in N and T
+
+    def test_out_tensor_expression_has_factor_two(self):
+        expr = tensor_volume_expr(INNER_W_PERM, "Out")
+        n = problem_symbols()
+        t = tile_symbols()
+        ratio = sp.prod([n[i] / t[i] for i in LOOP_INDICES])
+        expected = 2 * ratio * t["n"] * t["k"] * t["h"] * t["w"]
+        assert sp.simplify(expr - expected) == 0
+
+    def test_pretty_print_contains_all_classes(self):
+        text = pretty_print_class_costs()
+        for cls in pruned_permutation_classes():
+            assert cls.describe() in text
+
+
+class TestNumericAgreement:
+    def test_symbolic_matches_numeric_model(self, small_spec, sample_tiles):
+        for cls in pruned_permutation_classes()[:4]:
+            model = build_symbolic_model(small_spec, cls.representative)
+            config = TilingConfig(cls.representative, sample_tiles)
+            assert model.volume(sample_tiles) == pytest.approx(
+                total_data_volume(small_spec, config), rel=1e-9
+            )
+
+    def test_symbolic_footprint_matches(self, small_spec, sample_tiles):
+        from repro.core.cost_model import combined_footprint
+
+        model = build_symbolic_model(small_spec, INNER_W_PERM)
+        assert model.footprint(sample_tiles) == pytest.approx(
+            combined_footprint(sample_tiles)
+        )
+
+    def test_class_volume_expr_is_total(self):
+        cls = pruned_permutation_classes()[2]
+        assert sp.simplify(
+            class_volume_expr(cls) - total_volume_expr(cls.representative)
+        ) == 0

@@ -1,0 +1,183 @@
+"""Tests for layout/trace generation and the slice-level simulator (repro.sim)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MultiLevelConfig, TilingConfig, single_level
+from repro.core.cost_model import total_data_volume
+from repro.core.tensor_spec import LOOP_INDICES, ConvSpec
+from repro.sim.tilesim import (
+    SimulationOptions,
+    SimulationTooLargeError,
+    count_tiles,
+    enumerate_tiles,
+    simulate_execution,
+    simulate_single_level,
+)
+from repro.sim.trace import TensorLayout, element_trace
+
+PERM = ("n", "k", "c", "r", "s", "h", "w")
+
+
+class TestTensorLayout:
+    def test_segments_do_not_overlap(self, small_spec):
+        layout = TensorLayout(small_spec, line_elements=16, vec_len=8)
+        assert layout.out_base_line == 0
+        assert layout.in_base_line > 0
+        assert layout.ker_base_line > layout.in_base_line
+        assert layout.total_lines > layout.ker_base_line
+
+    def test_full_tile_covers_whole_tensor(self, tiny_spec):
+        layout = TensorLayout(tiny_spec, line_elements=1, vec_len=4)
+        origin = {i: 0 for i in LOOP_INDICES}
+        tiles = dict(tiny_spec.loop_extents)
+        out_lines = layout.out_tile_lines(origin, tiles)
+        assert len(out_lines) == tiny_spec.out_elements
+        ker_lines = layout.ker_tile_lines(origin, tiles)
+        # Packed kernel includes padding to a multiple of vec_len (8 -> 8, exact).
+        assert len(ker_lines) == tiny_spec.ker_elements
+
+    def test_out_lines_respect_line_size(self, tiny_spec):
+        layout = TensorLayout(tiny_spec, line_elements=16, vec_len=4)
+        origin = {i: 0 for i in LOOP_INDICES}
+        tiles = dict(tiny_spec.loop_extents)
+        out_lines = layout.out_tile_lines(origin, tiles)
+        assert len(out_lines) == pytest.approx(np.ceil(tiny_spec.out_elements / 16), abs=8)
+
+    def test_in_lines_include_halo(self, small_spec):
+        layout = TensorLayout(small_spec, line_elements=1, vec_len=8)
+        origin = {i: 0 for i in LOOP_INDICES}
+        tiles = {"n": 1, "k": 1, "c": 1, "r": 3, "s": 3, "h": 2, "w": 2}
+        lines = layout.in_tile_lines(origin, tiles)
+        # (2 + 3 - 1) x (2 + 3 - 1) input window for one channel.
+        assert len(lines) == 16
+
+    def test_partial_tile_clipping(self, tiny_spec):
+        layout = TensorLayout(tiny_spec, line_elements=1, vec_len=4)
+        origin = {"n": 0, "k": 6, "c": 0, "r": 0, "s": 0, "h": 4, "w": 4}
+        tiles = {"n": 1, "k": 4, "c": 1, "r": 1, "s": 1, "h": 4, "w": 4}
+        lines = layout.out_tile_lines(origin, tiles)
+        # Only 2 k values and 2x2 spatial positions remain.
+        assert len(lines) == 2 * 2 * 2
+
+    def test_invalid_layout(self, tiny_spec):
+        with pytest.raises(ValueError):
+            TensorLayout(tiny_spec, line_elements=0, vec_len=4)
+
+    def test_element_trace_counts(self):
+        spec = ConvSpec("micro", 1, 2, 2, 3, 3, 2, 2)
+        accesses = list(element_trace(spec))
+        assert len(accesses) == 3 * spec.macs
+        tensors = {t for t, _, _ in accesses}
+        assert tensors == {"In", "Out", "Ker"}
+
+
+class TestTileEnumeration:
+    def test_tile_count_matches_formula(self, small_spec, sample_multilevel):
+        tiles = list(enumerate_tiles(small_spec, sample_multilevel))
+        assert len(tiles) == count_tiles(small_spec, sample_multilevel)
+
+    def test_tiles_cover_iteration_space_exactly(self, tiny_spec):
+        config = single_level(
+            TilingConfig(PERM, {"n": 1, "k": 3, "c": 2, "r": 2, "s": 3, "h": 4, "w": 5})
+        )
+        covered = np.zeros(tuple(tiny_spec.loop_extents[i] for i in LOOP_INDICES), dtype=int)
+        for origin, sizes in enumerate_tiles(tiny_spec, config):
+            slices = tuple(
+                slice(origin[i], origin[i] + sizes[i]) for i in LOOP_INDICES
+            )
+            covered[slices] += 1
+        assert covered.min() == 1 and covered.max() == 1
+
+    def test_register_level_not_enumerated(self, small_spec, sample_multilevel, sample_config):
+        with_reg = MultiLevelConfig(
+            ("Reg", "L1", "L2"),
+            (
+                TilingConfig(PERM, {i: 1.0 for i in LOOP_INDICES}),
+                sample_multilevel.configs[0],
+                sample_multilevel.configs[1],
+            ),
+        )
+        assert count_tiles(small_spec, with_reg) == count_tiles(small_spec, sample_multilevel)
+
+    def test_innermost_iterator_varies_fastest(self, tiny_spec):
+        config = single_level(
+            TilingConfig(PERM, {"n": 1, "k": 8, "c": 4, "r": 3, "s": 3, "h": 3, "w": 3})
+        )
+        origins = [origin for origin, _ in enumerate_tiles(tiny_spec, config)]
+        # w is innermost: consecutive tiles differ in w first.
+        assert origins[0]["w"] == 0 and origins[1]["w"] == 3
+
+
+class TestSimulation:
+    def test_counters_have_all_levels(self, tiny_spec, tiny_machine, sample_config):
+        config = TilingConfig(PERM, {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3})
+        counters = simulate_single_level(tiny_spec, config, tiny_machine)
+        assert set(counters.level_miss_lines) == {"L1", "L2", "L3"}
+        assert counters.register_transfers > 0
+
+    def test_compulsory_traffic_lower_bound(self, tiny_spec, tiny_machine):
+        """Every tensor element must be moved at least once (cold misses)."""
+        config = TilingConfig(PERM, {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3})
+        counters = simulate_single_level(
+            tiny_spec, config, tiny_machine, options=SimulationOptions(line_elements=1)
+        )
+        total = tiny_spec.out_elements + tiny_spec.ker_elements
+        assert counters.level_miss_lines["L3"] >= total * 0.5
+
+    def test_measured_l3_close_to_model_when_assumptions_hold(self, tiny_machine):
+        """For a configuration whose tiles overflow the caches, the simulator's
+        memory traffic should be in the same ballpark as the analytical model."""
+        spec = ConvSpec("mid", 1, 32, 16, 12, 12, 3, 3, padding=1)
+        config = TilingConfig(PERM, {"n": 1, "k": 8, "c": 8, "r": 3, "s": 3, "h": 6, "w": 6})
+        counters = simulate_single_level(
+            spec, config, tiny_machine, options=SimulationOptions(line_elements=1)
+        )
+        modeled = total_data_volume(spec, config)
+        measured = counters.level_volume_elements("L3")
+        assert measured <= modeled * 1.5
+        assert measured >= modeled * 0.1
+
+    def test_better_tiling_moves_less_data(self, tiny_machine):
+        spec = ConvSpec("mid", 1, 32, 16, 12, 12, 3, 3, padding=1)
+        bad = TilingConfig(PERM, {"n": 1, "k": 1, "c": 1, "r": 1, "s": 1, "h": 12, "w": 12})
+        good = TilingConfig(PERM, {"n": 1, "k": 8, "c": 8, "r": 3, "s": 3, "h": 6, "w": 6})
+        options = SimulationOptions(line_elements=1)
+        bad_counters = simulate_single_level(spec, bad, tiny_machine, options=options)
+        good_counters = simulate_single_level(spec, good, tiny_machine, options=options)
+        assert (
+            good_counters.level_volume_elements("L3")
+            <= bad_counters.level_volume_elements("L3")
+        )
+
+    def test_ideal_vs_realistic_caches(self, tiny_spec, tiny_machine):
+        config = TilingConfig(PERM, {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3})
+        ideal = simulate_single_level(
+            tiny_spec, config, tiny_machine, options=SimulationOptions(ideal_caches=True)
+        )
+        realistic = simulate_single_level(
+            tiny_spec, config, tiny_machine, options=SimulationOptions(ideal_caches=False)
+        )
+        # Conflict misses can only add traffic.
+        assert (
+            realistic.level_miss_lines["L1"] >= ideal.level_miss_lines["L1"] * 0.95
+        )
+
+    def test_too_large_simulation_rejected(self, tiny_machine):
+        spec = ConvSpec("big", 1, 64, 64, 64, 64, 3, 3, padding=1)
+        config = TilingConfig(PERM, {i: 1.0 for i in LOOP_INDICES})
+        with pytest.raises(SimulationTooLargeError):
+            simulate_execution(
+                spec, single_level(config), tiny_machine, SimulationOptions(max_tiles=1000)
+            )
+
+    def test_counters_volume_conversion(self, tiny_spec, tiny_machine):
+        config = TilingConfig(PERM, {"n": 1, "k": 4, "c": 2, "r": 3, "s": 3, "h": 3, "w": 3})
+        counters = simulate_single_level(tiny_spec, config, tiny_machine)
+        l1_lines = counters.level_miss_lines["L1"] + counters.writeback_lines.get("L1", 0)
+        assert counters.level_volume_elements("L1") == pytest.approx(
+            l1_lines * counters.line_elements
+        )
+        assert counters.level_volume_bytes("L1") == pytest.approx(
+            counters.level_volume_elements("L1") * 4
+        )
