@@ -1,0 +1,92 @@
+"""Benchmark: cold vs. warm-cache network optimization through the engine.
+
+The paper's pitch is that analytical modeling optimizes whole networks in
+seconds; the engine's pitch is that a *persistent result cache* makes the
+second time essentially free.  This benchmark optimizes every ResNet-18
+operator of Table 1 through :class:`repro.engine.NetworkOptimizer` (MOpt
+strategy, prediction-only, parallel fan-out) twice against one on-disk
+store and asserts
+
+* the cold run solves all 12 distinct operators and the warm run serves
+  every one of them from the cache,
+* the warm run is at least 5x faster than the cold run (in practice it is
+  orders of magnitude faster — pure JSON lookups),
+* cold and warm runs agree on every per-layer figure.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.core.optimizer import OptimizerSettings
+from repro.core.solver import SolverOptions
+from repro.engine import NetworkOptimizer, ResultCache
+
+#: Reduced MOpt effort for the network sweep: two representative pruned
+#: classes and a small solver budget keep the cold run to tens of seconds
+#: while still exercising the full engine path per operator.
+ENGINE_BENCH_SETTINGS = OptimizerSettings(
+    levels=("Reg", "L1", "L2", "L3"),
+    fix_register_tile=True,
+    parallel=True,
+    threads=8,
+    solver=SolverOptions(multistarts=0, maxiter=40, fallback_samples=60),
+    permutation_class_names=("inner-w", "inner-s"),
+    top_k=5,
+)
+
+
+def _optimize_resnet18(machine, settings, cache_dir):
+    optimizer = NetworkOptimizer(
+        machine,
+        "mopt",
+        strategy_options={"settings": settings, "measure": False},
+        cache=ResultCache(cache_dir),
+        executor="process",
+        max_workers=4,
+    )
+    return optimizer.optimize("resnet18")
+
+
+def _cold_then_warm(machine, settings, cache_dir):
+    start = time.perf_counter()
+    cold = _optimize_resnet18(machine, settings, cache_dir)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = _optimize_resnet18(machine, settings, cache_dir)
+    warm_seconds = time.perf_counter() - start
+    return cold, cold_seconds, warm, warm_seconds
+
+
+def test_bench_network_engine_cold_vs_warm(benchmark, i7_machine, tmp_path):
+    cold, cold_seconds, warm, warm_seconds = run_once(
+        benchmark,
+        _cold_then_warm,
+        i7_machine,
+        ENGINE_BENCH_SETTINGS,
+        tmp_path / "result-cache",
+    )
+
+    assert cold.num_operators == warm.num_operators == 12
+    assert cold.distinct_operators == 12
+    assert cold.cache_hits == 0
+    assert warm.cache_hits == 12
+
+    # Warm-cache re-optimization must be >= 5x faster than the cold run.
+    assert warm_seconds * 5 <= cold_seconds, (
+        f"warm {warm_seconds:.3f}s vs cold {cold_seconds:.3f}s"
+    )
+
+    # Cache hits reproduce the cold results exactly.
+    assert warm.gflops_by_layer() == cold.gflops_by_layer()
+    assert warm.total_time_seconds == cold.total_time_seconds
+    assert cold.total_gflops > 0
+
+    print(
+        f"\nresnet18 via engine: cold {cold_seconds:.2f}s, warm {warm_seconds:.3f}s "
+        f"({cold_seconds / max(warm_seconds, 1e-9):.0f}x), "
+        f"predicted {cold.total_gflops:.1f} GFLOPS"
+    )
+    print(cold.summary())

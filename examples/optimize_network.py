@@ -1,18 +1,17 @@
-"""Optimize every conv2d stage of a DNN pipeline and compare with the baselines.
+"""Optimize every conv2d stage of a DNN pipeline through the network engine.
 
 This reproduces, for one network of Table 1 (default: ResNet-18), the core
-of the paper's Section 10 evaluation on the i7-9700K: for each conv2d
-operator it runs
+of the paper's Section 10 evaluation on the i7-9700K — but through the
+:mod:`repro.engine` API: every system (MOpt, the oneDNN-like library, the
+AutoTVM-like tuner) runs as a registered :class:`SearchStrategy` inside a
+:class:`NetworkOptimizer`, which deduplicates repeated operator shapes,
+fans distinct operators out across a worker pool and serves repeated runs
+from the persistent result cache.
 
-* MOpt (analytical design-space exploration, Algorithm 1),
-* the oneDNN-like vendor-library baseline (heuristic dispatch, no search),
-* the AutoTVM-like tuner (template-constrained, ML-guided empirical search),
-
-measures all of them on the same virtual machine, and prints a per-layer
-table plus geometric-mean speedups.
-
-Run with:  python examples/optimize_network.py [network] [num_layers]
+Run with:  python examples/optimize_network.py [network] [num_layers] [cache_dir]
            e.g.  python examples/optimize_network.py mobilenet 4
+           e.g.  python examples/optimize_network.py resnet18 4 /tmp/repro-cache
+Passing a cache directory makes the second invocation near-instant.
 """
 
 from __future__ import annotations
@@ -20,15 +19,14 @@ from __future__ import annotations
 import sys
 
 from repro import coffee_lake_i7_9700k, fast_settings, network_benchmarks
-from repro.analysis import format_table, geometric_mean
-from repro.baselines import run_autotvm_like, run_onednn_like
-from repro.core.optimizer import MOptOptimizer
-from repro.sim import virtual_measurement
+from repro.analysis import format_table
+from repro.engine import NetworkOptimizer, ResultCache
 
 
 def main() -> None:
     network = sys.argv[1] if len(sys.argv) > 1 else "resnet18"
     limit = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    cache = ResultCache(sys.argv[3]) if len(sys.argv) > 3 else ResultCache()
     threads = 8
     machine = coffee_lake_i7_9700k()
     specs = network_benchmarks(network)[:limit]
@@ -37,33 +35,41 @@ def main() -> None:
     print(f"Machine: {machine.name}, {threads} threads")
     print()
 
-    rows = []
-    mopt_scores, onednn_scores, tvm_scores = {}, {}, {}
-    for spec in specs:
-        print(f"optimizing {spec.name} ({spec.flops / 1e9:.2f} GFLOP)...")
-        optimizer = MOptOptimizer(machine, fast_settings(parallel=True, threads=threads))
-        result = optimizer.optimize(spec)
-        mopt_measurements = [
-            virtual_measurement(spec, c.config, machine, threads=threads, seed=i)
-            for i, c in enumerate(result.top(5))
-        ]
-        mopt5 = max(m.gflops for m in mopt_measurements)
-        onednn = run_onednn_like(spec, machine, threads=threads)
-        tvm = run_autotvm_like(spec, machine, threads=threads, n_trials=96)
+    strategies = {
+        "mopt": {
+            "settings": fast_settings(parallel=True, threads=threads),
+            "threads": threads,
+            "measure": True,
+        },
+        "onednn": {"threads": threads},
+        "autotvm": {"threads": threads, "trials": 96},
+    }
+    results = {}
+    for name, options in strategies.items():
+        print(f"running {name!r} over {len(specs)} stages...")
+        optimizer = NetworkOptimizer(
+            machine, name, strategy_options=options, cache=cache, max_workers=4
+        )
+        results[name] = optimizer.optimize(specs)
+        print("  " + results[name].summary())
 
-        mopt_scores[spec.name] = mopt5
-        onednn_scores[spec.name] = onednn.gflops
-        tvm_scores[spec.name] = tvm.best_gflops
+    mopt, onednn, tvm = results["mopt"], results["onednn"], results["autotvm"]
+    rows = []
+    for outcome in mopt.operators:
+        layer = outcome.spec.name
+        mopt5 = float(outcome.result.extras["mopt5_gflops"])
+        onednn_gflops = onednn.outcome(layer).gflops
+        tvm_gflops = tvm.outcome(layer).gflops
         rows.append(
             [
-                spec.name,
-                result.best.class_name,
-                result.best.bottleneck_level,
+                layer,
+                str(outcome.result.extras["class_name"]),
+                str(outcome.result.extras["bottleneck_level"]),
                 mopt5,
-                onednn.gflops,
-                tvm.best_gflops,
-                mopt5 / onednn.gflops,
-                mopt5 / tvm.best_gflops,
+                onednn_gflops,
+                tvm_gflops,
+                mopt5 / onednn_gflops,
+                mopt5 / tvm_gflops,
             ]
         )
 
@@ -86,9 +92,15 @@ def main() -> None:
     )
     print()
     print(
-        f"geomean speedup of MOpt-5: "
-        f"{geometric_mean([mopt_scores[n] / onednn_scores[n] for n in mopt_scores]):.2f}x vs oneDNN, "
-        f"{geometric_mean([mopt_scores[n] / tvm_scores[n] for n in mopt_scores]):.2f}x vs TVM"
+        f"geomean speedup of MOpt: "
+        f"{mopt.geomean_speedup_vs(onednn):.2f}x vs oneDNN, "
+        f"{mopt.geomean_speedup_vs(tvm):.2f}x vs TVM"
+    )
+    print(
+        f"network totals: MOpt {mopt.total_gflops:.1f} GFLOPS "
+        f"({mopt.total_time_seconds * 1e3:.2f} ms), "
+        f"oneDNN {onednn.total_gflops:.1f} GFLOPS, "
+        f"TVM {tvm.total_gflops:.1f} GFLOPS"
     )
 
 

@@ -16,6 +16,10 @@ stack:
   convolutions.
 * :mod:`repro.baselines` — oneDNN-like and AutoTVM-like comparators plus
   random/grid/exhaustive search.
+* :mod:`repro.engine` — the network-level optimization engine: the
+  :class:`SearchStrategy` registry unifying all comparison systems, the
+  two-tier persistent :class:`ResultCache` and the parallel
+  :class:`NetworkOptimizer`.
 * :mod:`repro.workloads` — the Table 1 conv2d operators and configuration
   sampling.
 * :mod:`repro.analysis` and :mod:`repro.experiments` — statistics and the
@@ -29,6 +33,17 @@ Quickstart::
                     in_height=56, in_width=56, kernel_h=3, kernel_w=3, padding=1)
     result = MOptOptimizer(coffee_lake_i7_9700k()).optimize(spec)
     print(result.best.config.describe())
+
+Whole-network optimization with caching::
+
+    from repro import NetworkOptimizer, ResultCache, coffee_lake_i7_9700k
+
+    optimizer = NetworkOptimizer(
+        coffee_lake_i7_9700k(), "mopt",
+        strategy_options={"threads": 8, "measure": False},
+        cache=ResultCache("/tmp/repro-cache"),
+    )
+    print(optimizer.optimize("resnet18").summary())
 """
 
 from .core import (
@@ -45,6 +60,21 @@ from .core import (
     optimize_conv,
     pruned_permutation_classes,
 )
+from .engine import (
+    NetworkOptimizer,
+    NetworkResult,
+    ResultCache,
+    SearchStrategy,
+    StrategyResult,
+    available_strategies,
+    compare_network_strategies,
+    get_strategy,
+    optimize_network,
+    register_strategy,
+    result_cache_key,
+    spec_shape_key,
+    strategy_registry,
+)
 from .machine import (
     MachineSpec,
     cascade_lake_i9_10980xe,
@@ -54,27 +84,40 @@ from .machine import (
 )
 from .workloads import all_benchmarks, benchmark_by_name, network_benchmarks
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConvSpec",
     "MachineSpec",
     "MOptOptimizer",
     "MultiLevelConfig",
+    "NetworkOptimizer",
+    "NetworkResult",
     "OptimizationResult",
     "OptimizerSettings",
+    "ResultCache",
+    "SearchStrategy",
+    "StrategyResult",
     "TilingConfig",
     "all_benchmarks",
+    "available_strategies",
     "benchmark_by_name",
     "cascade_lake_i9_10980xe",
     "coffee_lake_i7_9700k",
+    "compare_network_strategies",
     "data_volume",
     "design_microkernel",
     "fast_settings",
     "get_machine",
+    "get_strategy",
     "multilevel_cost",
     "network_benchmarks",
     "optimize_conv",
+    "optimize_network",
     "pruned_permutation_classes",
+    "register_strategy",
+    "result_cache_key",
+    "spec_shape_key",
+    "strategy_registry",
     "tiny_test_machine",
 ]

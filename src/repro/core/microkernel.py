@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..machine.spec import MachineSpec, VectorISA
@@ -93,6 +94,7 @@ def _pipeline_efficiency(
     return max(0.05, latency_cover * issue_pressure)
 
 
+@lru_cache(maxsize=1024)
 def design_microkernel(
     machine: MachineSpec,
     spec: Optional[ConvSpec] = None,
@@ -105,6 +107,12 @@ def design_microkernel(
     The design depends only on the FMA latency/throughput and register count
     of the machine; when a ``spec`` is given the tile sizes are additionally
     clamped to the problem extents (e.g. a 1x1-kernel layer with ``N_w < 6``).
+
+    Both arguments are immutable dataclasses, the design is deterministic
+    and it is requested for the same ``(machine, spec)`` pair by the
+    optimizer, the performance model and the baselines alike, so results
+    are memoized.  Callers must treat the returned design (including its
+    ``register_tiles`` mapping) as read-only.
     """
     isa = machine.isa
     lanes = isa.vector_lanes(machine.dtype_bytes)

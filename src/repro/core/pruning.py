@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .config import TilingConfig
@@ -113,8 +114,15 @@ def _factorial(n: int) -> int:
     return result
 
 
+@lru_cache(maxsize=1)
 def pruned_permutation_classes() -> Tuple[PermutationClass, ...]:
-    """The eight pruned permutation classes of Section 4 (Summary table)."""
+    """The eight pruned permutation classes of Section 4 (Summary table).
+
+    The classes are a fixed property of the algebra (and every
+    :class:`PermutationClass` is immutable), but the optimizer asks for
+    them on every ``optimize()`` call — memoized so repeated network-level
+    sweeps do not rebuild and re-validate the eight dataclasses each time.
+    """
     return (
         PermutationClass("inner-w", (("k", "c", "r", "s"), ("n", "h"), ("w",))),
         PermutationClass("inner-h", (("k", "c", "r", "s"), ("n", "w"), ("h",))),

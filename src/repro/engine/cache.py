@@ -1,0 +1,207 @@
+"""Two-tier persistent result cache for search-strategy outcomes.
+
+Design-space exploration is cheap per operator but networks repeat
+shapes, experiments repeat networks and services repeat experiments; the
+cache makes re-solving an already-seen ``(spec, machine, strategy,
+settings)`` combination an O(1) lookup instead of a solver run.
+
+* Tier 1 is an in-memory LRU (bounded ``OrderedDict``) — hit cost is a
+  dict lookup.
+* Tier 2 is an on-disk JSON store, one file per key under a root
+  directory, written atomically (temp file + ``os.replace``) so a
+  crashed or concurrent writer can never leave a truncated entry.
+  Corrupt or unreadable entries are treated as misses and rewritten.
+
+Keys are content hashes (:func:`repro.engine.serialization.stable_hash`)
+of everything that determines the result: the operator *shape* (name
+excluded, so identically-shaped layers share an entry), the full machine
+description and the strategy's name + :meth:`cache_token`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..core.tensor_spec import ConvSpec
+from ..machine.spec import MachineSpec
+from .serialization import machine_to_dict, spec_to_dict, stable_hash
+from .strategy import SearchStrategy, StrategyResult
+
+#: Format marker stored in every disk entry; bump on incompatible changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def result_cache_key(
+    spec: ConvSpec, machine: MachineSpec, strategy: SearchStrategy
+) -> str:
+    """Stable content hash identifying one strategy run.
+
+    The operator name is deliberately excluded: two layers with the same
+    shape on the same machine under the same strategy are the same
+    problem (callers relabel the cached result's ``spec_name``).
+    """
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "spec": spec_to_dict(spec, include_name=False),
+        "machine": machine_to_dict(machine),
+        "strategy": {"name": strategy.name, "options": dict(strategy.cache_token())},
+    }
+    return stable_hash(payload)
+
+
+class DiskResultStore:
+    """On-disk JSON store: one ``<key>.json`` file per entry under ``root``."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load one entry's payload, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or entry.get("version") != CACHE_FORMAT_VERSION:
+            return None
+        return entry.get("result")
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Atomically persist one entry (temp file + rename)."""
+        entry = {"version": CACHE_FORMAT_VERSION, "key": key, "result": dict(payload)}
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> None:
+        """Delete every entry (the directory itself is kept)."""
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache` instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+
+class ResultCache:
+    """In-memory LRU in front of an optional :class:`DiskResultStore`.
+
+    ``path=None`` gives a purely in-memory cache; passing a directory
+    path enables persistence across processes and sessions.  All values
+    are :class:`~repro.engine.strategy.StrategyResult` instances and are
+    round-tripped through their ``to_dict``/``from_dict`` serialization
+    on the disk tier, so a disk hit is bit-identical to a fresh store.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        memory_entries: int = 512,
+    ):
+        if memory_entries < 1:
+            raise ValueError("memory_entries must be >= 1")
+        self.memory_entries = memory_entries
+        self._memory: "OrderedDict[str, StrategyResult]" = OrderedDict()
+        self.disk: Optional[DiskResultStore] = (
+            DiskResultStore(path) if path is not None else None
+        )
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def key_for(
+        self, spec: ConvSpec, machine: MachineSpec, strategy: SearchStrategy
+    ) -> str:
+        """Content-hash key of one strategy run (see :func:`result_cache_key`)."""
+        return result_cache_key(spec, machine, strategy)
+
+    def get(self, key: str) -> Optional[StrategyResult]:
+        """Look ``key`` up in memory first, then on disk; ``None`` on miss."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return cached
+        if self.disk is not None:
+            payload = self.disk.get(key)
+            if payload is not None:
+                result = StrategyResult.from_dict(payload)
+                self._remember(key, result)
+                self.stats.disk_hits += 1
+                return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, result: StrategyResult) -> None:
+        """Store ``result`` in both tiers."""
+        self._remember(key, result)
+        if self.disk is not None:
+            self.disk.put(key, result.to_dict())
+        self.stats.stores += 1
+
+    def _remember(self, key: str, result: StrategyResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.disk is not None and key in self.disk
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the memory tier (and optionally the disk tier)."""
+        self._memory.clear()
+        if disk and self.disk is not None:
+            self.disk.clear()

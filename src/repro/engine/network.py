@@ -1,0 +1,366 @@
+"""Network-level optimization: dedup, parallel fan-out and aggregation.
+
+The paper's headline claim is that analytical modeling makes
+design-space exploration cheap enough to optimize *whole networks* in
+seconds.  :class:`NetworkOptimizer` is the repo's realization of that
+claim as an API: give it a network (a Table 1 name such as
+``"resnet18"`` or any list of :class:`~repro.core.tensor_spec.ConvSpec`)
+and a strategy name, and it
+
+1. **deduplicates** identically-shaped operators (content hash of the
+   shape, name excluded) so each distinct problem is solved once,
+2. consults the optional two-tier :class:`~repro.engine.cache.ResultCache`
+   and only solves what is neither in memory nor on disk,
+3. **fans the remaining distinct operators out** over a
+   ``concurrent.futures`` thread or process pool,
+4. aggregates per-layer results into network totals: predicted
+   execution time, network GFLOPS and per-layer figures from which
+   geomean speedups between strategies are computed.
+
+Pool workers re-instantiate the strategy from ``(name, options)`` via
+the registry, so process-based fan-out only ever pickles plain data.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..analysis.stats import geometric_mean
+from ..core.tensor_spec import ConvSpec
+from ..machine.spec import MachineSpec
+from ..workloads.benchmarks import network_benchmarks
+from .cache import ResultCache
+from .serialization import spec_shape_key
+from .strategy import SearchStrategy, StrategyResult, get_strategy
+
+#: Accepted ``executor`` modes of :class:`NetworkOptimizer`.
+EXECUTOR_MODES = ("serial", "thread", "process")
+
+
+def _search_worker(
+    strategy: SearchStrategy,
+    spec: ConvSpec,
+    machine: MachineSpec,
+) -> StrategyResult:
+    """Top-level (picklable) pool worker.
+
+    The strategy *instance* is shipped to the worker rather than a
+    ``(name, options)`` registry reference: under the ``spawn`` /
+    ``forkserver`` start methods a fresh worker only has the built-in
+    registrations, so strategies registered at runtime in the parent
+    would be unresolvable there.  Pickling the instance only requires
+    the strategy class to be importable, which every module-level class
+    (including the built-in dataclass adapters) satisfies.
+    """
+    return strategy.search(spec, machine)
+
+
+@dataclass(frozen=True)
+class OperatorOutcome:
+    """One layer's result within a network-level optimization."""
+
+    spec: ConvSpec
+    result: StrategyResult
+    cached: bool
+    shape_key: str
+
+    @property
+    def gflops(self) -> float:
+        """The layer's headline GFLOP/s figure."""
+        return self.result.gflops
+
+    @property
+    def time_seconds(self) -> float:
+        """The layer's predicted/measured execution time."""
+        return self.result.time_seconds
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """Aggregated outcome of optimizing every operator of one network."""
+
+    network: str
+    machine_name: str
+    strategy: str
+    operators: Tuple[OperatorOutcome, ...]
+    distinct_operators: int
+    cache_hits: int
+    wall_seconds: float
+
+    @property
+    def num_operators(self) -> int:
+        """Number of layers (before deduplication)."""
+        return len(self.operators)
+
+    @property
+    def total_flops(self) -> float:
+        """Total floating-point work of the network."""
+        return float(sum(o.spec.flops for o in self.operators))
+
+    @property
+    def total_time_seconds(self) -> float:
+        """Network execution time: sum of per-layer times."""
+        return float(sum(o.time_seconds for o in self.operators))
+
+    @property
+    def total_gflops(self) -> float:
+        """Whole-network throughput implied by the per-layer times."""
+        return self.total_flops / max(self.total_time_seconds, 1e-30) / 1e9
+
+    @property
+    def total_search_seconds(self) -> float:
+        """Total search cost actually paid.
+
+        Cache hits cost nothing, and a shape solved once but shared by
+        several layers is counted once — this is the cost of the run,
+        not the cost a dedup-less optimizer would have paid.
+        """
+        seen: set = set()
+        total = 0.0
+        for o in self.operators:
+            if o.cached or o.shape_key in seen:
+                continue
+            seen.add(o.shape_key)
+            total += o.result.search_seconds
+        return total
+
+    def gflops_by_layer(self) -> Dict[str, float]:
+        """Layer name -> GFLOP/s."""
+        return {o.spec.name: o.gflops for o in self.operators}
+
+    def outcome(self, layer: str) -> OperatorOutcome:
+        """Look one layer up by name."""
+        for o in self.operators:
+            if o.spec.name == layer:
+                return o
+        raise KeyError(f"no layer {layer!r} in network {self.network!r}")
+
+    def geomean_speedup_vs(self, other: "NetworkResult") -> float:
+        """Geometric-mean per-layer speedup of this result over ``other``.
+
+        Layers are matched by name; both results must cover the same
+        layers (the usual case: same network, different strategies).
+        """
+        mine = self.gflops_by_layer()
+        theirs = other.gflops_by_layer()
+        if set(mine) != set(theirs):
+            raise ValueError(
+                f"layer sets differ: {sorted(mine)} vs {sorted(theirs)}"
+            )
+        return geometric_mean([mine[name] / theirs[name] for name in mine])
+
+    def summary(self) -> str:
+        """Short human-readable aggregate description."""
+        return (
+            f"{self.network} via {self.strategy!r} on {self.machine_name}: "
+            f"{self.num_operators} layers ({self.distinct_operators} distinct, "
+            f"{self.cache_hits} cache hits), predicted "
+            f"{self.total_time_seconds * 1e3:.3f} ms "
+            f"({self.total_gflops:.1f} GFLOPS), "
+            f"search {self.total_search_seconds:.2f} s, "
+            f"wall {self.wall_seconds:.2f} s"
+        )
+
+
+class NetworkOptimizer:
+    """Optimize every conv2d operator of a network through one strategy.
+
+    Parameters
+    ----------
+    machine:
+        Target machine description.
+    strategy:
+        Registry name of the search strategy (``"mopt"``, ``"onednn"``,
+        ``"autotvm"``, ``"random"``, ``"grid"`` or anything registered
+        later), configured through ``strategy_options``.
+    strategy_options:
+        Keyword options forwarded to the registry factory.
+    cache:
+        Optional :class:`~repro.engine.cache.ResultCache`; hits skip the
+        search entirely and warm whole-network re-runs become O(lookups).
+    executor:
+        ``"thread"`` (default), ``"process"`` or ``"serial"``.  The
+        serial path is bit-identical to the pooled paths — strategies
+        are deterministic — and exists for debugging and tests.
+    max_workers:
+        Pool width for the pooled modes (default: number of distinct
+        operators, capped at 8).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        strategy: str = "mopt",
+        *,
+        strategy_options: Optional[Mapping[str, Any]] = None,
+        cache: Optional[ResultCache] = None,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+    ):
+        if executor not in EXECUTOR_MODES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_MODES}, got {executor!r}"
+            )
+        self.machine = machine
+        self.strategy_name = strategy
+        self.strategy_options: Dict[str, Any] = dict(strategy_options or {})
+        # Instantiate eagerly so unknown names / bad options fail fast and
+        # the cache token is fixed for the optimizer's lifetime.
+        self.strategy: SearchStrategy = get_strategy(strategy, **self.strategy_options)
+        self.cache = cache
+        self.executor = executor
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        network: Union[str, Sequence[ConvSpec]],
+        *,
+        batch: int = 1,
+    ) -> NetworkResult:
+        """Optimize all operators of ``network`` and aggregate the results.
+
+        ``network`` is either a Table 1 network name (resolved through
+        :func:`repro.workloads.benchmarks.network_benchmarks`) or an
+        explicit operator list.
+        """
+        start = time.perf_counter()
+        if isinstance(network, str):
+            network_name = network
+            specs = network_benchmarks(network, batch=batch)
+        else:
+            specs = list(network)
+            network_name = "custom"
+        if not specs:
+            raise ValueError("network has no operators")
+
+        # --- 1. deduplicate identical shapes (first occurrence wins).
+        distinct: "Dict[str, ConvSpec]" = {}
+        for spec in specs:
+            distinct.setdefault(spec_shape_key(spec), spec)
+
+        # --- 2. consult the cache for each distinct shape.
+        solved: Dict[str, StrategyResult] = {}
+        cached_keys: set = set()
+        pending: List[Tuple[str, ConvSpec]] = []
+        for shape_key, spec in distinct.items():
+            hit = None
+            if self.cache is not None:
+                hit = self.cache.get(self.cache.key_for(spec, self.machine, self.strategy))
+            if hit is not None:
+                solved[shape_key] = hit
+                cached_keys.add(shape_key)
+            else:
+                pending.append((shape_key, spec))
+
+        # --- 3. fan the remaining distinct operators out.
+        for shape_key, result in zip(
+            (key for key, _ in pending),
+            self._run_pending([spec for _, spec in pending]),
+        ):
+            solved[shape_key] = result
+            if self.cache is not None:
+                spec = distinct[shape_key]
+                self.cache.put(
+                    self.cache.key_for(spec, self.machine, self.strategy), result
+                )
+
+        # --- 4. per-layer outcomes (cached/deduped results relabeled).
+        outcomes: List[OperatorOutcome] = []
+        for spec in specs:
+            shape_key = spec_shape_key(spec)
+            result = solved[shape_key]
+            if result.spec_name != spec.name:
+                result = result.with_spec_name(spec.name)
+            outcomes.append(
+                OperatorOutcome(
+                    spec=spec,
+                    result=result,
+                    cached=shape_key in cached_keys,
+                    shape_key=shape_key,
+                )
+            )
+        return NetworkResult(
+            network=network_name,
+            machine_name=self.machine.name,
+            strategy=self.strategy_name,
+            operators=tuple(outcomes),
+            distinct_operators=len(distinct),
+            cache_hits=len(cached_keys),
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_pending(self, specs: Sequence[ConvSpec]) -> List[StrategyResult]:
+        """Solve ``specs`` serially or through the configured pool, in order."""
+        if not specs:
+            return []
+        workers = self.max_workers or min(len(specs), 8)
+        if self.executor == "serial" or workers <= 1 or len(specs) == 1:
+            return [self.strategy.search(spec, self.machine) for spec in specs]
+        pool_cls = (
+            ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_search_worker, self.strategy, spec, self.machine)
+                for spec in specs
+            ]
+            return [future.result() for future in futures]
+
+
+def optimize_network(
+    network: Union[str, Sequence[ConvSpec]],
+    machine: MachineSpec,
+    *,
+    strategy: str = "mopt",
+    strategy_options: Optional[Mapping[str, Any]] = None,
+    cache: Optional[ResultCache] = None,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+    batch: int = 1,
+) -> NetworkResult:
+    """One-shot convenience wrapper around :class:`NetworkOptimizer`."""
+    optimizer = NetworkOptimizer(
+        machine,
+        strategy,
+        strategy_options=strategy_options,
+        cache=cache,
+        executor=executor,
+        max_workers=max_workers,
+    )
+    return optimizer.optimize(network, batch=batch)
+
+
+def compare_network_strategies(
+    network: Union[str, Sequence[ConvSpec]],
+    machine: MachineSpec,
+    strategies: Mapping[str, Mapping[str, Any]],
+    *,
+    cache: Optional[ResultCache] = None,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+    batch: int = 1,
+) -> Dict[str, NetworkResult]:
+    """Run several strategies over one network and return results by name.
+
+    ``strategies`` maps registry names to their option dicts, e.g.
+    ``{"mopt": {"threads": 8}, "onednn": {"threads": 8}}``.  All runs
+    share the same cache, so repeated invocations are warm.
+    """
+    return {
+        name: optimize_network(
+            network,
+            machine,
+            strategy=name,
+            strategy_options=options,
+            cache=cache,
+            executor=executor,
+            max_workers=max_workers,
+            batch=batch,
+        )
+        for name, options in strategies.items()
+    }

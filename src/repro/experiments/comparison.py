@@ -20,26 +20,27 @@ and small run-to-run noise.  MOpt and AutoTVM search with their own
 machinery; oneDNN dispatches heuristically; the paper's qualitative result
 — MOpt matches or beats the library and clearly beats the constrained
 auto-tuner — should and does survive the substitution.
+
+All systems run through the :mod:`repro.engine` strategy registry (the
+``"mopt"``, ``"onednn"`` and ``"autotvm"`` strategies), so the comparison
+shares one code path with network-level optimization instead of wiring
+each system up by hand.
 """
 
 from __future__ import annotations
 
-import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..analysis.reporting import format_bar_chart, format_speedup_summary, format_table
+from ..analysis.reporting import format_speedup_summary, format_table
 from ..analysis.stats import MeasurementSummary, geometric_mean, summarize_runs
-from ..baselines.autotvm_like import XGBLikeTuner
-from ..baselines.onednn_like import run_onednn_like
-from ..core.config import MultiLevelConfig
-from ..core.optimizer import MOptOptimizer, OptimizerSettings, fast_settings
-from ..core.tensor_spec import ConvSpec
+from ..core.optimizer import OptimizerSettings, fast_settings
+from ..engine.strategy import get_strategy
 from ..machine.presets import cascade_lake_i9_10980xe, coffee_lake_i7_9700k
 from ..machine.spec import MachineSpec
-from ..sim.perfmodel import virtual_measurement
 from ..workloads.benchmarks import benchmark_by_name, network_benchmarks, network_names
 
 #: Systems reported by the comparison, in presentation order.
@@ -112,42 +113,39 @@ def compare_operator(
     threads = settings.threads
     seed = settings.seed
 
-    # --- MOpt: analytical design-space exploration (Algorithm 1).
+    # --- MOpt: analytical design-space exploration (Algorithm 1), top-5
+    # candidates measured on the virtual machine (Figure 7/8 protocol).
     optimizer_settings = settings.optimizer_settings or fast_settings(
         parallel=True, threads=threads
     )
-    optimizer = MOptOptimizer(machine, optimizer_settings)
-    mopt_result = optimizer.optimize(spec)
-    mopt_candidates = mopt_result.top(5)
-    mopt_measurements = [
-        virtual_measurement(
-            spec,
-            candidate.config,
-            machine,
-            threads=threads,
-            seed=seed + 17 * index,
-        )
-        for index, candidate in enumerate(mopt_candidates)
-    ]
-    mopt1_gflops = mopt_measurements[0].gflops
-    mopt5_gflops = max(m.gflops for m in mopt_measurements)
+    mopt = get_strategy(
+        "mopt", settings=optimizer_settings, threads=threads, seed=seed, measure=True
+    ).search(spec, machine)
 
     # --- oneDNN-like vendor library.
-    onednn = run_onednn_like(spec, machine, threads=threads, seed=seed)
+    onednn = get_strategy("onednn", threads=threads, seed=seed).search(spec, machine)
 
     # --- AutoTVM-like tuner.
-    tuner = XGBLikeTuner(spec, machine, threads=threads, seed=seed)
-    tvm = tuner.tune(settings.tvm_trials)
+    tvm = get_strategy(
+        "autotvm", threads=threads, trials=settings.tvm_trials, seed=seed
+    ).search(spec, machine)
 
     gflops = {
-        "MOpt-1": mopt1_gflops,
-        "MOpt-5": mopt5_gflops,
+        "MOpt-1": float(mopt.extras["mopt1_gflops"]),
+        "MOpt-5": float(mopt.extras["mopt5_gflops"]),
         "oneDNN": onednn.gflops,
-        "TVM": tvm.best_gflops,
+        "TVM": tvm.gflops,
     }
     summaries = {
         system: summarize_runs(
-            _sample_runs(value, settings.runs, settings.noise, seed + hash(system) % 1000)
+            _sample_runs(
+                value,
+                settings.runs,
+                settings.noise,
+                # zlib.crc32, not hash(): per-system seeds must not change
+                # with the interpreter's per-process hash salt.
+                seed + zlib.crc32(system.encode("utf-8")) % 1000,
+            )
         )
         for system, value in gflops.items()
     }
@@ -158,7 +156,7 @@ def compare_operator(
         gflops=gflops,
         summaries=summaries,
         relative_to_tvm=relative,
-        mopt_search_seconds=mopt_result.search_seconds,
+        mopt_search_seconds=mopt.search_seconds,
         tvm_search_seconds=tvm.search_seconds,
     )
 

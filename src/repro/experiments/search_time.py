@@ -15,13 +15,12 @@ execution time, which the virtual machine also models).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_table
-from ..baselines.autotvm_like import XGBLikeTuner
-from ..core.optimizer import MOptOptimizer, OptimizerSettings, fast_settings
+from ..core.optimizer import OptimizerSettings, fast_settings
+from ..engine.strategy import get_strategy
 from ..machine.presets import coffee_lake_i7_9700k
 from ..machine.spec import MachineSpec
 from ..sim.perfmodel import virtual_measurement
@@ -70,13 +69,14 @@ def measure_search_time(
     spec = benchmark_by_name(operator)
 
     settings = optimizer_settings or fast_settings(parallel=True, threads=threads)
-    optimizer = MOptOptimizer(machine, settings)
-    start = time.perf_counter()
-    optimizer.optimize(spec)
-    mopt_seconds = time.perf_counter() - start
+    mopt = get_strategy("mopt", settings=settings, threads=threads, measure=False).search(
+        spec, machine
+    )
 
-    tuner = XGBLikeTuner(spec, machine, threads=threads, seed=seed)
-    tuning = tuner.tune(tuner_trials)
+    tuning = get_strategy(
+        "autotvm", threads=threads, trials=tuner_trials, seed=seed
+    ).search(spec, machine)
+    num_trials = int(tuning.extras["num_trials"])
     # On a real machine every trial executes the candidate, so tuning time is
     # dominated by `trials x execution_time`; model that part explicitly and
     # add the measured model-fitting/search overhead.
@@ -85,14 +85,14 @@ def measure_search_time(
     ).time_seconds
     per_trial_execution = best_time * 40  # ~40 timed repetitions per trial (TVM default-ish)
     extrapolated = 1000 * per_trial_execution + (
-        tuning.search_seconds / max(tuning.num_trials, 1)
+        tuning.search_seconds / max(num_trials, 1)
     ) * 1000
     return SearchTimeRecord(
         operator=operator,
         gflop=spec.flops / 1e9,
-        mopt_seconds=mopt_seconds,
+        mopt_seconds=mopt.search_seconds,
         tuner_seconds_measured=tuning.search_seconds,
-        tuner_trials_measured=tuning.num_trials,
+        tuner_trials_measured=num_trials,
         tuner_seconds_extrapolated_1000=extrapolated,
     )
 

@@ -7,6 +7,10 @@ hard-coding the table, this experiment *derives* each cell from the actual
 properties of the reproduction's implementations (e.g. the size of the
 search space each system explores for a representative operator), so the
 table doubles as a consistency check on the baselines.
+
+Each cell comes from the corresponding strategy in the
+:mod:`repro.engine` registry (its ``characterize`` hook), so adding a new
+comparison system to the registry automatically makes it derivable here.
 """
 
 from __future__ import annotations
@@ -15,13 +19,13 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..analysis.reporting import format_table
-from ..baselines.autotvm_like import ConvTemplate
-from ..baselines.onednn_like import ONEDNN_KERNEL_EFFICIENCY, schedule_library
-from ..core.microkernel import design_microkernel
-from ..core.pruning import pruning_statistics
+from ..engine.strategy import get_strategy
 from ..machine.presets import coffee_lake_i7_9700k
 from ..machine.spec import MachineSpec
 from ..workloads.benchmarks import benchmark_by_name
+
+#: Registry strategies characterized by Table 2, in presentation order.
+TABLE2_STRATEGIES = ("onednn", "autotvm", "mopt")
 
 
 @dataclass(frozen=True)
@@ -48,44 +52,18 @@ def run_table2(machine: MachineSpec | None = None, operator: str = "Y12") -> Tab
     machine = machine or coffee_lake_i7_9700k()
     spec = benchmark_by_name(operator)
 
-    onednn_schedules = schedule_library(spec, machine)
-    onednn = SystemCharacterization(
-        system="oneDNN (library baseline)",
-        auto_tuning=False,
-        microkernel=f"highly optimized (efficiency ~{ONEDNN_KERNEL_EFFICIENCY:.2f} of peak)",
-        design_space=f"minimal: {len(onednn_schedules)} pre-determined schedules, heuristic dispatch",
-        explored_configurations=len(onednn_schedules),
-    )
-
-    template = ConvTemplate(spec)
-    tvm = SystemCharacterization(
-        system="TVM / AutoTVM (auto-tuner baseline)",
-        auto_tuning=True,
-        microkernel="n/a (LLVM-vectorized code, no fixed microkernel)",
-        design_space=(
-            f"limited: fixed loop-order template, {template.space_size()} knob settings, "
-            "auto-tuned by actual execution"
-        ),
-        explored_configurations=template.space_size(),
-    )
-
-    stats = pruning_statistics()
-    microkernel = design_microkernel(machine, spec)
-    mopt = SystemCharacterization(
-        system="MOpt (this work)",
-        auto_tuning=False,
-        microkernel=(
-            f"generated, not highly optimized (efficiency ~{microkernel.efficiency:.2f} of peak)"
-        ),
-        design_space=(
-            "comprehensive: all tile-loop permutations and tile sizes via analytical "
-            f"modeling ({stats['total_permutations']} permutations pruned to "
-            f"{stats['num_classes']} solved cases per level)"
-        ),
-        explored_configurations=stats["total_permutations"],
-    )
-
-    systems = [onednn, tvm, mopt]
+    systems: List[SystemCharacterization] = []
+    for name in TABLE2_STRATEGIES:
+        info = get_strategy(name).characterize(spec, machine)
+        systems.append(
+            SystemCharacterization(
+                system=str(info["system"]),
+                auto_tuning=bool(info["auto_tuning"]),
+                microkernel=str(info["microkernel"]),
+                design_space=str(info["design_space"]),
+                explored_configurations=int(info["explored_configurations"]),
+            )
+        )
     headers = ["System", "Auto-tuning", "Microkernel", "Design-space exploration"]
     rows = [
         [s.system, "yes" if s.auto_tuning else "no", s.microkernel, s.design_space]

@@ -26,6 +26,7 @@ interval — run-to-run variation is modeled as small multiplicative noise.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -281,6 +282,18 @@ def predicted_rank_score(
     return 1.0 / estimate.time_seconds
 
 
+def _stable_digest(*parts: object) -> int:
+    """Process-independent 32-bit digest of ``parts``.
+
+    The virtual machine's pseudo-random effects (conflict misses,
+    measurement noise) must be reproducible across interpreter runs —
+    Python's built-in ``hash`` is salted per process, which would make
+    persistently cached measurements impossible to re-derive and CI
+    numbers drift from run to run.
+    """
+    return zlib.crc32(repr(parts).encode("utf-8"))
+
+
 def conflict_miss_penalty(
     spec: ConvSpec,
     config: MultiLevelConfig | TilingConfig,
@@ -307,8 +320,8 @@ def conflict_miss_penalty(
     key_parts: List[float] = []
     for level_config in config.configs:
         key_parts.extend(level_config.tiles[i] for i in LOOP_INDICES)
-    digest = hash((spec.name, machine.name, tuple(key_parts)))
-    rng = np.random.default_rng(abs(digest) % (2**32))
+    digest = _stable_digest(spec.name, machine.name, tuple(key_parts))
+    rng = np.random.default_rng(digest)
     if rng.random() >= probability:
         return 1.0
     return 1.0 + float(rng.uniform(0.2, max_penalty))
@@ -349,7 +362,7 @@ def virtual_measurement(
     )
     data_time = estimate.data_time_seconds * penalty
     total = max(data_time, estimate.compute_time_seconds) + estimate.packing_time_seconds
-    rng = np.random.default_rng(abs(int(seed) ^ (abs(hash((spec.name, machine.name))) % (2**31))))
+    rng = np.random.default_rng(abs(int(seed) ^ (_stable_digest(spec.name, machine.name) % (2**31))))
     factor = float(np.clip(rng.normal(1.0, max(noise, 0.0)), 0.8, 1.2)) if noise > 0 else 1.0
     total *= factor
     gflops = spec.flops / total / 1e9

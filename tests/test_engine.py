@@ -1,0 +1,392 @@
+"""Tests for the network-level optimization engine (repro.engine).
+
+Covers the strategy registry (lookup, errors, custom registration), the
+stable serialization layer, the two-tier result cache (memory LRU +
+on-disk JSON round-trips, corruption handling), operator deduplication,
+parallel fan-out equivalence with the serial path, and the memoization
+satellites in :mod:`repro.core`.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.microkernel import design_microkernel
+from repro.core.optimizer import OptimizerSettings
+from repro.core.pruning import pruned_permutation_classes
+from repro.core.solver import SolverOptions
+from repro.core.tensor_spec import ConvSpec
+from repro.engine import (
+    NetworkOptimizer,
+    ResultCache,
+    StrategyResult,
+    UnknownStrategyError,
+    available_strategies,
+    compare_network_strategies,
+    config_from_dict,
+    config_to_dict,
+    get_strategy,
+    optimize_network,
+    result_cache_key,
+    settings_from_dict,
+    settings_to_dict,
+    spec_from_dict,
+    spec_shape_key,
+    spec_to_dict,
+    strategy_registry,
+)
+from repro.engine.cache import DiskResultStore
+from repro.machine.presets import tiny_test_machine
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return tiny_test_machine()
+
+
+def _spec(name: str, *, in_channels: int = 8, kernel: int = 3) -> ConvSpec:
+    return ConvSpec(
+        name,
+        batch=1,
+        out_channels=16,
+        in_channels=in_channels,
+        in_height=14,
+        in_width=14,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        padding=(kernel - 1) // 2,
+    )
+
+
+RANDOM_OPTS = {"trials": 6, "threads": 2, "seed": 3}
+
+
+@dataclass(frozen=True)
+class _PoolConstantStrategy:
+    """Module-level (hence picklable) fixed-output strategy for pool tests."""
+
+    name: str = field(default="constant-pool", init=False)
+    gflops: float = 1.0
+
+    def search(self, spec, machine):
+        return StrategyResult(
+            strategy=self.name,
+            spec_name=spec.name,
+            gflops=self.gflops,
+            time_seconds=spec.flops / (self.gflops * 1e9),
+            search_seconds=0.0,
+        )
+
+    def cache_token(self):
+        return {"gflops": self.gflops}
+
+
+class TestRegistry:
+    def test_builtin_strategies_registered(self):
+        names = available_strategies()
+        for expected in ("mopt", "onednn", "autotvm", "random", "grid"):
+            assert expected in names
+            assert expected in strategy_registry
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(UnknownStrategyError):
+            get_strategy("no-such-system")
+
+    def test_unknown_strategy_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            strategy_registry.create("still-missing")
+
+    def test_error_message_lists_available(self):
+        with pytest.raises(UnknownStrategyError, match="random"):
+            get_strategy("no-such-system")
+
+    def test_custom_strategy_roundtrip(self, machine):
+        @dataclass(frozen=True)
+        class ConstantStrategy:
+            name: str = field(default="constant", init=False)
+            gflops: float = 1.0
+
+            def search(self, spec, machine):
+                return StrategyResult(
+                    strategy=self.name,
+                    spec_name=spec.name,
+                    gflops=self.gflops,
+                    time_seconds=spec.flops / (self.gflops * 1e9),
+                    search_seconds=0.0,
+                )
+
+            def cache_token(self):
+                return {"gflops": self.gflops}
+
+        strategy_registry.register("constant", ConstantStrategy)
+        try:
+            result = optimize_network(
+                [_spec("A")], machine, strategy="constant",
+                strategy_options={"gflops": 2.0}, executor="serial",
+            )
+            assert result.operators[0].gflops == 2.0
+        finally:
+            strategy_registry._factories.pop("constant")
+
+    def test_bad_executor_mode_rejected(self, machine):
+        with pytest.raises(ValueError, match="executor"):
+            NetworkOptimizer(machine, "random", executor="fleet")
+
+
+class TestSerialization:
+    def test_spec_roundtrip(self):
+        spec = _spec("Rt", in_channels=12)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_shape_key_ignores_name(self):
+        assert spec_shape_key(_spec("A")) == spec_shape_key(_spec("B"))
+        assert spec_shape_key(_spec("A")) != spec_shape_key(_spec("A", kernel=1))
+
+    def test_settings_roundtrip(self):
+        settings = OptimizerSettings(
+            levels=("L1", "L2"),
+            parallel=True,
+            threads=4,
+            solver=SolverOptions(multistarts=1, maxiter=17),
+            permutation_class_names=("inner-w",),
+        )
+        assert settings_from_dict(settings_to_dict(settings)) == settings
+
+    def test_config_roundtrip(self, machine):
+        result = get_strategy("random", **RANDOM_OPTS).search(_spec("C"), machine)
+        rebuilt = config_from_dict(config_to_dict(result.best_config))
+        assert rebuilt.levels == result.best_config.levels
+        for level in rebuilt.levels:
+            assert rebuilt.tiles(level) == result.best_config.tiles(level)
+
+    def test_strategy_result_roundtrip_is_json_safe(self, machine):
+        result = get_strategy("random", **RANDOM_OPTS).search(_spec("D"), machine)
+        payload = json.loads(json.dumps(result.to_dict()))
+        rebuilt = StrategyResult.from_dict(payload)
+        assert rebuilt.gflops == result.gflops
+        assert rebuilt.time_seconds == result.time_seconds
+        assert rebuilt.best_config.levels == result.best_config.levels
+
+
+class TestResultCache:
+    def test_disk_round_trip(self, machine, tmp_path):
+        spec = _spec("A")
+        strategy = get_strategy("random", **RANDOM_OPTS)
+        result = strategy.search(spec, machine)
+        key = result_cache_key(spec, machine, strategy)
+
+        cache = ResultCache(tmp_path / "store")
+        assert cache.get(key) is None  # cold miss
+        cache.put(key, result)
+        assert cache.get(key) is not None
+        assert cache.stats.memory_hits == 1 and cache.stats.misses == 1
+
+        # A fresh cache instance over the same directory must be served
+        # from disk, bit-identical to the stored result.
+        reopened = ResultCache(tmp_path / "store")
+        loaded = reopened.get(key)
+        assert loaded is not None
+        assert reopened.stats.disk_hits == 1
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_key_depends_on_strategy_and_machine(self, machine, tmp_path):
+        spec = _spec("A")
+        random6 = get_strategy("random", **RANDOM_OPTS)
+        random9 = get_strategy("random", trials=9)
+        grid = get_strategy("grid")
+        keys = {
+            result_cache_key(spec, machine, random6),
+            result_cache_key(spec, machine, random9),
+            result_cache_key(spec, machine, grid),
+            result_cache_key(spec, machine.with_cores(2), random6),
+            result_cache_key(_spec("A", kernel=1), machine, random6),
+        }
+        assert len(keys) == 5
+
+    def test_key_ignores_operator_name(self, machine):
+        strategy = get_strategy("random", **RANDOM_OPTS)
+        assert result_cache_key(_spec("A"), machine, strategy) == result_cache_key(
+            _spec("Z"), machine, strategy
+        )
+
+    def test_corrupt_disk_entry_is_a_miss(self, machine, tmp_path):
+        spec = _spec("A")
+        strategy = get_strategy("random", **RANDOM_OPTS)
+        result = strategy.search(spec, machine)
+        key = result_cache_key(spec, machine, strategy)
+        store = DiskResultStore(tmp_path)
+        store.put(key, result.to_dict())
+        (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
+        assert store.get(key) is None
+        assert ResultCache(tmp_path).get(key) is None
+
+    def test_disk_store_expands_user_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        store = DiskResultStore("~/repro-cache")
+        assert store.root == tmp_path / "repro-cache"
+        assert store.root.is_dir()
+
+    def test_memory_lru_eviction(self):
+        cache = ResultCache(memory_entries=2)
+        results = {
+            name: StrategyResult(
+                strategy="constant", spec_name=name, gflops=1.0,
+                time_seconds=1.0, search_seconds=0.0,
+            )
+            for name in ("k1", "k2", "k3")
+        }
+        for name, result in results.items():
+            cache.put(name, result)
+        assert cache.get("k1") is None  # evicted, no disk tier
+        assert cache.get("k3") is not None
+
+
+class TestNetworkOptimizer:
+    def test_dedup_of_repeated_shapes(self, machine):
+        specs = [_spec("A"), _spec("B", kernel=1), _spec("A-again")]
+        result = optimize_network(
+            specs, machine, strategy="random",
+            strategy_options=RANDOM_OPTS, executor="serial",
+        )
+        assert result.num_operators == 3
+        assert result.distinct_operators == 2
+        a, again = result.outcome("A"), result.outcome("A-again")
+        assert a.result.gflops == again.result.gflops
+        assert again.result.spec_name == "A-again"  # relabeled copy
+        assert a.shape_key == again.shape_key
+
+    def test_search_cost_counted_once_per_distinct_shape(self, machine):
+        specs = [_spec("A"), _spec("A-dup"), _spec("A-tri")]
+        result = optimize_network(
+            specs, machine, strategy="random",
+            strategy_options=RANDOM_OPTS, executor="serial",
+        )
+        assert result.distinct_operators == 1
+        # One solve, shared by three layers: cost of the run, not 3x it.
+        assert result.total_search_seconds == pytest.approx(
+            result.operators[0].result.search_seconds
+        )
+
+    def test_runtime_registered_strategy_in_process_pool(self, machine):
+        # The pool ships strategy *instances*, so a strategy registered at
+        # runtime (absent from a fresh worker's registry) must still work.
+        strategy_registry.register("constant-pool", _PoolConstantStrategy)
+        try:
+            result = optimize_network(
+                [_spec("A"), _spec("B", kernel=1)], machine,
+                strategy="constant-pool", strategy_options={"gflops": 3.0},
+                executor="process", max_workers=2,
+            )
+            assert [o.gflops for o in result.operators] == [3.0, 3.0]
+        finally:
+            strategy_registry._factories.pop("constant-pool")
+
+    def test_parallel_fanout_matches_serial(self, machine):
+        specs = [_spec("A"), _spec("B", kernel=1), _spec("C", in_channels=4)]
+        serial = optimize_network(
+            specs, machine, strategy="random",
+            strategy_options=RANDOM_OPTS, executor="serial",
+        )
+        threaded = optimize_network(
+            specs, machine, strategy="random",
+            strategy_options=RANDOM_OPTS, executor="thread", max_workers=3,
+        )
+        assert serial.gflops_by_layer() == threaded.gflops_by_layer()
+        assert serial.total_time_seconds == threaded.total_time_seconds
+
+    def test_warm_cache_run_hits_every_distinct_shape(self, machine, tmp_path):
+        specs = [_spec("A"), _spec("B", kernel=1), _spec("A2")]
+        cold = optimize_network(
+            specs, machine, strategy="random", strategy_options=RANDOM_OPTS,
+            cache=ResultCache(tmp_path / "net"), executor="serial",
+        )
+        assert cold.cache_hits == 0
+        warm = optimize_network(
+            specs, machine, strategy="random", strategy_options=RANDOM_OPTS,
+            cache=ResultCache(tmp_path / "net"), executor="serial",
+        )
+        assert warm.cache_hits == warm.distinct_operators == 2
+        assert warm.gflops_by_layer() == cold.gflops_by_layer()
+        assert warm.total_search_seconds == 0.0
+
+    def test_aggregates_are_consistent(self, machine):
+        specs = [_spec("A"), _spec("B", kernel=1)]
+        result = optimize_network(
+            specs, machine, strategy="grid",
+            strategy_options={"per_index": 2}, executor="serial",
+        )
+        assert result.total_flops == sum(s.flops for s in specs)
+        assert result.total_time_seconds == pytest.approx(
+            sum(o.time_seconds for o in result.operators)
+        )
+        assert result.total_gflops == pytest.approx(
+            result.total_flops / result.total_time_seconds / 1e9
+        )
+        assert result.network == "custom"
+        assert "2 layers" in result.summary()
+
+    def test_network_by_name_resolves_table1(self, machine):
+        result = optimize_network(
+            "mobilenet", machine, strategy="grid",
+            strategy_options={"per_index": 2}, executor="thread", max_workers=4,
+        )
+        assert result.network == "mobilenet"
+        assert result.num_operators == 9
+        # Table 1 MobileNet rows are all distinct shapes.
+        assert result.distinct_operators == 9
+
+    def test_geomean_speedup_between_strategies(self, machine):
+        specs = [_spec("A"), _spec("B", kernel=1)]
+        results = compare_network_strategies(
+            specs, machine,
+            {"random": RANDOM_OPTS, "grid": {"per_index": 2}},
+            executor="serial",
+        )
+        speedup = results["random"].geomean_speedup_vs(results["grid"])
+        inverse = results["grid"].geomean_speedup_vs(results["random"])
+        assert speedup > 0
+        assert speedup * inverse == pytest.approx(1.0)
+
+    def test_geomean_requires_matching_layers(self, machine):
+        one = optimize_network(
+            [_spec("A")], machine, strategy="grid",
+            strategy_options={"per_index": 2}, executor="serial",
+        )
+        other = optimize_network(
+            [_spec("B", kernel=1)], machine, strategy="grid",
+            strategy_options={"per_index": 2}, executor="serial",
+        )
+        with pytest.raises(ValueError, match="layer sets differ"):
+            one.geomean_speedup_vs(other)
+
+    def test_mopt_strategy_through_engine(self, machine):
+        settings = OptimizerSettings(
+            levels=("L1", "L2"),
+            fix_register_tile=False,
+            solver=SolverOptions(multistarts=0, maxiter=30, fallback_samples=40),
+            permutation_class_names=("inner-w",),
+        )
+        result = optimize_network(
+            [_spec("A")], machine, strategy="mopt",
+            strategy_options={"settings": settings, "measure": False},
+            executor="serial",
+        )
+        outcome = result.operators[0]
+        assert outcome.gflops > 0
+        assert outcome.result.best_config is not None
+        assert outcome.result.extras["class_name"] == "inner-w"
+
+
+class TestMemoizationSatellites:
+    def test_pruned_permutation_classes_memoized(self):
+        assert pruned_permutation_classes() is pruned_permutation_classes()
+
+    def test_design_microkernel_memoized(self, machine):
+        spec = _spec("A")
+        assert design_microkernel(machine, spec) is design_microkernel(machine, spec)
+
+    def test_design_microkernel_distinguishes_specs(self, machine):
+        assert design_microkernel(machine, _spec("A")) is not design_microkernel(
+            machine, _spec("A", kernel=1)
+        )
