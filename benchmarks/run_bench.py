@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Record the optimizer's cold/warm performance trajectory.
+
+Times the stages that matter for the "analytical search is fast" claim and
+writes them to ``BENCH_optimizer.json`` so the repo finally has a recorded
+perf trajectory across commits:
+
+* ``cold_operator_vectorized_s`` / ``cold_operator_scalar_s`` — one cold
+  MOpt search for a single ResNet-18 operator through the batched core
+  and through the pre-PR scalar path (``OptimizerSettings(vectorized=
+  False)``).
+* ``cold_network_vectorized_s`` / ``cold_network_scalar_s`` — a cold
+  analytical (measure-free) whole-network optimization of ResNet-18
+  through :class:`~repro.engine.network.NetworkOptimizer`.
+* ``cold_network_batched_workload_s`` — the same network at batch size 8
+  (the "batched workload" axis of the ROADMAP), vectorized path only.
+* ``warm_network_s`` — the same network re-run against the persistent
+  cache (the PR 1 warm path).
+
+Run with:  PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--out PATH]
+
+``--quick`` restricts the network to its first four layers and skips the
+scalar network baseline so the smoke configuration finishes in seconds;
+the full run is the configuration whose numbers are recorded in
+CHANGES.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.optimizer import MOptOptimizer, fast_settings
+from repro.engine import NetworkOptimizer, ResultCache
+from repro.machine.presets import coffee_lake_i7_9700k
+from repro.workloads.benchmarks import network_benchmarks
+
+THREADS = 8
+NETWORK = "resnet18"
+BATCHED_WORKLOAD_BATCH = 8
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).resolve().parent.parent,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _network_seconds(settings, specs, cache=None) -> float:
+    optimizer = NetworkOptimizer(
+        coffee_lake_i7_9700k(),
+        "mopt",
+        strategy_options={"settings": settings, "threads": THREADS, "measure": False},
+        cache=cache,
+        max_workers=4,
+    )
+    return _timed(lambda: optimizer.optimize(specs))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small smoke configuration")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_optimizer.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args()
+
+    machine = coffee_lake_i7_9700k()
+    specs = network_benchmarks(NETWORK)
+    if args.quick:
+        specs = specs[:4]
+    vectorized = fast_settings(parallel=True, threads=THREADS)
+    scalar = replace(vectorized, vectorized=False)
+
+    stages = {}
+    spec = specs[0]
+    print(f"cold single-operator search ({spec.name}), vectorized ...")
+    stages["cold_operator_vectorized_s"] = _timed(
+        lambda: MOptOptimizer(machine, vectorized).optimize(spec)
+    )
+    print(f"  {stages['cold_operator_vectorized_s']:.2f} s")
+    print(f"cold single-operator search ({spec.name}), scalar (pre-PR path) ...")
+    stages["cold_operator_scalar_s"] = _timed(
+        lambda: MOptOptimizer(machine, scalar).optimize(spec)
+    )
+    print(f"  {stages['cold_operator_scalar_s']:.2f} s")
+
+    print(f"cold {NETWORK} network search ({len(specs)} layers), vectorized ...")
+    cache = ResultCache()
+    stages["cold_network_vectorized_s"] = _network_seconds(vectorized, specs, cache)
+    print(f"  {stages['cold_network_vectorized_s']:.2f} s")
+
+    print("warm re-run against the cache ...")
+    stages["warm_network_s"] = _network_seconds(vectorized, specs, cache)
+    print(f"  {stages['warm_network_s']:.4f} s")
+
+    print(f"cold batched workload (batch={BATCHED_WORKLOAD_BATCH}), vectorized ...")
+    batched_specs = [s.with_batch(BATCHED_WORKLOAD_BATCH) for s in specs]
+    stages["cold_network_batched_workload_s"] = _network_seconds(
+        vectorized, batched_specs
+    )
+    print(f"  {stages['cold_network_batched_workload_s']:.2f} s")
+
+    if not args.quick:
+        print(f"cold {NETWORK} network search, scalar (pre-PR path) ...")
+        stages["cold_network_scalar_s"] = _network_seconds(scalar, specs)
+        print(f"  {stages['cold_network_scalar_s']:.2f} s")
+
+    payload = {
+        "commit": _git_commit(),
+        "network": NETWORK,
+        "layers": len(specs),
+        "threads": THREADS,
+        "quick": bool(args.quick),
+        "wall_s": stages,
+    }
+    if "cold_network_scalar_s" in stages:
+        payload["network_speedup"] = (
+            stages["cold_network_scalar_s"] / stages["cold_network_vectorized_s"]
+        )
+    payload["operator_speedup"] = (
+        stages["cold_operator_scalar_s"] / stages["cold_operator_vectorized_s"]
+    )
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out_path}")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

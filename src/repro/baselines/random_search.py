@@ -15,7 +15,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..core.config import MultiLevelConfig
 from ..core.tensor_spec import ConvSpec
 from ..machine.spec import MachineSpec
-from ..sim.perfmodel import PerformanceEstimate, virtual_measurement
+from ..sim.perfmodel import (
+    PerformanceEstimate,
+    virtual_measurement,
+    virtual_measurement_batch,
+)
 from ..workloads.sampling import SamplerOptions, grid_configurations, sample_configurations
 
 MeasureFn = Callable[[MultiLevelConfig, int], PerformanceEstimate]
@@ -34,15 +38,76 @@ class SearchResult:
     all_gflops: Tuple[float, ...]
 
 
+def _trial_seed(seed: int, trial: int) -> int:
+    """The searchers' per-candidate measurement seed (one protocol, one place)."""
+    return seed * 7919 + trial
+
+
 def _default_measure(
     spec: ConvSpec, machine: MachineSpec, threads: int, seed: int
 ) -> MeasureFn:
+    """Scalar per-configuration measurement (the pre-batching protocol).
+
+    Retained as the reference implementation of the measurement protocol;
+    ``tests/test_baselines.py`` pins the batched path against it.
+    """
+
     def measure(config: MultiLevelConfig, trial: int) -> PerformanceEstimate:
         return virtual_measurement(
-            spec, config, machine, threads=threads, seed=seed * 7919 + trial
+            spec, config, machine, threads=threads, seed=_trial_seed(seed, trial)
         )
 
     return measure
+
+
+def _measure_all(
+    spec: ConvSpec,
+    machine: MachineSpec,
+    configs: Sequence[MultiLevelConfig],
+    threads: int,
+    seed: int,
+    measure_fn: Optional[MeasureFn],
+) -> List[PerformanceEstimate]:
+    """Measure every sampled configuration.
+
+    With the default virtual machine the whole pool goes through the
+    batched measurement path — one stacked cost-table sweep for all
+    configurations — while custom ``measure_fn`` callables keep the scalar
+    per-configuration protocol.
+    """
+    if measure_fn is not None:
+        return [measure_fn(config, index) for index, config in enumerate(configs)]
+    seeds = [_trial_seed(seed, index) for index in range(len(configs))]
+    return virtual_measurement_batch(
+        spec, configs, machine, threads=threads, seeds=seeds
+    )
+
+
+def _best_of(
+    spec: ConvSpec,
+    method: str,
+    configs: Sequence[MultiLevelConfig],
+    estimates: Sequence[PerformanceEstimate],
+    started_at: float,
+) -> SearchResult:
+    best_config: Optional[MultiLevelConfig] = None
+    best_gflops = -1.0
+    scores: List[float] = []
+    for config, estimate in zip(configs, estimates):
+        scores.append(estimate.gflops)
+        if estimate.gflops > best_gflops:
+            best_gflops = estimate.gflops
+            best_config = config
+    assert best_config is not None
+    return SearchResult(
+        spec_name=spec.name,
+        method=method,
+        best_config=best_config,
+        best_gflops=best_gflops,
+        evaluated=len(configs),
+        search_seconds=time.perf_counter() - started_at,
+        all_gflops=tuple(scores),
+    )
 
 
 def random_search(
@@ -56,29 +121,11 @@ def random_search(
 ) -> SearchResult:
     """Measure ``trials`` uniformly sampled configurations; keep the best."""
     start = time.perf_counter()
-    measure = measure_fn or _default_measure(spec, machine, threads, seed)
     configs = sample_configurations(
         spec, count=trials, options=SamplerOptions(seed=seed)
     )
-    best_config: Optional[MultiLevelConfig] = None
-    best_gflops = -1.0
-    scores: List[float] = []
-    for index, config in enumerate(configs):
-        estimate = measure(config, index)
-        scores.append(estimate.gflops)
-        if estimate.gflops > best_gflops:
-            best_gflops = estimate.gflops
-            best_config = config
-    assert best_config is not None
-    return SearchResult(
-        spec_name=spec.name,
-        method="random",
-        best_config=best_config,
-        best_gflops=best_gflops,
-        evaluated=len(configs),
-        search_seconds=time.perf_counter() - start,
-        all_gflops=tuple(scores),
-    )
+    estimates = _measure_all(spec, machine, configs, threads, seed, measure_fn)
+    return _best_of(spec, "random", configs, estimates, start)
 
 
 def grid_search(
@@ -93,24 +140,6 @@ def grid_search(
 ) -> SearchResult:
     """Measure a deterministic coordinate grid of single-level configurations."""
     start = time.perf_counter()
-    measure = measure_fn or _default_measure(spec, machine, threads, seed)
     configs = grid_configurations(spec, permutation, per_index=per_index)
-    best_config: Optional[MultiLevelConfig] = None
-    best_gflops = -1.0
-    scores: List[float] = []
-    for index, config in enumerate(configs):
-        estimate = measure(config, index)
-        scores.append(estimate.gflops)
-        if estimate.gflops > best_gflops:
-            best_gflops = estimate.gflops
-            best_config = config
-    assert best_config is not None
-    return SearchResult(
-        spec_name=spec.name,
-        method="grid",
-        best_config=best_config,
-        best_gflops=best_gflops,
-        evaluated=len(configs),
-        search_seconds=time.perf_counter() - start,
-        all_gflops=tuple(scores),
-    )
+    estimates = _measure_all(spec, machine, configs, threads, seed, measure_fn)
+    return _best_of(spec, "grid", configs, estimates, start)

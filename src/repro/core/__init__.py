@@ -11,11 +11,13 @@ The public surface of :mod:`repro.core` covers:
 * and the MOpt optimizer itself (:class:`MOptOptimizer`).
 """
 
+from .batched import BatchedCostTable, batched_footprints, table_for
 from .config import LEVEL_NAMES, MultiLevelConfig, TilingConfig, single_level
 from .cost_model import (
     CompiledPermutationCost,
     CostBreakdown,
     TensorCost,
+    compiled_cost_for,
     data_volume,
     per_tensor_volumes,
     tensor_data_volume,
@@ -42,7 +44,14 @@ from .pruning import (
     pruned_permutation_classes,
     pruned_representatives,
 )
-from .solver import SolverOptions, solve_best_single_level, solve_single_level
+from .solver import (
+    SolverOptions,
+    minimize_constrained,
+    minimize_from_starts,
+    solve_best_single_level,
+    solve_single_level,
+    solve_single_level_batch,
+)
 from .symbolic import build_symbolic_model, total_volume_expr
 from .tensor_spec import (
     LOOP_INDICES,
@@ -57,33 +66,36 @@ from .tensor_spec import (
 )
 
 __all__ = [
-    "LEVEL_NAMES",
-    "LOOP_INDICES",
-    "PARALLEL_INDICES",
-    "REDUCTION_INDICES",
-    "TENSOR_INDICES",
-    "TENSOR_NAMES",
+    "BatchedCostTable",
     "CandidateSolution",
     "CompiledPermutationCost",
     "ConvSpec",
     "CostBreakdown",
     "InvalidSpecError",
+    "LEVEL_NAMES",
+    "LOOP_INDICES",
     "MOptOptimizer",
     "MicrokernelDesign",
     "MultiLevelConfig",
     "MultiLevelCost",
     "OptimizationResult",
     "OptimizerSettings",
+    "PARALLEL_INDICES",
     "ParallelPlan",
     "PermutationClass",
+    "REDUCTION_INDICES",
     "SolverOptions",
+    "TENSOR_INDICES",
+    "TENSOR_NAMES",
     "TensorAccess",
     "TensorCost",
     "TilingConfig",
+    "batched_footprints",
     "build_symbolic_model",
     "check_config",
     "choose_parallel_plan",
     "classify",
+    "compiled_cost_for",
     "data_volume",
     "design_microkernel",
     "fast_settings",
@@ -92,6 +104,8 @@ __all__ = [
     "integerize_config",
     "level_capacities",
     "level_data_volume",
+    "minimize_constrained",
+    "minimize_from_starts",
     "multilevel_cost",
     "optimize_conv",
     "pack_kernel",
@@ -105,6 +119,8 @@ __all__ = [
     "single_level",
     "solve_best_single_level",
     "solve_single_level",
+    "solve_single_level_batch",
+    "table_for",
     "tensor_data_volume",
     "total_data_volume",
     "total_footprint",

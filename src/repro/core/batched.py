@@ -1,0 +1,239 @@
+"""Batched (vectorized) evaluation of the analytical cost model.
+
+The scalar cost model of :mod:`repro.core.cost_model` evaluates one
+permutation at one tile-size vector per call.  The optimizer, the
+exhaustive baseline and the sampling searchers all need the *same*
+expressions evaluated at many points: every multistart candidate of every
+pruned permutation class, every finite-difference perturbation of a solver
+iterate, every sampled configuration of a search.  Calling the scalar model
+point-by-point makes Python interpreter overhead — not the algebra — the
+cost of design-space exploration.
+
+:class:`BatchedCostTable` removes that overhead.  It pre-analyzes ``N``
+permutations once (reuse positions, case-1/case-2 selection, ratio-product
+index sets) into stacked boolean exponent masks of shape ``(N, tensors,
+7)`` and then evaluates data volumes and footprints for arbitrary arrays
+of tile vectors — ``(N, M, 7)`` for ``M`` candidate points per permutation
+— as a handful of NumPy broadcast/product calls instead of ``N * M``
+Python-level model evaluations.
+
+The numerical expressions are identical to the scalar model (the same
+case-1 / case-2 formulas of Sections 3–4, generalized to stride and
+dilation); only the association order of the floating-point products
+differs, so batched and scalar results agree to machine precision but not
+necessarily bit-for-bit.  ``tests/test_batched.py`` pins the agreement.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .config import TilingConfig
+from .cost_model import (
+    OUT_TRAFFIC_FACTOR,
+    PARTIAL_REUSE_ITERATORS,
+    combined_footprint_nd,
+    reuse_position,
+)
+from .tensor_spec import LOOP_INDICES, TENSOR_NAMES, ConvSpec
+
+#: Column position of each loop index in the trailing axis of every array
+#: handled by this module (the canonical :data:`LOOP_INDICES` order).
+POS = {index: position for position, index in enumerate(LOOP_INDICES)}
+
+_N, _K, _C, _R, _S, _H, _W = (POS[i] for i in ("n", "k", "c", "r", "s", "h", "w"))
+
+
+def tiles_to_array(tiles) -> np.ndarray:
+    """Convert a loop-index mapping to a ``(7,)`` array in canonical order."""
+    return np.array([float(tiles[i]) for i in LOOP_INDICES], dtype=float)
+
+
+def spec_extents_array(spec: ConvSpec) -> np.ndarray:
+    """Problem extents of a conv operator as a ``(7,)`` array."""
+    extents = spec.loop_extents
+    return np.array([float(extents[i]) for i in LOOP_INDICES], dtype=float)
+
+
+def _input_extents(tiles: np.ndarray, stride: int, dilation: int):
+    """Input-window extents ``(ext_h, ext_w)`` for tile arrays ``(..., 7)``."""
+    ext_h = (tiles[..., _H] - 1.0) * stride + (tiles[..., _R] - 1.0) * dilation + 1.0
+    ext_w = (tiles[..., _W] - 1.0) * stride + (tiles[..., _S] - 1.0) * dilation + 1.0
+    return ext_h, ext_w
+
+
+def batched_footprints(
+    tiles: np.ndarray, *, stride: int = 1, dilation: int = 1
+) -> np.ndarray:
+    """Combined tile footprint (Eq. 4 left-hand side) for tile arrays ``(..., 7)``.
+
+    The footprint does not depend on the permutation, so no cost table is
+    needed; this is the batched counterpart of
+    :func:`repro.core.cost_model.combined_footprint` and delegates to the
+    shared array implementation.
+    """
+    return combined_footprint_nd(tiles, stride=stride, dilation=dilation)
+
+
+class BatchedCostTable:
+    """Stacked single-level cost model over ``N`` permutations.
+
+    Parameters
+    ----------
+    permutations:
+        The permutations (outermost → innermost) to pre-analyze.  Each
+        becomes one row of the table; :meth:`volumes` evaluates all of them
+        against arrays of candidate tile vectors in one shot.
+    stride, dilation:
+        Convolution stride/dilation baked into the footprint and
+        partial-overlap expressions.
+    """
+
+    #: Iterator cases of the partial-overlap (case 2) expression for ``In``.
+    PARTIAL_CASES: Tuple[str, ...] = tuple(PARTIAL_REUSE_ITERATORS)
+
+    def __init__(
+        self, permutations: Sequence[Sequence[str]], *, stride: int = 1, dilation: int = 1
+    ):
+        perms = tuple(tuple(p) for p in permutations)
+        if not perms:
+            raise ValueError("at least one permutation is required")
+        self.permutations = perms
+        self.stride = int(stride)
+        self.dilation = int(dilation)
+
+        count = len(perms)
+        #: masks[p, t, j] is True when loop index j participates in the
+        #: ratio product N_j / T_j of tensor t under permutation p.
+        masks = np.zeros((count, len(TENSOR_NAMES), len(LOOP_INDICES)), dtype=bool)
+        #: Partial-overlap case per permutation: index into PARTIAL_CASES,
+        #: or -1 when ``In`` follows the ordinary case-1 expression.
+        in_case = np.full(count, -1, dtype=np.intp)
+        for p, permutation in enumerate(perms):
+            config = TilingConfig(permutation, {i: 2.0 for i in LOOP_INDICES})
+            for t, tensor in enumerate(TENSOR_NAMES):
+                position, iterator = reuse_position(config, tensor)
+                partial = tensor == "In" and iterator in PARTIAL_REUSE_ITERATORS
+                if partial:
+                    indices = config.indices_above(position)
+                    in_case[p] = self.PARTIAL_CASES.index(iterator)
+                else:
+                    indices = config.indices_at_or_above(position)
+                for index in indices:
+                    masks[p, t, POS[index]] = True
+        self._masks = masks
+        self._in_case = in_case
+        self._tensor_slot = {name: i for i, name in enumerate(TENSOR_NAMES)}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.permutations)
+
+    def _broadcast(self, problem, tiles):
+        problem = np.asarray(problem, dtype=float)
+        tiles = np.asarray(tiles, dtype=float)
+        shape = np.broadcast_shapes(problem.shape, tiles.shape)
+        if not shape or shape[-1] != len(LOOP_INDICES):
+            raise ValueError(
+                f"trailing axis must have length {len(LOOP_INDICES)}, got shape {shape}"
+            )
+        if len(shape) == 1:
+            shape = (len(self.permutations),) + shape
+        elif shape[0] == 1:
+            shape = (len(self.permutations),) + shape[1:]
+        if shape[0] != len(self.permutations):
+            raise ValueError(
+                f"leading axis must be 1 or {len(self.permutations)} (one row per "
+                f"permutation), got shape {shape}"
+            )
+        problem = np.broadcast_to(problem, shape)
+        tiles = np.broadcast_to(tiles, shape)
+        return problem, tiles
+
+    def _mask_for(self, tensor: str, ndim: int) -> np.ndarray:
+        """Tensor's exponent mask reshaped for an ``ndim``-dimensional batch."""
+        mask = self._masks[:, self._tensor_slot[tensor], :]
+        middle = (1,) * (ndim - 2)
+        return mask.reshape((mask.shape[0],) + middle + (mask.shape[1],))
+
+    # ------------------------------------------------------------------
+    def volumes(self, problem, tiles) -> np.ndarray:
+        """Total modeled data volume for every (permutation, point) pair.
+
+        ``problem`` and ``tiles`` are arrays broadcastable to ``(N, ..., 7)``
+        with the permutation axis leading and loop indices (in
+        :data:`LOOP_INDICES` order) trailing; the result drops the trailing
+        axis: shape ``(N, ...)``.
+        """
+        problem, tiles = self._broadcast(problem, tiles)
+        stride, dilation = self.stride, self.dilation
+        ext_h, ext_w = _input_extents(tiles, stride, dilation)
+
+        footprint_out = tiles[..., _N] * tiles[..., _K] * tiles[..., _H] * tiles[..., _W]
+        footprint_ker = tiles[..., _K] * tiles[..., _C] * tiles[..., _R] * tiles[..., _S]
+        footprint_in = tiles[..., _N] * tiles[..., _C] * ext_h * ext_w
+
+        ratios = problem / tiles
+        ones = np.ones(())
+        prod_out = np.where(self._mask_for("Out", ratios.ndim), ratios, ones).prod(-1)
+        prod_ker = np.where(self._mask_for("Ker", ratios.ndim), ratios, ones).prod(-1)
+        prod_in = np.where(self._mask_for("In", ratios.ndim), ratios, ones).prod(-1)
+
+        total = OUT_TRAFFIC_FACTOR * prod_out * footprint_out + prod_ker * footprint_ker
+        volume_in = prod_in * footprint_in
+        if (self._in_case >= 0).any():
+            t_n, t_c = tiles[..., _N], tiles[..., _C]
+            for case, iterator in enumerate(self.PARTIAL_CASES):
+                rows = np.nonzero(self._in_case == case)[0]
+                if rows.size == 0:
+                    continue
+                j = POS[iterator]
+                steps = np.maximum(problem[rows][..., j] / tiles[rows][..., j] - 1.0, 0.0)
+                if iterator == "w":
+                    new_data = ext_h[rows] * np.minimum(ext_w[rows], tiles[rows][..., _W] * stride)
+                elif iterator == "s":
+                    new_data = ext_h[rows] * np.minimum(ext_w[rows], tiles[rows][..., _S] * dilation)
+                elif iterator == "h":
+                    new_data = np.minimum(ext_h[rows], tiles[rows][..., _H] * stride) * ext_w[rows]
+                else:  # "r"
+                    new_data = np.minimum(ext_h[rows], tiles[rows][..., _R] * dilation) * ext_w[rows]
+                extra = t_n[rows] * t_c[rows] * new_data * steps
+                volume_in[rows] = prod_in[rows] * (extra + footprint_in[rows])
+        return total + volume_in
+
+    def footprints(self, tiles) -> np.ndarray:
+        """Combined tile footprints for tile arrays ``(..., 7)`` (no N axis)."""
+        return batched_footprints(tiles, stride=self.stride, dilation=self.dilation)
+
+    # ------------------------------------------------------------------
+    def spec_volumes(self, spec: ConvSpec, tiles) -> np.ndarray:
+        """Whole-problem volumes: ``problem`` fixed to the operator extents.
+
+        ``tiles`` is broadcastable to ``(N, ..., 7)``; a plain ``(M, 7)``
+        matrix evaluates all permutations at all ``M`` points: result
+        ``(N, M)``.
+        """
+        tiles = np.asarray(tiles, dtype=float)
+        if tiles.ndim == 1:
+            tiles = tiles[None, None, :]  # one point, shared by all permutations
+        elif tiles.ndim == 2:
+            tiles = tiles[None, :, :]  # (M, 7): M points, shared by all permutations
+        extents = spec_extents_array(spec)
+        problem = extents.reshape((1,) * (tiles.ndim - 1) + (len(LOOP_INDICES),))
+        return self.volumes(problem, tiles)
+
+
+@lru_cache(maxsize=256)
+def table_for(
+    permutations: Tuple[Tuple[str, ...], ...], stride: int = 1, dilation: int = 1
+) -> BatchedCostTable:
+    """Memoized :class:`BatchedCostTable` for a permutation tuple.
+
+    The optimizer asks for the same (permutation, stride, dilation)
+    combinations for every operator of a network sweep; the table's
+    pre-analysis is pure, so instances are shared.
+    """
+    return BatchedCostTable(permutations, stride=stride, dilation=dilation)

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from .config import TilingConfig
@@ -342,6 +343,27 @@ def per_tensor_volumes(spec: ConvSpec, config: TilingConfig) -> Dict[str, float]
     return {name: cost.volume for name, cost in breakdown.per_tensor.items()}
 
 
+def combined_footprint_nd(tiles, *, stride: int = 1, dilation: int = 1):
+    """Combined tile footprints for arrays of tile vectors ``(..., 7)``.
+
+    The trailing axis is in :data:`~repro.core.tensor_spec.LOOP_INDICES`
+    order.  This is the single array implementation of the Eq. 4 left-hand
+    side shared by the batched cost tables and the row-batched solver
+    evaluators (summation order Out + Ker + In, matching
+    :meth:`CompiledPermutationCost.footprint_array` bitwise).
+    """
+    import numpy as np
+
+    t = np.asarray(tiles, dtype=float)
+    ext_h = (t[..., 5] - 1) * stride + (t[..., 3] - 1) * dilation + 1
+    ext_w = (t[..., 6] - 1) * stride + (t[..., 4] - 1) * dilation + 1
+    return (
+        t[..., 0] * t[..., 1] * t[..., 5] * t[..., 6]
+        + t[..., 1] * t[..., 2] * t[..., 3] * t[..., 4]
+        + t[..., 0] * t[..., 2] * ext_h * ext_w
+    )
+
+
 def matmul_reference_volume(
     n_i: float, n_j: float, n_k: float, t_i: float, t_j: float
 ) -> float:
@@ -399,6 +421,12 @@ class CompiledPermutationCost:
         self._np = _np
         # Positions used repeatedly by the array evaluator.
         self._p = {i: self._POS[i] for i in LOOP_INDICES}
+        # Integer-position plans for the pure-float evaluator.
+        self._float_plans = [
+            (tensor, tuple(int(i) for i in idx), partial, self._POS[iterator])
+            for tensor, idx, partial, iterator in self._array_plans
+        ]
+        self._iterator_name = {self._POS[i]: i for i in LOOP_INDICES}
 
     # -- dictionary interface -------------------------------------------
     def tensor_volume(
@@ -468,3 +496,131 @@ class CompiledPermutationCost:
             + tiles[p["k"]] * tiles[p["c"]] * tiles[p["r"]] * tiles[p["s"]]
             + tiles[p["n"]] * tiles[p["c"]] * ext_h * ext_w
         )
+
+    # -- pure-float interface (per-point evaluations inside SLSQP) ---------
+    def volume_floats(self, problem, tiles) -> float:
+        """Total volume on plain Python float sequences in LOOP_INDICES order.
+
+        Bitwise-identical to :meth:`volume_array` (IEEE-754 double
+        operations in the same order) but ~10x faster for single points
+        because no NumPy scalars are materialized.  This is what the
+        vectorized solver path hands to SLSQP's line search.
+        """
+        p = self._p
+        stride, dilation = self.stride, self.dilation
+        t_n, t_k, t_c = tiles[p["n"]], tiles[p["k"]], tiles[p["c"]]
+        t_r, t_s, t_h, t_w = tiles[p["r"]], tiles[p["s"]], tiles[p["h"]], tiles[p["w"]]
+        ext_h = (t_h - 1) * stride + (t_r - 1) * dilation + 1
+        ext_w = (t_w - 1) * stride + (t_s - 1) * dilation + 1
+        footprints = {
+            "Out": t_n * t_k * t_h * t_w,
+            "Ker": t_k * t_c * t_r * t_s,
+            "In": t_n * t_c * ext_h * ext_w,
+        }
+        total = 0.0
+        for tensor, idx, partial, iterator in self._float_plans:
+            product = 1.0
+            for position in idx:
+                product *= problem[position] / tiles[position]
+            footprint = footprints[tensor]
+            if partial:
+                steps = max(problem[iterator] / tiles[iterator] - 1.0, 0.0)
+                name = self._iterator_name[iterator]
+                if name == "w":
+                    extra = t_n * t_c * ext_h * min(ext_w, t_w * stride) * steps
+                elif name == "s":
+                    extra = t_n * t_c * ext_h * min(ext_w, t_s * dilation) * steps
+                elif name == "h":
+                    extra = t_n * t_c * min(ext_h, t_h * stride) * ext_w * steps
+                else:
+                    extra = t_n * t_c * min(ext_h, t_r * dilation) * ext_w * steps
+                total += product * (extra + footprint)
+            else:
+                factor = OUT_TRAFFIC_FACTOR if tensor == "Out" else 1.0
+                total += factor * product * footprint
+        return total
+
+    def footprint_floats(self, tiles) -> float:
+        """Combined footprint on a plain float sequence (matches
+        :meth:`footprint_array` bitwise)."""
+        p = self._p
+        stride, dilation = self.stride, self.dilation
+        ext_h = (tiles[p["h"]] - 1) * stride + (tiles[p["r"]] - 1) * dilation + 1
+        ext_w = (tiles[p["w"]] - 1) * stride + (tiles[p["s"]] - 1) * dilation + 1
+        return (
+            tiles[p["n"]] * tiles[p["k"]] * tiles[p["h"]] * tiles[p["w"]]
+            + tiles[p["k"]] * tiles[p["c"]] * tiles[p["r"]] * tiles[p["s"]]
+            + tiles[p["n"]] * tiles[p["c"]] * ext_h * ext_w
+        )
+
+    # -- row-batched interface (vectorized solver core) --------------------
+    def volume_rows(self, problem, tiles):
+        """Total volumes for row matrices of points: ``(M, 7) -> (M,)``.
+
+        Row ``m`` of the result is bitwise-identical to
+        ``volume_array(problem[m], tiles[m])``: every elementwise operation
+        and reduction is performed in the same order, so solvers that mix
+        per-point evaluations (line searches) with batched ones (gradient
+        sweeps) see one consistent function.  ``problem`` may also be a
+        single ``(7,)`` vector shared by all rows.
+        """
+        np_ = self._np
+        p = self._p
+        problem = np_.asarray(problem, dtype=float)
+        tiles = np_.asarray(tiles, dtype=float)
+        if problem.ndim == 1:
+            problem = np_.broadcast_to(problem, tiles.shape)
+        stride, dilation = self.stride, self.dilation
+        ext_h = (tiles[:, p["h"]] - 1) * stride + (tiles[:, p["r"]] - 1) * dilation + 1
+        ext_w = (tiles[:, p["w"]] - 1) * stride + (tiles[:, p["s"]] - 1) * dilation + 1
+        footprints = {
+            "Out": tiles[:, p["n"]] * tiles[:, p["k"]] * tiles[:, p["h"]] * tiles[:, p["w"]],
+            "Ker": tiles[:, p["k"]] * tiles[:, p["c"]] * tiles[:, p["r"]] * tiles[:, p["s"]],
+            "In": tiles[:, p["n"]] * tiles[:, p["c"]] * ext_h * ext_w,
+        }
+        # One shared division: gathering columns from the full ratio matrix
+        # is bitwise-identical to dividing the gathered columns.
+        all_ratios = problem / tiles
+        total = np_.zeros(tiles.shape[0])
+        for tensor, idx, partial, iterator in self._array_plans:
+            if len(idx):
+                product = all_ratios[:, idx].prod(axis=1)
+            else:
+                product = np_.ones(tiles.shape[0])
+            footprint = footprints[tensor]
+            if partial:
+                steps = np_.maximum(problem[:, p[iterator]] / tiles[:, p[iterator]] - 1.0, 0.0)
+                if iterator == "w":
+                    extra = tiles[:, p["n"]] * tiles[:, p["c"]] * ext_h * np_.minimum(ext_w, tiles[:, p["w"]] * stride) * steps
+                elif iterator == "s":
+                    extra = tiles[:, p["n"]] * tiles[:, p["c"]] * ext_h * np_.minimum(ext_w, tiles[:, p["s"]] * dilation) * steps
+                elif iterator == "h":
+                    extra = tiles[:, p["n"]] * tiles[:, p["c"]] * np_.minimum(ext_h, tiles[:, p["h"]] * stride) * ext_w * steps
+                else:
+                    extra = tiles[:, p["n"]] * tiles[:, p["c"]] * np_.minimum(ext_h, tiles[:, p["r"]] * dilation) * ext_w * steps
+                total += product * (extra + footprint)
+            else:
+                factor = OUT_TRAFFIC_FACTOR if tensor == "Out" else 1.0
+                total += factor * product * footprint
+        return total
+
+    def footprint_rows(self, tiles):
+        """Combined footprints for a row matrix of tile vectors: ``(M, 7) -> (M,)``.
+
+        Row-for-row bitwise-identical to :meth:`footprint_array`.
+        """
+        return combined_footprint_nd(tiles, stride=self.stride, dilation=self.dilation)
+
+
+@lru_cache(maxsize=512)
+def compiled_cost_for(
+    permutation: Tuple[str, ...], stride: int = 1, dilation: int = 1
+) -> CompiledPermutationCost:
+    """Memoized :class:`CompiledPermutationCost` for one permutation.
+
+    The permutation analysis is pure and the instances are effectively
+    immutable; network sweeps ask for the same eight representatives for
+    every operator, so sharing the compiled plans avoids rebuilding them
+    once per (operator, class) pair.
+    """
+    return CompiledPermutationCost(permutation, stride=stride, dilation=dilation)

@@ -34,7 +34,7 @@ import numpy as np
 from ..machine.spec import MachineSpec
 from .capacity import level_capacities, max_feasible_uniform_tile
 from .config import MultiLevelConfig, TilingConfig
-from .cost_model import CompiledPermutationCost
+from .cost_model import CompiledPermutationCost, compiled_cost_for
 from .loadbalance import integerize_config
 from .microkernel import MicrokernelDesign, design_microkernel
 from .multilevel import MultiLevelCost, multilevel_cost
@@ -81,6 +81,14 @@ class OptimizerSettings:
     permutation_class_names:
         Restrict the search to a subset of the eight pruned classes (mainly
         for tests and ablations); ``None`` searches all eight.
+    vectorized:
+        Solve through the batched evaluation core (default): multistart
+        candidates are screened in vectorized sweeps and SLSQP runs receive
+        batched finite-difference jacobians, making a cold search several
+        times faster.  ``False`` selects the original scalar path (scipy
+        differences the Python objective point-by-point); both paths solve
+        the same problems and agree on the chosen configurations to solver
+        tolerance — ``tests/test_batched.py`` pins the equivalence.
     """
 
     levels: Tuple[str, ...] = ("Reg", "L1", "L2", "L3")
@@ -93,6 +101,7 @@ class OptimizerSettings:
     snap_to_divisors: bool = True
     solver: SolverOptions = field(default_factory=SolverOptions)
     permutation_class_names: Optional[Tuple[str, ...]] = None
+    vectorized: bool = True
 
     def with_solver(self, solver: SolverOptions) -> "OptimizerSettings":
         """Copy with different solver options."""
@@ -254,8 +263,8 @@ class MOptOptimizer:
     ) -> CandidateSolution:
         settings = self.settings
         permutation = cls.representative
-        compiled = CompiledPermutationCost(
-            permutation, stride=spec.stride, dilation=spec.dilation
+        compiled = compiled_cost_for(
+            tuple(permutation), stride=spec.stride, dilation=spec.dilation
         )
         levels = list(settings.levels)
         extents = {i: float(e) for i, e in spec.loop_extents.items()}
@@ -343,6 +352,15 @@ class MOptOptimizer:
         constraints and to ``objective_level`` dominating the other levels.
         Returns the achieved cost and the per-level tile sizes (free and
         fixed).
+
+        With ``settings.vectorized`` the problem additionally carries
+        batched evaluators (objective, constraints) over ``(M, D)`` point
+        matrices; :func:`~repro.core.solver.minimize_from_starts` then
+        screens the multistart pool in one sweep and feeds SLSQP batched
+        finite-difference jacobians, which is where the cold-search speedup
+        comes from.  The scalar closures below remain the single source of
+        truth for the problem's semantics and are what SLSQP's line search
+        evaluates on both paths.
         """
         free_levels = list(not_visited)
         level_order = list(levels)
@@ -430,7 +448,201 @@ class MOptOptimizer:
                 values.append((obj_time - times[level]) / scale)
             return np.array(values)
 
-        problem = ConstrainedProblem(objective, (constraints,), tuple(bounds))
+        batch_objective = batch_full = batch_relaxed = None
+        if self.settings.vectorized:
+            level_order_list = list(level_order)
+            num_order = len(level_order_list)
+            objective_index = level_order_list.index(objective_level)
+            bandwidth_row = np.array(
+                [bandwidths[level] for level in level_order_list], dtype=float
+            )
+            bandwidth_list = bandwidth_row.tolist()
+            extents_list = extents_array.tolist()
+            fixed_floats = {
+                level: array.tolist() for level, array in fixed_arrays.items()
+            }
+            capacity_list = [capacities[level] for level in free_levels]
+
+            # Fast per-point closures on plain floats: bitwise-identical to
+            # the memoized array closures above but without NumPy-scalar
+            # overhead.  SLSQP's line search calls these thousands of times.
+            float_memo: Dict[bytes, Dict[str, float]] = {}
+
+            def float_level_times(x: np.ndarray) -> Dict[str, float]:
+                key = x.tobytes()
+                cached = float_memo.get(key)
+                if cached is not None:
+                    return cached
+                flat = x.tolist()
+                tiles_f = dict(fixed_floats)
+                for position, level in enumerate(free_levels):
+                    tiles_f[level] = flat[position * 7 : (position + 1) * 7]
+                times: Dict[str, float] = {}
+                for index, level in enumerate(level_order_list):
+                    outer = (
+                        tiles_f[level_order_list[index + 1]]
+                        if index + 1 < num_order
+                        else extents_list
+                    )
+                    volume = compiled.volume_floats(outer, tiles_f[level])
+                    count = extents_list[0] / outer[0]
+                    for j in range(1, 7):
+                        count *= extents_list[j] / outer[j]
+                    times[level] = volume * count / bandwidth_list[index]
+                if len(float_memo) > 4096:
+                    float_memo.clear()
+                float_memo[key] = times
+                return times
+
+            def fast_objective(x: np.ndarray) -> float:
+                return float_level_times(np.asarray(x, dtype=float))[objective_level]
+
+            constraint_memo: Dict[bytes, np.ndarray] = {}
+
+            def fast_constraints(x: np.ndarray) -> np.ndarray:
+                x = np.asarray(x, dtype=float)
+                key = x.tobytes()
+                cached = constraint_memo.get(key)
+                if cached is not None:
+                    return cached
+                flat = x.tolist()
+                tiles_f = dict(fixed_floats)
+                for position, level in enumerate(free_levels):
+                    tiles_f[level] = flat[position * 7 : (position + 1) * 7]
+                values: List[float] = []
+                for index, level in enumerate(free_levels):
+                    cap = capacity_list[index]
+                    values.append((cap - compiled.footprint_floats(tiles_f[level])) / cap)
+                for inner_level, outer_level in nesting_pairs:
+                    outer_t, inner_t = tiles_f[outer_level], tiles_f[inner_level]
+                    values.extend(
+                        (outer_t[j] - inner_t[j]) / extents_list[j] for j in range(7)
+                    )
+                times = float_level_times(x)
+                obj_time = times[objective_level]
+                scale = max(obj_time, 1e-30)
+                for level in other_levels:
+                    values.append((obj_time - times[level]) / scale)
+                result = np.array(values)
+                if len(constraint_memo) > 4096:
+                    constraint_memo.clear()
+                constraint_memo[key] = result
+                return result
+
+            def fast_relaxed_constraints(x: np.ndarray) -> np.ndarray:
+                x = np.asarray(x, dtype=float)
+                flat = x.tolist()
+                tiles_f = dict(fixed_floats)
+                for position, level in enumerate(free_levels):
+                    tiles_f[level] = flat[position * 7 : (position + 1) * 7]
+                values = []
+                for index, level in enumerate(free_levels):
+                    cap = capacity_list[index]
+                    values.append((cap - compiled.footprint_floats(tiles_f[level])) / cap)
+                for inner_level, outer_level in nesting_pairs:
+                    outer_t, inner_t = tiles_f[outer_level], tiles_f[inner_level]
+                    values.extend(
+                        (outer_t[j] - inner_t[j]) / extents_list[j] for j in range(7)
+                    )
+                return np.array(values)
+
+            # One-slot memo: the FD sweep asks for the objective and the
+            # constraint values of the same point matrix back to back.
+            memo: Dict[str, object] = {}
+            # Broadcast views of the fixed tiles / problem extents per batch
+            # size (almost always the FD sweep's D probes).
+            broadcast_cache: Dict[int, Dict[str, np.ndarray]] = {}
+
+            def batch_eval(points: np.ndarray):
+                points = np.asarray(points, dtype=float)
+                key = points.tobytes()
+                if memo.get("key") == key:
+                    return memo["value"]
+                count_points = points.shape[0]
+                fixed_views = broadcast_cache.get(count_points)
+                if fixed_views is None:
+                    fixed_views = {
+                        level: np.broadcast_to(array, (count_points, 7))
+                        for level, array in fixed_arrays.items()
+                    }
+                    fixed_views["__whole__"] = np.broadcast_to(
+                        extents_array, (count_points, 7)
+                    )
+                    if len(broadcast_cache) > 8:
+                        broadcast_cache.clear()
+                    broadcast_cache[count_points] = fixed_views
+                tiles_by_level = dict(fixed_views)
+                whole = tiles_by_level.pop("__whole__")
+                for position, level in enumerate(free_levels):
+                    tiles_by_level[level] = points[:, position * 7 : (position + 1) * 7]
+                # All (level, point) volumes in one fused sweep of the
+                # row-batched cost model.
+                outer_stack = np.concatenate(
+                    [
+                        tiles_by_level[level_order_list[index + 1]]
+                        if index + 1 < num_order
+                        else whole
+                        for index in range(num_order)
+                    ]
+                )
+                inner_stack = np.concatenate(
+                    [tiles_by_level[level] for level in level_order_list]
+                )
+                volumes = compiled.volume_rows(outer_stack, inner_stack).reshape(
+                    num_order, count_points
+                )
+                counts = np.prod(extents_array / outer_stack, axis=-1).reshape(
+                    num_order, count_points
+                )
+                times = volumes * counts / bandwidth_row[:, None]
+                free_stack = np.concatenate(
+                    [tiles_by_level[level] for level in free_levels]
+                )
+                footprints = compiled.footprint_rows(free_stack).reshape(
+                    len(free_levels), count_points
+                )
+                columns: List[np.ndarray] = []
+                for index, level in enumerate(free_levels):
+                    cap = capacities[level]
+                    columns.append(((cap - footprints[index]) / cap)[:, None])
+                for inner_level, outer_level in nesting_pairs:
+                    columns.append(
+                        (tiles_by_level[outer_level] - tiles_by_level[inner_level])
+                        / extents_array
+                    )
+                relaxed_columns = np.concatenate(columns, axis=1)
+                objective_times = times[objective_index]
+                scale = np.maximum(objective_times, 1e-30)
+                dominance = [
+                    ((objective_times - times[index]) / scale)[:, None]
+                    for index, level in enumerate(level_order_list)
+                    if level != objective_level
+                ]
+                full_columns = np.concatenate([relaxed_columns] + dominance, axis=1)
+                value = (times, relaxed_columns, full_columns)
+                memo["key"] = key
+                memo["value"] = value
+                return value
+
+            def batch_objective(points: np.ndarray) -> np.ndarray:
+                return batch_eval(points)[0][objective_index]
+
+            def batch_full(points: np.ndarray) -> np.ndarray:
+                return batch_eval(points)[2]
+
+            def batch_relaxed(points: np.ndarray) -> np.ndarray:
+                return batch_eval(points)[1]
+
+        if batch_objective is not None:
+            problem = ConstrainedProblem(
+                fast_objective,
+                (fast_constraints,),
+                tuple(bounds),
+                batch_objective=batch_objective,
+                batch_inequalities=batch_full,
+            )
+        else:
+            problem = ConstrainedProblem(objective, (constraints,), tuple(bounds))
         result = minimize_constrained(problem, self.settings.solver)
         if not result.feasible:
             # The hypothesis "objective_level dominates all other levels" may
@@ -455,7 +667,18 @@ class MOptOptimizer:
                     values.extend(diff.tolist())
                 return np.array(values)
 
-            relaxed = ConstrainedProblem(objective, (relaxed_constraints,), tuple(bounds))
+            if batch_objective is not None:
+                relaxed = ConstrainedProblem(
+                    fast_objective,
+                    (fast_relaxed_constraints,),
+                    tuple(bounds),
+                    batch_objective=batch_objective,
+                    batch_inequalities=batch_relaxed,
+                )
+            else:
+                relaxed = ConstrainedProblem(
+                    objective, (relaxed_constraints,), tuple(bounds)
+                )
             result = minimize_constrained(relaxed, self.settings.solver)
 
         times = level_times(np.asarray(result.x, dtype=float))

@@ -65,6 +65,7 @@ to recompute inside pool workers.
 
 from .cache import (
     CACHE_FORMAT_VERSION,
+    STRATEGY_VERSION,
     CacheStats,
     DiskResultStore,
     ResultCache,
@@ -120,6 +121,7 @@ __all__ = [
     "OperatorOutcome",
     "RandomSearchStrategy",
     "ResultCache",
+    "STRATEGY_VERSION",
     "SearchStrategy",
     "StrategyRegistry",
     "StrategyResult",

@@ -36,6 +36,16 @@ from .strategy import SearchStrategy, StrategyResult
 #: Format marker stored in every disk entry; bump on incompatible changes.
 CACHE_FORMAT_VERSION = 1
 
+#: Version stamp of the *search and cost-model numerics*, included in every
+#: cache key.  Bump whenever a change makes previously cached results stale
+#: even though the request payload is unchanged (e.g. cost-model math,
+#: solver defaults, virtual-measurement noise).  Version history:
+#:
+#: 1 — PR 1 (network engine, crc32-stable virtual measurements).
+#: 2 — PR 2 (vectorized analytical core: batched solver path is the
+#:     default, reseeded-generator measurement noise).
+STRATEGY_VERSION = 2
+
 
 def result_cache_key(
     spec: ConvSpec, machine: MachineSpec, strategy: SearchStrategy
@@ -48,6 +58,7 @@ def result_cache_key(
     """
     payload = {
         "version": CACHE_FORMAT_VERSION,
+        "strategy_version": STRATEGY_VERSION,
         "spec": spec_to_dict(spec, include_name=False),
         "machine": machine_to_dict(machine),
         "strategy": {"name": strategy.name, "options": dict(strategy.cache_token())},
@@ -56,11 +67,26 @@ def result_cache_key(
 
 
 class DiskResultStore:
-    """On-disk JSON store: one ``<key>.json`` file per entry under ``root``."""
+    """On-disk JSON store: one ``<key>.json`` file per entry under ``root``.
 
-    def __init__(self, root: Union[str, Path]):
+    ``max_entries`` caps the store's size: when a put would exceed it, the
+    least-recently-used entries (by file modification time — reads touch
+    their entry) are evicted.  ``None`` keeps the pre-existing unbounded
+    behavior.
+    """
+
+    def __init__(self, root: Union[str, Path], *, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.evictions = 0
+        # Approximate entry count so an under-cap put stays O(1); the full
+        # directory scan only happens when this says the cap is exceeded,
+        # and the scan re-synchronizes it (concurrent writers can make it
+        # drift between scans, which merely delays one eviction pass).
+        self._entry_count = len(self) if max_entries is not None else 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -75,24 +101,64 @@ class DiskResultStore:
             return None
         if not isinstance(entry, dict) or entry.get("version") != CACHE_FORMAT_VERSION:
             return None
+        if self.max_entries is not None:
+            try:
+                os.utime(path)  # mark recently used for LRU eviction
+            except OSError:
+                pass
         return entry.get("result")
 
     def put(self, key: str, payload: Mapping[str, Any]) -> None:
         """Atomically persist one entry (temp file + rename)."""
         entry = {"version": CACHE_FORMAT_VERSION, "key": key, "result": dict(payload)}
+        target = self._path(key)
+        is_new = not target.exists()
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{key[:16]}-", suffix=".tmp", dir=self.root
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle, sort_keys=True)
-            os.replace(tmp_name, self._path(key))
+            os.replace(tmp_name, target)
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
+        if self.max_entries is not None:
+            if is_new:
+                self._entry_count += 1
+            if self._entry_count > self.max_entries:
+                self._evict_over_cap()
+
+    def _evict_over_cap(self) -> None:
+        """Delete least-recently-touched entries until within ``max_entries``.
+
+        Concurrent writers may race on the same files; a vanished entry is
+        simply treated as already evicted.  The scan also re-synchronizes
+        the approximate entry counter.
+        """
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            self._entry_count = len(entries)
+            return
+        entries.sort(key=lambda pair: pair[0])
+        removed = 0
+        for _, path in entries[:excess]:
+            try:
+                path.unlink()
+                self.evictions += 1
+                removed += 1
+            except OSError:
+                pass
+        self._entry_count = len(entries) - removed
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -137,6 +203,8 @@ class ResultCache:
     are :class:`~repro.engine.strategy.StrategyResult` instances and are
     round-tripped through their ``to_dict``/``from_dict`` serialization
     on the disk tier, so a disk hit is bit-identical to a fresh store.
+    ``max_disk_entries`` caps the disk tier with LRU eviction (``None``
+    leaves it unbounded, the historical behavior).
     """
 
     def __init__(
@@ -144,13 +212,16 @@ class ResultCache:
         path: Optional[Union[str, Path]] = None,
         *,
         memory_entries: int = 512,
+        max_disk_entries: Optional[int] = None,
     ):
         if memory_entries < 1:
             raise ValueError("memory_entries must be >= 1")
         self.memory_entries = memory_entries
         self._memory: "OrderedDict[str, StrategyResult]" = OrderedDict()
         self.disk: Optional[DiskResultStore] = (
-            DiskResultStore(path) if path is not None else None
+            DiskResultStore(path, max_entries=max_disk_entries)
+            if path is not None
+            else None
         )
         self.stats = CacheStats()
 

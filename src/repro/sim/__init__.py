@@ -25,6 +25,7 @@ from .perfmodel import (
     measure_performance,
     predicted_rank_score,
     virtual_measurement,
+    virtual_measurement_batch,
 )
 from .tilesim import (
     SimulationOptions,
@@ -66,4 +67,5 @@ __all__ = [
     "simulate_single_level",
     "tiled_conv2d",
     "virtual_measurement",
+    "virtual_measurement_batch",
 ]

@@ -26,8 +26,10 @@ interval — run-to-run variation is modeled as small multiplicative noise.
 from __future__ import annotations
 
 import math
+import threading
 import zlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -294,6 +296,93 @@ def _stable_digest(*parts: object) -> int:
     return zlib.crc32(repr(parts).encode("utf-8"))
 
 
+@lru_cache(maxsize=4096)
+def _pair_digest(spec_name: str, machine_name: str) -> int:
+    """Cached :func:`_stable_digest` of a (spec, machine) pair.
+
+    Tuners call the virtual machine thousands of times for the same
+    operator; re-serializing the names on every call put string formatting
+    in the measurement hot loop.
+    """
+    return _stable_digest(spec_name, machine_name)
+
+
+_UINT128 = (1 << 128) - 1
+#: Odd 128-bit multiplier (golden-ratio expansion) mixing digests into
+#: well-spread PCG64 states.
+_MIX = 0x9E3779B97F4A7C15F39CC0605CEDC835
+
+
+class _ReusableRNG:
+    """One ``numpy.random.Generator`` reused for every draw of one spec.
+
+    ``numpy.random.default_rng(seed)`` runs ``SeedSequence`` entropy
+    pooling and allocates a fresh bit generator + ``Generator`` pair on
+    every call — measurable when a tuner draws one noise factor per
+    candidate.  This helper keeps a single PCG64/Generator pair and
+    reseeds it by assigning the raw 128-bit counter state (a multiplicative
+    mix of the caller's digest), which is ~4x cheaper and equally
+    deterministic: the same digest always yields the same draw sequence.
+    """
+
+    __slots__ = ("_bitgen", "_generator", "_template")
+
+    def __init__(self) -> None:
+        self._bitgen = np.random.PCG64(0)
+        self._template = self._bitgen.state
+        self._generator = np.random.Generator(self._bitgen)
+
+    def reseeded(self, digest: int) -> np.random.Generator:
+        state = dict(self._template)
+        state["state"] = {
+            "state": (int(digest) * _MIX) & _UINT128,
+            "inc": self._template["state"]["inc"],
+        }
+        state["has_uint32"] = 0
+        state["uinteger"] = 0
+        self._bitgen.state = state
+        return self._generator
+
+
+#: One reusable generator per (spec, machine) pair, capped LRU-style.  The
+#: store is thread-local: the network engine fans strategy runs out over a
+#: thread pool, and a shared mutable generator would race between one
+#: thread's reseed and another's draw, making cached measurements
+#: nondeterministic.  Determinism per digest is unaffected — every draw
+#: sequence is a pure function of the reseed digest.
+_RNG_STORE = threading.local()
+_SPEC_RNGS_MAX = 1024
+
+
+def _spec_rng(spec_name: str, machine_name: str) -> _ReusableRNG:
+    cache: Dict[Tuple[str, str], _ReusableRNG] = getattr(_RNG_STORE, "cache", None)
+    if cache is None:
+        cache = {}
+        _RNG_STORE.cache = cache
+    key = (spec_name, machine_name)
+    rng = cache.get(key)
+    if rng is None:
+        if len(cache) >= _SPEC_RNGS_MAX:
+            cache.clear()
+        rng = _ReusableRNG()
+        cache[key] = rng
+    return rng
+
+
+def _config_digest(spec_name: str, machine_name: str, config: MultiLevelConfig) -> int:
+    """Stable digest of a configuration's tile sizes for one (spec, machine).
+
+    ``hash`` of a tuple of floats is deterministic across processes
+    (``PYTHONHASHSEED`` only salts strings/bytes), so the per-call cost is
+    one C-level tuple hash instead of ``repr`` of ~30 floats.
+    """
+    key_parts: List[float] = []
+    for level_config in config.configs:
+        key_parts.extend(level_config.tiles[i] for i in LOOP_INDICES)
+    base = _pair_digest(spec_name, machine_name)
+    return (base * 2654435761 + (hash(tuple(key_parts)) & _UINT128)) & _UINT128
+
+
 def conflict_miss_penalty(
     spec: ConvSpec,
     config: MultiLevelConfig | TilingConfig,
@@ -317,11 +406,8 @@ def conflict_miss_penalty(
     """
     if isinstance(config, TilingConfig):
         config = single_level(config)
-    key_parts: List[float] = []
-    for level_config in config.configs:
-        key_parts.extend(level_config.tiles[i] for i in LOOP_INDICES)
-    digest = _stable_digest(spec.name, machine.name, tuple(key_parts))
-    rng = np.random.default_rng(digest)
+    digest = _config_digest(spec.name, machine.name, config)
+    rng = _spec_rng(spec.name, machine.name).reseeded(digest)
     if rng.random() >= probability:
         return 1.0
     return 1.0 + float(rng.uniform(0.2, max_penalty))
@@ -362,9 +448,12 @@ def virtual_measurement(
     )
     data_time = estimate.data_time_seconds * penalty
     total = max(data_time, estimate.compute_time_seconds) + estimate.packing_time_seconds
-    rng = np.random.default_rng(abs(int(seed) ^ (_stable_digest(spec.name, machine.name) % (2**31))))
-    factor = float(np.clip(rng.normal(1.0, max(noise, 0.0)), 0.8, 1.2)) if noise > 0 else 1.0
-    total *= factor
+    if noise > 0:
+        rng = _spec_rng(spec.name, machine.name).reseeded(
+            abs(int(seed) ^ (_pair_digest(spec.name, machine.name) % (2**31)))
+        )
+        factor = float(np.clip(rng.normal(1.0, max(noise, 0.0)), 0.8, 1.2))
+        total *= factor
     gflops = spec.flops / total / 1e9
     bottleneck = estimate.bottleneck if penalty == 1.0 else "conflict-misses"
     return PerformanceEstimate(
@@ -380,3 +469,152 @@ def virtual_measurement(
         per_level_times=estimate.per_level_times,
         compute_efficiency=estimate.compute_efficiency,
     )
+
+
+# ----------------------------------------------------------------------
+# Batched virtual measurements (sampling searchers)
+# ----------------------------------------------------------------------
+def _uniform_levels(configs: Sequence[MultiLevelConfig]) -> Optional[Tuple[str, ...]]:
+    """The shared level tuple of a configuration batch, or ``None``."""
+    levels = configs[0].levels
+    for config in configs[1:]:
+        if config.levels != levels:
+            return None
+    return levels
+
+
+def _batched_level_volumes(
+    spec: ConvSpec, configs: Sequence[MultiLevelConfig]
+) -> List[Dict[str, float]]:
+    """Analytical per-level volumes for many configurations at once.
+
+    Stacks every configuration's tile vectors per level and evaluates each
+    level's data volume for the whole batch through one
+    :class:`~repro.core.batched.BatchedCostTable` call (the table's
+    permutation axis carries one row per configuration), instead of running
+    the scalar multi-level model once per configuration.
+    """
+    from ..core.batched import BatchedCostTable, spec_extents_array
+
+    levels = configs[0].levels
+    extents = spec_extents_array(spec)
+    tile_rows = [
+        np.array(
+            [[cfg.configs[li].tiles[i] for i in LOOP_INDICES] for cfg in configs],
+            dtype=float,
+        )
+        for li in range(len(levels))
+    ]
+    volumes: List[Dict[str, float]] = [dict() for _ in configs]
+    for li, level in enumerate(levels):
+        permutations = tuple(cfg.configs[li].permutation for cfg in configs)
+        table = BatchedCostTable(
+            permutations, stride=spec.stride, dilation=spec.dilation
+        )
+        outer = (
+            tile_rows[li + 1]
+            if li + 1 < len(levels)
+            else np.broadcast_to(extents, tile_rows[li].shape)
+        )
+        inner_volume = table.volumes(outer[:, None, :], tile_rows[li][:, None, :])[:, 0]
+        outer_count = np.prod(extents / outer, axis=-1)
+        level_volume = inner_volume * outer_count
+        for ci in range(len(configs)):
+            volumes[ci][level] = float(level_volume[ci])
+    return volumes
+
+
+def virtual_measurement_batch(
+    spec: ConvSpec,
+    configs: Sequence[MultiLevelConfig],
+    machine: MachineSpec,
+    *,
+    threads: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+    noise: float = 0.01,
+    include_conflicts: bool = True,
+) -> List[PerformanceEstimate]:
+    """Virtual measurements of many configurations, batched.
+
+    The sequential (``threads == 1``) analytical volumes of the whole
+    batch are computed in one stacked cost-table sweep; the remaining
+    per-configuration pieces (compute efficiency, conflict penalty, noise)
+    are cheap scalars.  For the parallel model — whose per-configuration
+    core-distribution planning has no batched form — this transparently
+    falls back to :func:`virtual_measurement` per configuration, so
+    callers can use it unconditionally.
+    """
+    configs = [
+        single_level(cfg) if isinstance(cfg, TilingConfig) else cfg for cfg in configs
+    ]
+    if not configs:
+        return []
+    seeds = list(seeds) if seeds is not None else [0] * len(configs)
+    if len(seeds) != len(configs):
+        raise ValueError("seeds must match configs in length")
+    if threads > 1 or _uniform_levels(configs) is None:
+        return [
+            virtual_measurement(
+                spec,
+                config,
+                machine,
+                threads=threads,
+                noise=noise,
+                seed=seed,
+                include_conflicts=include_conflicts,
+            )
+            for config, seed in zip(configs, seeds)
+        ]
+
+    bandwidths_gbps = effective_bandwidths_for_model(machine, 1)
+    dtype = machine.dtype_bytes
+    vec_len = machine.isa.vector_lanes(machine.dtype_bytes)
+    packing_time = packing_time_seconds(
+        spec, vec_len, machine.dram_bandwidth_gbps
+    )
+    all_volumes = _batched_level_volumes(spec, configs)
+
+    estimates: List[PerformanceEstimate] = []
+    for config, volumes, seed in zip(configs, all_volumes, seeds):
+        per_level_times: Dict[str, float] = {}
+        for level, volume in volumes.items():
+            bandwidth = bandwidths_gbps.get(level)
+            if bandwidth is None:
+                bandwidth = machine.level_bandwidth_gbps(level, parallel=False)
+            per_level_times[level] = volume * dtype / (bandwidth * 1e9)
+        data_time = max(per_level_times.values()) if per_level_times else 0.0
+        bottleneck = (
+            max(per_level_times, key=per_level_times.get) if per_level_times else "none"
+        )
+        efficiency = config_compute_efficiency(spec, config, machine)
+        compute_time = spec.flops / (machine.peak_gflops(1) * efficiency * 1e9)
+        if compute_time >= data_time:
+            bottleneck = "compute"
+        penalty = (
+            conflict_miss_penalty(spec, config, machine) if include_conflicts else 1.0
+        )
+        if penalty != 1.0:
+            bottleneck = "conflict-misses"
+        data_time *= penalty
+        total = max(data_time, compute_time) + packing_time
+        if noise > 0:
+            rng = _spec_rng(spec.name, machine.name).reseeded(
+                abs(int(seed) ^ (_pair_digest(spec.name, machine.name) % (2**31)))
+            )
+            total *= float(np.clip(rng.normal(1.0, max(noise, 0.0)), 0.8, 1.2))
+        estimates.append(
+            PerformanceEstimate(
+                spec_name=spec.name,
+                machine_name=machine.name,
+                threads=1,
+                gflops=spec.flops / total / 1e9,
+                time_seconds=total,
+                data_time_seconds=data_time,
+                compute_time_seconds=compute_time,
+                packing_time_seconds=packing_time,
+                bottleneck=bottleneck,
+                per_level_times=per_level_times,
+                compute_efficiency=efficiency,
+            )
+        )
+    return estimates

@@ -242,6 +242,74 @@ class TestResultCache:
         assert cache.get("k3") is not None
 
 
+def _constant_result(name: str) -> StrategyResult:
+    return StrategyResult(
+        strategy="constant",
+        spec_name=name,
+        gflops=1.0,
+        time_seconds=1.0,
+        search_seconds=0.0,
+    )
+
+
+class TestDiskEvictionAndVersioning:
+    def test_disk_store_caps_entries(self, tmp_path):
+        store = DiskResultStore(tmp_path, max_entries=3)
+        for index in range(6):
+            store.put(f"key{index}", _constant_result(f"s{index}").to_dict())
+        assert len(store) == 3
+        assert store.evictions == 3
+        # The most recently written entries survive.
+        assert store.get("key5") is not None
+        assert store.get("key0") is None
+
+    def test_disk_store_eviction_is_lru(self, tmp_path):
+        import os
+        import time as _time
+
+        store = DiskResultStore(tmp_path, max_entries=2)
+        store.put("old", _constant_result("old").to_dict())
+        store.put("new", _constant_result("new").to_dict())
+        # Backdate both, then touch "old" via a read: it becomes the most
+        # recently used entry and must survive the next eviction.
+        past = _time.time() - 3600
+        for key in ("old", "new"):
+            os.utime(tmp_path / f"{key}.json", (past, past))
+        assert store.get("old") is not None
+        store.put("extra", _constant_result("extra").to_dict())
+        assert store.get("old") is not None
+        assert store.get("new") is None
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = DiskResultStore(tmp_path)
+        for index in range(8):
+            store.put(f"key{index}", _constant_result(f"s{index}").to_dict())
+        assert len(store) == 8
+        assert store.evictions == 0
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskResultStore(tmp_path, max_entries=0)
+
+    def test_result_cache_forwards_cap(self, tmp_path):
+        cache = ResultCache(tmp_path / "store", max_disk_entries=2)
+        for index in range(4):
+            cache.put(f"key{index}", _constant_result(f"s{index}"))
+        assert len(cache.disk) == 2
+
+    def test_strategy_version_stamps_keys(self, machine, monkeypatch):
+        import repro.engine.cache as cache_mod
+
+        spec = _spec("A")
+        strategy = get_strategy("random", **RANDOM_OPTS)
+        before = result_cache_key(spec, machine, strategy)
+        monkeypatch.setattr(
+            cache_mod, "STRATEGY_VERSION", cache_mod.STRATEGY_VERSION + 1
+        )
+        after = result_cache_key(spec, machine, strategy)
+        assert before != after  # numerics changes invalidate cached entries
+
+
 class TestNetworkOptimizer:
     def test_dedup_of_repeated_shapes(self, machine):
         specs = [_spec("A"), _spec("B", kernel=1), _spec("A-again")]
