@@ -16,6 +16,11 @@ perf trajectory across commits:
   (the "batched workload" axis of the ROADMAP), vectorized path only.
 * ``warm_network_s`` — the same network re-run against the persistent
   cache (the PR 1 warm path).
+* ``serving_*`` — concurrent-client figures from the async serving
+  front-end: 8 clients requesting overlapping Table 1 networks against
+  one shared cache (cold round wall/throughput, warm round latency
+  percentiles, and the duplicate-solve count, which must be 0 — every
+  distinct operator solved exactly once under concurrency).
 
 Run with:  PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--out PATH]
 
@@ -37,12 +42,14 @@ from pathlib import Path
 
 from repro.core.optimizer import MOptOptimizer, fast_settings
 from repro.engine import NetworkOptimizer, ResultCache
+from repro.experiments.serving_demo import run_serving_demo_sync
 from repro.machine.presets import coffee_lake_i7_9700k
 from repro.workloads.benchmarks import network_benchmarks
 
 THREADS = 8
 NETWORK = "resnet18"
 BATCHED_WORKLOAD_BATCH = 8
+SERVING_CLIENTS = 8
 
 
 def _git_commit() -> str:
@@ -122,6 +129,34 @@ def main() -> int:
     )
     print(f"  {stages['cold_network_batched_workload_s']:.2f} s")
 
+    print(f"async serving: {SERVING_CLIENTS} concurrent clients, cold + warm ...")
+    serving = run_serving_demo_sync(
+        machine=machine,
+        clients=SERVING_CLIENTS,
+        networks=(NETWORK,) if args.quick else (NETWORK, "mobilenet"),
+        strategy="mopt",
+        strategy_options={
+            "settings": vectorized,
+            "threads": THREADS,
+            "measure": False,
+        },
+        layers_per_network=4 if args.quick else None,
+        workers=SERVING_CLIENTS,
+        solve_threads=4,
+    )
+    print(serving.text)
+    stages["serving_cold_wall_s"] = serving.cold.wall_s
+    stages["serving_warm_p50_s"] = serving.warm.p50_s
+    stages["serving_warm_max_s"] = serving.warm.max_s
+    payload_serving = {
+        "clients": serving.clients,
+        "networks": list(serving.networks),
+        "duplicate_solves": serving.duplicate_solves,
+        "coalesced_operators": serving.coalesced_operators,
+        "cold_requests_per_s": serving.cold.requests_per_s,
+        "warm_requests_per_s": serving.warm.requests_per_s,
+    }
+
     if not args.quick:
         print(f"cold {NETWORK} network search, scalar (pre-PR path) ...")
         stages["cold_network_scalar_s"] = _network_seconds(scalar, specs)
@@ -134,6 +169,7 @@ def main() -> int:
         "threads": THREADS,
         "quick": bool(args.quick),
         "wall_s": stages,
+        "serving": payload_serving,
     }
     if "cold_network_scalar_s" in stages:
         payload["network_speedup"] = (

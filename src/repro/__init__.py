@@ -20,6 +20,11 @@ stack:
   :class:`SearchStrategy` registry unifying all comparison systems, the
   two-tier persistent :class:`ResultCache` and the parallel
   :class:`NetworkOptimizer`.
+* :mod:`repro.serving` — the async serving front-end: a queued,
+  back-pressured :class:`OptimizationServer` with single-flight
+  coalescing of identical in-flight operator solves, streaming
+  per-operator progress, and in-process/TCP clients
+  (``python -m repro.serving serve|demo``).
 * :mod:`repro.workloads` — the Table 1 conv2d operators and configuration
   sampling.
 * :mod:`repro.analysis` and :mod:`repro.experiments` — statistics and the
@@ -82,9 +87,16 @@ from .machine import (
     get_machine,
     tiny_test_machine,
 )
+from .serving import (
+    OptimizationServer,
+    OptimizeRequest,
+    OptimizeResponse,
+    ServerConfig,
+    ServingClient,
+)
 from .workloads import all_benchmarks, benchmark_by_name, network_benchmarks
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ConvSpec",
@@ -94,9 +106,14 @@ __all__ = [
     "NetworkOptimizer",
     "NetworkResult",
     "OptimizationResult",
+    "OptimizationServer",
+    "OptimizeRequest",
+    "OptimizeResponse",
     "OptimizerSettings",
     "ResultCache",
     "SearchStrategy",
+    "ServerConfig",
+    "ServingClient",
     "StrategyResult",
     "TilingConfig",
     "all_benchmarks",

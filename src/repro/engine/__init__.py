@@ -76,8 +76,11 @@ from .network import (
     NetworkOptimizer,
     NetworkResult,
     OperatorOutcome,
+    build_network_result,
     compare_network_strategies,
+    dedup_specs,
     optimize_network,
+    resolve_network,
 )
 from .serialization import (
     canonical_json,
@@ -127,11 +130,14 @@ __all__ = [
     "StrategyResult",
     "UnknownStrategyError",
     "available_strategies",
+    "build_network_result",
     "canonical_json",
     "compare_network_strategies",
     "config_from_dict",
     "config_to_dict",
+    "dedup_specs",
     "get_strategy",
+    "resolve_network",
     "machine_to_dict",
     "optimize_network",
     "register_strategy",

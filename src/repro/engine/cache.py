@@ -23,10 +23,11 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
 
 from ..core.tensor_spec import ConvSpec
 from ..machine.spec import MachineSpec
@@ -177,12 +178,20 @@ class DiskResultStore:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`ResultCache` instance."""
+    """Hit/miss counters of one :class:`ResultCache` instance.
+
+    ``coalesced`` counts :meth:`ResultCache.get_or_compute` calls that
+    waited on another caller's in-flight computation of the same key
+    instead of computing it themselves (single-flight coalescing);
+    ``computes`` counts the computations that actually ran.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    coalesced: int = 0
+    computes: int = 0
 
     @property
     def hits(self) -> int:
@@ -195,6 +204,17 @@ class CacheStats:
         return self.hits + self.misses
 
 
+class _InFlight:
+    """One key's in-flight computation: an event plus its outcome."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[StrategyResult] = None
+        self.error: Optional[BaseException] = None
+
+
 class ResultCache:
     """In-memory LRU in front of an optional :class:`DiskResultStore`.
 
@@ -205,6 +225,13 @@ class ResultCache:
     on the disk tier, so a disk hit is bit-identical to a fresh store.
     ``max_disk_entries`` caps the disk tier with LRU eviction (``None``
     leaves it unbounded, the historical behavior).
+
+    The cache is thread-safe: the memory tier and the stats counters are
+    guarded by one lock, the disk tier already writes atomically, and
+    :meth:`get_or_compute` adds single-flight semantics on top — any
+    number of threads (or event-loop tasks delegating to threads) may
+    request the same key concurrently and exactly one of them runs the
+    computation while the rest wait for its outcome.
     """
 
     def __init__(
@@ -224,6 +251,8 @@ class ResultCache:
             else None
         )
         self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._inflight: Dict[str, _InFlight] = {}
 
     # ------------------------------------------------------------------
     def key_for(
@@ -234,27 +263,149 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[StrategyResult]:
         """Look ``key`` up in memory first, then on disk; ``None`` on miss."""
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
-            return cached
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return cached
         if self.disk is not None:
             payload = self.disk.get(key)
             if payload is not None:
                 result = StrategyResult.from_dict(payload)
-                self._remember(key, result)
-                self.stats.disk_hits += 1
+                with self._lock:
+                    self._remember(key, result)
+                    self.stats.disk_hits += 1
                 return result
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         return None
+
+    def get_many(
+        self,
+        keys: Sequence[str],
+        *,
+        memory_only: bool = False,
+        record_misses: bool = True,
+    ) -> Dict[str, Optional[StrategyResult]]:
+        """Batched lookup: one result (or ``None``) per key, in one pass.
+
+        The memory tier is scanned under a single lock acquisition; only
+        the keys that miss it go to the disk tier.  This is what the
+        network optimizer and the serving front-end use to consult the
+        cache for every distinct operator of a request at once.
+
+        ``memory_only=True`` skips the disk tier and does no IO at all —
+        misses are returned as ``None`` without being counted in the
+        stats (the caller is expected to follow up with a full lookup
+        for them), which lets an event loop serve warm requests without
+        a thread-pool hop.  ``record_misses=False`` likewise keeps full
+        lookups from counting misses, for callers that will immediately
+        route the missing keys into :meth:`get_or_compute` (which counts
+        the miss itself — without this, every cold serving operator
+        would be double-counted).
+        """
+        found: Dict[str, Optional[StrategyResult]] = {}
+        disk_keys: list = []
+        with self._lock:
+            for key in keys:
+                cached = self._memory.get(key)
+                if cached is not None:
+                    self._memory.move_to_end(key)
+                    self.stats.memory_hits += 1
+                    found[key] = cached
+                else:
+                    disk_keys.append(key)
+        if memory_only:
+            for key in disk_keys:
+                found[key] = None
+            return found
+        for key in disk_keys:
+            if self.disk is not None:
+                payload = self.disk.get(key)
+                if payload is not None:
+                    result = StrategyResult.from_dict(payload)
+                    with self._lock:
+                        self._remember(key, result)
+                        self.stats.disk_hits += 1
+                    found[key] = result
+                    continue
+            if record_misses:
+                with self._lock:
+                    self.stats.misses += 1
+            found[key] = None
+        return found
 
     def put(self, key: str, result: StrategyResult) -> None:
         """Store ``result`` in both tiers."""
-        self._remember(key, result)
+        with self._lock:
+            self._remember(key, result)
+            self.stats.stores += 1
         if self.disk is not None:
             self.disk.put(key, result.to_dict())
-        self.stats.stores += 1
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], StrategyResult]
+    ) -> StrategyResult:
+        """Return the cached result for ``key``, computing it at most once.
+
+        Single-flight semantics: when several threads ask for the same
+        missing key concurrently, exactly one of them (the *leader*) runs
+        ``compute()`` and stores the outcome; the others block until it
+        finishes and return the same result (counted in
+        ``stats.coalesced``).  If the leader raises, its exception
+        propagates to every waiter and the key is released so a later
+        call retries.
+        """
+        while True:
+            with self._lock:
+                cached = self._memory.get(key)
+                if cached is not None:
+                    self._memory.move_to_end(key)
+                    self.stats.memory_hits += 1
+                    return cached
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+                    self.stats.coalesced += 1
+            if not leader:
+                flight.event.wait()
+                if flight.error is not None:
+                    raise flight.error
+                if flight.result is not None:
+                    return flight.result
+                # Leader found nothing to report (should not happen) —
+                # retry from the top rather than return a bogus value.
+                continue
+            try:
+                # Leader: check the disk tier before paying for a solve.
+                result: Optional[StrategyResult] = None
+                if self.disk is not None:
+                    payload = self.disk.get(key)
+                    if payload is not None:
+                        result = StrategyResult.from_dict(payload)
+                        with self._lock:
+                            self._remember(key, result)
+                            self.stats.disk_hits += 1
+                if result is None:
+                    with self._lock:
+                        self.stats.misses += 1
+                        self.stats.computes += 1
+                    result = compute()
+                    self.put(key, result)
+                flight.result = result
+                return result
+            except BaseException as error:
+                flight.error = error
+                raise
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
 
     def _remember(self, key: str, result: StrategyResult) -> None:
         self._memory[key] = result
@@ -264,15 +415,18 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
-        if key in self._memory:
-            return True
+        with self._lock:
+            if key in self._memory:
+                return True
         return self.disk is not None and key in self.disk
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def clear(self, *, disk: bool = False) -> None:
         """Drop the memory tier (and optionally the disk tier)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if disk and self.disk is not None:
             self.disk.clear()

@@ -40,6 +40,79 @@ from .strategy import SearchStrategy, StrategyResult, get_strategy
 EXECUTOR_MODES = ("serial", "thread", "process")
 
 
+def resolve_network(
+    network: Union[str, Sequence[ConvSpec]], *, batch: int = 1
+) -> Tuple[str, List[ConvSpec]]:
+    """Resolve a network argument into ``(name, operator list)``.
+
+    ``network`` is either a Table 1 network name (resolved through
+    :func:`repro.workloads.benchmarks.network_benchmarks`) or an explicit
+    operator list (named ``"custom"``).  Raises on empty networks so
+    callers fail before queueing/solving anything.
+    """
+    if isinstance(network, str):
+        specs = network_benchmarks(network, batch=batch)
+        name = network
+    else:
+        specs = list(network)
+        name = "custom"
+    if not specs:
+        raise ValueError("network has no operators")
+    return name, specs
+
+
+def dedup_specs(specs: Sequence[ConvSpec]) -> "Dict[str, ConvSpec]":
+    """Map shape key -> first operator with that shape (insertion order)."""
+    distinct: "Dict[str, ConvSpec]" = {}
+    for spec in specs:
+        distinct.setdefault(spec_shape_key(spec), spec)
+    return distinct
+
+
+def build_network_result(
+    *,
+    network: str,
+    machine_name: str,
+    strategy: str,
+    specs: Sequence[ConvSpec],
+    solved: Mapping[str, StrategyResult],
+    cached_keys: "set",
+    wall_seconds: float,
+) -> NetworkResult:
+    """Assemble per-layer outcomes and aggregates from solved shapes.
+
+    ``solved`` maps shape keys to strategy results; cached or deduped
+    results are relabeled to each layer's name.  This is shared by the
+    synchronous :class:`NetworkOptimizer` and the async serving
+    front-end, which produce results through different execution paths
+    but must aggregate identically.
+    """
+    outcomes: List[OperatorOutcome] = []
+    for spec in specs:
+        shape_key = spec_shape_key(spec)
+        result = solved[shape_key]
+        if result.spec_name != spec.name:
+            result = result.with_spec_name(spec.name)
+        outcomes.append(
+            OperatorOutcome(
+                spec=spec,
+                result=result,
+                cached=shape_key in cached_keys,
+                shape_key=shape_key,
+            )
+        )
+    distinct = {spec_shape_key(spec) for spec in specs}
+    return NetworkResult(
+        network=network,
+        machine_name=machine_name,
+        strategy=strategy,
+        operators=tuple(outcomes),
+        distinct_operators=len(distinct),
+        cache_hits=len(cached_keys),
+        wall_seconds=wall_seconds,
+    )
+
+
 def _search_worker(
     strategy: SearchStrategy,
     spec: ConvSpec,
@@ -228,33 +301,31 @@ class NetworkOptimizer:
         explicit operator list.
         """
         start = time.perf_counter()
-        if isinstance(network, str):
-            network_name = network
-            specs = network_benchmarks(network, batch=batch)
-        else:
-            specs = list(network)
-            network_name = "custom"
-        if not specs:
-            raise ValueError("network has no operators")
+        network_name, specs = resolve_network(network, batch=batch)
 
         # --- 1. deduplicate identical shapes (first occurrence wins).
-        distinct: "Dict[str, ConvSpec]" = {}
-        for spec in specs:
-            distinct.setdefault(spec_shape_key(spec), spec)
+        distinct = dedup_specs(specs)
 
-        # --- 2. consult the cache for each distinct shape.
+        # --- 2. consult the cache for all distinct shapes in one batch.
         solved: Dict[str, StrategyResult] = {}
         cached_keys: set = set()
         pending: List[Tuple[str, ConvSpec]] = []
-        for shape_key, spec in distinct.items():
-            hit = None
-            if self.cache is not None:
-                hit = self.cache.get(self.cache.key_for(spec, self.machine, self.strategy))
-            if hit is not None:
-                solved[shape_key] = hit
-                cached_keys.add(shape_key)
-            else:
-                pending.append((shape_key, spec))
+        cache_keys: Dict[str, str] = {}
+        if self.cache is not None:
+            cache_keys = {
+                shape_key: self.cache.key_for(spec, self.machine, self.strategy)
+                for shape_key, spec in distinct.items()
+            }
+            hits = self.cache.get_many(list(cache_keys.values()))
+            for shape_key, spec in distinct.items():
+                hit = hits.get(cache_keys[shape_key])
+                if hit is not None:
+                    solved[shape_key] = hit
+                    cached_keys.add(shape_key)
+                else:
+                    pending.append((shape_key, spec))
+        else:
+            pending = list(distinct.items())
 
         # --- 3. fan the remaining distinct operators out.
         for shape_key, result in zip(
@@ -263,33 +334,16 @@ class NetworkOptimizer:
         ):
             solved[shape_key] = result
             if self.cache is not None:
-                spec = distinct[shape_key]
-                self.cache.put(
-                    self.cache.key_for(spec, self.machine, self.strategy), result
-                )
+                self.cache.put(cache_keys[shape_key], result)
 
         # --- 4. per-layer outcomes (cached/deduped results relabeled).
-        outcomes: List[OperatorOutcome] = []
-        for spec in specs:
-            shape_key = spec_shape_key(spec)
-            result = solved[shape_key]
-            if result.spec_name != spec.name:
-                result = result.with_spec_name(spec.name)
-            outcomes.append(
-                OperatorOutcome(
-                    spec=spec,
-                    result=result,
-                    cached=shape_key in cached_keys,
-                    shape_key=shape_key,
-                )
-            )
-        return NetworkResult(
+        return build_network_result(
             network=network_name,
             machine_name=self.machine.name,
             strategy=self.strategy_name,
-            operators=tuple(outcomes),
-            distinct_operators=len(distinct),
-            cache_hits=len(cached_keys),
+            specs=specs,
+            solved=solved,
+            cached_keys=cached_keys,
             wall_seconds=time.perf_counter() - start,
         )
 

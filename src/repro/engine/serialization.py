@@ -23,6 +23,7 @@ Two conventions matter for correctness:
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import json
 from typing import Any, Dict, Mapping, Optional
@@ -60,11 +61,15 @@ def spec_from_dict(payload: Mapping[str, Any]) -> ConvSpec:
     return ConvSpec(**dict(payload))
 
 
+@functools.lru_cache(maxsize=4096)
 def spec_shape_key(spec: ConvSpec) -> str:
     """Content hash of an operator's *shape* (name excluded).
 
     Layers with equal shape keys are interchangeable optimization
     problems; the network optimizer solves each distinct key once.
+    Memoized per spec (:class:`ConvSpec` is frozen and hashes by value):
+    the serving hot path recomputes shape keys for every layer of every
+    request, and repeated requests for the same networks hit the memo.
     """
     return stable_hash(spec_to_dict(spec, include_name=False))
 

@@ -11,6 +11,7 @@ experiment      regenerates
 ``fig8``        Figure 8 — comparison on the i9-10980XE (16 threads)
 ``searchtime``  Section 12 — MOpt vs. auto-tuner search time
 ``pruning``     Section 4 — 5040 -> 8 permutation pruning check
+``serving``     concurrent clients against the async serving front-end
 ==============  =====================================================
 """
 
@@ -34,6 +35,12 @@ from .model_validation import (
 )
 from .pruning_check import PruningCheckResult, run_pruning_check
 from .search_time import SearchTimeRecord, SearchTimeResult, run_search_time
+from .serving_demo import (
+    RoundFigures,
+    ServingDemoResult,
+    run_serving_demo,
+    run_serving_demo_sync,
+)
 from .table1 import Table1Result, run_table1
 from .table2 import Table2Result, run_table2
 
@@ -45,8 +52,10 @@ __all__ = [
     "OperatorComparison",
     "OperatorValidation",
     "PruningCheckResult",
+    "RoundFigures",
     "SearchTimeRecord",
     "SearchTimeResult",
+    "ServingDemoResult",
     "Table1Result",
     "Table2Result",
     "ValidationSettings",
@@ -58,6 +67,8 @@ __all__ = [
     "run_figure8",
     "run_pruning_check",
     "run_search_time",
+    "run_serving_demo",
+    "run_serving_demo_sync",
     "run_table1",
     "run_table2",
     "validate_operator",

@@ -1,0 +1,243 @@
+"""Experiment ``serving``: concurrent clients against the async front-end.
+
+The serving PR's acceptance scenario: **N concurrent clients** (default
+8) request overlapping Table 1 networks from one
+:class:`~repro.serving.server.OptimizationServer` sharing one result
+cache.  Because the clients overlap (several ask for the same network,
+and distinct networks still share operator shapes), naive serving would
+re-solve the same operators over and over; the single-flight coalescing
+layer must instead solve **every distinct operator exactly once** — the
+server's solve-count probe verifies it — while every client still
+receives its full per-layer result stream.
+
+Two rounds are driven:
+
+* a **cold round** — the cache starts empty; latency is dominated by the
+  analytical solves and the coalescing is what bounds total work;
+* a **warm round** — the same requests again; every operator is a cache
+  hit and requests complete in milliseconds (the Table 2 "cheap enough
+  to run on demand" claim, now as a service-latency statement).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..analysis.reporting import format_table
+from ..core.tensor_spec import ConvSpec
+from ..engine.cache import ResultCache
+from ..machine.presets import coffee_lake_i7_9700k
+from ..machine.spec import MachineSpec
+from ..serving.client import ServingClient
+from ..serving.server import OptimizationServer, ServerConfig
+from ..workloads.benchmarks import network_benchmarks
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class RoundFigures:
+    """Latency/throughput figures of one round of concurrent requests."""
+
+    requests: int
+    wall_s: float
+    latencies_s: Tuple[float, ...]
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.requests / max(self.wall_s, 1e-12)
+
+    @property
+    def p50_s(self) -> float:
+        return _percentile(self.latencies_s, 0.50)
+
+    @property
+    def p95_s(self) -> float:
+        return _percentile(self.latencies_s, 0.95)
+
+    @property
+    def max_s(self) -> float:
+        return max(self.latencies_s)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "wall_s": self.wall_s,
+            "requests_per_s": self.requests_per_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass(frozen=True)
+class ServingDemoResult:
+    """Outcome of the concurrent-client serving demo."""
+
+    clients: int
+    networks: Tuple[str, ...]
+    distinct_operators: int
+    total_operators_served: int
+    solves: int
+    duplicate_solves: int
+    coalesced_operators: int
+    cold: RoundFigures
+    warm: RoundFigures
+    text: str
+
+    @property
+    def every_duplicate_solved_once(self) -> bool:
+        """The headline property: no distinct operator solved twice."""
+        return self.duplicate_solves == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clients": self.clients,
+            "networks": list(self.networks),
+            "distinct_operators": self.distinct_operators,
+            "total_operators_served": self.total_operators_served,
+            "solves": self.solves,
+            "duplicate_solves": self.duplicate_solves,
+            "coalesced_operators": self.coalesced_operators,
+            "cold": self.cold.to_dict(),
+            "warm": self.warm.to_dict(),
+        }
+
+
+async def _drive_round(
+    client: ServingClient,
+    requests: Sequence[Union[str, Tuple[ConvSpec, ...]]],
+    *,
+    priority: int = 10,
+) -> RoundFigures:
+    """Fire all requests concurrently; collect client-observed latencies."""
+    latencies: List[float] = [0.0] * len(requests)
+
+    async def one(index: int, network: Union[str, Tuple[ConvSpec, ...]]) -> None:
+        begin = time.perf_counter()
+        await client.optimize(network, priority=priority)
+        latencies[index] = time.perf_counter() - begin
+
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(one(index, network) for index, network in enumerate(requests))
+    )
+    return RoundFigures(
+        requests=len(requests),
+        wall_s=time.perf_counter() - start,
+        latencies_s=tuple(latencies),
+    )
+
+
+async def run_serving_demo(
+    machine: Optional[MachineSpec] = None,
+    *,
+    clients: int = 8,
+    networks: Sequence[str] = ("resnet18", "mobilenet"),
+    strategy: str = "mopt",
+    strategy_options: Optional[Mapping[str, Any]] = None,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[str] = None,
+    layers_per_network: Optional[int] = None,
+    queue_depth: int = 64,
+    workers: int = 4,
+    solve_threads: int = 4,
+) -> ServingDemoResult:
+    """Drive ``clients`` concurrent requests over overlapping networks.
+
+    Clients cycle through ``networks`` (so with 8 clients and 2 networks
+    every network is requested 4 times — heavy overlap by construction).
+    ``layers_per_network`` truncates each network to its head for quick
+    runs.  Returns figures for the cold and warm rounds plus the
+    solve-count verification.
+    """
+    machine = machine or coffee_lake_i7_9700k()
+    if strategy_options is None:
+        strategy_options = {"measure": False}
+    if cache is None:
+        cache = ResultCache(cache_dir) if cache_dir else ResultCache()
+
+    # Resolve the request payloads up front: full networks go by name,
+    # truncated ones as explicit operator tuples.
+    payloads: List[Union[str, Tuple[ConvSpec, ...]]] = []
+    for index in range(clients):
+        name = networks[index % len(networks)]
+        if layers_per_network is None:
+            payloads.append(name)
+        else:
+            payloads.append(tuple(network_benchmarks(name)[:layers_per_network]))
+
+    server = OptimizationServer(
+        machine,
+        strategy,
+        strategy_options=strategy_options,
+        cache=cache,
+        config=ServerConfig(
+            max_queue_depth=queue_depth,
+            workers=workers,
+            solve_threads=solve_threads,
+        ),
+    )
+    async with server:
+        client = ServingClient(server)
+        cold = await _drive_round(client, payloads)
+        warm = await _drive_round(client, payloads)
+
+    # Distinct keys that actually reached the solver (shapes served from a
+    # pre-warmed disk cache never enter solve_counts).
+    distinct = len(server.solve_counts)
+    stats = server.stats
+    headers = ("round", "requests", "wall s", "req/s", "p50 ms", "p95 ms", "max ms")
+    rows = [
+        (
+            "cold",
+            str(cold.requests),
+            f"{cold.wall_s:.2f}",
+            f"{cold.requests_per_s:.2f}",
+            f"{cold.p50_s * 1e3:.1f}",
+            f"{cold.p95_s * 1e3:.1f}",
+            f"{cold.max_s * 1e3:.1f}",
+        ),
+        (
+            "warm",
+            str(warm.requests),
+            f"{warm.wall_s:.2f}",
+            f"{warm.requests_per_s:.2f}",
+            f"{warm.p50_s * 1e3:.1f}",
+            f"{warm.p95_s * 1e3:.1f}",
+            f"{warm.max_s * 1e3:.1f}",
+        ),
+    ]
+    duplicate_solves = server.duplicate_solves()
+    text = format_table(headers, rows) + (
+        f"\n{clients} clients over {list(networks)}: "
+        f"{stats.operators_served} operators served, "
+        f"{stats.solves} solved, {stats.operators_coalesced} coalesced, "
+        f"{duplicate_solves} duplicate solves "
+        f"({'OK: every duplicate operator solved exactly once' if duplicate_solves == 0 else 'VIOLATION'})"
+    )
+    return ServingDemoResult(
+        clients=clients,
+        networks=tuple(networks),
+        distinct_operators=distinct,
+        total_operators_served=stats.operators_served,
+        solves=stats.solves,
+        duplicate_solves=duplicate_solves,
+        coalesced_operators=stats.operators_coalesced,
+        cold=cold,
+        warm=warm,
+        text=text,
+    )
+
+
+def run_serving_demo_sync(**kwargs: Any) -> ServingDemoResult:
+    """Synchronous wrapper (benchmark harness and scripts)."""
+    return asyncio.run(run_serving_demo(**kwargs))

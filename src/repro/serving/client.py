@@ -1,0 +1,274 @@
+"""Clients of the optimization service: in-process and TCP.
+
+:class:`ServingClient` drives an in-process
+:class:`~repro.serving.server.OptimizationServer` (the normal embedding:
+one process, many concurrent asyncio clients sharing one cache).
+:class:`TCPServingClient` speaks the same JSON-lines protocol over a
+socket to a server started with
+:func:`~repro.serving.server.start_tcp_server`.
+
+Both expose the same surface: ``optimize(...)`` returns the terminal
+:class:`~repro.serving.protocol.OptimizeResponse` (honoring the server's
+back-pressure by retrying after the hinted delay, up to
+``max_retries``), with an optional ``on_event`` callback observing the
+streaming per-operator progress.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.tensor_spec import ConvSpec
+from .protocol import (
+    CompletedEvent,
+    ExpiredEvent,
+    FailedEvent,
+    OptimizeRequest,
+    OptimizeResponse,
+    RejectedEvent,
+    ServingEvent,
+    decode_message,
+    encode_message,
+    event_from_dict,
+)
+from .server import (
+    DeadlineExpiredError,
+    OptimizationServer,
+    RequestFailedError,
+    ServerOverloadedError,
+)
+
+EventCallback = Callable[[ServingEvent], None]
+NetworkArg = Union[str, Sequence[ConvSpec]]
+
+
+def _as_request(
+    network: NetworkArg,
+    *,
+    strategy: Optional[str],
+    strategy_options: Optional[Mapping[str, Any]],
+    batch: int,
+    priority: int,
+    deadline_s: Optional[float],
+) -> OptimizeRequest:
+    if not isinstance(network, str):
+        network = tuple(network)
+    return OptimizeRequest(
+        network=network,
+        strategy=strategy,
+        strategy_options=dict(strategy_options or {}),
+        batch=batch,
+        priority=priority,
+        deadline_s=deadline_s,
+    )
+
+
+class ServingClient:
+    """In-process client of one :class:`OptimizationServer`."""
+
+    def __init__(self, server: OptimizationServer, *, max_retries: int = 5):
+        self.server = server
+        self.max_retries = max_retries
+        self.rejections = 0
+
+    async def optimize(
+        self,
+        network: NetworkArg,
+        *,
+        strategy: Optional[str] = None,
+        strategy_options: Optional[Mapping[str, Any]] = None,
+        batch: int = 1,
+        priority: int = 10,
+        deadline_s: Optional[float] = None,
+        on_event: Optional[EventCallback] = None,
+    ) -> OptimizeResponse:
+        """Submit one request and await its response.
+
+        Overload rejections are retried after the server's
+        ``retry_after_s`` hint, up to ``max_retries`` times; the final
+        rejection propagates as :class:`ServerOverloadedError`.
+        """
+        request = _as_request(
+            network,
+            strategy=strategy,
+            strategy_options=strategy_options,
+            batch=batch,
+            priority=priority,
+            deadline_s=deadline_s,
+        )
+        attempts = 0
+        while True:
+            try:
+                handle = self.server.submit(request)
+            except ServerOverloadedError as error:
+                self.rejections += 1
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise
+                await asyncio.sleep(error.retry_after_s)
+                continue
+            if on_event is None:
+                return await handle.result()
+            async for event in handle.events():
+                on_event(event)
+            return await handle.result()
+
+    async def optimize_many(
+        self,
+        networks: Sequence[NetworkArg],
+        *,
+        strategy: Optional[str] = None,
+        strategy_options: Optional[Mapping[str, Any]] = None,
+        priority: int = 10,
+        deadline_s: Optional[float] = None,
+    ) -> List[OptimizeResponse]:
+        """Optimize several networks concurrently (one request each)."""
+        return list(
+            await asyncio.gather(
+                *(
+                    self.optimize(
+                        network,
+                        strategy=strategy,
+                        strategy_options=strategy_options,
+                        priority=priority,
+                        deadline_s=deadline_s,
+                    )
+                    for network in networks
+                )
+            )
+        )
+
+
+class TCPServingClient:
+    """JSON-lines TCP client of :func:`start_tcp_server`.
+
+    One connection can carry many concurrent requests; events are routed
+    back to their request by ``request_id``.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_retries: int = 5,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.max_retries = max_retries
+        self.rejections = 0
+        self._streams: dict = {}
+        self._reader_task: Optional["asyncio.Task[None]"] = None
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 8763, *, max_retries: int = 5
+    ) -> "TCPServingClient":
+        """Open a connection to a serving endpoint."""
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, max_retries=max_retries)
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def close(self) -> None:
+        """Close the connection (pending requests fail with EOF errors)."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "TCPServingClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        """Demultiplex incoming event lines to per-request queues."""
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    event = event_from_dict(decode_message(line))
+                except (ValueError, KeyError):
+                    continue
+                queue = self._streams.get(event.request_id)
+                if queue is not None:
+                    queue.put_nowait(event)
+        finally:
+            eof = ConnectionResetError("connection closed by server")
+            for queue in self._streams.values():
+                queue.put_nowait(eof)
+
+    async def _roundtrip(
+        self, request: OptimizeRequest, on_event: Optional[EventCallback]
+    ) -> Tuple[Optional[OptimizeResponse], Optional[ServingEvent]]:
+        """Send one request; return (response, terminal rejection/None)."""
+        queue: "asyncio.Queue" = asyncio.Queue()
+        self._streams[request.request_id] = queue
+        try:
+            self._writer.write(encode_message(request.to_dict()))
+            await self._writer.drain()
+            while True:
+                event = await queue.get()
+                if isinstance(event, BaseException):
+                    raise event
+                if on_event is not None:
+                    on_event(event)
+                if isinstance(event, CompletedEvent):
+                    return event.response, None
+                if isinstance(event, RejectedEvent):
+                    return None, event
+                if isinstance(event, ExpiredEvent):
+                    raise DeadlineExpiredError(
+                        f"request {request.request_id} expired after "
+                        f"{event.waited_s * 1e3:.1f} ms"
+                    )
+                if isinstance(event, FailedEvent):
+                    raise RequestFailedError(event.error)
+        finally:
+            self._streams.pop(request.request_id, None)
+
+    async def optimize(
+        self,
+        network: NetworkArg,
+        *,
+        strategy: Optional[str] = None,
+        strategy_options: Optional[Mapping[str, Any]] = None,
+        batch: int = 1,
+        priority: int = 10,
+        deadline_s: Optional[float] = None,
+        on_event: Optional[EventCallback] = None,
+    ) -> OptimizeResponse:
+        """Submit one request over TCP and await its terminal response."""
+        attempts = 0
+        while True:
+            request = _as_request(
+                network,
+                strategy=strategy,
+                strategy_options=strategy_options,
+                batch=batch,
+                priority=priority,
+                deadline_s=deadline_s,
+            )
+            response, rejection = await self._roundtrip(request, on_event)
+            if response is not None:
+                return response
+            assert rejection is not None
+            self.rejections += 1
+            attempts += 1
+            if attempts > self.max_retries:
+                raise ServerOverloadedError(rejection.retry_after_s)
+            await asyncio.sleep(rejection.retry_after_s)

@@ -1,0 +1,55 @@
+"""Event-loop-level single-flight coalescing of identical computations.
+
+Many concurrent clients asking the service to optimize overlapping
+networks (say, eight clients each submitting ResNet-18) reduce to the
+same distinct operator keys.  :class:`SingleFlight` ensures each key has
+at most one computation in flight *on the event loop*: the first caller
+becomes the leader and starts the work as a task, every concurrent
+caller awaits that same task, and the registration is dropped the moment
+the task finishes (completed results live in the
+:class:`~repro.engine.cache.ResultCache` underneath, which has its own
+thread-level single-flight for non-asyncio users of a shared cache).
+
+Followers awaiting a leader's task are shielded from each other: one
+follower being cancelled does not cancel the shared computation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict
+
+
+class SingleFlight:
+    """Coalesce concurrent computations of the same key on one event loop."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, "asyncio.Task[Any]"] = {}
+        self.leaders = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def is_inflight(self, key: str) -> bool:
+        """Whether ``key`` currently has a computation in flight."""
+        return key in self._inflight
+
+    async def run(
+        self, key: str, supplier: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        """Return ``supplier()``'s result, computing each key at most once.
+
+        Concurrent calls with the same key share one task; the supplier
+        is only invoked by the leader.  Exceptions propagate to every
+        waiter and release the key so a later call can retry.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            self.leaders += 1
+            task = asyncio.ensure_future(supplier())
+            self._inflight[key] = task
+            task.add_done_callback(lambda _t, k=key: self._inflight.pop(k, None))
+        else:
+            self.coalesced += 1
+        return await asyncio.shield(task)

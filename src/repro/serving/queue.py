@@ -1,0 +1,184 @@
+"""Bounded priority request queue with deadline-aware admission.
+
+The serving front-end admits requests through this queue:
+
+* **priority ordering** — lower values first, FIFO within one priority
+  (a monotonically increasing sequence number breaks ties, so two equal
+  priorities can never compare the underlying entries);
+* **bounded depth** — :meth:`BoundedRequestQueue.put_nowait` never
+  blocks: when the queue is at capacity it raises
+  :class:`QueueFullError` carrying a ``retry_after_s`` hint scaled by
+  the current backlog, which the server converts into a reject-with-
+  retry-after event (back-pressure is pushed to clients instead of
+  accumulating unbounded memory);
+* **deadline awareness** — entries carry an absolute expiry time;
+  :meth:`get` drops already-expired entries and hands them to the
+  ``on_expired`` callback instead of a worker, so dead requests never
+  occupy solve capacity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class QueueFullError(Exception):
+    """Raised on admission when the queue is at capacity (back-pressure)."""
+
+    def __init__(self, depth: int, retry_after_s: float):
+        super().__init__(
+            f"queue full ({depth} requests pending); retry after "
+            f"{retry_after_s:.2f}s"
+        )
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(order=True)
+class _Entry:
+    priority: int
+    sequence: int
+    item: Any = field(compare=False)
+    expires_at: Optional[float] = field(compare=False, default=None)
+
+
+class BoundedRequestQueue:
+    """Asyncio priority queue with bounded depth and deadline expiry.
+
+    Single-event-loop use only (like all asyncio primitives); the
+    server's workers and admission path all live on one loop.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        *,
+        retry_after_s: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+        on_expired: Optional[Callable[[Any, float], None]] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.retry_after_s = retry_after_s
+        self._clock = clock
+        self._on_expired = on_expired
+        self._heap: List[_Entry] = []
+        self._sequence = 0
+        self._available: asyncio.Event = asyncio.Event()
+        self.accepted = 0
+        self.rejected = 0
+        self.expired = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        """Number of queued (not yet claimed) requests."""
+        return len(self._heap)
+
+    def retry_after_hint(self) -> float:
+        """Back-off hint for a rejected client, scaled by the backlog."""
+        backlog = max(len(self._heap), 1)
+        return self.retry_after_s * backlog / self.max_depth + self.retry_after_s
+
+    def _expire_entry(
+        self, entry: _Entry, overstay: float,
+        on_expired: Optional[Callable[[Any, float], None]],
+    ) -> None:
+        self.expired += 1
+        callback = on_expired if on_expired is not None else self._on_expired
+        if callback is not None:
+            callback(entry.item, overstay)
+
+    def purge_expired(
+        self, *, on_expired: Optional[Callable[[Any, float], None]] = None
+    ) -> int:
+        """Drop every already-expired entry; returns how many were dropped.
+
+        Called on admission when the queue looks full: dead requests must
+        not hold admission slots (they would turn the back-pressure
+        signal into spurious rejections of live traffic).
+        """
+        now = self._clock()
+        live: List[_Entry] = []
+        dropped = 0
+        for entry in self._heap:
+            if entry.expires_at is not None and now >= entry.expires_at:
+                self._expire_entry(entry, now - entry.expires_at, on_expired)
+                dropped += 1
+            else:
+                live.append(entry)
+        if dropped:
+            heapq.heapify(live)
+            self._heap = live
+            if not live:
+                self._available.clear()
+        return dropped
+
+    # ------------------------------------------------------------------
+    def put_nowait(
+        self,
+        item: Any,
+        *,
+        priority: int = 10,
+        deadline_s: Optional[float] = None,
+    ) -> int:
+        """Admit ``item`` or raise :class:`QueueFullError`; returns depth.
+
+        ``deadline_s`` is relative to now; the entry expires (and will
+        never reach a worker) once it elapses.
+        """
+        if len(self._heap) >= self.max_depth:
+            self.purge_expired()
+        if len(self._heap) >= self.max_depth:
+            self.rejected += 1
+            raise QueueFullError(len(self._heap), self.retry_after_hint())
+        expires_at = None
+        if deadline_s is not None:
+            expires_at = self._clock() + deadline_s
+        self._sequence += 1
+        heapq.heappush(
+            self._heap,
+            _Entry(priority, self._sequence, item, expires_at),
+        )
+        self.accepted += 1
+        self._available.set()
+        return len(self._heap)
+
+    async def get(
+        self, *, on_expired: Optional[Callable[[Any, float], None]] = None
+    ) -> Tuple[Any, Optional[float]]:
+        """Claim the highest-priority live entry: ``(item, expires_at)``.
+
+        Expired entries are skipped and reported through ``on_expired``
+        (falling back to the constructor's callback), with how long they
+        overstayed their deadline.  Waits until a live entry is
+        available.
+        """
+        while True:
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                if entry.expires_at is not None:
+                    overstay = self._clock() - entry.expires_at
+                    if overstay >= 0:
+                        self._expire_entry(entry, overstay, on_expired)
+                        continue
+                if not self._heap:
+                    self._available.clear()
+                return entry.item, entry.expires_at
+            self._available.clear()
+            await self._available.wait()
+
+    def drain(self) -> List[Any]:
+        """Remove and return every queued item (used on shutdown)."""
+        items = [entry.item for entry in self._heap]
+        self._heap.clear()
+        self._available.clear()
+        return items

@@ -1,0 +1,750 @@
+"""Async serving front-end over the network-level optimization engine.
+
+:class:`OptimizationServer` turns :class:`~repro.engine.network`'s
+one-shot API into a long-lived service that many concurrent clients can
+share:
+
+* requests enter a :class:`~repro.serving.queue.BoundedRequestQueue`
+  (per-request priorities and deadlines, reject-with-retry-after when
+  the backlog is full);
+* a fixed set of asyncio workers claims requests and solves each
+  network's *distinct* operators through an event-loop
+  :class:`~repro.serving.coalescing.SingleFlight` layered over the
+  thread-safe :meth:`~repro.engine.cache.ResultCache.get_or_compute` —
+  identical operators requested by concurrent clients are solved exactly
+  once, no matter how the requests interleave;
+* actual solves run on a bounded thread pool so the event loop stays
+  responsive while scipy works;
+* every request streams progress events (one per completed operator)
+  and ends with a terminal completed/rejected/expired/failed event.
+
+The server also exposes a **solve-count probe**
+(:attr:`OptimizationServer.solve_counts`): how many times each cache key
+was actually computed.  Tests and the demo use it to verify the
+"every duplicate operator solved exactly once" property end to end.
+
+A thin TCP transport (:func:`start_tcp_server`) frames the same protocol
+as JSON lines over a socket for out-of-process clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Dict, List, Mapping, Optional, Tuple
+
+from ..core.tensor_spec import ConvSpec
+from ..engine.cache import ResultCache
+from ..engine.network import build_network_result, dedup_specs, resolve_network
+from ..engine.serialization import spec_shape_key
+from ..engine.strategy import SearchStrategy, StrategyResult, get_strategy
+from ..machine.spec import MachineSpec
+from .coalescing import SingleFlight
+from .protocol import (
+    AcceptedEvent,
+    CompletedEvent,
+    ExpiredEvent,
+    FailedEvent,
+    OperatorEvent,
+    OptimizeRequest,
+    OptimizeResponse,
+    RejectedEvent,
+    ServingEvent,
+    event_to_dict,
+    encode_message,
+)
+from .queue import BoundedRequestQueue, QueueFullError
+
+
+class ServerOverloadedError(Exception):
+    """Admission failed: the request queue is full.  Retry later."""
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(f"server overloaded; retry after {retry_after_s:.2f}s")
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExpiredError(Exception):
+    """The request's deadline passed before its result was ready."""
+
+
+class RequestFailedError(Exception):
+    """The strategy raised while solving the request."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunable knobs of one :class:`OptimizationServer`.
+
+    ``max_queue_depth`` bounds the admission queue (back-pressure beyond
+    it); ``workers`` is how many requests are serviced concurrently;
+    ``solve_threads`` bounds the thread pool actually running solver
+    code (the hard cap on CPU oversubscription no matter how many
+    requests are in flight); ``retry_after_s`` seeds the back-off hint
+    given to rejected clients.
+    """
+
+    max_queue_depth: int = 64
+    workers: int = 4
+    solve_threads: int = 4
+    retry_after_s: float = 0.25
+    default_deadline_s: Optional[float] = None
+
+
+@dataclass
+class ServerStats:
+    """Aggregate counters over the server's lifetime.
+
+    All ``operators_*`` figures count *layers* (the unit responses use),
+    not distinct shapes: a coalesced shape shared by three layers of one
+    request adds three to ``operators_coalesced``.  ``solves`` counts
+    actual strategy invocations (distinct shapes computed).
+    """
+
+    accepted: int = 0
+    rejected: int = 0
+    expired: int = 0
+    completed: int = 0
+    failed: int = 0
+    operators_served: int = 0
+    operators_cached: int = 0
+    operators_coalesced: int = 0
+    solves: int = 0
+
+
+class RequestHandle:
+    """One submitted request: its event stream and awaitable result.
+
+    The network and strategy are resolved once at admission (they also
+    serve as submit-time validation) and stashed here so the worker does
+    not redo the work.
+    """
+
+    def __init__(
+        self,
+        request: OptimizeRequest,
+        loop: asyncio.AbstractEventLoop,
+        *,
+        network_name: str,
+        specs: List[ConvSpec],
+        strategy: SearchStrategy,
+    ):
+        self.request = request
+        self.network_name = network_name
+        self.specs = specs
+        self.strategy = strategy
+        self.submitted_at = time.perf_counter()
+        self._events: "asyncio.Queue[ServingEvent]" = asyncio.Queue()
+        self._future: "asyncio.Future[OptimizeResponse]" = loop.create_future()
+
+    @property
+    def request_id(self) -> str:
+        return self.request.request_id
+
+    def _emit(self, event: ServingEvent) -> None:
+        self._events.put_nowait(event)
+
+    def _resolve(self, response: OptimizeResponse) -> None:
+        if not self._future.done():
+            self._future.set_result(response)
+
+    def _fail(self, error: BaseException) -> None:
+        if not self._future.done():
+            self._future.set_exception(error)
+            # Consumers that only read the event stream (the TCP
+            # transport, rejected submissions) never await the future;
+            # retrieve the exception once so asyncio does not log it at
+            # GC time.  `await result()` still raises.
+            self._future.exception()
+
+    async def result(self) -> OptimizeResponse:
+        """Await the terminal response (raises on expiry/failure)."""
+        return await self._future
+
+    async def events(self) -> AsyncIterator[ServingEvent]:
+        """Stream this request's events until (and including) the terminal one."""
+        while True:
+            event = await self._events.get()
+            yield event
+            if event.terminal:
+                return
+
+
+class OptimizationServer:
+    """Queued, cache-coalescing async service over one machine description.
+
+    Typical in-process use::
+
+        server = OptimizationServer(machine, cache=ResultCache(path))
+        async with server:
+            handle = server.submit(OptimizeRequest("resnet18"))
+            async for event in handle.events():
+                ...                       # streaming per-operator progress
+            response = await handle.result()
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        strategy: str = "mopt",
+        *,
+        strategy_options: Optional[Mapping[str, Any]] = None,
+        cache: Optional[ResultCache] = None,
+        config: Optional[ServerConfig] = None,
+    ):
+        self.machine = machine
+        self.config = config or ServerConfig()
+        self.default_strategy_name = strategy
+        self.default_strategy_options: Dict[str, Any] = dict(strategy_options or {})
+        # Fail fast on unknown names/options, like NetworkOptimizer does.
+        self.default_strategy: SearchStrategy = get_strategy(
+            strategy, **self.default_strategy_options
+        )
+        self.cache = cache if cache is not None else ResultCache()
+        self.stats = ServerStats()
+        #: Cache key -> number of times the strategy actually solved it.
+        #: With single-flight coalescing this stays at 1 per key no
+        #: matter how many concurrent requests contain the operator.
+        self.solve_counts: Dict[str, int] = {}
+        # Solve counters are bumped from pool threads; a bare += on the
+        # stats dataclass is a lost-update race across distinct keys.
+        self._solve_lock = threading.Lock()
+        self._queue: Optional[BoundedRequestQueue] = None
+        self._singleflight = SingleFlight()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._workers: List["asyncio.Task[None]"] = []
+        # Keyed by handle identity, NOT by request_id: ids are chosen by
+        # clients (unique per client process, not across processes), so
+        # two TCP clients can legitimately both send "req-1".
+        self._handles: Dict[int, RequestHandle] = {}
+        self._running = False
+        # (shape key, strategy) -> cache key.  Strategies are frozen
+        # dataclasses comparing by value, so value-equal per-request
+        # strategies share entries; computing a cache key hashes the full
+        # machine description and is too slow for the warm hot path.
+        self._key_memo: Dict[Tuple[str, Any], str] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spin up the queue, the solve pool and the worker tasks."""
+        if self._running:
+            return
+        self._queue = BoundedRequestQueue(
+            self.config.max_queue_depth,
+            retry_after_s=self.config.retry_after_s,
+            on_expired=self._expire_queued,
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.solve_threads,
+            thread_name_prefix="repro-serving",
+        )
+        self._workers = [
+            asyncio.ensure_future(self._worker_loop())
+            for _ in range(self.config.workers)
+        ]
+        self._running = True
+
+    async def stop(self) -> None:
+        """Stop workers, fail queued requests, shut the pool down."""
+        if not self._running:
+            return
+        self._running = False
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._queue is not None:
+            self._queue.drain()
+        # Fail every non-terminal request — queued or mid-flight when the
+        # workers were cancelled — so no client awaits a result forever.
+        for handle in list(self._handles.values()):
+            error = RequestFailedError("server stopped")
+            handle._fail(error)
+            handle._emit(
+                FailedEvent(request_id=handle.request_id, error=str(error))
+            )
+        self._handles.clear()
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            # Join the pool off-loop: cancel_futures only stops *queued*
+            # solves, so waiting for running ones must not freeze every
+            # other coroutine (they can take seconds to minutes).
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: pool.shutdown(wait=True, cancel_futures=True)
+            )
+
+    async def __aenter__(self) -> "OptimizationServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet claimed by a worker."""
+        return 0 if self._queue is None else self._queue.depth
+
+    @property
+    def active_requests(self) -> Tuple[str, ...]:
+        """Ids of requests admitted but not yet terminal (queued or solving)."""
+        return tuple(h.request_id for h in self._handles.values())
+
+    def duplicate_solves(self) -> int:
+        """How many solves were redundant (same key computed again)."""
+        return sum(count - 1 for count in self.solve_counts.values() if count > 1)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, request: OptimizeRequest) -> RequestHandle:
+        """Admit ``request`` or raise :class:`ServerOverloadedError`.
+
+        Must be called from the server's event loop.  The returned
+        handle immediately carries an :class:`AcceptedEvent`; progress
+        and terminal events follow as the request is serviced.
+        """
+        if not self._running or self._queue is None:
+            raise RuntimeError("server is not running (use `async with server:`)")
+        # Resolve eagerly: bad networks/strategies fail at submission and
+        # the worker reuses the resolution instead of redoing it.
+        network_name, specs = resolve_network(request.network, batch=request.batch)
+        strategy = self._strategy_for(request)
+        loop = asyncio.get_running_loop()
+        handle = RequestHandle(
+            request, loop,
+            network_name=network_name, specs=specs, strategy=strategy,
+        )
+        deadline = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        try:
+            depth = self._queue.put_nowait(
+                handle, priority=request.priority, deadline_s=deadline
+            )
+        except QueueFullError as error:
+            self.stats.rejected += 1
+            handle._emit(
+                RejectedEvent(
+                    request_id=request.request_id,
+                    reason="queue full",
+                    retry_after_s=error.retry_after_s,
+                )
+            )
+            overloaded = ServerOverloadedError(error.retry_after_s)
+            handle._fail(overloaded)
+            raise overloaded from None
+        self.stats.accepted += 1
+        self._handles[id(handle)] = handle
+        handle._emit(
+            AcceptedEvent(request_id=request.request_id, queue_depth=depth)
+        )
+        return handle
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    async def _worker_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            handle, expires_at = await self._queue.get()
+            try:
+                await self._process(handle, expires_at)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:  # pragma: no cover - defensive
+                self._finish_failed(handle, error)
+
+    def _expire_queued(self, handle: RequestHandle, overstay: float) -> None:
+        """Queue callback: a request's deadline passed while it waited."""
+        self.stats.expired += 1
+        waited = time.perf_counter() - handle.submitted_at
+        deadline = handle.request.deadline_s or self.config.default_deadline_s or 0.0
+        handle._emit(
+            ExpiredEvent(
+                request_id=handle.request_id,
+                deadline_s=deadline,
+                waited_s=waited,
+            )
+        )
+        handle._fail(
+            DeadlineExpiredError(
+                f"request {handle.request_id} expired after waiting "
+                f"{waited * 1e3:.1f} ms (deadline {deadline * 1e3:.1f} ms)"
+            )
+        )
+        self._handles.pop(id(handle), None)
+
+    async def _process(
+        self, handle: RequestHandle, expires_at: Optional[float]
+    ) -> None:
+        request = handle.request
+        queued_s = time.perf_counter() - handle.submitted_at
+        service_start = time.perf_counter()
+        strategy = handle.strategy
+        network_name, specs = handle.network_name, handle.specs
+        distinct = dedup_specs(specs)
+        keys = {
+            shape_key: self._cache_key(shape_key, spec, strategy)
+            for shape_key, spec in distinct.items()
+        }
+        coalesced_ops = 0
+        try:
+            remaining = None
+            if expires_at is not None:
+                remaining = expires_at - time.monotonic()
+                if remaining <= 0:
+                    raise asyncio.TimeoutError
+            solved, cached_keys, coalesced_ops = await asyncio.wait_for(
+                self._solve_distinct(handle, strategy, specs, distinct, keys),
+                timeout=remaining,
+            )
+        except asyncio.TimeoutError:
+            self.stats.expired += 1
+            waited = time.perf_counter() - handle.submitted_at
+            deadline = (
+                request.deadline_s or self.config.default_deadline_s or 0.0
+            )
+            handle._emit(
+                ExpiredEvent(
+                    request_id=handle.request_id,
+                    deadline_s=deadline,
+                    waited_s=waited,
+                )
+            )
+            handle._fail(
+                DeadlineExpiredError(
+                    f"request {handle.request_id} expired mid-flight after "
+                    f"{waited * 1e3:.1f} ms"
+                )
+            )
+            self._handles.pop(id(handle), None)
+            return
+        except asyncio.CancelledError:
+            raise
+        except BaseException as error:
+            self._finish_failed(handle, error)
+            return
+
+        network_result = build_network_result(
+            network=network_name,
+            machine_name=self.machine.name,
+            strategy=strategy.name,
+            specs=specs,
+            solved=solved,
+            cached_keys=cached_keys,
+            wall_seconds=time.perf_counter() - service_start,
+        )
+        response = OptimizeResponse.from_network_result(
+            network_result,
+            request_id=request.request_id,
+            coalesced=coalesced_ops,
+            queued_s=queued_s,
+            service_s=time.perf_counter() - service_start,
+        )
+        self.stats.completed += 1
+        self.stats.operators_served += len(specs)
+        handle._resolve(response)
+        handle._emit(
+            CompletedEvent(request_id=request.request_id, response=response)
+        )
+        self._handles.pop(id(handle), None)
+
+    def _finish_failed(self, handle: RequestHandle, error: BaseException) -> None:
+        self.stats.failed += 1
+        failure = RequestFailedError(
+            f"request {handle.request_id} failed: {error}"
+        )
+        failure.__cause__ = error
+        handle._emit(
+            FailedEvent(request_id=handle.request_id, error=str(error))
+        )
+        handle._fail(failure)
+        self._handles.pop(id(handle), None)
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    async def _solve_distinct(
+        self,
+        handle: RequestHandle,
+        strategy: SearchStrategy,
+        specs: List[ConvSpec],
+        distinct: Mapping[str, ConvSpec],
+        keys: Mapping[str, str],
+    ) -> Tuple[Dict[str, StrategyResult], set, int]:
+        """Solve every distinct shape, streaming per-layer progress events.
+
+        Returns ``(shape_key -> result, cached shape keys, coalesced
+        operator count)``.  All distinct shapes are launched at once:
+        batched cache lookups first, then one single-flight solve per
+        miss on the shared thread pool.
+        """
+        loop = asyncio.get_running_loop()
+        assert self._pool is not None
+
+        # Batched lookup for every distinct key: a synchronous pass over
+        # the memory tier first (no IO — this is what keeps warm requests
+        # in the low-millisecond range), then one thread-pool trip to the
+        # disk tier for whatever is left.
+        cache_hits = self.cache.get_many(list(keys.values()), memory_only=True)
+        disk_keys = [key for key, hit in cache_hits.items() if hit is None]
+        if disk_keys and self.cache.disk is not None:
+            cache_hits.update(
+                await loop.run_in_executor(
+                    self._pool,
+                    lambda: self.cache.get_many(disk_keys, record_misses=False),
+                )
+            )
+
+        solved: Dict[str, StrategyResult] = {}
+        cached_keys: set = set()
+        coalesced_ops = 0
+        # Layers grouped by shape so each shape's completion can emit one
+        # event per layer that shares it.
+        layers_by_shape: Dict[str, List[Tuple[int, ConvSpec]]] = {}
+        for index, spec in enumerate(specs):
+            layers_by_shape.setdefault(spec_shape_key(spec), []).append(
+                (index, spec)
+            )
+        total = len(specs)
+
+        def emit_layers(shape_key: str, result: StrategyResult, cached: bool, coalesced: bool) -> None:
+            for index, spec in layers_by_shape[shape_key]:
+                handle._emit(
+                    OperatorEvent(
+                        request_id=handle.request_id,
+                        operator=spec.name,
+                        index=index,
+                        total=total,
+                        gflops=result.gflops,
+                        time_seconds=result.time_seconds,
+                        cached=cached,
+                        coalesced=coalesced,
+                    )
+                )
+
+        # Cache hits complete inline — no tasks, no executor, no loop
+        # round-trips; a fully warm request is a synchronous sweep.
+        misses: List[str] = []
+        for shape_key in distinct:
+            hit = cache_hits.get(keys[shape_key])
+            if hit is not None:
+                self.stats.operators_cached += len(layers_by_shape[shape_key])
+                solved[shape_key] = hit
+                cached_keys.add(shape_key)
+                emit_layers(shape_key, hit, True, False)
+            else:
+                misses.append(shape_key)
+        if not misses:
+            return solved, cached_keys, coalesced_ops
+
+        async def solve_shape(shape_key: str) -> Tuple[str, StrategyResult, bool]:
+            cache_key = keys[shape_key]
+            was_inflight = self._singleflight.is_inflight(cache_key)
+            if was_inflight:
+                self.stats.operators_coalesced += len(layers_by_shape[shape_key])
+
+            def compute() -> StrategyResult:
+                with self._solve_lock:
+                    self.solve_counts[cache_key] = (
+                        self.solve_counts.get(cache_key, 0) + 1
+                    )
+                    self.stats.solves += 1
+                return strategy.search(distinct[shape_key], self.machine)
+
+            def get_or_compute() -> StrategyResult:
+                return self.cache.get_or_compute(cache_key, compute)
+
+            result = await self._singleflight.run(
+                cache_key,
+                lambda: loop.run_in_executor(self._pool, get_or_compute),
+            )
+            return shape_key, result, was_inflight
+
+        tasks = [
+            asyncio.ensure_future(solve_shape(shape_key)) for shape_key in misses
+        ]
+        try:
+            for finished in asyncio.as_completed(tasks):
+                shape_key, result, coalesced = await finished
+                solved[shape_key] = result
+                if coalesced:
+                    coalesced_ops += len(layers_by_shape[shape_key])
+                emit_layers(shape_key, result, False, coalesced)
+        except BaseException:
+            for task in tasks:
+                task.cancel()
+            raise
+        return solved, cached_keys, coalesced_ops
+
+    # ------------------------------------------------------------------
+    def _cache_key(
+        self, shape_key: str, spec: ConvSpec, strategy: SearchStrategy
+    ) -> str:
+        """Memoized :meth:`ResultCache.key_for` (unchanged key values)."""
+        try:
+            memo_key: Optional[Tuple[str, Any]] = (shape_key, strategy)
+            cached = self._key_memo.get(memo_key)
+        except TypeError:  # unhashable custom strategy: compute every time
+            memo_key = None
+            cached = None
+        if cached is not None:
+            return cached
+        key = self.cache.key_for(spec, self.machine, strategy)
+        if memo_key is not None:
+            if len(self._key_memo) > 4096:
+                self._key_memo.clear()
+            self._key_memo[memo_key] = key
+        return key
+
+    def _strategy_for(self, request: OptimizeRequest) -> SearchStrategy:
+        """The strategy instance answering ``request`` (default or override)."""
+        if request.strategy is None and not request.strategy_options:
+            return self.default_strategy
+        name = request.strategy or self.default_strategy_name
+        options = dict(request.strategy_options)
+        if not options and name == self.default_strategy_name:
+            options = self.default_strategy_options
+        return get_strategy(name, **options)
+
+
+# ----------------------------------------------------------------------
+# TCP transport: the same protocol as JSON lines over a socket
+# ----------------------------------------------------------------------
+async def _serve_request(
+    server: OptimizationServer,
+    writer: asyncio.StreamWriter,
+    write_lock: asyncio.Lock,
+    payload: Mapping[str, Any],
+) -> None:
+    """Service one decoded request line, streaming its events back.
+
+    Connection errors are swallowed: a client that disconnects mid-stream
+    simply stops receiving events (its request keeps running and fills
+    the shared cache), and the task must finish cleanly rather than die
+    with an exception nobody retrieves.
+    """
+    try:
+        await _serve_request_inner(server, writer, write_lock, payload)
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass
+
+
+async def _serve_request_inner(
+    server: OptimizationServer,
+    writer: asyncio.StreamWriter,
+    write_lock: asyncio.Lock,
+    payload: Mapping[str, Any],
+) -> None:
+    async def send(event: ServingEvent) -> None:
+        async with write_lock:
+            writer.write(encode_message(event_to_dict(event)))
+            await writer.drain()
+
+    try:
+        request = OptimizeRequest.from_dict(payload)
+    except (KeyError, ValueError, TypeError) as error:
+        async with write_lock:
+            writer.write(
+                encode_message(
+                    event_to_dict(
+                        FailedEvent(
+                            request_id=str(payload.get("request_id", "?")),
+                            error=f"bad request: {error}",
+                        )
+                    )
+                )
+            )
+            await writer.drain()
+        return
+    try:
+        handle = server.submit(request)
+    except ServerOverloadedError as error:
+        await send(
+            RejectedEvent(
+                request_id=request.request_id,
+                reason="queue full",
+                retry_after_s=error.retry_after_s,
+            )
+        )
+        return
+    except (ValueError, KeyError, TypeError, RuntimeError) as error:
+        # Unknown network/strategy (KeyError), empty network (ValueError),
+        # bad strategy options / field types (TypeError) or a server that
+        # stopped while the connection stayed open (RuntimeError): the
+        # client must still get a terminal event, never a silent hang.
+        await send(
+            FailedEvent(request_id=request.request_id, error=str(error))
+        )
+        return
+    async for event in handle.events():
+        await send(event)
+
+
+async def _handle_connection(
+    server: OptimizationServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One client connection: JSON-lines requests in, event streams out."""
+    write_lock = asyncio.Lock()
+    pending: List["asyncio.Task[None]"] = []
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line.decode("utf-8"))
+            except ValueError:
+                continue
+            pending.append(
+                asyncio.ensure_future(
+                    _serve_request(server, writer, write_lock, payload)
+                )
+            )
+            pending = [task for task in pending if not task.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        for task in pending:
+            task.cancel()
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # The listener was closed while this handler was draining
+            # its writer; the task is ending either way — stay quiet.
+            pass
+
+
+async def start_tcp_server(
+    server: OptimizationServer, host: str = "127.0.0.1", port: int = 8763
+) -> asyncio.AbstractServer:
+    """Expose ``server`` over TCP (JSON-lines framing of the protocol).
+
+    The optimization server must already be started.  Returns the
+    asyncio server; close it with ``tcp.close(); await
+    tcp.wait_closed()``.  ``port=0`` binds an ephemeral port (tests).
+    """
+    return await asyncio.start_server(
+        lambda reader, writer: _handle_connection(server, reader, writer),
+        host,
+        port,
+    )

@@ -8,6 +8,15 @@ generation).
 
 from __future__ import annotations
 
+# Imported eagerly so hypothesis's pytest plugin never lazily imports it
+# from deep inside the terminal-summary hook stack: on CPython 3.11 the
+# assertion-rewrite `compile()` of hypothesis's modules can hit the "AST
+# constructor recursion depth mismatch" interpreter bug when the import
+# happens that deep.  At collection time (shallow stack) it is safe —
+# which is also why running the full suite (where test_properties.py
+# imports hypothesis at collection) never showed the crash.
+import hypothesis  # noqa: F401
+
 import pytest
 
 from repro.core.config import MultiLevelConfig, TilingConfig

@@ -1,0 +1,246 @@
+"""Differential test harness: batched vs. scalar optimizer paths.
+
+PR 2 pinned the vectorized core's equivalence on a handful of golden
+specs; this harness turns those pins into a property-style sweep over a
+*seeded random family* of conv and matmul-like operator shapes (channel
+counts, spatial extents, kernel sizes, strides, dilations, batch sizes):
+
+* **exact mode** (``SolverOptions(polish_starts=0)``): the vectorized
+  path must reproduce the scalar multistart run *bitwise* — identical
+  integerized configurations and identical predicted times, per
+  permutation class;
+* **default (screened) mode**: the batched refiner screens which starts
+  get polished, so it may settle in a different basin of the same model
+  — but its predicted time must agree with the scalar path within a
+  fixed band, in both directions;
+* **screened-mode gap regression**: for the known full-machine layers
+  where the greedy screening cascade lands on a different local optimum
+  than the scalar path, the screened predicted time must never be worse
+  than exact mode by more than a fixed tolerance (the ROADMAP's
+  "screened-mode robustness" follow-on, pinned so it cannot regress
+  silently).
+
+The generator is deterministic per seed, so a failure is reproducible
+from the test id alone.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import MOptOptimizer, OptimizerSettings, fast_settings
+from repro.core.solver import SolverOptions
+from repro.core.tensor_spec import ConvSpec
+
+QUICK = SolverOptions(multistarts=0, maxiter=40, fallback_samples=50)
+
+#: Seeds of the fast default sweep (every tier-1 run).
+FAST_SEEDS = tuple(range(6))
+#: Extra seeds of the extended nightly sweep.
+SLOW_SEEDS = tuple(range(6, 24))
+
+
+# ----------------------------------------------------------------------
+# Seeded spec generator
+# ----------------------------------------------------------------------
+def random_operator_spec(seed: int) -> ConvSpec:
+    """One random-but-reproducible operator shape.
+
+    Cycles through four families: plain conv2d, strided conv, dilated
+    conv and matmul-like (1x1 kernel over a 1x1 image: only the
+    ``n/k/c`` loops have extent > 1, exactly a GEMM).  Extents are kept
+    small so a full two-path optimization stays in unit-test budget
+    while still exercising capacity pressure on the tiny machine.
+    """
+    rng = np.random.default_rng(12345 + seed)
+    family = ("conv", "strided", "dilated", "matmul")[seed % 4]
+    batch = int(rng.choice([1, 1, 2, 3]))
+    out_channels = int(rng.choice([8, 16, 24, 32]))
+    in_channels = int(rng.choice([4, 8, 12, 16]))
+    if family == "matmul":
+        # (K x C) @ (C x N): spatial extents collapse to 1.
+        return ConvSpec(
+            name=f"matmul-{seed}",
+            batch=int(rng.choice([8, 16, 32])),
+            out_channels=out_channels,
+            in_channels=in_channels,
+            in_height=1,
+            in_width=1,
+            kernel_h=1,
+            kernel_w=1,
+        )
+    kernel = int(rng.choice([1, 3, 5])) if family == "conv" else 3
+    stride = 2 if family == "strided" else 1
+    dilation = int(rng.choice([2, 3])) if family == "dilated" else 1
+    size = int(rng.choice([8, 10, 14, 16, 20]))
+    padding = (kernel - 1) // 2 * dilation
+    return ConvSpec(
+        name=f"{family}-{seed}",
+        batch=batch,
+        out_channels=out_channels,
+        in_channels=in_channels,
+        in_height=size,
+        in_width=size,
+        kernel_h=kernel,
+        kernel_w=kernel,
+        stride=stride,
+        dilation=dilation,
+        padding=padding,
+    )
+
+
+def _settings(**overrides) -> OptimizerSettings:
+    defaults = dict(
+        levels=("L1", "L2"),
+        fix_register_tile=False,
+        solver=QUICK,
+        top_k=8,
+        permutation_class_names=None,
+    )
+    defaults.update(overrides)
+    return OptimizerSettings(**defaults)
+
+
+def _assert_exact_mode_bitwise(machine, spec: ConvSpec) -> None:
+    """Exact vectorized mode == scalar path, bitwise, per class."""
+    exact = _settings(solver=replace(QUICK, polish_starts=0))
+    scalar = _settings(vectorized=False)
+    vec = MOptOptimizer(machine, exact).optimize(spec)
+    ref = MOptOptimizer(machine, scalar).optimize(spec)
+    by_name = {c.class_name: c for c in vec.candidates}
+    assert set(by_name) == {c.class_name for c in ref.candidates}
+    for expected in ref.candidates:
+        got = by_name[expected.class_name]
+        assert got.config == expected.config, (
+            f"{spec.name}/{expected.class_name}: configurations diverged"
+        )
+        assert got.predicted_time_seconds == expected.predicted_time_seconds, (
+            f"{spec.name}/{expected.class_name}: predicted times diverged"
+        )
+
+
+def _assert_screened_agreement(machine, spec: ConvSpec, band: float) -> None:
+    """Default screened mode agrees with the scalar path within ``band``."""
+    vec = MOptOptimizer(machine, _settings()).optimize(spec)
+    ref = MOptOptimizer(machine, _settings(vectorized=False)).optimize(spec)
+    vec.best.config.validate(spec, integral=True)
+    assert vec.best.predicted_time_seconds <= ref.best.predicted_time_seconds * band, (
+        f"{spec.name}: screened path lost too much "
+        f"({vec.best.predicted_time_seconds:.3e} vs "
+        f"{ref.best.predicted_time_seconds:.3e})"
+    )
+    assert ref.best.predicted_time_seconds <= vec.best.predicted_time_seconds * band, (
+        f"{spec.name}: scalar path unexpectedly behind the screened one "
+        "beyond the agreement band"
+    )
+
+
+# ----------------------------------------------------------------------
+# Fast default sweep
+# ----------------------------------------------------------------------
+class TestDifferentialSweep:
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_exact_mode_bitwise_identity(self, tiny_machine, seed):
+        _assert_exact_mode_bitwise(tiny_machine, random_operator_spec(seed))
+
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_screened_mode_agreement(self, tiny_machine, seed):
+        _assert_screened_agreement(
+            tiny_machine, random_operator_spec(seed), band=1.5
+        )
+
+    def test_generator_is_deterministic(self):
+        for seed in FAST_SEEDS + SLOW_SEEDS:
+            assert random_operator_spec(seed) == random_operator_spec(seed)
+
+    def test_generator_covers_all_families(self):
+        names = [
+            random_operator_spec(seed).name.split("-")[0]
+            for seed in FAST_SEEDS + SLOW_SEEDS
+        ]
+        assert set(names) == {"conv", "strided", "dilated", "matmul"}
+
+    def test_matmul_specs_are_gemms(self):
+        matmuls = [
+            random_operator_spec(seed)
+            for seed in FAST_SEEDS + SLOW_SEEDS
+            if (seed % 4) == 3
+        ]
+        assert matmuls
+        for spec in matmuls:
+            extents = spec.loop_extents
+            assert extents["r"] == extents["s"] == 1
+            assert extents["h"] == extents["w"] == 1
+            assert extents["n"] > 1 and extents["k"] > 1 and extents["c"] > 1
+
+
+# ----------------------------------------------------------------------
+# Extended nightly sweep
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestDifferentialSweepExtended:
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_exact_mode_bitwise_identity(self, tiny_machine, seed):
+        _assert_exact_mode_bitwise(tiny_machine, random_operator_spec(seed))
+
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_screened_mode_agreement(self, tiny_machine, seed):
+        _assert_screened_agreement(
+            tiny_machine, random_operator_spec(seed), band=1.5
+        )
+
+
+# ----------------------------------------------------------------------
+# Screened-mode gap regression (known divergent layers)
+# ----------------------------------------------------------------------
+#: Layers where the greedy screening cascade is known to settle in a
+#: different basin than the scalar multistart on the paper's 4-level
+#: machine (see ROADMAP, "screened-mode robustness").
+KNOWN_DIVERGENT_LAYERS = (
+    ConvSpec("golden-r4", 1, 32, 32, 7, 7, 3, 3, padding=1),
+    ConvSpec("r12-like", 1, 64, 64, 7, 7, 3, 3, padding=1),
+)
+
+#: Screened mode may trade the scalar argmin for a nearby local optimum;
+#: it must never be worse than exact mode by more than this factor.
+SCREENED_GAP_TOLERANCE = 1.5
+
+
+class TestScreenedModeGapRegression:
+    @pytest.mark.parametrize(
+        "spec", KNOWN_DIVERGENT_LAYERS, ids=lambda spec: spec.name
+    )
+    def test_screened_never_worse_than_exact_beyond_tolerance(
+        self, i7_machine, spec
+    ):
+        base = fast_settings(
+            solver=QUICK,
+            permutation_class_names=("inner-w", "inner-s", "inner-wk", "inner-sk"),
+        )
+        screened = MOptOptimizer(i7_machine, base).optimize(spec)
+        exact = MOptOptimizer(
+            i7_machine, base.with_solver(replace(QUICK, polish_starts=0))
+        ).optimize(spec)
+        screened.best.config.validate(spec, integral=True)
+        assert (
+            screened.best.predicted_time_seconds
+            <= exact.best.predicted_time_seconds * SCREENED_GAP_TOLERANCE
+        ), (
+            f"{spec.name}: screened gap regressed — "
+            f"{screened.best.predicted_time_seconds:.3e} vs exact "
+            f"{exact.best.predicted_time_seconds:.3e}"
+        )
+
+    @pytest.mark.parametrize("seed", FAST_SEEDS[:3])
+    def test_screened_gap_bounded_on_random_specs(self, tiny_machine, seed):
+        """The same bound holds on the random family (2-level machine)."""
+        spec = random_operator_spec(seed)
+        screened = MOptOptimizer(tiny_machine, _settings()).optimize(spec)
+        exact = MOptOptimizer(
+            tiny_machine, _settings(solver=replace(QUICK, polish_starts=0))
+        ).optimize(spec)
+        assert (
+            screened.best.predicted_time_seconds
+            <= exact.best.predicted_time_seconds * SCREENED_GAP_TOLERANCE
+        )

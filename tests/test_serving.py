@@ -1,0 +1,773 @@
+"""Tests for the async serving front-end (repro.serving).
+
+Covers the wire protocol (round-trips), the bounded priority queue, the
+single-flight coalescing layer, and the server end to end: request /
+response round-trip, coalescing of identical in-flight requests
+(verified by the solve-count probe), the back-pressure rejection path,
+deadline expiry (queued and mid-flight), the warm-cache latency bound,
+the TCP transport, and the acceptance demo — 8+ concurrent clients
+requesting overlapping Table 1 networks with every duplicate operator
+solved exactly once and warm requests under 50 ms end to end.
+
+All asyncio tests drive their own event loop through ``asyncio.run``
+(the environment has no pytest-asyncio), and use a controllable stub
+strategy so timing-sensitive behavior (coalescing windows, queue
+saturation) is deterministic and fast.
+"""
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.engine import (
+    NetworkOptimizer,
+    ResultCache,
+    StrategyResult,
+    strategy_registry,
+)
+from repro.experiments.serving_demo import run_serving_demo
+from repro.machine.presets import tiny_test_machine
+from repro.serving import (
+    AcceptedEvent,
+    BoundedRequestQueue,
+    CompletedEvent,
+    DeadlineExpiredError,
+    OperatorEvent,
+    OptimizationServer,
+    OptimizeRequest,
+    OptimizeResponse,
+    QueueFullError,
+    RequestFailedError,
+    ServerConfig,
+    ServerOverloadedError,
+    ServingClient,
+    SingleFlight,
+    TCPServingClient,
+    collect_operator_events,
+    decode_message,
+    encode_message,
+    event_from_dict,
+    event_to_dict,
+    start_tcp_server,
+)
+from repro.serving.protocol import FailedEvent, RejectedEvent
+
+pytestmark = pytest.mark.serving
+
+
+# ----------------------------------------------------------------------
+# Instrumented stub strategy
+# ----------------------------------------------------------------------
+_SOLVE_LOCK = threading.Lock()
+_SOLVE_LOG: list = []
+
+
+@dataclass(frozen=True)
+class ProbeStrategy:
+    """Deterministic fixed-output strategy with a controllable delay.
+
+    Every actual ``search`` invocation is appended to a global log, so
+    tests can assert exactly how many solves happened (and for what)
+    regardless of which thread ran them.
+    """
+
+    name: str = field(default="probe", init=False)
+    delay_s: float = 0.0
+    gflops: float = 2.0
+    fail_on: str = ""
+
+    def search(self, spec, machine):
+        with _SOLVE_LOCK:
+            _SOLVE_LOG.append(spec.name)
+        if self.fail_on and spec.name == self.fail_on:
+            raise RuntimeError(f"injected failure for {spec.name}")
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return StrategyResult(
+            strategy=self.name,
+            spec_name=spec.name,
+            gflops=self.gflops,
+            time_seconds=spec.flops / (self.gflops * 1e9),
+            search_seconds=self.delay_s,
+        )
+
+    def cache_token(self):
+        return {
+            "delay_s": self.delay_s,
+            "gflops": self.gflops,
+            "fail_on": self.fail_on,
+        }
+
+
+@pytest.fixture(autouse=True)
+def _probe_registry():
+    strategy_registry.register("probe", ProbeStrategy)
+    with _SOLVE_LOCK:
+        _SOLVE_LOG.clear()
+    yield
+    strategy_registry._factories.pop("probe", None)
+
+
+@pytest.fixture
+def machine():
+    return tiny_test_machine()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _server(machine, *, cache=None, config=None, **strategy_options):
+    return OptimizationServer(
+        machine,
+        "probe",
+        strategy_options=strategy_options,
+        cache=cache,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_request_roundtrip_by_name(self):
+        request = OptimizeRequest(
+            "resnet18", strategy="mopt", strategy_options={"threads": 4},
+            priority=3, deadline_s=1.5,
+        )
+        rebuilt = OptimizeRequest.from_dict(
+            decode_message(encode_message(request.to_dict()))
+        )
+        assert rebuilt == request
+
+    def test_request_roundtrip_with_specs(self, small_spec, pointwise_spec):
+        request = OptimizeRequest((small_spec, pointwise_spec))
+        rebuilt = OptimizeRequest.from_dict(request.to_dict())
+        assert rebuilt.network == (small_spec, pointwise_spec)
+
+    def test_event_roundtrips(self):
+        response = OptimizeResponse(
+            request_id="r1", network="resnet18", strategy="probe",
+            machine="tiny", num_operators=2, distinct_operators=2,
+            cache_hits=1, coalesced=0, total_time_seconds=0.5,
+            total_gflops=3.0, queued_s=0.01, service_s=0.2,
+            operators=(),
+        )
+        events = [
+            AcceptedEvent(request_id="r1", queue_depth=2),
+            RejectedEvent(request_id="r1", reason="queue full", retry_after_s=0.5),
+            OperatorEvent(
+                request_id="r1", operator="R2", index=1, total=12,
+                gflops=2.0, time_seconds=0.1, cached=False, coalesced=True,
+            ),
+            CompletedEvent(request_id="r1", response=response),
+            FailedEvent(request_id="r1", error="boom"),
+        ]
+        for event in events:
+            rebuilt = event_from_dict(decode_message(encode_message(event_to_dict(event))))
+            assert rebuilt == event
+
+    def test_terminal_flags(self):
+        assert not AcceptedEvent(request_id="x", queue_depth=1).terminal
+        assert RejectedEvent(request_id="x", reason="", retry_after_s=1.0).terminal
+        assert FailedEvent(request_id="x", error="e").terminal
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            event_from_dict({"type": "nonsense"})
+
+    def test_request_ids_unique(self):
+        ids = {OptimizeRequest("resnet18").request_id for _ in range(50)}
+        assert len(ids) == 50
+
+
+# ----------------------------------------------------------------------
+# Queue
+# ----------------------------------------------------------------------
+class TestBoundedRequestQueue:
+    def test_priority_order_fifo_within_priority(self):
+        async def scenario():
+            queue = BoundedRequestQueue(8)
+            queue.put_nowait("low-a", priority=10)
+            queue.put_nowait("high", priority=1)
+            queue.put_nowait("low-b", priority=10)
+            order = [(await queue.get())[0] for _ in range(3)]
+            return order
+
+        assert run(scenario()) == ["high", "low-a", "low-b"]
+
+    def test_bounded_rejection_with_retry_hint(self):
+        async def scenario():
+            queue = BoundedRequestQueue(2, retry_after_s=0.1)
+            queue.put_nowait("a")
+            queue.put_nowait("b")
+            with pytest.raises(QueueFullError) as excinfo:
+                queue.put_nowait("c")
+            return queue, excinfo.value
+
+        queue, error = run(scenario())
+        assert error.retry_after_s > 0
+        assert queue.rejected == 1 and queue.accepted == 2
+
+    def test_expired_entries_never_reach_a_worker(self):
+        async def scenario():
+            queue = BoundedRequestQueue(8)
+            expired = []
+            queue.put_nowait("dead", deadline_s=-1.0)  # already expired
+            queue.put_nowait("alive")
+            item, _ = await queue.get(on_expired=lambda item, over: expired.append(item))
+            return item, expired, queue.expired
+
+        item, expired, count = run(scenario())
+        assert item == "alive"
+        assert expired == ["dead"] and count == 1
+
+    def test_get_waits_for_put(self):
+        async def scenario():
+            queue = BoundedRequestQueue(4)
+
+            async def feeder():
+                await asyncio.sleep(0.01)
+                queue.put_nowait("late")
+
+            feeding = asyncio.ensure_future(feeder())
+            item, _ = await queue.get()
+            await feeding
+            return item
+
+        assert run(scenario()) == "late"
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedRequestQueue(0)
+
+    def test_full_queue_of_expired_entries_admits_live_traffic(self):
+        async def scenario():
+            expired = []
+            queue = BoundedRequestQueue(
+                2, on_expired=lambda item, over: expired.append(item)
+            )
+            queue.put_nowait("dead-a", deadline_s=-1.0)
+            queue.put_nowait("dead-b", deadline_s=-1.0)
+            # The queue looks full, but both slots are held by dead
+            # requests: admission must purge them instead of rejecting.
+            queue.put_nowait("alive")
+            item, _ = await queue.get()
+            return item, expired, queue
+
+        item, expired, queue = run(scenario())
+        assert item == "alive"
+        assert sorted(expired) == ["dead-a", "dead-b"]
+        assert queue.rejected == 0 and queue.expired == 2
+
+
+# ----------------------------------------------------------------------
+# SingleFlight (event-loop coalescing)
+# ----------------------------------------------------------------------
+class TestSingleFlight:
+    def test_concurrent_same_key_runs_once(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = []
+
+            async def supplier():
+                calls.append(1)
+                await asyncio.sleep(0.01)
+                return "value"
+
+            results = await asyncio.gather(
+                *(flight.run("k", supplier) for _ in range(10))
+            )
+            return calls, results, flight
+
+        calls, results, flight = run(scenario())
+        assert len(calls) == 1
+        assert results == ["value"] * 10
+        assert flight.leaders == 1 and flight.coalesced == 9
+        assert len(flight) == 0  # registration dropped after completion
+
+    def test_distinct_keys_run_independently(self):
+        async def scenario():
+            flight = SingleFlight()
+            ran = []
+
+            def supplier_for(key):
+                async def supplier():
+                    ran.append(key)
+                    return key
+
+                return supplier
+
+            return ran, await asyncio.gather(
+                *(flight.run(k, supplier_for(k)) for k in ("a", "b", "a"))
+            )
+
+        ran, results = run(scenario())
+        assert sorted(ran) == ["a", "b"]
+        assert results == ["a", "b", "a"]
+
+    def test_error_propagates_to_all_waiters_and_releases_key(self):
+        async def scenario():
+            flight = SingleFlight()
+
+            async def boom():
+                await asyncio.sleep(0.005)
+                raise RuntimeError("shared failure")
+
+            outcomes = await asyncio.gather(
+                *(flight.run("k", boom) for _ in range(3)),
+                return_exceptions=True,
+            )
+            assert not flight.is_inflight("k")
+
+            async def ok():
+                return 42
+
+            return outcomes, await flight.run("k", ok)
+
+        outcomes, retried = run(scenario())
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+        assert retried == 42
+
+
+# ----------------------------------------------------------------------
+# Server end to end
+# ----------------------------------------------------------------------
+class TestServerRoundTrip:
+    def test_response_matches_sync_engine(self, machine):
+        async def scenario():
+            async with _server(machine) as server:
+                client = ServingClient(server)
+                return await client.optimize("mobilenet")
+
+        response = run(scenario())
+        reference = NetworkOptimizer(machine, "probe").optimize("mobilenet")
+        assert response.network == "mobilenet"
+        assert response.num_operators == reference.num_operators
+        assert response.distinct_operators == reference.distinct_operators
+        assert response.total_gflops == pytest.approx(reference.total_gflops)
+        assert response.total_time_seconds == pytest.approx(
+            reference.total_time_seconds
+        )
+
+    def test_streams_one_operator_event_per_layer(self, machine):
+        async def scenario():
+            events = []
+            async with _server(machine) as server:
+                client = ServingClient(server)
+                await client.optimize("resnet18", on_event=events.append)
+            return events
+
+        events = run(scenario())
+        assert isinstance(events[0], AcceptedEvent)
+        assert isinstance(events[-1], CompletedEvent)
+        operators = collect_operator_events(events)
+        assert len(operators) == 12  # one per ResNet-18 layer
+        assert {e.operator for e in operators} == {f"R{i}" for i in range(1, 13)}
+        assert all(e.total == 12 for e in operators)
+
+    def test_explicit_spec_list_round_trip(self, machine, small_spec):
+        async def scenario():
+            async with _server(machine) as server:
+                client = ServingClient(server)
+                return await client.optimize([small_spec])
+
+        response = run(scenario())
+        assert response.network == "custom"
+        assert response.operators[0].name == "small"
+
+    def test_bad_network_fails_at_submission(self, machine):
+        async def scenario():
+            async with _server(machine) as server:
+                with pytest.raises(KeyError):
+                    server.submit(OptimizeRequest("no-such-network"))
+
+        run(scenario())
+
+    def test_strategy_failure_reaches_client(self, machine):
+        async def scenario():
+            async with _server(machine, fail_on="R1") as server:
+                client = ServingClient(server)
+                with pytest.raises(RequestFailedError, match="injected failure"):
+                    await client.optimize("resnet18")
+
+        run(scenario())
+
+    def test_submit_requires_running_server(self, machine):
+        server = _server(machine)
+        with pytest.raises(RuntimeError, match="not running"):
+            server.submit(OptimizeRequest("resnet18"))
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_share_one_solve(self, machine):
+        async def scenario():
+            async with _server(machine, delay_s=0.02) as server:
+                client = ServingClient(server)
+                responses = await client.optimize_many(["mobilenet"] * 6)
+                return server, responses
+
+        server, responses = run(scenario())
+        # MobileNet has 9 distinct shapes: exactly 9 solves total for
+        # 6 concurrent requests, and the probe log agrees.
+        assert server.stats.solves == 9
+        assert len(_SOLVE_LOG) == 9
+        assert server.duplicate_solves() == 0
+        assert all(r.num_operators == 9 for r in responses)
+        # Followers observed coalesced operators.
+        assert sum(r.coalesced for r in responses) > 0
+
+    def test_overlapping_networks_share_operator_solves(self, machine):
+        async def scenario():
+            async with _server(machine, delay_s=0.02) as server:
+                client = ServingClient(server)
+                # resnet18 twice + its first four layers as a custom
+                # network: the subset's shapes are all shared.
+                from repro.workloads.benchmarks import network_benchmarks
+
+                head = network_benchmarks("resnet18")[:4]
+                await asyncio.gather(
+                    client.optimize("resnet18"),
+                    client.optimize("resnet18"),
+                    client.optimize(head),
+                )
+                return server
+
+        server = run(scenario())
+        assert server.stats.solves == 12  # distinct resnet18 shapes only
+        assert server.duplicate_solves() == 0
+
+    def test_sequential_requests_hit_cache_not_singleflight(self, machine):
+        async def scenario():
+            async with _server(machine) as server:
+                client = ServingClient(server)
+                first = await client.optimize("mobilenet")
+                second = await client.optimize("mobilenet")
+                return server, first, second
+
+        server, first, second = run(scenario())
+        assert server.stats.solves == 9
+        assert second.cache_hits == second.distinct_operators == 9
+        assert first.total_gflops == pytest.approx(second.total_gflops)
+
+
+class TestBackPressure:
+    def test_overloaded_submission_rejected_with_retry_hint(
+        self, machine, small_spec, pointwise_spec, strided_spec
+    ):
+        async def scenario():
+            config = ServerConfig(
+                max_queue_depth=1, workers=1, solve_threads=1, retry_after_s=0.05
+            )
+            async with _server(machine, delay_s=0.2, config=config) as server:
+                client = ServingClient(server, max_retries=0)
+                # Occupy the worker, then fill the queue.
+                first = asyncio.ensure_future(client.optimize([small_spec]))
+                await asyncio.sleep(0.05)  # worker claimed `first`
+                server.submit(OptimizeRequest((pointwise_spec,)))  # fills depth 1
+                with pytest.raises(ServerOverloadedError) as excinfo:
+                    await client.optimize([strided_spec])
+                error = excinfo.value
+                assert error.retry_after_s > 0
+                await first
+                return server, error
+
+        server, error = run(scenario())
+        assert server.stats.rejected >= 1
+
+    def test_client_retry_eventually_succeeds(self, machine, small_spec):
+        async def scenario():
+            config = ServerConfig(
+                max_queue_depth=1, workers=1, solve_threads=1, retry_after_s=0.02
+            )
+            async with _server(machine, delay_s=0.05, config=config) as server:
+                client = ServingClient(server, max_retries=50)
+                responses = await asyncio.gather(
+                    *(client.optimize([small_spec]) for _ in range(4))
+                )
+                return server, client, responses
+
+        server, client, responses = run(scenario())
+        assert len(responses) == 4
+        assert all(r.num_operators == 1 for r in responses)
+        # With depth 1 and four concurrent clients, someone was pushed back.
+        assert client.rejections > 0
+
+
+class TestDeadlines:
+    def test_queued_request_expires(self, machine, small_spec, pointwise_spec):
+        async def scenario():
+            config = ServerConfig(max_queue_depth=8, workers=1, solve_threads=1)
+            async with _server(machine, delay_s=0.2, config=config) as server:
+                client = ServingClient(server)
+                blocker = asyncio.ensure_future(client.optimize([small_spec]))
+                await asyncio.sleep(0.05)  # worker busy with `blocker`
+                with pytest.raises(DeadlineExpiredError):
+                    await client.optimize([pointwise_spec], deadline_s=0.01)
+                await blocker
+                return server
+
+        server = run(scenario())
+        assert server.stats.expired >= 1
+
+    def test_midflight_deadline_expires(self, machine, small_spec, pointwise_spec):
+        async def scenario():
+            async with _server(machine, delay_s=0.3) as server:
+                client = ServingClient(server)
+                with pytest.raises(DeadlineExpiredError):
+                    # Claimed immediately, but the solves outlive the budget.
+                    await client.optimize(
+                        [small_spec, pointwise_spec], deadline_s=0.05
+                    )
+                return server
+
+        server = run(scenario())
+        assert server.stats.expired >= 1
+
+    def test_expired_event_is_terminal_on_stream(
+        self, machine, small_spec, pointwise_spec
+    ):
+        async def scenario():
+            config = ServerConfig(max_queue_depth=8, workers=1, solve_threads=1)
+            async with _server(machine, delay_s=0.2, config=config) as server:
+                client = ServingClient(server)
+                blocker = asyncio.ensure_future(client.optimize([small_spec]))
+                await asyncio.sleep(0.05)
+                handle = server.submit(
+                    OptimizeRequest((pointwise_spec,), deadline_s=0.01)
+                )
+                events = [event async for event in handle.events()]
+                with pytest.raises(DeadlineExpiredError):
+                    await handle.result()
+                await blocker
+                return events
+
+        events = run(scenario())
+        assert events[-1].type == "expired"
+        assert events[-1].terminal
+
+
+class TestWarmLatency:
+    def test_warm_request_under_50ms(self, machine, tmp_path):
+        async def scenario():
+            cache = ResultCache(tmp_path / "serving-cache")
+            async with _server(machine, cache=cache) as server:
+                client = ServingClient(server)
+                await client.optimize("resnet18")  # cold fill
+                begin = time.perf_counter()
+                response = await client.optimize("resnet18")
+                elapsed = time.perf_counter() - begin
+                return response, elapsed
+
+        response, elapsed = run(scenario())
+        assert response.cache_hits == response.distinct_operators
+        assert elapsed < 0.050, f"warm request took {elapsed * 1e3:.1f} ms"
+
+    def test_fresh_server_serves_warm_from_disk(self, machine, tmp_path):
+        async def scenario():
+            cache = ResultCache(tmp_path / "serving-cache")
+            async with _server(machine, cache=cache) as server:
+                await ServingClient(server).optimize("mobilenet")
+            # New server over the same store: no solves needed.
+            cache2 = ResultCache(tmp_path / "serving-cache")
+            async with _server(machine, cache=cache2) as server2:
+                response = await ServingClient(server2).optimize("mobilenet")
+                return server2, response
+
+        server2, response = run(scenario())
+        assert server2.stats.solves == 0
+        assert response.cache_hits == response.distinct_operators == 9
+
+
+class TestLifecycle:
+    def test_stop_fails_queued_and_midflight_requests(
+        self, machine, small_spec, pointwise_spec
+    ):
+        async def scenario():
+            config = ServerConfig(max_queue_depth=8, workers=1, solve_threads=1)
+            server = _server(machine, delay_s=0.5, config=config)
+            await server.start()
+            client = ServingClient(server)
+            midflight = asyncio.ensure_future(client.optimize([small_spec]))
+            await asyncio.sleep(0.05)  # worker claimed it
+            queued = asyncio.ensure_future(client.optimize([pointwise_spec]))
+            await asyncio.sleep(0.01)
+            assert len(server.active_requests) == 2
+            await server.stop()
+            outcomes = await asyncio.gather(
+                midflight, queued, return_exceptions=True
+            )
+            return server, outcomes
+
+        server, outcomes = run(scenario())
+        assert all(isinstance(o, RequestFailedError) for o in outcomes)
+        assert server.active_requests == ()
+
+    def test_start_is_idempotent(self, machine):
+        async def scenario():
+            server = _server(machine)
+            await server.start()
+            await server.start()  # no-op
+            response = await ServingClient(server).optimize("mobilenet")
+            await server.stop()
+            await server.stop()  # no-op
+            return response
+
+        assert run(scenario()).num_operators == 9
+
+
+# ----------------------------------------------------------------------
+# TCP transport
+# ----------------------------------------------------------------------
+class TestTCPTransport:
+    def test_round_trip_and_streaming(self, machine):
+        async def scenario():
+            async with _server(machine) as server:
+                tcp = await start_tcp_server(server, "127.0.0.1", 0)
+                port = tcp.sockets[0].getsockname()[1]
+                events = []
+                async with await TCPServingClient.connect("127.0.0.1", port) as client:
+                    response = await client.optimize(
+                        "mobilenet", on_event=events.append
+                    )
+                tcp.close()
+                await tcp.wait_closed()
+                return response, events
+
+        response, events = run(scenario())
+        assert response.num_operators == 9
+        assert len(collect_operator_events(events)) == 9
+        assert isinstance(events[-1], CompletedEvent)
+
+    def test_concurrent_requests_one_connection(self, machine):
+        async def scenario():
+            async with _server(machine, delay_s=0.01) as server:
+                tcp = await start_tcp_server(server, "127.0.0.1", 0)
+                port = tcp.sockets[0].getsockname()[1]
+                async with await TCPServingClient.connect("127.0.0.1", port) as client:
+                    responses = await asyncio.gather(
+                        client.optimize("mobilenet"),
+                        client.optimize("mobilenet"),
+                        client.optimize("resnet18"),
+                    )
+                tcp.close()
+                await tcp.wait_closed()
+                return server, responses
+
+        server, responses = run(scenario())
+        assert [r.num_operators for r in responses] == [9, 9, 12]
+        assert server.duplicate_solves() == 0
+
+    def test_bad_request_gets_terminal_event_not_a_hang(self, machine):
+        async def scenario():
+            async with _server(machine) as server:
+                tcp = await start_tcp_server(server, "127.0.0.1", 0)
+                port = tcp.sockets[0].getsockname()[1]
+                async with await TCPServingClient.connect("127.0.0.1", port) as client:
+                    # Unknown strategy option -> TypeError in the factory;
+                    # the client must receive a terminal failed event.
+                    with pytest.raises(RequestFailedError):
+                        await asyncio.wait_for(
+                            client.optimize(
+                                "resnet18",
+                                strategy="probe",
+                                strategy_options={"bogus": 1},
+                            ),
+                            timeout=5.0,
+                        )
+                    with pytest.raises(RequestFailedError, match="unknown strategy"):
+                        await asyncio.wait_for(
+                            client.optimize("resnet18", strategy="no-such"),
+                            timeout=5.0,
+                        )
+                tcp.close()
+                await tcp.wait_closed()
+
+        run(scenario())
+
+    def test_spec_list_request_over_tcp(self, machine, small_spec):
+        async def scenario():
+            async with _server(machine) as server:
+                tcp = await start_tcp_server(server, "127.0.0.1", 0)
+                port = tcp.sockets[0].getsockname()[1]
+                async with await TCPServingClient.connect("127.0.0.1", port) as client:
+                    response = await client.optimize([small_spec])
+                tcp.close()
+                await tcp.wait_closed()
+                return response
+
+        response = run(scenario())
+        assert response.network == "custom"
+        assert response.operators[0].name == "small"
+
+
+# ----------------------------------------------------------------------
+# Acceptance demo: >= 8 concurrent clients, overlapping Table 1 networks
+# ----------------------------------------------------------------------
+class TestConcurrentClientDemo:
+    def test_eight_clients_overlapping_networks(self, machine, tmp_path):
+        result = run(
+            run_serving_demo(
+                machine=machine,
+                clients=8,
+                networks=("resnet18", "mobilenet", "yolo9000"),
+                strategy="probe",
+                strategy_options={"delay_s": 0.01},
+                cache=ResultCache(tmp_path / "demo-cache"),
+            )
+        )
+        # Every duplicate operator solved exactly once (solve-count probe).
+        assert result.every_duplicate_solved_once
+        assert result.duplicate_solves == 0
+        # Table 1: 12 + 9 + 11 distinct shapes across the three networks.
+        assert result.solves == 32
+        assert len(_SOLVE_LOG) == 32
+        # Overlap actually happened: more operators served than solved.
+        assert result.total_operators_served > result.solves
+        assert result.coalesced_operators > 0
+        # Warm requests served well within the 50 ms bound, end to end.
+        assert result.warm.max_s < 0.050, (
+            f"warm p_max {result.warm.max_s * 1e3:.1f} ms"
+        )
+
+    def test_cli_demo_subcommand(self, capsys):
+        from repro.serving.cli import main
+
+        exit_code = main(
+            [
+                "demo",
+                "--machine", "tiny",
+                "--clients", "4",
+                "--networks", "mobilenet",
+                "--layers", "2",
+                "--strategy", "onednn",
+                "--threads", "1",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "duplicate solves" in out
+        assert '"duplicate_solves": 0' in out
+
+    def test_demo_scales_past_queue_depth(self, machine):
+        # More clients than queue slots: back-pressure + retry still
+        # converges, and the dedup property holds throughout.
+        result = run(
+            run_serving_demo(
+                machine=machine,
+                clients=12,
+                networks=("mobilenet",),
+                strategy="probe",
+                strategy_options={"delay_s": 0.005},
+                queue_depth=3,
+                workers=2,
+                solve_threads=2,
+            )
+        )
+        assert result.duplicate_solves == 0
+        assert result.cold.requests == 12 and result.warm.requests == 12
