@@ -11,7 +11,8 @@ perf trajectory across commits:
   False)``).
 * ``cold_network_vectorized_s`` / ``cold_network_scalar_s`` — a cold
   analytical (measure-free) whole-network optimization of ResNet-18
-  through :class:`~repro.engine.network.NetworkOptimizer`.
+  through :class:`repro.api.Session` (the engine's ``NetworkOptimizer``
+  under the hood).
 * ``cold_network_batched_workload_s`` — the same network at batch size 8
   (the "batched workload" axis of the ROADMAP), vectorized path only.
 * ``warm_network_s`` — the same network re-run against the persistent
@@ -40,8 +41,9 @@ import time
 from dataclasses import replace
 from pathlib import Path
 
+from repro.api import Session
 from repro.core.optimizer import MOptOptimizer, fast_settings
-from repro.engine import NetworkOptimizer, ResultCache
+from repro.engine import ResultCache
 from repro.experiments.serving_demo import run_serving_demo_sync
 from repro.machine.presets import coffee_lake_i7_9700k
 from repro.workloads.benchmarks import network_benchmarks
@@ -73,14 +75,14 @@ def _timed(fn) -> float:
 
 
 def _network_seconds(settings, specs, cache=None) -> float:
-    optimizer = NetworkOptimizer(
-        coffee_lake_i7_9700k(),
+    session = Session(
+        "i7-9700k",
         "mopt",
         strategy_options={"settings": settings, "threads": THREADS, "measure": False},
-        cache=cache,
+        cache=cache if cache is not None else False,
         max_workers=4,
     )
-    return _timed(lambda: optimizer.optimize(specs))
+    return _timed(lambda: session.optimize(specs))
 
 
 def main() -> int:

@@ -1,38 +1,39 @@
-"""Optimize every conv2d stage of a DNN pipeline through the network engine.
+"""Optimize every conv2d stage of a DNN pipeline through the Session API.
 
 This reproduces, for one network of Table 1 (default: ResNet-18), the core
-of the paper's Section 10 evaluation on the i7-9700K — but through the
-:mod:`repro.engine` API: every system (MOpt, the oneDNN-like library, the
-AutoTVM-like tuner) runs as a registered :class:`SearchStrategy` inside a
-:class:`NetworkOptimizer`, which deduplicates repeated operator shapes,
-fans distinct operators out across a worker pool and serves repeated runs
-from the persistent result cache.
+of the paper's Section 10 evaluation on the i7-9700K — driven entirely
+through :class:`repro.api.Session`: every system (MOpt, the oneDNN-like
+library, the AutoTVM-like tuner) is one session over the same machine and
+shared persistent cache, and each session deduplicates repeated operator
+shapes, fans distinct operators out across a worker pool and serves
+repeated runs from the cache.
 
 Run with:  python examples/optimize_network.py [network] [num_layers] [cache_dir]
            e.g.  python examples/optimize_network.py mobilenet 4
            e.g.  python examples/optimize_network.py resnet18 4 /tmp/repro-cache
 Passing a cache directory makes the second invocation near-instant.
+The same flow from a shell: python -m repro optimize resnet18 --layers 4
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro import coffee_lake_i7_9700k, fast_settings, network_benchmarks
+from repro import fast_settings
 from repro.analysis import format_table
-from repro.engine import NetworkOptimizer, ResultCache
+from repro.api import Session, network
+from repro.engine import ResultCache
 
 
 def main() -> None:
-    network = sys.argv[1] if len(sys.argv) > 1 else "resnet18"
+    net = sys.argv[1] if len(sys.argv) > 1 else "resnet18"
     limit = int(sys.argv[2]) if len(sys.argv) > 2 else 4
     cache = ResultCache(sys.argv[3]) if len(sys.argv) > 3 else ResultCache()
     threads = 8
-    machine = coffee_lake_i7_9700k()
-    specs = network_benchmarks(network)[:limit]
+    specs = network(net, layers=limit)
 
-    print(f"Network: {network} ({len(specs)} of {len(network_benchmarks(network))} stages)")
-    print(f"Machine: {machine.name}, {threads} threads")
+    print(f"Network: {net} ({len(specs)} of {len(network(net))} stages)")
+    print(f"Machine: i7-9700K, {threads} threads")
     print()
 
     strategies = {
@@ -47,10 +48,11 @@ def main() -> None:
     results = {}
     for name, options in strategies.items():
         print(f"running {name!r} over {len(specs)} stages...")
-        optimizer = NetworkOptimizer(
-            machine, name, strategy_options=options, cache=cache, max_workers=4
+        session = Session(
+            "i7-9700k", name, strategy_options=options, cache=cache,
+            max_workers=4,
         )
-        results[name] = optimizer.optimize(specs)
+        results[name] = session.optimize(specs)
         print("  " + results[name].summary())
 
     mopt, onednn, tvm = results["mopt"], results["onednn"], results["autotvm"]

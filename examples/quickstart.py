@@ -1,72 +1,66 @@
-"""Quickstart: optimize one conv2d operator with MOpt and inspect the result.
+"""Quickstart: optimize one conv2d operator through the Session API.
 
 This walks the full Figure-1 pipeline of the paper on a single ResNet-18
-layer:
+layer, entirely through the public API:
 
-1. describe the operator and the target machine,
+1. build the operator with the `conv` workload builder and open a
+   `Session` on the target machine,
 2. run the analytical design-space exploration (8 pruned permutation
-   classes x multi-level tile-size optimization),
-3. print the chosen tile-loop permutation, per-level tile sizes, predicted
+   classes x multi-level tile-size optimization) with a dash of virtual
+   measurement (the MOpt-5 protocol),
+3. print the chosen permutation class, per-level tile sizes, predicted
    bottleneck and performance,
 4. emit the generated C loop nest, and
 5. verify that the generated tiled code computes the correct convolution.
 
 Run with:  python examples/quickstart.py
+The same search from a shell:  python -m repro optimize resnet18/R9
 """
 
 from __future__ import annotations
 
-from repro import ConvSpec, MOptOptimizer, coffee_lake_i7_9700k, fast_settings
+from repro.api import Session, conv
 from repro.codegen import build_tiled_nest, emit_c, loop_structure_summary, validate_config
 
 
 def main() -> None:
-    machine = coffee_lake_i7_9700k()
+    session = Session(
+        machine="i7-9700k",
+        strategy="mopt",
+        strategy_options={"threads": 8, "measure": True},
+    )
+    print(session.describe())
     print("Target machine:")
-    print(machine.describe())
+    print(session.machine.describe())
     print()
 
-    # R9 from Table 1: 256 -> 256 channels, 14x14 output, 3x3 kernel.
-    spec = ConvSpec(
-        name="resnet18-R9",
-        batch=1,
-        out_channels=256,
-        in_channels=256,
-        in_height=14,
-        in_width=14,
-        kernel_h=3,
-        kernel_w=3,
-        padding=1,
-    )
+    # R9 from Table 1: 256 -> 256 channels, 14x14 image, 3x3 kernel.
+    spec = conv(256, 256, 14, 3, name="resnet18-R9")
     print("Operator:", spec.describe())
     print()
 
     print("Running MOpt (analytical design-space exploration)...")
-    optimizer = MOptOptimizer(machine, fast_settings(parallel=True, threads=8))
-    result = optimizer.optimize(spec)
-    best = result.best
-    print(f"  search time: {result.search_seconds:.1f} s")
-    print(f"  microkernel: {result.microkernel.describe()}")
-    print(f"  best permutation class: {best.class_name}  (permutation {best.permutation})")
-    print(f"  predicted bottleneck: {best.bottleneck_level}")
-    print(f"  predicted performance: {best.predicted_gflops(spec):.1f} GFLOP/s on 8 threads")
-    if best.parallel_plan is not None:
-        print(f"  core distribution: {best.parallel_plan.describe()}")
+    result = session.optimize(spec)
+    extras = result.result.extras
+    print(f"  {result.summary()}")
+    print(f"  best permutation class: {extras['class_name']}")
+    print(f"  predicted bottleneck: {extras['bottleneck_level']}")
+    print(f"  modeled performance: {extras['predicted_gflops']:.1f} GFLOP/s on 8 threads")
+    print(
+        f"  MOpt-1 (best modeled): {extras['mopt1_gflops']:.1f} GFLOP/s, "
+        f"MOpt-5 (best of top five measured): {extras['mopt5_gflops']:.1f} GFLOP/s"
+    )
     print()
     print("Selected multi-level tiling:")
-    print(best.config.describe())
+    print(result.best_config.describe())
     print()
 
-    print("Top-5 modeled candidates (MOpt-5):")
-    for candidate in result.top(5):
-        print(
-            f"  {candidate.class_name:9s}  "
-            f"{candidate.predicted_time_seconds * 1e3:7.3f} ms  "
-            f"bottleneck {candidate.bottleneck_level}"
-        )
+    # A second run is a cache hit: the session remembers solved shapes.
+    again = session.optimize(spec)
+    print(f"Re-running the same operator: cached={again.cached}")
     print()
 
-    nest = build_tiled_nest(spec, best.config, parallel_plan=best.parallel_plan)
+    nest = build_tiled_nest(spec, result.best_config)
     print("Generated loop structure:")
     print(loop_structure_summary(nest))
     print()
@@ -76,7 +70,7 @@ def main() -> None:
     print()
 
     print("Validating generated code against the reference convolution...")
-    report = validate_config(spec, best.config)
+    report = validate_config(spec, result.best_config)
     status = "PASS" if report.passed else "FAIL"
     print(f"  max |error| = {report.max_error:.2e}  ->  {status}")
 

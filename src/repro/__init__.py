@@ -5,11 +5,15 @@ The package implements the MOpt system described in the paper and the
 substrates needed to evaluate it without the paper's hardware/software
 stack:
 
+* :mod:`repro.api` — **the public front door**: the :class:`Session`
+  façade over every optimization path, the workload builders
+  (``conv``/``matmul``/``network``/``parse``) and the unified
+  request/result types.  The matching CLI is ``python -m repro``.
 * :mod:`repro.core` — the analytical data-movement model, the eight-class
   permutation pruning, multi-level tile-size optimization (Algorithm 1),
   the parallel cost model and the microkernel design.
-* :mod:`repro.machine` — machine descriptions (i7-9700K, i9-10980XE) and
-  bandwidth modeling.
+* :mod:`repro.machine` — machine descriptions (i7-9700K, i9-10980XE), the
+  by-name preset registry and bandwidth modeling.
 * :mod:`repro.sim` — a memory-hierarchy simulator, tiled executor and
   performance model standing in for the paper's hardware measurements.
 * :mod:`repro.codegen` — a loop-nest IR and code emission for the tiled
@@ -20,37 +24,64 @@ stack:
   :class:`SearchStrategy` registry unifying all comparison systems, the
   two-tier persistent :class:`ResultCache` and the parallel
   :class:`NetworkOptimizer`.
-* :mod:`repro.serving` — the async serving front-end: a queued,
-  back-pressured :class:`OptimizationServer` with single-flight
-  coalescing of identical in-flight operator solves, streaming
-  per-operator progress, and in-process/TCP clients
-  (``python -m repro.serving serve|demo``).
+* :mod:`repro.serving` — the async serving engine behind
+  ``Session.optimize_async``: a queued, back-pressured
+  :class:`OptimizationServer` with single-flight coalescing, graceful
+  drain, streaming progress and in-process/TCP clients.
 * :mod:`repro.workloads` — the Table 1 conv2d operators and configuration
   sampling.
 * :mod:`repro.analysis` and :mod:`repro.experiments` — statistics and the
   drivers that regenerate every table and figure of the evaluation.
 
-Quickstart::
+Quickstart — one operator::
 
-    from repro import ConvSpec, MOptOptimizer, coffee_lake_i7_9700k
+    from repro.api import Session, conv
 
-    spec = ConvSpec("example", batch=1, out_channels=64, in_channels=64,
-                    in_height=56, in_width=56, kernel_h=3, kernel_w=3, padding=1)
-    result = MOptOptimizer(coffee_lake_i7_9700k()).optimize(spec)
-    print(result.best.config.describe())
+    session = Session(machine="i7-9700k")
+    result = session.optimize(conv(256, 256, 14, 3, name="R9"))
+    print(result.summary())          # GFLOP/s, time, search cost
+    print(result.best_config.describe())
 
-Whole-network optimization with caching::
+Whole network, with a persistent cache (the second run is warm)::
 
-    from repro import NetworkOptimizer, ResultCache, coffee_lake_i7_9700k
+    from repro.api import Session
 
-    optimizer = NetworkOptimizer(
-        coffee_lake_i7_9700k(), "mopt",
+    session = Session(
+        machine="i7-9700k", strategy="mopt",
         strategy_options={"threads": 8, "measure": False},
-        cache=ResultCache("/tmp/repro-cache"),
+        cache="/tmp/repro-cache",
     )
-    print(optimizer.optimize("resnet18").summary())
+    print(session.optimize("resnet18").summary())
+    print(session.optimize("resnet18/R9").gflops)   # one layer, now cached
+
+Async serving with coalescing and streaming progress::
+
+    import asyncio
+
+    async def main():
+        async with Session(machine="i7-9700k") as session:
+            response = await session.optimize_async(
+                "resnet18", on_event=print
+            )
+            print(response.total_gflops)
+
+    asyncio.run(main())
+
+The same flows from a shell: ``python -m repro optimize resnet18
+--machine i7-9700k``, ``python -m repro serve``, ``python -m repro warm``
+(see ``python -m repro --help``).
 """
 
+from .api import (
+    Session,
+    WarmCacheReport,
+    conv,
+    matmul,
+    network,
+    operator,
+    parse,
+)
+from .api.types import OptimizeRequest
 from .core import (
     ConvSpec,
     MOptOptimizer,
@@ -68,13 +99,12 @@ from .core import (
 from .engine import (
     NetworkOptimizer,
     NetworkResult,
+    OpResult,
     ResultCache,
     SearchStrategy,
     StrategyResult,
     available_strategies,
-    compare_network_strategies,
     get_strategy,
-    optimize_network,
     register_strategy,
     result_cache_key,
     spec_shape_key,
@@ -82,21 +112,55 @@ from .engine import (
 )
 from .machine import (
     MachineSpec,
+    available_machines,
     cascade_lake_i9_10980xe,
     coffee_lake_i7_9700k,
     get_machine,
+    machine_registry,
+    register_machine,
     tiny_test_machine,
 )
 from .serving import (
     OptimizationServer,
-    OptimizeRequest,
     OptimizeResponse,
     ServerConfig,
     ServingClient,
 )
 from .workloads import all_benchmarks, benchmark_by_name, network_benchmarks
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+#: Deprecated top-level aliases: name -> (resolver, replacement).  Kept
+#: importable (the api redesign moves the front door without breaking
+#: old code) but each emits one DeprecationWarning on first access.
+_DEPRECATED_ALIASES = {
+    "optimize_network": (
+        lambda: __import__(
+            "repro.engine.network", fromlist=["optimize_network"]
+        ).optimize_network,
+        "repro.api.Session.optimize (or repro.engine.optimize_network)",
+    ),
+    "compare_network_strategies": (
+        lambda: __import__(
+            "repro.engine.network", fromlist=["compare_network_strategies"]
+        ).compare_network_strategies,
+        "repro.api.Session per strategy "
+        "(or repro.engine.compare_network_strategies)",
+    ),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ALIASES:
+        from ._deprecation import warn_once
+
+        resolver, replacement = _DEPRECATED_ALIASES[name]
+        warn_once(f"repro.{name}", replacement, stacklevel=2)
+        value = resolver()
+        globals()[name] = value  # later accesses skip __getattr__
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ConvSpec",
@@ -105,6 +169,7 @@ __all__ = [
     "MultiLevelConfig",
     "NetworkOptimizer",
     "NetworkResult",
+    "OpResult",
     "OptimizationResult",
     "OptimizationServer",
     "OptimizeRequest",
@@ -114,24 +179,32 @@ __all__ = [
     "SearchStrategy",
     "ServerConfig",
     "ServingClient",
+    "Session",
     "StrategyResult",
     "TilingConfig",
+    "WarmCacheReport",
     "all_benchmarks",
+    "available_machines",
     "available_strategies",
     "benchmark_by_name",
     "cascade_lake_i9_10980xe",
     "coffee_lake_i7_9700k",
-    "compare_network_strategies",
+    "conv",
     "data_volume",
     "design_microkernel",
     "fast_settings",
     "get_machine",
     "get_strategy",
+    "machine_registry",
+    "matmul",
     "multilevel_cost",
+    "network",
     "network_benchmarks",
+    "operator",
     "optimize_conv",
-    "optimize_network",
+    "parse",
     "pruned_permutation_classes",
+    "register_machine",
     "register_strategy",
     "result_cache_key",
     "spec_shape_key",

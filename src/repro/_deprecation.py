@@ -1,0 +1,33 @@
+"""Deprecation plumbing for the pre-``repro.api`` entry points.
+
+Old entry points keep working — the redesign moves the front door, it
+does not break doors — but the designated aliases warn once per process
+so downstream code migrates.  :func:`warn_once` is keyed by alias name:
+the first access emits exactly one :class:`DeprecationWarning`, later
+accesses are silent (callers additionally cache the resolved attribute
+in their module globals, so ``__getattr__`` is not even re-entered).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(alias: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit one :class:`DeprecationWarning` for ``alias``, ever."""
+    if alias in _WARNED:
+        return
+    _WARNED.add(alias)
+    warnings.warn(
+        f"{alias} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset(alias: str) -> None:
+    """Forget that ``alias`` warned (tests only)."""
+    _WARNED.discard(alias)

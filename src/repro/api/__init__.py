@@ -1,0 +1,66 @@
+"""The unified public API: one Session façade, one workload vocabulary.
+
+Everything the repo can do — single-operator analytical search, whole-
+network optimization with dedup/caching/fan-out, async serving with
+coalescing and progress streaming, cache warming — is reachable through
+one import::
+
+    from repro.api import Session, conv
+
+    session = Session(machine="i7-9700k", strategy="mopt",
+                      strategy_options={"threads": 8, "measure": False})
+    net = session.optimize("resnet18")          # NetworkResult
+    op = session.optimize("resnet18/R9")        # OpResult (one layer)
+    op2 = session.optimize(conv(256, 256, 14))  # OpResult (built ad hoc)
+
+and the matching command line is ``python -m repro optimize|serve|bench|
+warm|list|demo``.
+
+* :class:`Session` — the façade (see :mod:`repro.api.session`); accepts
+  machines/strategies/caches by object or by name.
+* :mod:`repro.api.spec` — workload builders: :func:`conv`,
+  :func:`matmul`, :func:`network`, :func:`operator` and the string
+  reference resolver :func:`parse` (``"resnet18"``, ``"resnet18/R3"``,
+  ``"R3"``).
+* :mod:`repro.api.types` — the request/result family shared by core,
+  engine and serving: :class:`OptimizeRequest`, :class:`OpResult`,
+  :class:`NetworkResult`, :class:`StrategyResult`.
+"""
+
+from .session import Session, WarmCacheReport, optimize
+from .spec import conv, matmul, network, operator, parse
+from .types import (
+    NetworkResult,
+    OpResult,
+    OptimizeRequest,
+    StrategyResult,
+    next_request_id,
+)
+
+__all__ = [
+    "NetworkResult",
+    "OpResult",
+    "OptimizeRequest",
+    "OptimizeResponse",
+    "Session",
+    "StrategyResult",
+    "WarmCacheReport",
+    "conv",
+    "matmul",
+    "network",
+    "next_request_id",
+    "operator",
+    "optimize",
+    "parse",
+]
+
+
+def __getattr__(name: str):
+    # OptimizeResponse is the wire projection living in the serving
+    # layer; importing it here eagerly would be a circular import
+    # (serving's protocol module imports repro.api.types).
+    if name == "OptimizeResponse":
+        from ..serving.protocol import OptimizeResponse
+
+        return OptimizeResponse
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

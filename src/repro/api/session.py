@@ -1,0 +1,555 @@
+"""The :class:`Session` façade: one front door for every optimization path.
+
+A session binds the three things every optimization needs — a machine, a
+search strategy and a result cache — and exposes every execution mode
+over them:
+
+* :meth:`Session.optimize` — synchronous; a single operator returns an
+  :class:`~repro.api.types.OpResult`, a network (name or operator list)
+  returns a :class:`~repro.api.types.NetworkResult`;
+* :meth:`Session.optimize_many` — a batch of operators/networks solved
+  together: all items' distinct shapes are deduplicated *across the
+  whole batch* and fanned out once;
+* :meth:`Session.optimize_async` — delegates to the async serving
+  engine (:mod:`repro.serving`): bounded queueing, single-flight
+  coalescing with other in-flight requests, streaming per-operator
+  progress events;
+* :meth:`Session.warm_cache` — pre-solve workloads into the session's
+  cache (the cache-warming entry the ROADMAP asked for), with a
+  ``dry_run`` mode that only reports what is missing.
+
+Machines, strategies and caches are accepted **by object or by name**:
+machine names resolve through
+:data:`repro.machine.presets.machine_registry`, strategy names through
+:data:`repro.engine.strategy.strategy_registry`, and a string/path cache
+becomes a persistent :class:`~repro.engine.cache.ResultCache` rooted
+there.
+
+    from repro.api import Session
+
+    session = Session(machine="i7-9700k", strategy="mopt",
+                      strategy_options={"threads": 8, "measure": False},
+                      cache="~/.cache/repro-results")
+    print(session.optimize("resnet18").summary())      # whole network
+    print(session.optimize("resnet18/R9").gflops)      # one layer
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.tensor_spec import ConvSpec
+from ..engine.cache import ResultCache
+from ..engine.network import (
+    NetworkOptimizer,
+    NetworkResult,
+    OpResult,
+    build_network_result,
+    dedup_specs,
+)
+from ..engine.serialization import spec_shape_key
+from ..engine.strategy import SearchStrategy, StrategyResult, get_strategy
+from ..machine.presets import get_machine
+from ..machine.spec import MachineSpec
+from ..workloads.benchmarks import network_names
+from .spec import parse
+
+#: Anything `Session.optimize` accepts: one operator, a workload
+#: reference string, or an explicit operator list.
+Workload = Union[str, ConvSpec, Sequence[ConvSpec]]
+
+
+@dataclass(frozen=True)
+class WarmCacheReport:
+    """Outcome of one :meth:`Session.warm_cache` pass."""
+
+    networks: Tuple[str, ...]
+    distinct_operators: int
+    already_cached: int
+    solved: int
+    dry_run: bool
+    wall_seconds: float
+
+    @property
+    def missing(self) -> int:
+        """Shapes not in the cache when the pass started."""
+        return self.distinct_operators - self.already_cached
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        action = "would solve" if self.dry_run else "solved"
+        return (
+            f"warm {list(self.networks)}: {self.distinct_operators} distinct "
+            f"operators, {self.already_cached} already cached, "
+            f"{action} {self.solved if not self.dry_run else self.missing}, "
+            f"wall {self.wall_seconds:.2f} s"
+        )
+
+
+def _resolve_machine(machine: Union[str, MachineSpec]) -> MachineSpec:
+    if isinstance(machine, str):
+        return get_machine(machine)
+    if isinstance(machine, MachineSpec):
+        return machine
+    raise TypeError(
+        f"machine must be a preset name or MachineSpec, got {type(machine).__name__}"
+    )
+
+
+def _resolve_cache(
+    cache: Union[None, bool, str, Path, ResultCache]
+) -> Optional[ResultCache]:
+    if cache is None:
+        return ResultCache()
+    if cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache)
+    raise TypeError(
+        "cache must be None (fresh in-memory), False (disabled), a directory "
+        f"path or a ResultCache, got {type(cache).__name__}"
+    )
+
+
+class Session:
+    """One configured entry point for every optimization path.
+
+    Parameters
+    ----------
+    machine:
+        Preset name (``"i7-9700k"``, ``"i9-10980xe"``, ``"tiny"``, or
+        anything registered via
+        :func:`repro.machine.presets.register_machine`) or a
+        :class:`~repro.machine.spec.MachineSpec`.
+    strategy:
+        Registry name (``"mopt"``, ``"onednn"``, ...) configured through
+        ``strategy_options``, or a ready
+        :class:`~repro.engine.strategy.SearchStrategy` instance.
+    strategy_options:
+        Keyword options forwarded to the registry factory (by-name
+        strategies only).
+    cache:
+        ``None`` (default) — a fresh in-memory
+        :class:`~repro.engine.cache.ResultCache` private to the session;
+        a directory path — a persistent cache rooted there; a
+        :class:`ResultCache` — shared as-is; ``False`` — caching off.
+    executor / max_workers:
+        Fan-out configuration of the synchronous paths (see
+        :class:`~repro.engine.network.NetworkOptimizer`).
+    server_config:
+        Optional :class:`~repro.serving.server.ServerConfig` for the
+        async path's embedded server.
+    """
+
+    def __init__(
+        self,
+        machine: Union[str, MachineSpec] = "i7-9700k",
+        strategy: Union[str, SearchStrategy] = "mopt",
+        *,
+        strategy_options: Optional[Mapping[str, Any]] = None,
+        cache: Union[None, bool, str, Path, ResultCache] = None,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+        server_config: Optional[Any] = None,
+    ):
+        self.machine = _resolve_machine(machine)
+        self.cache = _resolve_cache(cache)
+        if isinstance(strategy, str):
+            self.strategy: SearchStrategy = get_strategy(
+                strategy, **dict(strategy_options or {})
+            )
+        else:
+            if strategy_options:
+                raise ValueError(
+                    "strategy_options only apply to by-name strategies; "
+                    "configure the instance instead"
+                )
+            self.strategy = strategy
+        self.strategy_name = self.strategy.name
+        self._optimizer = NetworkOptimizer(
+            self.machine,
+            self.strategy,
+            cache=self.cache,
+            executor=executor,
+            max_workers=max_workers,
+        )
+        self._server_config = server_config
+        self._server: Optional[Any] = None
+        self._client: Optional[Any] = None
+        self._server_loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    # resolution helpers
+    # ------------------------------------------------------------------
+    def resolve(
+        self, workload: Workload, *, batch: int = 1
+    ) -> Union[ConvSpec, List[ConvSpec]]:
+        """Resolve one workload argument to a spec or list of specs.
+
+        Strings go through :func:`repro.api.spec.parse` (network names,
+        ``"net/layer"`` references, bare operator names); specs and spec
+        sequences pass through unchanged.
+        """
+        if isinstance(workload, ConvSpec):
+            return workload
+        if isinstance(workload, str):
+            return parse(workload, batch=batch)
+        specs = list(workload)
+        for spec in specs:
+            if not isinstance(spec, ConvSpec):
+                raise TypeError(
+                    f"expected ConvSpec operators, got {type(spec).__name__}"
+                )
+        return specs
+
+    def characterize(self, workload: Workload, *, batch: int = 1) -> Dict[str, Any]:
+        """Strategy self-characterization on one operator (Table 2 rows).
+
+        Delegates to the strategy's optional ``characterize(spec,
+        machine)`` hook; raises :class:`TypeError` for strategies that
+        do not implement it.
+        """
+        spec = self.resolve(workload, batch=batch)
+        if not isinstance(spec, ConvSpec):
+            raise TypeError("characterize takes a single operator")
+        hook = getattr(self.strategy, "characterize", None)
+        if hook is None:
+            raise TypeError(
+                f"strategy {self.strategy_name!r} has no characterize() hook"
+            )
+        return hook(spec, self.machine)
+
+    def describe(self) -> str:
+        """One-line description of the session's configuration."""
+        tiers = "off"
+        if self.cache is not None:
+            tiers = "memory" if self.cache.disk is None else (
+                f"memory+disk ({self.cache.disk.root})"
+            )
+        return (
+            f"Session(machine={self.machine.name!r}, "
+            f"strategy={self.strategy_name!r}, cache={tiers})"
+        )
+
+    # ------------------------------------------------------------------
+    # synchronous paths
+    # ------------------------------------------------------------------
+    def optimize(
+        self, workload: Workload, *, batch: int = 1
+    ) -> Union[OpResult, NetworkResult]:
+        """Optimize one operator or one whole network, synchronously.
+
+        A single operator (a :class:`ConvSpec`, ``"R9"`` or
+        ``"resnet18/R9"``) returns an :class:`OpResult`; a network name
+        or operator list returns a :class:`NetworkResult`.
+        """
+        resolved = self.resolve(workload, batch=batch)
+        if isinstance(resolved, ConvSpec):
+            return self._optimize_op(resolved)
+        if isinstance(workload, str):
+            # A whole-network name reference: ship the name through so
+            # the result is labeled "resnet18", not "custom".
+            return self._optimizer.optimize(workload.strip(), batch=batch)
+        return self._optimizer.optimize(resolved, batch=batch)
+
+    def optimize_many(
+        self, workloads: Sequence[Workload], *, batch: int = 1
+    ) -> List[Union[OpResult, NetworkResult]]:
+        """Optimize a batch of workloads with one deduplicated fan-out.
+
+        All items are resolved first, their distinct operator shapes are
+        collected *across the whole batch* (a ResNet-18 request and an
+        ``"R9"`` request share one solve), the cache is consulted once,
+        and only the missing shapes are fanned out.  Results come back
+        in input order, each with the type :meth:`optimize` would have
+        returned for it.
+        """
+        start = time.perf_counter()
+        resolved = [self.resolve(workload, batch=batch) for workload in workloads]
+        all_specs: List[ConvSpec] = []
+        for item in resolved:
+            if isinstance(item, ConvSpec):
+                all_specs.append(item)
+            else:
+                all_specs.extend(item)
+        solved, cached_keys = self._solve_distinct(dedup_specs(all_specs))
+        # The fan-out is shared, so each network result carries the wall
+        # time of the whole batch (there is no meaningful per-item cost).
+        wall_seconds = time.perf_counter() - start
+
+        results: List[Union[OpResult, NetworkResult]] = []
+        for original, item in zip(workloads, resolved):
+            if isinstance(item, ConvSpec):
+                results.append(self._op_result(item, solved, cached_keys))
+            else:
+                name = original.strip() if isinstance(original, str) else "custom"
+                results.append(
+                    build_network_result(
+                        network=name,
+                        machine_name=self.machine.name,
+                        strategy=self.strategy_name,
+                        specs=item,
+                        solved=solved,
+                        cached_keys={
+                            key
+                            for key in (spec_shape_key(spec) for spec in item)
+                            if key in cached_keys
+                        },
+                        wall_seconds=wall_seconds,
+                    )
+                )
+        return results
+
+    def warm_cache(
+        self,
+        networks: Optional[Sequence[str]] = None,
+        *,
+        batch: int = 1,
+        dry_run: bool = False,
+    ) -> WarmCacheReport:
+        """Pre-solve workloads into the session's cache.
+
+        ``networks`` defaults to every Table 1 network.  With
+        ``dry_run=True`` nothing is solved: the report says how many
+        distinct shapes the pass would compute.  Requires a cache
+        (``cache=False`` sessions cannot be warmed).
+        """
+        if self.cache is None:
+            raise ValueError("warm_cache requires a session with a cache")
+        names = tuple(networks) if networks is not None else network_names()
+        start = time.perf_counter()
+        specs: List[ConvSpec] = []
+        for name in names:
+            resolved = self.resolve(name, batch=batch)
+            specs.extend(
+                [resolved] if isinstance(resolved, ConvSpec) else resolved
+            )
+        distinct = dedup_specs(specs)
+        if dry_run:
+            keys = [
+                self.cache.key_for(spec, self.machine, self.strategy)
+                for spec in distinct.values()
+            ]
+            hits = self.cache.get_many(keys, record_misses=False)
+            already_cached = sum(1 for key in keys if hits.get(key) is not None)
+            solved = 0
+        else:
+            _, cached_keys = self._solve_distinct(distinct)
+            already_cached = len(cached_keys)
+            solved = len(distinct) - already_cached
+        return WarmCacheReport(
+            networks=names,
+            distinct_operators=len(distinct),
+            already_cached=already_cached,
+            solved=solved,
+            dry_run=dry_run,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # async path (serving engine)
+    # ------------------------------------------------------------------
+    async def optimize_async(
+        self,
+        workload: Workload,
+        *,
+        batch: int = 1,
+        priority: int = 10,
+        deadline_s: Optional[float] = None,
+        on_event: Optional[Callable[[Any], None]] = None,
+    ):
+        """Optimize through the embedded async serving engine.
+
+        The first call lazily starts an
+        :class:`~repro.serving.server.OptimizationServer` over the
+        session's machine/strategy/cache on the running event loop;
+        concurrent calls share its queue, worker pool and single-flight
+        coalescing.  ``on_event`` observes the streaming per-operator
+        progress events; the return value is the wire-level
+        :class:`~repro.serving.protocol.OptimizeResponse`.
+        """
+        client = await self._ensure_client()
+        resolved = self.resolve(workload, batch=batch)
+        if isinstance(resolved, ConvSpec):
+            network: Union[str, Tuple[ConvSpec, ...]] = (resolved,)
+        elif isinstance(workload, str) and isinstance(resolved, list):
+            network = workload.strip()  # plain network name: ship by name
+        else:
+            network = tuple(resolved)
+        return await client.optimize(
+            network,
+            batch=batch,
+            priority=priority,
+            deadline_s=deadline_s,
+            on_event=on_event,
+        )
+
+    async def _ensure_client(self):
+        from ..serving.client import ServingClient
+        from ..serving.server import OptimizationServer
+
+        loop = asyncio.get_running_loop()
+        if self._server is None or self._server_loop is not loop:
+            # A server left over from an earlier (now finished) event
+            # loop cannot be awaited anymore — tear it down best-effort.
+            self._discard_server()
+            server = OptimizationServer(
+                self.machine,
+                self.strategy,
+                cache=self.cache if self.cache is not None else ResultCache(),
+                config=self._server_config,
+            )
+            await server.start()
+            self._server = server
+            self._client = ServingClient(server)
+            self._server_loop = loop
+        return self._client
+
+    def _discard_server(self) -> None:
+        """Drop a server whose event loop is gone (thread pool included)."""
+        server, self._server = self._server, None
+        self._client = None
+        self._server_loop = None
+        if server is None:
+            return
+        pool = getattr(server, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        server._running = False
+
+    @property
+    def server(self) -> Optional[Any]:
+        """The embedded serving engine, if :meth:`optimize_async` started one."""
+        return self._server
+
+    async def aclose(self) -> None:
+        """Stop the embedded serving engine (no-op if never started)."""
+        if self._server is None:
+            return
+        if self._server_loop is asyncio.get_running_loop():
+            server, self._server = self._server, None
+            self._client = None
+            self._server_loop = None
+            await server.stop()
+        else:
+            # Closing from a different loop than the server ran on (the
+            # original asyncio.run has returned): nothing awaitable left.
+            self._discard_server()
+
+    async def __aenter__(self) -> "Session":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _optimize_op(self, spec: ConvSpec) -> OpResult:
+        shape_key = spec_shape_key(spec)
+        if self.cache is None:
+            result = self.strategy.search(spec, self.machine)
+            return OpResult(
+                spec=spec, result=result, cached=False, shape_key=shape_key
+            )
+        key = self.cache.key_for(spec, self.machine, self.strategy)
+        cached = self.cache.get(key)
+        if cached is not None:
+            result, was_cached = cached, True
+        else:
+            result = self.cache.get_or_compute(
+                key, lambda: self.strategy.search(spec, self.machine)
+            )
+            was_cached = False
+        if result.spec_name != spec.name:
+            result = result.with_spec_name(spec.name)
+        return OpResult(
+            spec=spec, result=result, cached=was_cached, shape_key=shape_key
+        )
+
+    def _solve_distinct(
+        self, distinct: Mapping[str, ConvSpec]
+    ) -> Tuple[Dict[str, StrategyResult], set]:
+        """Solve every distinct shape (cache first), like the engine does."""
+        solved: Dict[str, StrategyResult] = {}
+        cached_keys: set = set()
+        pending: List[Tuple[str, ConvSpec]] = []
+        keys: Dict[str, str] = {}
+        if self.cache is not None:
+            keys = {
+                shape_key: self.cache.key_for(spec, self.machine, self.strategy)
+                for shape_key, spec in distinct.items()
+            }
+            hits = self.cache.get_many(list(keys.values()))
+            for shape_key, spec in distinct.items():
+                hit = hits.get(keys[shape_key])
+                if hit is not None:
+                    solved[shape_key] = hit
+                    cached_keys.add(shape_key)
+                else:
+                    pending.append((shape_key, spec))
+        else:
+            pending = list(distinct.items())
+        for (shape_key, _), result in zip(
+            pending, self._optimizer.solve_specs([s for _, s in pending])
+        ):
+            solved[shape_key] = result
+            if self.cache is not None:
+                self.cache.put(keys[shape_key], result)
+        return solved, cached_keys
+
+    def _op_result(
+        self,
+        spec: ConvSpec,
+        solved: Mapping[str, StrategyResult],
+        cached_keys: set,
+    ) -> OpResult:
+        shape_key = spec_shape_key(spec)
+        result = solved[shape_key]
+        if result.spec_name != spec.name:
+            result = result.with_spec_name(spec.name)
+        return OpResult(
+            spec=spec,
+            result=result,
+            cached=shape_key in cached_keys,
+            shape_key=shape_key,
+        )
+
+
+def optimize(
+    workload: Workload,
+    *,
+    machine: Union[str, MachineSpec] = "i7-9700k",
+    strategy: Union[str, SearchStrategy] = "mopt",
+    strategy_options: Optional[Mapping[str, Any]] = None,
+    cache: Union[None, bool, str, Path, ResultCache] = None,
+    batch: int = 1,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+) -> Union[OpResult, NetworkResult]:
+    """One-shot convenience: build a :class:`Session` and optimize once."""
+    session = Session(
+        machine,
+        strategy,
+        strategy_options=strategy_options,
+        cache=cache,
+        executor=executor,
+        max_workers=max_workers,
+    )
+    return session.optimize(workload, batch=batch)

@@ -1,0 +1,200 @@
+"""Workload builders: construct operators and networks without
+constructor-argument soup.
+
+The core :class:`~repro.core.tensor_spec.ConvSpec` is deliberately
+explicit (eleven fields mirroring the paper's notation); callers of the
+public API almost never want to spell all of them.  This module is the
+friendly layer on top:
+
+* :func:`conv` — a conv2d operator in Table 1 vocabulary (``k``/``c``
+  channel counts, square ``hw`` image, square ``kernel``), with
+  ``padding="same"`` as the default;
+* :func:`matmul` — a matrix multiplication ``C[m, n] = A[m, k] @
+  B[k, n]`` phrased as the equivalent 1x1 convolution (the mapping the
+  differential test layer uses);
+* :func:`network` — all operators of a Table 1 network, optionally
+  truncated to its head;
+* :func:`operator` — one Table 1 operator by name (``"R9"``);
+* :func:`parse` — one string reference to any of the above:
+  ``"resnet18"`` (whole network), ``"resnet18/R3"`` or ``"resnet18/3"``
+  (one layer of a network), ``"R3"`` (bare Table 1 operator name).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..core.tensor_spec import ConvSpec
+from ..workloads.benchmarks import (
+    benchmark_by_name,
+    network_benchmarks,
+    network_names,
+)
+
+
+def _same_padding(kernel: int, dilation: int) -> int:
+    """Half-kernel ("same") padding for a square kernel."""
+    return ((kernel - 1) * dilation) // 2
+
+
+def conv(
+    k: int,
+    c: int,
+    hw: Optional[int] = None,
+    kernel: int = 3,
+    *,
+    h: Optional[int] = None,
+    w: Optional[int] = None,
+    kernel_h: Optional[int] = None,
+    kernel_w: Optional[int] = None,
+    stride: int = 1,
+    dilation: int = 1,
+    padding: Union[int, str] = "same",
+    batch: int = 1,
+    name: Optional[str] = None,
+    dtype_bytes: int = 4,
+) -> ConvSpec:
+    """Build a conv2d operator in Table 1 vocabulary.
+
+    ``k``/``c`` are the output/input channel counts, ``hw`` the square
+    input extent (or ``h``/``w`` separately), ``kernel`` the square
+    kernel size (or ``kernel_h``/``kernel_w``).  ``padding`` defaults to
+    ``"same"`` — half-kernel padding, the standard configuration of the
+    benchmark networks — or takes an explicit integer.
+
+    >>> conv(256, 256, 14, 3).describe()      # R9 of Table 1
+    'conv: K=256 C=256 H/W=14 R/S=3 stride=1 ...'
+    """
+    if hw is None and (h is None or w is None):
+        raise ValueError("pass a square extent `hw` or both `h` and `w`")
+    in_h = h if h is not None else hw
+    in_w = w if w is not None else hw
+    ker_h = kernel_h if kernel_h is not None else kernel
+    ker_w = kernel_w if kernel_w is not None else kernel
+    if isinstance(padding, str):
+        if padding == "same":
+            pad = _same_padding(max(ker_h, ker_w), dilation)
+        elif padding == "valid":
+            pad = 0
+        else:
+            raise ValueError(
+                f"padding must be an integer, 'same' or 'valid', got {padding!r}"
+            )
+    else:
+        pad = int(padding)
+    return ConvSpec(
+        name=name or "conv",
+        batch=batch,
+        out_channels=k,
+        in_channels=c,
+        in_height=in_h,
+        in_width=in_w,
+        kernel_h=ker_h,
+        kernel_w=ker_w,
+        stride=stride,
+        dilation=dilation,
+        padding=pad,
+        dtype_bytes=dtype_bytes,
+    )
+
+
+def matmul(
+    m: int,
+    n: int,
+    k: int,
+    *,
+    name: Optional[str] = None,
+    dtype_bytes: int = 4,
+) -> ConvSpec:
+    """Build ``C[m, n] = A[m, k] @ B[k, n]`` as the equivalent conv2d.
+
+    A matrix multiplication is a 1x1 convolution over an ``m`` x 1 image
+    with ``k`` input and ``n`` output channels, so the analytical model,
+    every strategy and the cache apply unchanged.
+    """
+    return ConvSpec(
+        name=name or f"matmul-{m}x{n}x{k}",
+        batch=1,
+        out_channels=n,
+        in_channels=k,
+        in_height=m,
+        in_width=1,
+        kernel_h=1,
+        kernel_w=1,
+        stride=1,
+        dilation=1,
+        padding=0,
+        dtype_bytes=dtype_bytes,
+    )
+
+
+def network(
+    name: str, *, batch: int = 1, layers: Optional[int] = None
+) -> List[ConvSpec]:
+    """All conv2d operators of one Table 1 network, in the paper's order.
+
+    ``layers`` truncates to the network's head (quick runs); it must
+    keep at least one operator.
+    """
+    specs = network_benchmarks(name, batch=batch)
+    if layers is not None:
+        if layers < 1:
+            raise ValueError(f"layers must be >= 1, got {layers}")
+        specs = specs[:layers]
+    return specs
+
+
+def operator(name: str, *, batch: int = 1) -> ConvSpec:
+    """One Table 1 operator by name (``"Y5"``, ``"R9"``, ``"M2"``)."""
+    return benchmark_by_name(name, batch=batch)
+
+
+def parse(
+    reference: str, *, batch: int = 1
+) -> Union[ConvSpec, List[ConvSpec]]:
+    """Resolve one workload reference string.
+
+    Accepted forms (all case-insensitive on the network part):
+
+    * ``"resnet18"`` — a whole Table 1 network (returns the operator list);
+    * ``"resnet18/R3"`` — one named layer of a network (returns the spec;
+      the layer must actually belong to that network);
+    * ``"resnet18/3"`` — one layer by 1-based Table 1 position;
+    * ``"R3"`` — a bare Table 1 operator name.
+
+    Raises :class:`ValueError` for malformed references and
+    :class:`KeyError` for unknown networks/operators.
+    """
+    if not isinstance(reference, str):
+        raise TypeError(f"reference must be a string, got {type(reference).__name__}")
+    ref = reference.strip()
+    if not ref:
+        raise ValueError("empty workload reference")
+    if ref.count("/") > 1:
+        raise ValueError(
+            f"malformed workload reference {reference!r}; "
+            "expected 'network', 'network/layer' or 'layer'"
+        )
+    if "/" in ref:
+        net_part, layer_part = (part.strip() for part in ref.split("/"))
+        if not net_part or not layer_part:
+            raise ValueError(f"malformed workload reference {reference!r}")
+        specs = network_benchmarks(net_part, batch=batch)  # KeyError on bad net
+        if layer_part.isdigit():
+            index = int(layer_part)
+            if not 1 <= index <= len(specs):
+                raise KeyError(
+                    f"network {net_part!r} has layers 1..{len(specs)}, "
+                    f"got {index}"
+                )
+            return specs[index - 1]
+        for spec in specs:
+            if spec.name.lower() == layer_part.lower():
+                return spec
+        raise KeyError(
+            f"no layer {layer_part!r} in network {net_part!r}; "
+            f"available: {[spec.name for spec in specs]}"
+        )
+    if ref.lower() in network_names():
+        return network_benchmarks(ref, batch=batch)
+    return benchmark_by_name(ref, batch=batch)  # KeyError on bad operator

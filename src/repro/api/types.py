@@ -1,0 +1,105 @@
+"""The unified request/result family of the public API.
+
+One set of plain-data types is shared by every optimization path:
+
+* :class:`OptimizeRequest` — what a caller asks for (a network or
+  operator list, strategy override, priority, deadline).  The sync
+  :class:`~repro.api.session.Session` paths, the async serving engine
+  and the TCP wire protocol all consume this one type; the serving
+  protocol's JSON-lines framing is a thin encoding of it
+  (``to_dict``/``from_dict``), not a parallel hierarchy.
+* :class:`OpResult` — one operator's outcome (defined in
+  :mod:`repro.engine.network`, re-exported here): the return type of
+  ``Session.optimize(op)`` and the per-layer slice of every
+  :class:`NetworkResult`.
+* :class:`NetworkResult` — the aggregated outcome of optimizing every
+  operator of one network (also the payload the serving protocol's
+  ``OptimizeResponse`` is projected from).
+* :class:`StrategyResult` — the strategy-level figure inside every
+  :class:`OpResult` (what the persistent cache stores).
+
+Historically :class:`OptimizeRequest` lived in
+:mod:`repro.serving.protocol`; it is defined here now and re-exported
+there, so all pre-existing imports keep working.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..core.tensor_spec import ConvSpec
+from ..engine.network import NetworkResult, OpResult
+from ..engine.serialization import spec_from_dict, spec_to_dict
+from ..engine.strategy import StrategyResult
+
+_REQUEST_COUNTER = itertools.count(1)
+
+
+def next_request_id(prefix: str = "req") -> str:
+    """Process-unique request id (monotonic; no clock or randomness)."""
+    return f"{prefix}-{next(_REQUEST_COUNTER)}"
+
+
+@dataclass(frozen=True)
+class OptimizeRequest:
+    """One client's ask: optimize a network under a priority and deadline.
+
+    ``network`` is a Table 1 name or an explicit operator list.  Lower
+    ``priority`` values are served first (0 = most urgent); ties are
+    FIFO.  ``deadline_s`` is a relative budget from submission: a request
+    still queued (or mid-flight) when it runs out fails with an
+    ``ExpiredEvent`` instead of occupying solve capacity.
+    ``strategy``/``strategy_options`` override the server's defaults.
+    The priority/deadline fields only apply on the async serving path;
+    the synchronous Session paths execute immediately and ignore them.
+    """
+
+    network: Union[str, Tuple[ConvSpec, ...]]
+    request_id: str = field(default_factory=next_request_id)
+    strategy: Optional[str] = None
+    strategy_options: Mapping[str, Any] = field(default_factory=dict)
+    batch: int = 1
+    priority: int = 10
+    deadline_s: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        if isinstance(self.network, str):
+            network: Any = self.network
+        else:
+            network = [spec_to_dict(spec) for spec in self.network]
+        return {
+            "request_id": self.request_id,
+            "network": network,
+            "strategy": self.strategy,
+            "strategy_options": dict(self.strategy_options),
+            "batch": self.batch,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "OptimizeRequest":
+        network = payload["network"]
+        if not isinstance(network, str):
+            network = tuple(spec_from_dict(entry) for entry in network)
+        deadline_s = payload.get("deadline_s")
+        return cls(
+            network=network,
+            request_id=payload.get("request_id") or next_request_id(),
+            strategy=payload.get("strategy"),
+            strategy_options=dict(payload.get("strategy_options") or {}),
+            batch=int(payload.get("batch", 1)),
+            priority=int(payload.get("priority", 10)),
+            deadline_s=None if deadline_s is None else float(deadline_s),
+        )
+
+
+__all__ = [
+    "NetworkResult",
+    "OpResult",
+    "OptimizeRequest",
+    "StrategyResult",
+    "next_request_id",
+]

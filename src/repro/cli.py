@@ -1,0 +1,480 @@
+"""``python -m repro`` — the single command line over the Session API.
+
+Subcommands::
+
+    # Optimize workloads (networks, single layers, network/layer refs):
+    python -m repro optimize resnet18 --machine i7-9700k
+    python -m repro optimize resnet18/R9 Y5 --strategy onednn --json
+
+    # A TCP serving endpoint with graceful drain on shutdown:
+    python -m repro serve --machine i7-9700k --port 8763 \
+        --cache-dir /tmp/repro-cache --drain-timeout 10
+
+    # The concurrent-client coalescing demo:
+    python -m repro demo --clients 8 --networks resnet18 mobilenet
+
+    # Pre-solve workloads into a persistent cache (or audit it):
+    python -m repro warm --cache-dir /tmp/repro-cache --networks resnet18
+    python -m repro warm --dry-run
+
+    # Quick cold/warm benchmark through the Session API:
+    python -m repro bench --quick
+
+    # What is registered: machines, strategies, networks:
+    python -m repro list
+
+This replaces the per-package entry points (``python -m repro.serving``
+remains as a deprecated shim delegating here) and the ad-hoc example
+invocations; everything is built on :class:`repro.api.Session`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from .api.session import Session
+from .engine.strategy import available_strategies
+from .machine.presets import available_machines
+from .workloads.benchmarks import network_benchmarks, network_names
+
+
+def _parse_option(raw: str) -> tuple:
+    """One ``key=value`` strategy option; values parse as JSON, else str."""
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(
+            f"strategy option must look like key=value, got {raw!r}"
+        )
+    key, value = raw.split("=", 1)
+    try:
+        return key, json.loads(value)
+    except ValueError:
+        return key, value
+
+
+def _add_session_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine",
+        default="i7-9700k",
+        choices=available_machines(),
+        help="machine preset to optimize for",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="mopt",
+        help=f"search strategy (registered: {', '.join(available_strategies())})",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=8, help="strategy threads option"
+    )
+    parser.add_argument(
+        "--measure",
+        action="store_true",
+        help="mopt only: measure top-k candidates on the virtual machine "
+        "(default: purely analytical prediction)",
+    )
+    parser.add_argument(
+        "--option",
+        action="append",
+        type=_parse_option,
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra strategy option (repeatable; value parsed as JSON)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="persistent result-cache directory"
+    )
+
+
+def _strategy_options(args: argparse.Namespace) -> Dict[str, Any]:
+    options: Dict[str, Any] = {}
+    if args.threads:
+        options["threads"] = args.threads
+    if args.strategy == "mopt":
+        # The network/serving paths want the purely analytical prediction
+        # by default: no virtual measurement in the loop.
+        options["measure"] = bool(getattr(args, "measure", False))
+    options.update(dict(getattr(args, "option", []) or []))
+    return options
+
+
+def _build_session(args: argparse.Namespace, **extra: Any) -> Session:
+    return Session(
+        args.machine,
+        args.strategy,
+        strategy_options=_strategy_options(args),
+        cache=args.cache_dir if args.cache_dir else None,
+        **extra,
+    )
+
+
+def _add_server_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--queue-depth", type=int, default=64, help="bounded queue depth"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="concurrent request workers"
+    )
+    parser.add_argument(
+        "--solve-threads", type=int, default=4, help="solver thread-pool width"
+    )
+
+
+# ----------------------------------------------------------------------
+# optimize
+# ----------------------------------------------------------------------
+def _network_payload(result) -> Dict[str, Any]:
+    return {
+        "kind": "network",
+        "network": result.network,
+        "machine": result.machine_name,
+        "strategy": result.strategy,
+        "num_operators": result.num_operators,
+        "distinct_operators": result.distinct_operators,
+        "cache_hits": result.cache_hits,
+        "total_time_seconds": result.total_time_seconds,
+        "total_gflops": result.total_gflops,
+        "search_seconds": result.total_search_seconds,
+        "wall_seconds": result.wall_seconds,
+        "layers": {o.name: o.gflops for o in result.operators},
+    }
+
+
+def _op_payload(result) -> Dict[str, Any]:
+    return {
+        "kind": "operator",
+        "operator": result.name,
+        "strategy": result.strategy,
+        "gflops": result.gflops,
+        "time_seconds": result.time_seconds,
+        "search_seconds": result.search_seconds,
+        "cached": result.cached,
+    }
+
+
+def _run_optimize(args: argparse.Namespace) -> int:
+    session = _build_session(
+        args, executor=args.executor, max_workers=args.max_workers
+    )
+    payloads: List[Dict[str, Any]] = []
+    for reference in args.workload:
+        workload: Any = reference
+        if args.layers is not None and isinstance(reference, str):
+            resolved = session.resolve(reference, batch=args.batch)
+            if isinstance(resolved, list):
+                workload = resolved[: args.layers]
+        result = session.optimize(workload, batch=args.batch)
+        if hasattr(result, "operators"):  # NetworkResult
+            # Relabel truncated/explicit lists back to the reference name.
+            payload = _network_payload(result)
+            if payload["network"] == "custom" and isinstance(reference, str):
+                payload["network"] = reference
+            payloads.append(payload)
+            if not args.json:
+                print(result.summary())
+                if args.per_layer:
+                    for outcome in result.operators:
+                        print("  " + outcome.summary())
+        else:
+            payloads.append(_op_payload(result))
+            if not args.json:
+                print(result.summary())
+    if args.json:
+        out = payloads[0] if len(payloads) == 1 else payloads
+        print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serve / demo
+# ----------------------------------------------------------------------
+async def _run_serve(args: argparse.Namespace) -> int:
+    from .engine.cache import ResultCache
+    from .machine.presets import get_machine
+    from .serving.server import OptimizationServer, ServerConfig, start_tcp_server
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    server = OptimizationServer(
+        get_machine(args.machine),
+        args.strategy,
+        strategy_options=_strategy_options(args),
+        cache=cache,
+        config=ServerConfig(
+            max_queue_depth=args.queue_depth,
+            workers=args.workers,
+            solve_threads=args.solve_threads,
+        ),
+    )
+    await server.start()
+    tcp = await start_tcp_server(server, args.host, args.port)
+    for sock in tcp.sockets or ():
+        print(f"serving on {sock.getsockname()}", flush=True)
+    try:
+        await asyncio.Event().wait()  # run until cancelled / Ctrl-C
+    except asyncio.CancelledError:
+        pass
+    finally:
+        tcp.close()
+        await tcp.wait_closed()
+        # Graceful drain: stop admissions, let accepted requests finish
+        # within the window, then stop (stragglers are failed).
+        print(
+            f"draining (up to {args.drain_timeout:.0f}s) ...", flush=True
+        )
+        await server.stop(drain=True, drain_timeout=args.drain_timeout)
+        print("server stopped", flush=True)
+    return 0
+
+
+async def _run_demo(args: argparse.Namespace) -> int:
+    from .experiments.serving_demo import run_serving_demo
+    from .machine.presets import get_machine
+
+    result = await run_serving_demo(
+        machine=get_machine(args.machine),
+        clients=args.clients,
+        networks=tuple(args.networks),
+        strategy=args.strategy,
+        strategy_options=_strategy_options(args),
+        cache_dir=args.cache_dir,
+        layers_per_network=args.layers,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        solve_threads=args.solve_threads,
+    )
+    print(result.text)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return 0 if result.duplicate_solves == 0 else 1
+
+
+# ----------------------------------------------------------------------
+# warm
+# ----------------------------------------------------------------------
+def _run_warm(args: argparse.Namespace) -> int:
+    if not args.cache_dir and not args.dry_run:
+        # Warming a process-private in-memory cache would burn the full
+        # cold-solve cost and persist nothing.
+        print(
+            "error: warm needs --cache-dir (a persistent store) "
+            "unless --dry-run",
+            file=sys.stderr,
+        )
+        return 2
+    session = _build_session(args)
+    report = session.warm_cache(
+        args.networks, batch=args.batch, dry_run=args.dry_run
+    )
+    print(report.summary())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "networks": list(report.networks),
+                    "distinct_operators": report.distinct_operators,
+                    "already_cached": report.already_cached,
+                    "missing": report.missing,
+                    "solved": report.solved,
+                    "dry_run": report.dry_run,
+                    "wall_seconds": report.wall_seconds,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# bench
+# ----------------------------------------------------------------------
+def _run_bench(args: argparse.Namespace) -> int:
+    session = _build_session(args)
+    network = args.network
+    specs = network_benchmarks(network)
+    if args.quick:
+        specs = specs[:4]
+
+    print(f"cold {network} ({len(specs)} layers) via {args.strategy!r} ...")
+    start = time.perf_counter()
+    cold = session.optimize(specs)
+    cold_s = time.perf_counter() - start
+    print(f"  {cold_s:.2f} s  ({cold.total_gflops:.1f} GFLOPS predicted)")
+
+    print("warm re-run against the cache ...")
+    start = time.perf_counter()
+    warm = session.optimize(specs)
+    warm_s = time.perf_counter() - start
+    print(f"  {warm_s * 1e3:.1f} ms  ({warm.cache_hits} cache hits)")
+
+    payload = {
+        "network": network,
+        "layers": len(specs),
+        "machine": session.machine.name,
+        "strategy": session.strategy_name,
+        "quick": bool(args.quick),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "total_gflops": cold.total_gflops,
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# list
+# ----------------------------------------------------------------------
+def _run_list(args: argparse.Namespace) -> int:
+    networks = {
+        name: [spec.name for spec in network_benchmarks(name)]
+        for name in network_names()
+    }
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "machines": list(available_machines()),
+                    "strategies": list(available_strategies()),
+                    "networks": networks,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print("machines:   " + ", ".join(available_machines()))
+    print("strategies: " + ", ".join(available_strategies()))
+    print("networks:")
+    for name, layers in networks.items():
+        print(f"  {name} ({len(layers)} layers): {', '.join(layers)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    optimize = sub.add_parser(
+        "optimize", help="optimize networks/operators through a Session"
+    )
+    optimize.add_argument(
+        "workload",
+        nargs="+",
+        help="network name (resnet18), layer ref (resnet18/R9) or operator (Y5)",
+    )
+    _add_session_options(optimize)
+    optimize.add_argument("--batch", type=int, default=1, help="batch size")
+    optimize.add_argument(
+        "--layers", type=int, default=None,
+        help="truncate network workloads to their first N layers",
+    )
+    optimize.add_argument(
+        "--executor", default="thread", choices=("serial", "thread", "process")
+    )
+    optimize.add_argument("--max-workers", type=int, default=None)
+    optimize.add_argument(
+        "--per-layer", action="store_true", help="print one line per layer"
+    )
+    optimize.add_argument("--json", action="store_true", help="print JSON")
+
+    serve = sub.add_parser("serve", help="run a TCP optimization endpoint")
+    _add_session_options(serve)
+    _add_server_options(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8763)
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to let accepted requests finish on shutdown",
+    )
+
+    demo = sub.add_parser(
+        "demo", help="concurrent-client demo over Table 1 networks"
+    )
+    _add_session_options(demo)
+    _add_server_options(demo)
+    demo.add_argument("--clients", type=int, default=8)
+    demo.add_argument(
+        "--networks",
+        nargs="+",
+        default=["resnet18", "mobilenet"],
+        help="Table 1 networks the clients request (cycled)",
+    )
+    demo.add_argument(
+        "--layers",
+        type=int,
+        default=None,
+        help="restrict each network to its first N layers (quick runs)",
+    )
+    demo.add_argument("--json", action="store_true", help="also print JSON")
+
+    warm = sub.add_parser(
+        "warm", help="pre-solve workloads into the result cache"
+    )
+    _add_session_options(warm)
+    warm.add_argument(
+        "--networks",
+        nargs="+",
+        default=None,
+        help="networks to warm (default: every Table 1 network)",
+    )
+    warm.add_argument("--batch", type=int, default=1, help="batch size")
+    warm.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="only report what is missing; solve nothing",
+    )
+    warm.add_argument("--json", action="store_true", help="also print JSON")
+
+    bench = sub.add_parser(
+        "bench", help="quick cold/warm benchmark through the Session API"
+    )
+    _add_session_options(bench)
+    bench.add_argument("--network", default="resnet18")
+    bench.add_argument(
+        "--quick", action="store_true", help="first four layers only"
+    )
+    bench.add_argument("--out", default=None, help="also write JSON here")
+
+    list_cmd = sub.add_parser(
+        "list", help="registered machines, strategies and networks"
+    )
+    list_cmd.add_argument("--json", action="store_true", help="print JSON")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    runners = {
+        "optimize": _run_optimize,
+        "warm": _run_warm,
+        "bench": _run_bench,
+        "list": _run_list,
+    }
+    try:
+        if args.command in ("serve", "demo"):
+            coro = _run_serve(args) if args.command == "serve" else _run_demo(args)
+            return asyncio.run(coro)
+        return runners[args.command](args)
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

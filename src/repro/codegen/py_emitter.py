@@ -11,6 +11,7 @@ produces.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, List
 
 import numpy as np
@@ -19,6 +20,28 @@ from ..core.config import MultiLevelConfig, TilingConfig
 from ..core.tensor_spec import ConvSpec, LOOP_INDICES
 from .ir import Loop, LoopNest, Statement
 from .tiling import build_tiled_nest
+
+
+def _drop_register_loops(nodes: List) -> List:
+    """Copy of the subtree with register-level tile loops spliced out.
+
+    The Python rendering replaces everything below the innermost cache
+    level with one NumPy block accumulation (the microkernel stand-in),
+    so ``Reg``-level loops must not execute around it: they would both
+    re-accumulate the same block once per register tile and push full
+    four-level configurations past CPython's static nesting limit.
+    """
+    result: List = []
+    for node in nodes:
+        if isinstance(node, Loop):
+            body = _drop_register_loops(node.body)
+            if node.iterator.endswith("_reg"):
+                result.extend(body)
+            else:
+                result.append(replace(node, body=body))
+        else:
+            result.append(node)
+    return result
 
 
 def _render_statement(statement: Statement, indent: int) -> List[str]:
@@ -30,6 +53,15 @@ def _render_statement(statement: Statement, indent: int) -> List[str]:
     return lines
 
 
+def _single_iteration(loop: Loop) -> bool:
+    """Whether the loop provably runs exactly once (numeric literal bounds)."""
+    try:
+        start, bound, step = int(loop.start), int(loop.bound), int(loop.step)
+    except (TypeError, ValueError):
+        return False  # symbolic bounds: keep the loop
+    return 0 < bound - start <= step
+
+
 def _render_loop(loop: Loop, indent: int) -> List[str]:
     pad = "    " * indent
     lines: List[str] = []
@@ -37,16 +69,25 @@ def _render_loop(loop: Loop, indent: int) -> List[str]:
         lines.append(f"{pad}# {loop.comment}")
     if loop.parallel:
         lines.append(f"{pad}# parallel band: distributed across cores in generated C")
-    lines.append(
-        f"{pad}for {loop.iterator} in range({loop.start}, {loop.bound}, {loop.step}):"
-    )
-    if not loop.body:
-        lines.append(f"{pad}    pass")
+    if _single_iteration(loop):
+        # Single-iteration loop (tile covers the whole enclosing extent):
+        # flatten to an assignment.  Full multi-level configurations can
+        # otherwise nest 4 levels x 7 indices deep, past CPython's
+        # static-block limit ("too many statically nested blocks").
+        lines.append(f"{pad}{loop.iterator} = {loop.start}")
+        body_indent = indent
+    else:
+        lines.append(
+            f"{pad}for {loop.iterator} in range({loop.start}, {loop.bound}, {loop.step}):"
+        )
+        if not loop.body:
+            lines.append(f"{pad}    pass")
+        body_indent = indent + 1
     for node in loop.body:
         if isinstance(node, Loop):
-            lines.extend(_render_loop(node, indent + 1))
+            lines.extend(_render_loop(node, body_indent))
         else:
-            lines.extend(_render_statement(node, indent + 1))
+            lines.extend(_render_statement(node, body_indent))
     return lines
 
 
@@ -118,7 +159,7 @@ def emit_python(nest: LoopNest, spec: ConvSpec, config: MultiLevelConfig | Tilin
         f"def {nest.name}(Out, In_p, Ker):",
         f'    """Generated tiled convolution for operator {spec.name!r}."""',
     ]
-    for loop in nest.loops:
+    for loop in _drop_register_loops(nest.loops):
         replace_innermost(loop)
         lines.extend(_render_loop(loop, 1))
     lines.append("    return Out")

@@ -78,6 +78,19 @@ def scalar_statement(spec: ConvSpec, innermost_level: str) -> Statement:
     )
 
 
+def _identifier(name: str) -> str:
+    """Operator name -> a valid C/Python identifier fragment.
+
+    Layer names like ``"resnet18-R9"`` contain characters that are
+    illegal in function names; both emitters would otherwise produce
+    unparseable code.
+    """
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned or "op"
+
+
 def build_tiled_nest(
     spec: ConvSpec,
     config: MultiLevelConfig | TilingConfig,
@@ -115,7 +128,7 @@ def build_tiled_nest(
         TensorDecl("Ker", (spec.out_channels, spec.in_channels, spec.kernel_h, spec.kernel_w)),
     ]
     nest = LoopNest(
-        name=name or f"conv2d_{spec.name}",
+        name=name or f"conv2d_{_identifier(spec.name)}",
         tensors=tensors,
         loops=[],
         preamble=[Statement(text=f"generated for {spec.describe()}")],

@@ -1,5 +1,8 @@
 """Network-level optimization engine: strategies, caching, fan-out.
 
+(The public front door over this engine is :class:`repro.api.Session`;
+this package remains the building-block layer it is assembled from.)
+
 This package turns the repo's one-operator-at-a-time optimizers into a
 network-level engine with three pieces:
 
@@ -76,6 +79,7 @@ from .network import (
     NetworkOptimizer,
     NetworkResult,
     OperatorOutcome,
+    OpResult,
     build_network_result,
     compare_network_strategies,
     dedup_specs,
@@ -121,6 +125,7 @@ __all__ = [
     "NetworkOptimizer",
     "NetworkResult",
     "OneDnnStrategy",
+    "OpResult",
     "OperatorOutcome",
     "RandomSearchStrategy",
     "ResultCache",

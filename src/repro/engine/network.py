@@ -87,14 +87,14 @@ def build_network_result(
     front-end, which produce results through different execution paths
     but must aggregate identically.
     """
-    outcomes: List[OperatorOutcome] = []
+    outcomes: List[OpResult] = []
     for spec in specs:
         shape_key = spec_shape_key(spec)
         result = solved[shape_key]
         if result.spec_name != spec.name:
             result = result.with_spec_name(spec.name)
         outcomes.append(
-            OperatorOutcome(
+            OpResult(
                 spec=spec,
                 result=result,
                 cached=shape_key in cached_keys,
@@ -132,13 +132,30 @@ def _search_worker(
 
 
 @dataclass(frozen=True)
-class OperatorOutcome:
-    """One layer's result within a network-level optimization."""
+class OpResult:
+    """One operator's result: the unified per-op type of the public API.
+
+    This is both a layer's slice of a :class:`NetworkResult` and the
+    return type of single-operator optimization through
+    :class:`repro.api.Session` — one result family for core, engine and
+    serving (the serving protocol's ``OperatorFigure`` is its wire
+    projection).
+    """
 
     spec: ConvSpec
     result: StrategyResult
     cached: bool
     shape_key: str
+
+    @property
+    def name(self) -> str:
+        """The operator's (layer) name."""
+        return self.spec.name
+
+    @property
+    def strategy(self) -> str:
+        """Name of the strategy that produced the result."""
+        return self.result.strategy
 
     @property
     def gflops(self) -> float:
@@ -150,6 +167,29 @@ class OperatorOutcome:
         """The layer's predicted/measured execution time."""
         return self.result.time_seconds
 
+    @property
+    def search_seconds(self) -> float:
+        """Cost of finding the configuration (0-ish for cache hits)."""
+        return self.result.search_seconds
+
+    @property
+    def best_config(self):
+        """The chosen multi-level tiling configuration (may be ``None``)."""
+        return self.result.best_config
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        origin = "cache" if self.cached else f"search {self.search_seconds:.2f} s"
+        return (
+            f"{self.spec.name} via {self.strategy!r}: "
+            f"{self.gflops:.1f} GFLOP/s "
+            f"({self.time_seconds * 1e3:.3f} ms, {origin})"
+        )
+
+
+#: Historical name of :class:`OpResult` (pre-``repro.api`` unification).
+OperatorOutcome = OpResult
+
 
 @dataclass(frozen=True)
 class NetworkResult:
@@ -158,7 +198,7 @@ class NetworkResult:
     network: str
     machine_name: str
     strategy: str
-    operators: Tuple[OperatorOutcome, ...]
+    operators: Tuple[OpResult, ...]
     distinct_operators: int
     cache_hits: int
     wall_seconds: float
@@ -204,7 +244,7 @@ class NetworkResult:
         """Layer name -> GFLOP/s."""
         return {o.spec.name: o.gflops for o in self.operators}
 
-    def outcome(self, layer: str) -> OperatorOutcome:
+    def outcome(self, layer: str) -> OpResult:
         """Look one layer up by name."""
         for o in self.operators:
             if o.spec.name == layer:
@@ -266,7 +306,7 @@ class NetworkOptimizer:
     def __init__(
         self,
         machine: MachineSpec,
-        strategy: str = "mopt",
+        strategy: Union[str, SearchStrategy] = "mopt",
         *,
         strategy_options: Optional[Mapping[str, Any]] = None,
         cache: Optional[ResultCache] = None,
@@ -278,11 +318,24 @@ class NetworkOptimizer:
                 f"executor must be one of {EXECUTOR_MODES}, got {executor!r}"
             )
         self.machine = machine
-        self.strategy_name = strategy
         self.strategy_options: Dict[str, Any] = dict(strategy_options or {})
-        # Instantiate eagerly so unknown names / bad options fail fast and
-        # the cache token is fixed for the optimizer's lifetime.
-        self.strategy: SearchStrategy = get_strategy(strategy, **self.strategy_options)
+        if isinstance(strategy, str):
+            self.strategy_name = strategy
+            # Instantiate eagerly so unknown names / bad options fail fast
+            # and the cache token is fixed for the optimizer's lifetime.
+            self.strategy: SearchStrategy = get_strategy(
+                strategy, **self.strategy_options
+            )
+        else:
+            # A ready strategy instance (the repro.api by-object path);
+            # options belong to whoever built it.
+            if self.strategy_options:
+                raise ValueError(
+                    "strategy_options only apply to by-name strategies; "
+                    "configure the instance instead"
+                )
+            self.strategy = strategy
+            self.strategy_name = strategy.name
         self.cache = cache
         self.executor = executor
         self.max_workers = max_workers
@@ -330,7 +383,7 @@ class NetworkOptimizer:
         # --- 3. fan the remaining distinct operators out.
         for shape_key, result in zip(
             (key for key, _ in pending),
-            self._run_pending([spec for _, spec in pending]),
+            self.solve_specs([spec for _, spec in pending]),
         ):
             solved[shape_key] = result
             if self.cache is not None:
@@ -348,8 +401,13 @@ class NetworkOptimizer:
         )
 
     # ------------------------------------------------------------------
-    def _run_pending(self, specs: Sequence[ConvSpec]) -> List[StrategyResult]:
-        """Solve ``specs`` serially or through the configured pool, in order."""
+    def solve_specs(self, specs: Sequence[ConvSpec]) -> List[StrategyResult]:
+        """Solve ``specs`` serially or through the configured pool, in order.
+
+        This is the raw fan-out primitive (no dedup, no cache): the
+        :class:`repro.api.Session` batched path uses it to solve the
+        distinct shapes it has already collected across many requests.
+        """
         if not specs:
             return []
         workers = self.max_workers or min(len(specs), 8)

@@ -21,10 +21,10 @@ machinery; oneDNN dispatches heuristically; the paper's qualitative result
 — MOpt matches or beats the library and clearly beats the constrained
 auto-tuner — should and does survive the substitution.
 
-All systems run through the :mod:`repro.engine` strategy registry (the
-``"mopt"``, ``"onednn"`` and ``"autotvm"`` strategies), so the comparison
-shares one code path with network-level optimization instead of wiring
-each system up by hand.
+All systems run through :class:`repro.api.Session` (one per strategy,
+resolved by registry name), so the comparison shares one code path with
+network-level optimization and serving instead of wiring each system up
+by hand.
 """
 
 from __future__ import annotations
@@ -37,8 +37,8 @@ import numpy as np
 
 from ..analysis.reporting import format_speedup_summary, format_table
 from ..analysis.stats import MeasurementSummary, geometric_mean, summarize_runs
+from ..api.session import Session
 from ..core.optimizer import OptimizerSettings, fast_settings
-from ..engine.strategy import get_strategy
 from ..machine.presets import cascade_lake_i9_10980xe, coffee_lake_i7_9700k
 from ..machine.spec import MachineSpec
 from ..workloads.benchmarks import benchmark_by_name, network_benchmarks, network_names
@@ -118,17 +118,30 @@ def compare_operator(
     optimizer_settings = settings.optimizer_settings or fast_settings(
         parallel=True, threads=threads
     )
-    mopt = get_strategy(
-        "mopt", settings=optimizer_settings, threads=threads, seed=seed, measure=True
-    ).search(spec, machine)
+    mopt = Session(
+        machine, "mopt",
+        strategy_options={
+            "settings": optimizer_settings, "threads": threads,
+            "seed": seed, "measure": True,
+        },
+        cache=False,
+    ).optimize(spec).result
 
     # --- oneDNN-like vendor library.
-    onednn = get_strategy("onednn", threads=threads, seed=seed).search(spec, machine)
+    onednn = Session(
+        machine, "onednn",
+        strategy_options={"threads": threads, "seed": seed},
+        cache=False,
+    ).optimize(spec).result
 
     # --- AutoTVM-like tuner.
-    tvm = get_strategy(
-        "autotvm", threads=threads, trials=settings.tvm_trials, seed=seed
-    ).search(spec, machine)
+    tvm = Session(
+        machine, "autotvm",
+        strategy_options={
+            "threads": threads, "trials": settings.tvm_trials, "seed": seed,
+        },
+        cache=False,
+    ).optimize(spec).result
 
     gflops = {
         "MOpt-1": float(mopt.extras["mopt1_gflops"]),

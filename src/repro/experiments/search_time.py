@@ -19,8 +19,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_table
+from ..api.session import Session
 from ..core.optimizer import OptimizerSettings, fast_settings
-from ..engine.strategy import get_strategy
 from ..machine.presets import coffee_lake_i7_9700k
 from ..machine.spec import MachineSpec
 from ..sim.perfmodel import virtual_measurement
@@ -69,13 +69,21 @@ def measure_search_time(
     spec = benchmark_by_name(operator)
 
     settings = optimizer_settings or fast_settings(parallel=True, threads=threads)
-    mopt = get_strategy("mopt", settings=settings, threads=threads, measure=False).search(
-        spec, machine
-    )
+    mopt = Session(
+        machine, "mopt",
+        strategy_options={
+            "settings": settings, "threads": threads, "measure": False,
+        },
+        cache=False,
+    ).optimize(spec).result
 
-    tuning = get_strategy(
-        "autotvm", threads=threads, trials=tuner_trials, seed=seed
-    ).search(spec, machine)
+    tuning = Session(
+        machine, "autotvm",
+        strategy_options={
+            "threads": threads, "trials": tuner_trials, "seed": seed,
+        },
+        cache=False,
+    ).optimize(spec).result
     num_trials = int(tuning.extras["num_trials"])
     # On a real machine every trial executes the candidate, so tuning time is
     # dominated by `trials x execution_time`; model that part explicitly and

@@ -8,9 +8,10 @@ properties of the reproduction's implementations (e.g. the size of the
 search space each system explores for a representative operator), so the
 table doubles as a consistency check on the baselines.
 
-Each cell comes from the corresponding strategy in the
-:mod:`repro.engine` registry (its ``characterize`` hook), so adding a new
-comparison system to the registry automatically makes it derivable here.
+Each cell comes from the corresponding registered strategy's
+``characterize`` hook, reached through :meth:`repro.api.Session.
+characterize`, so adding a new comparison system to the registry
+automatically makes it derivable here.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..analysis.reporting import format_table
-from ..engine.strategy import get_strategy
+from ..api.session import Session
 from ..machine.presets import coffee_lake_i7_9700k
 from ..machine.spec import MachineSpec
 from ..workloads.benchmarks import benchmark_by_name
@@ -54,7 +55,7 @@ def run_table2(machine: MachineSpec | None = None, operator: str = "Y12") -> Tab
 
     systems: List[SystemCharacterization] = []
     for name in TABLE2_STRATEGIES:
-        info = get_strategy(name).characterize(spec, machine)
+        info = Session(machine, name, cache=False).characterize(spec)
         systems.append(
             SystemCharacterization(
                 system=str(info["system"]),

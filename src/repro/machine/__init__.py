@@ -2,10 +2,13 @@
 
 from .bandwidth import BandwidthReport, effective_bandwidths_for_model, measure_bandwidths
 from .presets import (
+    MachineRegistry,
     available_machines,
     cascade_lake_i9_10980xe,
     coffee_lake_i7_9700k,
     get_machine,
+    machine_registry,
+    register_machine,
     tiny_test_machine,
 )
 from .spec import CacheLevel, MachineSpec, MachineSpecError, VectorISA
@@ -13,6 +16,7 @@ from .spec import CacheLevel, MachineSpec, MachineSpecError, VectorISA
 __all__ = [
     "BandwidthReport",
     "CacheLevel",
+    "MachineRegistry",
     "MachineSpec",
     "MachineSpecError",
     "VectorISA",
@@ -21,6 +25,8 @@ __all__ = [
     "coffee_lake_i7_9700k",
     "effective_bandwidths_for_model",
     "get_machine",
+    "machine_registry",
     "measure_bandwidths",
+    "register_machine",
     "tiny_test_machine",
 ]

@@ -15,7 +15,7 @@ what the synthetic bandwidth benchmark of Section 7 would measure).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Tuple
 
 from .spec import CacheLevel, MachineSpec, VectorISA
 
@@ -110,21 +110,67 @@ def tiny_test_machine() -> MachineSpec:
     )
 
 
-_PRESETS = {
-    "i7-9700k": coffee_lake_i7_9700k,
-    "i9-10980xe": cascade_lake_i9_10980xe,
-    "tiny": tiny_test_machine,
-}
+class MachineRegistry:
+    """By-name registry of machine-preset factories.
+
+    The mirror of :class:`repro.engine.strategy.StrategyRegistry` for
+    machines: every public entry point that accepts a machine *by name*
+    (``Session(machine="i7-9700k")``, the ``python -m repro`` CLI, the
+    serving endpoints) resolves it here, so registering a new platform
+    once makes it reachable everywhere.  Names are case-insensitive.
+    """
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], MachineSpec]] = {}
+
+    def register(
+        self, name: str, factory: Callable[[], MachineSpec]
+    ) -> Callable[[], MachineSpec]:
+        """Register ``factory`` under ``name`` (returns the factory)."""
+        if not name:
+            raise ValueError("machine name must be non-empty")
+        self._factories[name.lower()] = factory
+        return factory
+
+    def create(self, name: str) -> MachineSpec:
+        """Instantiate the preset registered under (case-insensitive) ``name``."""
+        try:
+            factory = self._factories[name.lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown machine {name!r}; available: {self.names()}"
+            ) from None
+        return factory()
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered preset names, sorted."""
+        return tuple(sorted(self._factories))
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._factories
+
+    def __iter__(self):
+        return iter(self.names())
+
+
+#: The process-wide registry holding the paper's evaluation platforms
+#: plus the small test machine.
+machine_registry = MachineRegistry()
+machine_registry.register("i7-9700k", coffee_lake_i7_9700k)
+machine_registry.register("i9-10980xe", cascade_lake_i9_10980xe)
+machine_registry.register("tiny", tiny_test_machine)
+
+
+def register_machine(name: str, factory: Callable[[], MachineSpec]) -> None:
+    """Register a new machine preset in the shared registry."""
+    machine_registry.register(name, factory)
 
 
 def available_machines() -> Tuple[str, ...]:
     """Names accepted by :func:`get_machine`."""
-    return tuple(sorted(_PRESETS))
+    return machine_registry.names()
 
 
 def get_machine(name: str) -> MachineSpec:
     """Look up a machine preset by (case-insensitive) name."""
-    key = name.lower()
-    if key not in _PRESETS:
-        raise KeyError(f"unknown machine {name!r}; available: {available_machines()}")
-    return _PRESETS[key]()
+    return machine_registry.create(name)

@@ -13,10 +13,20 @@ shared store of results.  This package is that front-end:
   top of the thread-safe two-tier result cache.
 * :class:`ServingClient` / :class:`TCPServingClient` — in-process and
   JSON-lines-over-TCP clients with overload retry.
-* :mod:`repro.serving.protocol` — the plain-data requests, events and
-  responses flowing through both transports.
-* ``python -m repro.serving serve|demo`` — a TCP endpoint and a
-  concurrent-client demo (see :mod:`repro.serving.cli`).
+* :mod:`repro.serving.protocol` — the plain-data events and responses
+  flowing through both transports (the request type is the API-wide
+  :class:`repro.api.types.OptimizeRequest`, re-exported here).
+* ``python -m repro serve|demo`` — a TCP endpoint (with graceful drain
+  on shutdown via ``--drain-timeout``) and a concurrent-client demo
+  (``python -m repro.serving`` remains as a deprecated shim).
+
+The usual embedding is :meth:`repro.api.Session.optimize_async`, which
+lazily runs one :class:`OptimizationServer` over the session's
+machine/strategy/cache.  The server supports graceful shutdown
+(``stop(drain=True, drain_timeout=...)``: stop admissions, finish
+accepted requests) and cancellation of abandoned requests
+(:meth:`OptimizationServer.cancel`, wired to TCP client disconnects so
+a dropped connection stops holding a queue slot).
 
 Quick in-process use::
 

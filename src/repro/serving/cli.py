@@ -1,164 +1,33 @@
-"""Command-line entry points of the optimization service.
+"""Deprecated entry point: ``python -m repro.serving`` → ``python -m repro``.
 
-Two subcommands::
+The serving subcommands moved to the unified top-level CLI::
 
-    # A TCP endpoint over a machine preset, with a persistent cache:
-    python -m repro.serving serve --machine i7-9700k --port 8763 \
-        --cache-dir /tmp/repro-cache
+    python -m repro serve --machine i7-9700k --port 8763
+    python -m repro demo --clients 8 --machine i7-9700k
 
-    # The concurrent-client demo: N clients driving overlapping Table 1
-    # networks through one in-process server (cold round + warm round),
-    # verifying that duplicate operators were solved exactly once:
-    python -m repro.serving demo --clients 8 --machine i7-9700k
-
-The demo is the CLI face of
-:func:`repro.experiments.serving_demo.run_serving_demo`; the benchmark
-harness records the same figures to ``BENCH_optimizer.json``.
+This shim keeps the historical invocation working: it emits one
+:class:`DeprecationWarning` and delegates to :func:`repro.cli.main` with
+the argument list unchanged (the new CLI accepts a superset of the old
+flags, plus ``serve --drain-timeout`` for graceful shutdown).
 """
 
 from __future__ import annotations
 
-import argparse
-import asyncio
-import json
 import sys
 from typing import Optional, Sequence
 
-from ..engine.cache import ResultCache
-from ..machine.presets import available_machines, get_machine
-from .server import OptimizationServer, ServerConfig, start_tcp_server
-
-
-def _add_common_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--machine",
-        default="i7-9700k",
-        choices=available_machines(),
-        help="machine preset to optimize for",
-    )
-    parser.add_argument(
-        "--strategy", default="mopt", help="default search strategy (registry name)"
-    )
-    parser.add_argument(
-        "--threads", type=int, default=8, help="strategy threads option"
-    )
-    parser.add_argument(
-        "--cache-dir", default=None, help="persistent result-cache directory"
-    )
-    parser.add_argument(
-        "--queue-depth", type=int, default=64, help="bounded queue depth"
-    )
-    parser.add_argument(
-        "--workers", type=int, default=4, help="concurrent request workers"
-    )
-    parser.add_argument(
-        "--solve-threads", type=int, default=4, help="solver thread-pool width"
-    )
-
-
-def _strategy_options(args: argparse.Namespace) -> dict:
-    options: dict = {}
-    if args.threads:
-        options["threads"] = args.threads
-    if args.strategy == "mopt":
-        # Network serving wants the purely analytical prediction: no
-        # virtual measurement in the loop (other strategies measure by
-        # construction and have no such knob).
-        options["measure"] = False
-    return options
-
-
-def _build_server(args: argparse.Namespace) -> OptimizationServer:
-    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
-    options = _strategy_options(args)
-    return OptimizationServer(
-        get_machine(args.machine),
-        args.strategy,
-        strategy_options=options,
-        cache=cache,
-        config=ServerConfig(
-            max_queue_depth=args.queue_depth,
-            workers=args.workers,
-            solve_threads=args.solve_threads,
-        ),
-    )
-
-
-async def _run_serve(args: argparse.Namespace) -> int:
-    server = _build_server(args)
-    async with server:
-        tcp = await start_tcp_server(server, args.host, args.port)
-        sockets = tcp.sockets or ()
-        for sock in sockets:
-            print(f"serving on {sock.getsockname()}", flush=True)
-        try:
-            await asyncio.Event().wait()  # run until cancelled / Ctrl-C
-        except asyncio.CancelledError:
-            pass
-        finally:
-            tcp.close()
-            await tcp.wait_closed()
-    return 0
-
-
-async def _run_demo(args: argparse.Namespace) -> int:
-    from ..experiments.serving_demo import run_serving_demo
-
-    result = await run_serving_demo(
-        machine=get_machine(args.machine),
-        clients=args.clients,
-        networks=tuple(args.networks),
-        strategy=args.strategy,
-        strategy_options=_strategy_options(args),
-        cache_dir=args.cache_dir,
-        layers_per_network=args.layers,
-        queue_depth=args.queue_depth,
-        workers=args.workers,
-        solve_threads=args.solve_threads,
-    )
-    print(result.text)
-    if args.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
-    return 0 if result.duplicate_solves == 0 else 1
+from .._deprecation import warn_once
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro.serving", description=__doc__,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
+    """Deprecated alias of :func:`repro.cli.main` (serve/demo subset)."""
+    warn_once(
+        "python -m repro.serving (repro.serving.cli.main)",
+        "python -m repro (repro.cli.main)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    from ..cli import main as cli_main
 
-    serve = sub.add_parser("serve", help="run a TCP optimization endpoint")
-    _add_common_options(serve)
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8763)
-
-    demo = sub.add_parser(
-        "demo", help="concurrent-client demo over Table 1 networks"
-    )
-    _add_common_options(demo)
-    demo.add_argument("--clients", type=int, default=8)
-    demo.add_argument(
-        "--networks",
-        nargs="+",
-        default=["resnet18", "mobilenet"],
-        help="Table 1 networks the clients request (cycled)",
-    )
-    demo.add_argument(
-        "--layers",
-        type=int,
-        default=None,
-        help="restrict each network to its first N layers (quick runs)",
-    )
-    demo.add_argument("--json", action="store_true", help="also print JSON")
-
-    args = parser.parse_args(argv)
-    runner = _run_serve if args.command == "serve" else _run_demo
-    try:
-        return asyncio.run(runner(args))
-    except KeyboardInterrupt:
-        return 130
+    return cli_main(argv)
 
 
 if __name__ == "__main__":

@@ -1,9 +1,14 @@
-"""Wire protocol of the optimization service: requests, events, responses.
+"""Wire protocol of the optimization service: events and responses.
 
 Everything here is plain data with explicit ``to_dict``/``from_dict``
 converters and a JSON-lines framing (:func:`encode_message` /
 :func:`decode_message`), so the same messages flow unchanged through the
-in-process API, the TCP transport and the tests.
+in-process API, the TCP transport and the tests.  The request type is
+the API-wide :class:`repro.api.types.OptimizeRequest` (re-exported here
+for compatibility) and :class:`OptimizeResponse` is a thin wire
+projection of the engine's :class:`~repro.engine.network.NetworkResult`
+— the serving layer encodes the shared types rather than defining a
+parallel hierarchy.
 
 The streaming shape of one request's lifetime is::
 
@@ -19,76 +24,31 @@ completion) or :class:`FailedEvent` (strategy error).
 
 from __future__ import annotations
 
-import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Sequence, Union
 
-from ..core.tensor_spec import ConvSpec
+from ..api.types import OptimizeRequest, next_request_id
 from ..engine.network import NetworkResult
-from ..engine.serialization import spec_from_dict, spec_to_dict
 
-_REQUEST_COUNTER = itertools.count(1)
-
-
-def next_request_id(prefix: str = "req") -> str:
-    """Process-unique request id (monotonic; no clock or randomness)."""
-    return f"{prefix}-{next(_REQUEST_COUNTER)}"
-
-
-# ----------------------------------------------------------------------
-# Request
-# ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class OptimizeRequest:
-    """One client's ask: optimize a network under a priority and deadline.
-
-    ``network`` is a Table 1 name or an explicit operator list.  Lower
-    ``priority`` values are served first (0 = most urgent); ties are
-    FIFO.  ``deadline_s`` is a relative budget from submission: a request
-    still queued (or mid-flight) when it runs out fails with an
-    :class:`ExpiredEvent` instead of occupying solve capacity.
-    ``strategy``/``strategy_options`` override the server's defaults.
-    """
-
-    network: Union[str, Tuple[ConvSpec, ...]]
-    request_id: str = field(default_factory=next_request_id)
-    strategy: Optional[str] = None
-    strategy_options: Mapping[str, Any] = field(default_factory=dict)
-    batch: int = 1
-    priority: int = 10
-    deadline_s: Optional[float] = None
-
-    def to_dict(self) -> Dict[str, Any]:
-        if isinstance(self.network, str):
-            network: Any = self.network
-        else:
-            network = [spec_to_dict(spec) for spec in self.network]
-        return {
-            "request_id": self.request_id,
-            "network": network,
-            "strategy": self.strategy,
-            "strategy_options": dict(self.strategy_options),
-            "batch": self.batch,
-            "priority": self.priority,
-            "deadline_s": self.deadline_s,
-        }
-
-    @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "OptimizeRequest":
-        network = payload["network"]
-        if not isinstance(network, str):
-            network = tuple(spec_from_dict(entry) for entry in network)
-        deadline_s = payload.get("deadline_s")
-        return cls(
-            network=network,
-            request_id=payload.get("request_id") or next_request_id(),
-            strategy=payload.get("strategy"),
-            strategy_options=dict(payload.get("strategy_options") or {}),
-            batch=int(payload.get("batch", 1)),
-            priority=int(payload.get("priority", 10)),
-            deadline_s=None if deadline_s is None else float(deadline_s),
-        )
+__all__ = [
+    "AcceptedEvent",
+    "CompletedEvent",
+    "ExpiredEvent",
+    "FailedEvent",
+    "OperatorEvent",
+    "OperatorFigure",
+    "OptimizeRequest",
+    "OptimizeResponse",
+    "RejectedEvent",
+    "ServingEvent",
+    "collect_operator_events",
+    "decode_message",
+    "encode_message",
+    "event_from_dict",
+    "event_to_dict",
+    "next_request_id",
+]
 
 
 # ----------------------------------------------------------------------

@@ -176,6 +176,23 @@ class BoundedRequestQueue:
             self._available.clear()
             await self._available.wait()
 
+    def remove(self, item: Any) -> bool:
+        """Remove one queued ``item`` (identity match); ``True`` if found.
+
+        Used for cancellation: a request abandoned by its client (e.g. a
+        TCP disconnect) must stop holding an admission slot.  A linear
+        scan is fine — the queue is bounded and cancellation is rare.
+        """
+        for index, entry in enumerate(self._heap):
+            if entry.item is item:
+                self._heap[index] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                if not self._heap:
+                    self._available.clear()
+                return True
+        return False
+
     def drain(self) -> List[Any]:
         """Remove and return every queued item (used on shutdown)."""
         items = [entry.item for entry in self._heap]

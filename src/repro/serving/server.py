@@ -35,7 +35,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, AsyncIterator, Dict, List, Mapping, Optional, Tuple
+from typing import Any, AsyncIterator, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..core.tensor_spec import ConvSpec
 from ..engine.cache import ResultCache
@@ -110,6 +110,7 @@ class ServerStats:
     expired: int = 0
     completed: int = 0
     failed: int = 0
+    cancelled: int = 0
     operators_served: int = 0
     operators_cached: int = 0
     operators_coalesced: int = 0
@@ -140,6 +141,14 @@ class RequestHandle:
         self.submitted_at = time.perf_counter()
         self._events: "asyncio.Queue[ServingEvent]" = asyncio.Queue()
         self._future: "asyncio.Future[OptimizeResponse]" = loop.create_future()
+        # Set by OptimizationServer.cancel(): a mid-flight worker races
+        # this against its solve and releases the slot when it fires.
+        self._cancel_event = asyncio.Event()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the request was cancelled (client abandoned it)."""
+        return self._cancel_event.is_set()
 
     @property
     def request_id(self) -> str:
@@ -190,7 +199,7 @@ class OptimizationServer:
     def __init__(
         self,
         machine: MachineSpec,
-        strategy: str = "mopt",
+        strategy: Union[str, SearchStrategy] = "mopt",
         *,
         strategy_options: Optional[Mapping[str, Any]] = None,
         cache: Optional[ResultCache] = None,
@@ -198,12 +207,22 @@ class OptimizationServer:
     ):
         self.machine = machine
         self.config = config or ServerConfig()
-        self.default_strategy_name = strategy
         self.default_strategy_options: Dict[str, Any] = dict(strategy_options or {})
-        # Fail fast on unknown names/options, like NetworkOptimizer does.
-        self.default_strategy: SearchStrategy = get_strategy(
-            strategy, **self.default_strategy_options
-        )
+        if isinstance(strategy, str):
+            self.default_strategy_name = strategy
+            # Fail fast on unknown names/options, like NetworkOptimizer does.
+            self.default_strategy: SearchStrategy = get_strategy(
+                strategy, **self.default_strategy_options
+            )
+        else:
+            # A ready instance (the repro.api.Session by-object path).
+            if self.default_strategy_options:
+                raise ValueError(
+                    "strategy_options only apply to by-name strategies; "
+                    "configure the instance instead"
+                )
+            self.default_strategy = strategy
+            self.default_strategy_name = strategy.name
         self.cache = cache if cache is not None else ResultCache()
         self.stats = ServerStats()
         #: Cache key -> number of times the strategy actually solved it.
@@ -222,6 +241,7 @@ class OptimizationServer:
         # two TCP clients can legitimately both send "req-1".
         self._handles: Dict[int, RequestHandle] = {}
         self._running = False
+        self._draining = False
         # (shape key, strategy) -> cache key.  Strategies are frozen
         # dataclasses comparing by value, so value-equal per-request
         # strategies share entries; computing a cache key hashes the full
@@ -235,6 +255,7 @@ class OptimizationServer:
         """Spin up the queue, the solve pool and the worker tasks."""
         if self._running:
             return
+        self._draining = False  # a restarted server accepts again
         self._queue = BoundedRequestQueue(
             self.config.max_queue_depth,
             retry_after_s=self.config.retry_after_s,
@@ -250,10 +271,41 @@ class OptimizationServer:
         ]
         self._running = True
 
-    async def stop(self) -> None:
-        """Stop workers, fail queued requests, shut the pool down."""
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Gracefully wind down: stop admissions, finish accepted requests.
+
+        New submissions are refused from the moment this is called;
+        everything already admitted (queued or mid-flight) is allowed to
+        run to its terminal event, for up to ``timeout`` seconds
+        (``None`` waits indefinitely).  Returns ``True`` when every
+        accepted request reached a terminal state — the caller can then
+        :meth:`stop` without failing anyone — and ``False`` on timeout,
+        in which case :meth:`stop` fails the stragglers as before.
+        """
+        if not self._running:
+            return True
+        self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._handles:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
+
+    async def stop(
+        self, *, drain: bool = False, drain_timeout: Optional[float] = None
+    ) -> None:
+        """Stop workers, fail queued requests, shut the pool down.
+
+        With ``drain=True`` the server first refuses new admissions and
+        waits (up to ``drain_timeout`` seconds) for accepted requests to
+        finish; only requests still unfinished after the drain window
+        are failed.
+        """
         if not self._running:
             return
+        if drain:
+            await self.drain(drain_timeout)
         self._running = False
         for worker in self._workers:
             worker.cancel()
@@ -312,6 +364,8 @@ class OptimizationServer:
         """
         if not self._running or self._queue is None:
             raise RuntimeError("server is not running (use `async with server:`)")
+        if self._draining:
+            raise RuntimeError("server is draining; not accepting new requests")
         # Resolve eagerly: bad networks/strategies fail at submission and
         # the worker reuses the resolution instead of redoing it.
         network_name, specs = resolve_network(request.network, batch=request.batch)
@@ -348,6 +402,31 @@ class OptimizationServer:
             AcceptedEvent(request_id=request.request_id, queue_depth=depth)
         )
         return handle
+
+    def cancel(
+        self, handle: RequestHandle, reason: str = "cancelled by client"
+    ) -> bool:
+        """Cancel an admitted request (client gone); ``True`` if it was live.
+
+        A still-queued request is removed from the queue immediately —
+        an abandoned request must not hold an admission slot.  A request
+        already claimed by a worker has its wait cancelled, releasing
+        the worker; solves already running on the thread pool finish in
+        the background and still populate the shared cache (they may be
+        feeding coalesced siblings from other clients).
+        """
+        if self._handles.pop(id(handle), None) is None:
+            return False  # already terminal (or never admitted)
+        self.stats.cancelled += 1
+        if self._queue is not None:
+            self._queue.remove(handle)
+        error = RequestFailedError(f"request {handle.request_id} {reason}")
+        handle._emit(
+            FailedEvent(request_id=handle.request_id, error=str(error))
+        )
+        handle._fail(error)
+        handle._cancel_event.set()  # frees a worker mid-flight
+        return True
 
     # ------------------------------------------------------------------
     # workers
@@ -397,16 +476,44 @@ class OptimizationServer:
             for shape_key, spec in distinct.items()
         }
         coalesced_ops = 0
+        if handle.cancelled:
+            # Cancelled between queue claim and processing: cancel()
+            # already emitted the terminal event and failed the future.
+            return
         try:
             remaining = None
             if expires_at is not None:
                 remaining = expires_at - time.monotonic()
                 if remaining <= 0:
                     raise asyncio.TimeoutError
-            solved, cached_keys, coalesced_ops = await asyncio.wait_for(
-                self._solve_distinct(handle, strategy, specs, distinct, keys),
-                timeout=remaining,
+            solve = asyncio.ensure_future(
+                self._solve_distinct(handle, strategy, specs, distinct, keys)
             )
+            watch_cancel = asyncio.ensure_future(handle._cancel_event.wait())
+            try:
+                done, _ = await asyncio.wait(
+                    {solve, watch_cancel},
+                    timeout=remaining,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if solve not in done:
+                    # Deadline or client cancellation won the race: stop
+                    # waiting and release this worker.  Underlying pool
+                    # solves keep running (they may feed coalesced
+                    # siblings) and still land in the shared cache.
+                    solve.cancel()
+                    await asyncio.gather(solve, return_exceptions=True)
+                    if watch_cancel in done:
+                        return  # cancel() already finished the handle
+                    raise asyncio.TimeoutError
+                solved, cached_keys, coalesced_ops = solve.result()
+            except asyncio.CancelledError:
+                # Worker cancelled (server stopping): don't orphan the
+                # solve task, as wait_for used to guarantee.
+                solve.cancel()
+                raise
+            finally:
+                watch_cancel.cancel()
         except asyncio.TimeoutError:
             self.stats.expired += 1
             waited = time.perf_counter() - handle.submitted_at
@@ -628,15 +735,22 @@ async def _serve_request(
 ) -> None:
     """Service one decoded request line, streaming its events back.
 
-    Connection errors are swallowed: a client that disconnects mid-stream
-    simply stops receiving events (its request keeps running and fills
-    the shared cache), and the task must finish cleanly rather than die
-    with an exception nobody retrieves.
+    A client that disconnects mid-stream has abandoned its request: the
+    connection error (or the connection handler cancelling this task) is
+    converted into :meth:`OptimizationServer.cancel`, so the request
+    stops holding a queue slot or a worker.  Solves already running on
+    the pool finish in the background and still fill the shared cache.
     """
+    submitted: List[RequestHandle] = []
     try:
-        await _serve_request_inner(server, writer, write_lock, payload)
+        await _serve_request_inner(server, writer, write_lock, payload, submitted)
     except (ConnectionResetError, BrokenPipeError, OSError):
-        pass
+        for handle in submitted:
+            server.cancel(handle, reason="abandoned: client disconnected")
+    except asyncio.CancelledError:
+        for handle in submitted:
+            server.cancel(handle, reason="abandoned: client disconnected")
+        raise
 
 
 async def _serve_request_inner(
@@ -644,6 +758,7 @@ async def _serve_request_inner(
     writer: asyncio.StreamWriter,
     write_lock: asyncio.Lock,
     payload: Mapping[str, Any],
+    submitted: List[RequestHandle],
 ) -> None:
     async def send(event: ServingEvent) -> None:
         async with write_lock:
@@ -668,6 +783,7 @@ async def _serve_request_inner(
         return
     try:
         handle = server.submit(request)
+        submitted.append(handle)
     except ServerOverloadedError as error:
         await send(
             RejectedEvent(
@@ -716,13 +832,19 @@ async def _handle_connection(
                 )
             )
             pending = [task for task in pending if not task.done()]
-        if pending:
-            await asyncio.gather(*pending, return_exceptions=True)
+        # EOF: the client closed its connection.  Anything still pending
+        # was abandoned mid-stream — the `finally` below cancels those
+        # serve tasks, which propagates into server-side request
+        # cancellation so no abandoned request holds a queue slot.
     except (ConnectionResetError, BrokenPipeError):
         pass
     finally:
         for task in pending:
             task.cancel()
+        if pending:
+            # Let the cancelled tasks run their cancellation handlers
+            # (server-side request cancellation) before closing up.
+            await asyncio.gather(*pending, return_exceptions=True)
         try:
             writer.close()
             await writer.wait_closed()

@@ -180,6 +180,34 @@ class TestEmitters:
         report = validate_config(strided_spec, config)
         assert report.passed, report
 
+    def test_compiled_python_with_register_level(self, tiny_spec):
+        """Regression: configurations with a Reg level must validate.
+
+        The register tile loops are abstracted by the NumPy block
+        accumulation; emitting them used to re-accumulate the innermost
+        block once per register tile (and, for real four-level
+        configurations, exceed CPython's static nesting limit).
+        """
+        reg = TilingConfig(PERM, {"n": 1, "k": 2, "c": 1, "r": 1, "s": 1, "h": 2, "w": 2})
+        inner = TilingConfig(PERM, {"n": 1, "k": 3, "c": 2, "r": 2, "s": 3, "h": 4, "w": 5})
+        outer = TilingConfig(PERM, {"n": 1, "k": 5, "c": 4, "r": 3, "s": 3, "h": 6, "w": 6})
+        config = MultiLevelConfig(("Reg", "L1", "L2"), (reg, inner, outer))
+        report = validate_config(tiny_spec, config)
+        assert report.passed, report
+
+    def test_full_optimizer_config_validates(self):
+        """The quickstart flow: a real 4-level mopt config on a dashed name."""
+        from repro.api import Session, conv
+
+        session = Session(
+            "tiny", "mopt",
+            strategy_options={"threads": 2, "measure": False},
+        )
+        spec = conv(16, 8, 8, 3, name="quickstart-mini")
+        result = session.optimize(spec)
+        report = validate_config(spec, result.best_config)
+        assert report.passed, report
+
     def test_assert_valid_raises_on_failure(self, tiny_spec, monkeypatch):
         from repro.codegen import validate as validate_module
 

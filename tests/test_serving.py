@@ -706,6 +706,179 @@ class TestTCPTransport:
 
 
 # ----------------------------------------------------------------------
+# Graceful drain
+# ----------------------------------------------------------------------
+class TestGracefulDrain:
+    def test_drain_finishes_accepted_then_refuses_new(
+        self, machine, small_spec, pointwise_spec
+    ):
+        async def scenario():
+            config = ServerConfig(max_queue_depth=8, workers=1, solve_threads=1)
+            server = _server(machine, delay_s=0.1, config=config)
+            await server.start()
+            client = ServingClient(server)
+            first = asyncio.ensure_future(client.optimize([small_spec]))
+            second = asyncio.ensure_future(client.optimize([pointwise_spec]))
+            await asyncio.sleep(0.02)  # both admitted (one queued)
+            draining = asyncio.ensure_future(server.drain(5.0))
+            await asyncio.sleep(0.01)
+            # Admissions are refused from the moment the drain starts ...
+            with pytest.raises(RuntimeError, match="draining"):
+                server.submit(OptimizeRequest((small_spec,)))
+            # ... but everything already accepted runs to completion.
+            drained = await draining
+            responses = await asyncio.gather(first, second)
+            await server.stop()
+            return drained, responses, server
+
+        drained, responses, server = run(scenario())
+        assert drained is True
+        assert [r.num_operators for r in responses] == [1, 1]
+        assert server.stats.completed == 2 and server.stats.failed == 0
+
+    def test_stop_with_drain_completes_inflight_requests(self, machine, small_spec):
+        async def scenario():
+            server = _server(machine, delay_s=0.05)
+            await server.start()
+            client = ServingClient(server)
+            inflight = asyncio.ensure_future(client.optimize([small_spec]))
+            await asyncio.sleep(0.01)
+            await server.stop(drain=True, drain_timeout=5.0)
+            return await inflight, server
+
+        response, server = run(scenario())
+        assert response.num_operators == 1
+        assert server.stats.completed == 1 and server.stats.failed == 0
+
+    def test_restart_after_drained_stop_accepts_again(self, machine, small_spec):
+        async def scenario():
+            server = _server(machine)
+            await server.start()
+            await server.stop(drain=True, drain_timeout=1.0)
+            await server.start()  # restart must clear the draining gate
+            response = await ServingClient(server).optimize([small_spec])
+            await server.stop()
+            return response
+
+        assert run(scenario()).num_operators == 1
+
+    def test_drain_timeout_leaves_stragglers_to_stop(self, machine, small_spec):
+        async def scenario():
+            server = _server(machine, delay_s=0.5)
+            await server.start()
+            client = ServingClient(server)
+            inflight = asyncio.ensure_future(client.optimize([small_spec]))
+            await asyncio.sleep(0.02)
+            drained = await server.drain(0.05)  # far shorter than the solve
+            await server.stop()  # fails the straggler, as without drain
+            outcome = (
+                await asyncio.gather(inflight, return_exceptions=True)
+            )[0]
+            return drained, outcome
+
+        drained, outcome = run(scenario())
+        assert drained is False
+        assert isinstance(outcome, RequestFailedError)
+
+
+# ----------------------------------------------------------------------
+# Cancellation (abandoned requests)
+# ----------------------------------------------------------------------
+class TestCancellation:
+    def test_cancel_queued_request_releases_queue_slot(
+        self, machine, small_spec, pointwise_spec, strided_spec
+    ):
+        async def scenario():
+            config = ServerConfig(max_queue_depth=1, workers=1, solve_threads=1)
+            async with _server(machine, delay_s=0.2, config=config) as server:
+                client = ServingClient(server)
+                blocker = asyncio.ensure_future(client.optimize([small_spec]))
+                await asyncio.sleep(0.05)  # worker busy with `blocker`
+                queued = server.submit(OptimizeRequest((pointwise_spec,)))
+                assert server.queue_depth == 1
+                assert server.cancel(queued) is True
+                assert server.queue_depth == 0
+                # The freed slot admits new work immediately.
+                replacement = server.submit(OptimizeRequest((strided_spec,)))
+                with pytest.raises(RequestFailedError, match="cancelled"):
+                    await queued.result()
+                await replacement.result()
+                await blocker
+                # Cancelling a terminal handle is a no-op.
+                assert server.cancel(queued) is False
+                return server
+
+        server = run(scenario())
+        assert server.stats.cancelled == 1
+        # The cancelled request never reached the solver.
+        assert "pointwise" not in _SOLVE_LOG
+
+    def test_cancel_midflight_releases_worker(self, machine, small_spec, pointwise_spec):
+        async def scenario():
+            config = ServerConfig(max_queue_depth=8, workers=1, solve_threads=1)
+            async with _server(machine, delay_s=0.3, config=config) as server:
+                handle = server.submit(OptimizeRequest((small_spec,)))
+                await asyncio.sleep(0.05)  # worker claimed it, solve running
+                begin = time.perf_counter()
+                assert server.cancel(handle) is True
+                # The worker is released well before the solve finishes:
+                # the next request is claimed promptly.
+                response = await ServingClient(server).optimize(
+                    [pointwise_spec]
+                )
+                waited = time.perf_counter() - begin
+                with pytest.raises(RequestFailedError, match="cancelled"):
+                    await handle.result()
+                return server, response, waited
+
+        server, response, waited = run(scenario())
+        assert response.num_operators == 1
+        assert server.stats.cancelled == 1
+        assert server.active_requests == ()
+
+    def test_disconnected_tcp_client_cancels_queued_request(
+        self, machine, small_spec, pointwise_spec
+    ):
+        """Regression: a client dropping mid-stream must not hold a slot."""
+
+        async def scenario():
+            config = ServerConfig(max_queue_depth=4, workers=1, solve_threads=1)
+            async with _server(machine, delay_s=0.3, config=config) as server:
+                blocker = asyncio.ensure_future(
+                    ServingClient(server).optimize([small_spec])
+                )
+                await asyncio.sleep(0.05)  # worker claimed `blocker`
+                tcp = await start_tcp_server(server, "127.0.0.1", 0)
+                port = tcp.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                request = OptimizeRequest((pointwise_spec,), request_id="drop-1")
+                writer.write(encode_message(request.to_dict()))
+                await writer.drain()
+                accepted = decode_message(await reader.readline())
+                assert accepted["type"] == "accepted"
+                # Drop the connection while the request is still queued.
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+                # The server notices the disconnect and cancels the request.
+                for _ in range(100):
+                    if server.stats.cancelled:
+                        break
+                    await asyncio.sleep(0.01)
+                await blocker
+                tcp.close()
+                await tcp.wait_closed()
+                return server
+
+        server = run(scenario())
+        assert server.stats.cancelled == 1
+        assert server.active_requests == ()
+        assert "pointwise" not in _SOLVE_LOG
+
+
+# ----------------------------------------------------------------------
 # Acceptance demo: >= 8 concurrent clients, overlapping Table 1 networks
 # ----------------------------------------------------------------------
 class TestConcurrentClientDemo:
