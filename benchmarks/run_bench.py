@@ -22,6 +22,12 @@ perf trajectory across commits:
   one shared cache (cold round wall/throughput, warm round latency
   percentiles, and the duplicate-solve count, which must be 0 — every
   distinct operator solved exactly once under concurrency).
+* ``dse_*`` — design-space sweep throughput (machines/second) through
+  :func:`repro.dse.explore`: a small cache-capacity x core-count space
+  over ResNet-18, cold and then warm against the shared sweep cache.
+
+Every payload is stamped with the machine preset name and the git
+revision so the recorded trajectory is attributable across PRs.
 
 Run with:  PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--out PATH]
 
@@ -159,6 +165,46 @@ def main() -> int:
         "warm_requests_per_s": serving.warm.requests_per_s,
     }
 
+    print("design-space sweep throughput (machines/s), cold + warm ...")
+    from repro.dse import DesignSpace, axis_log2, axis_values, explore
+
+    KiB = 1024
+    dse_space = DesignSpace(
+        "i7-9700k",
+        [
+            axis_log2("caches.L2.capacity_bytes", 128 * KiB, 1024 * KiB),
+            axis_values("cores", [4, 8]),
+        ],
+        name="bench-dse",
+    )
+    dse_workloads = [specs if args.quick else NETWORK]
+    sweep_cache = ResultCache(memory_entries=8192)
+    start = time.perf_counter()
+    dse_cold = explore(
+        dse_space, dse_workloads, strategy="onednn",
+        strategy_options={"threads": THREADS}, cache=sweep_cache,
+    )
+    stages["dse_sweep_cold_s"] = time.perf_counter() - start
+    start = time.perf_counter()
+    explore(
+        dse_space, dse_workloads, strategy="onednn",
+        strategy_options={"threads": THREADS}, cache=sweep_cache,
+    )
+    stages["dse_sweep_warm_s"] = time.perf_counter() - start
+    payload_dse = {
+        "machines": dse_cold.num_candidates,
+        "workloads": list(dse_cold.workload_labels),
+        "machines_per_s_cold": dse_cold.num_candidates
+        / max(stages["dse_sweep_cold_s"], 1e-9),
+        "machines_per_s_warm": dse_cold.num_candidates
+        / max(stages["dse_sweep_warm_s"], 1e-9),
+    }
+    print(
+        f"  {dse_cold.num_candidates} machines: "
+        f"cold {payload_dse['machines_per_s_cold']:.1f}/s, "
+        f"warm {payload_dse['machines_per_s_warm']:.1f}/s"
+    )
+
     if not args.quick:
         print(f"cold {NETWORK} network search, scalar (pre-PR path) ...")
         stages["cold_network_scalar_s"] = _network_seconds(scalar, specs)
@@ -166,12 +212,14 @@ def main() -> int:
 
     payload = {
         "commit": _git_commit(),
+        "machine": machine.name,
         "network": NETWORK,
         "layers": len(specs),
         "threads": THREADS,
         "quick": bool(args.quick),
         "wall_s": stages,
         "serving": payload_serving,
+        "dse": payload_dse,
     }
     if "cold_network_scalar_s" in stages:
         payload["network_speedup"] = (

@@ -28,6 +28,11 @@ stack:
   ``Session.optimize_async``: a queued, back-pressured
   :class:`OptimizationServer` with single-flight coalescing, graceful
   drain, streaming progress and in-process/TCP clients.
+* :mod:`repro.dse` — hardware design-space exploration: declarative
+  machine sweeps (:class:`DesignSpace` + axes), a resumable sweep
+  executor over the engine path, Pareto frontiers and sensitivity
+  reports.  The front doors are :meth:`Session.explore` and
+  ``python -m repro dse``.
 * :mod:`repro.workloads` — the Table 1 conv2d operators and configuration
   sampling.
 * :mod:`repro.analysis` and :mod:`repro.experiments` — statistics and the
@@ -96,6 +101,16 @@ from .core import (
     optimize_conv,
     pruned_permutation_classes,
 )
+from .dse import (
+    Axis,
+    DesignSpace,
+    ExplorationResult,
+    axis_grid,
+    axis_log2,
+    axis_values,
+    explore,
+    pareto_frontier,
+)
 from .engine import (
     NetworkOptimizer,
     NetworkResult,
@@ -128,7 +143,7 @@ from .serving import (
 )
 from .workloads import all_benchmarks, benchmark_by_name, network_benchmarks
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Deprecated top-level aliases: name -> (resolver, replacement).  Kept
 #: importable (the api redesign moves the front door without breaking
@@ -163,7 +178,10 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "Axis",
     "ConvSpec",
+    "DesignSpace",
+    "ExplorationResult",
     "MachineSpec",
     "MOptOptimizer",
     "MultiLevelConfig",
@@ -186,12 +204,16 @@ __all__ = [
     "all_benchmarks",
     "available_machines",
     "available_strategies",
+    "axis_grid",
+    "axis_log2",
+    "axis_values",
     "benchmark_by_name",
     "cascade_lake_i9_10980xe",
     "coffee_lake_i7_9700k",
     "conv",
     "data_volume",
     "design_microkernel",
+    "explore",
     "fast_settings",
     "get_machine",
     "get_strategy",
@@ -202,6 +224,7 @@ __all__ = [
     "network_benchmarks",
     "operator",
     "optimize_conv",
+    "pareto_frontier",
     "parse",
     "pruned_permutation_classes",
     "register_machine",

@@ -53,7 +53,7 @@ from typing import (
 )
 
 from ..core.tensor_spec import ConvSpec
-from ..engine.cache import ResultCache
+from ..engine.cache import ResultCache, resolve_cache
 from ..engine.network import (
     NetworkOptimizer,
     NetworkResult,
@@ -110,21 +110,8 @@ def _resolve_machine(machine: Union[str, MachineSpec]) -> MachineSpec:
     )
 
 
-def _resolve_cache(
-    cache: Union[None, bool, str, Path, ResultCache]
-) -> Optional[ResultCache]:
-    if cache is None:
-        return ResultCache()
-    if cache is False:
-        return None
-    if isinstance(cache, ResultCache):
-        return cache
-    if isinstance(cache, (str, Path)):
-        return ResultCache(cache)
-    raise TypeError(
-        "cache must be None (fresh in-memory), False (disabled), a directory "
-        f"path or a ResultCache, got {type(cache).__name__}"
-    )
+#: Session cache resolution: the shared engine helper at its defaults.
+_resolve_cache = resolve_cache
 
 
 class Session:
@@ -360,6 +347,52 @@ class Session:
             solved=solved,
             dry_run=dry_run,
             wall_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # design-space exploration
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+        space: Any,
+        workloads: Union[Workload, Sequence[Workload]] = ("resnet18",),
+        *,
+        batch: int = 1,
+        chunk_size: int = 16,
+        max_workers: Optional[int] = None,
+        progress: Optional[Union[str, Path]] = None,
+        on_progress: Optional[Callable[[int, int], None]] = None,
+    ):
+        """Sweep a machine design space with the session's strategy/cache.
+
+        ``space`` is a :class:`repro.dse.DesignSpace`, or a single
+        :class:`repro.dse.Axis` / sequence of axes — in the latter case
+        the session's machine becomes the base preset the candidates
+        derive from.  Every candidate machine is evaluated on every
+        workload through the same engine path :meth:`optimize_many`
+        uses, sharing this session's result cache (whose keys already
+        content-hash the machine), and the sweep is resumable via
+        ``progress``.  Returns a
+        :class:`repro.dse.explorer.ExplorationResult` — see
+        :mod:`repro.dse` for frontier/sensitivity/report helpers.
+        """
+        from ..dse.explorer import explore as dse_explore
+        from ..dse.space import Axis, DesignSpace
+
+        if isinstance(space, Axis):
+            space = DesignSpace(self.machine, [space])
+        elif not isinstance(space, DesignSpace):
+            space = DesignSpace(self.machine, list(space))
+        return dse_explore(
+            space,
+            workloads,
+            strategy=self.strategy,
+            cache=self.cache if self.cache is not None else False,
+            batch=batch,
+            chunk_size=chunk_size,
+            max_workers=max_workers,
+            progress=progress,
+            on_progress=on_progress,
         )
 
     # ------------------------------------------------------------------

@@ -13,9 +13,18 @@ Subcommands::
     # The concurrent-client coalescing demo:
     python -m repro demo --clients 8 --networks resnet18 mobilenet
 
-    # Pre-solve workloads into a persistent cache (or audit it):
+    # Pre-solve workloads into a persistent cache (or audit it), for one
+    # preset, several, or every registered machine:
     python -m repro warm --cache-dir /tmp/repro-cache --networks resnet18
+    python -m repro warm --cache-dir /tmp/repro-cache --machine all
     python -m repro warm --dry-run
+
+    # Design-space exploration: sweep hypothetical machines and report
+    # the Pareto frontier of predicted time vs. hardware cost:
+    python -m repro dse --machine i7-9700k --networks resnet18 mobilenet \
+        --log2 caches.L2.capacity_bytes=64KiB:1MiB --axis cores=4,8 \
+        --progress sweep.jsonl --csv sweep.csv
+    python -m repro dse --smoke
 
     # Quick cold/warm benchmark through the Session API:
     python -m repro bench --quick
@@ -56,13 +65,25 @@ def _parse_option(raw: str) -> tuple:
         return key, value
 
 
-def _add_session_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--machine",
-        default="i7-9700k",
-        choices=available_machines(),
-        help="machine preset to optimize for",
-    )
+def _add_session_options(
+    parser: argparse.ArgumentParser, *, multi_machine: bool = False
+) -> None:
+    if multi_machine:
+        parser.add_argument(
+            "--machine",
+            nargs="+",
+            default=["i7-9700k"],
+            choices=available_machines() + ("all",),
+            help="machine preset(s) to loop over, or 'all' for every "
+            "registered preset",
+        )
+    else:
+        parser.add_argument(
+            "--machine",
+            default="i7-9700k",
+            choices=available_machines(),
+            help="machine preset to optimize for",
+        )
     parser.add_argument(
         "--strategy",
         default="mopt",
@@ -102,9 +123,11 @@ def _strategy_options(args: argparse.Namespace) -> Dict[str, Any]:
     return options
 
 
-def _build_session(args: argparse.Namespace, **extra: Any) -> Session:
+def _build_session(
+    args: argparse.Namespace, machine: Optional[str] = None, **extra: Any
+) -> Session:
     return Session(
-        args.machine,
+        machine if machine is not None else args.machine,
         args.strategy,
         strategy_options=_strategy_options(args),
         cache=args.cache_dir if args.cache_dir else None,
@@ -255,6 +278,18 @@ async def _run_demo(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # warm
 # ----------------------------------------------------------------------
+def _warm_payload(report) -> Dict[str, Any]:
+    return {
+        "networks": list(report.networks),
+        "distinct_operators": report.distinct_operators,
+        "already_cached": report.already_cached,
+        "missing": report.missing,
+        "solved": report.solved,
+        "dry_run": report.dry_run,
+        "wall_seconds": report.wall_seconds,
+    }
+
+
 def _run_warm(args: argparse.Namespace) -> int:
     if not args.cache_dir and not args.dry_run:
         # Warming a process-private in-memory cache would burn the full
@@ -265,27 +300,27 @@ def _run_warm(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    session = _build_session(args)
-    report = session.warm_cache(
-        args.networks, batch=args.batch, dry_run=args.dry_run
-    )
-    print(report.summary())
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "networks": list(report.networks),
-                    "distinct_operators": report.distinct_operators,
-                    "already_cached": report.already_cached,
-                    "missing": report.missing,
-                    "solved": report.solved,
-                    "dry_run": report.dry_run,
-                    "wall_seconds": report.wall_seconds,
-                },
-                indent=2,
-                sort_keys=True,
-            )
+    machines = list(args.machine)
+    if "all" in machines:
+        machines = list(available_machines())
+    payloads: Dict[str, Dict[str, Any]] = {}
+    for machine in machines:
+        # One disk store serves every preset: cache keys content-hash the
+        # machine, so a multi-preset sweep is just this loop.
+        session = _build_session(args, machine=machine)
+        report = session.warm_cache(
+            args.networks, batch=args.batch, dry_run=args.dry_run
         )
+        prefix = f"[{machine}] " if len(machines) > 1 else ""
+        print(prefix + report.summary())
+        payloads[machine] = _warm_payload(report)
+    if args.json:
+        out = (
+            payloads[machines[0]]
+            if len(machines) == 1
+            else {"machines": payloads}
+        )
+        print(json.dumps(out, indent=2, sort_keys=True))
     return 0
 
 
@@ -327,6 +362,173 @@ def _run_bench(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# dse
+# ----------------------------------------------------------------------
+_SIZE_SUFFIXES = (
+    ("gib", 1024 ** 3),
+    ("mib", 1024 ** 2),
+    ("kib", 1024),
+    ("g", 1024 ** 3),
+    ("m", 1024 ** 2),
+    ("k", 1024),
+)
+
+
+def _parse_axis_value(text: str) -> Any:
+    """One axis value: ``512KiB``/``1M`` sizes, ints, floats, or strings."""
+    token = text.strip()
+    lowered = token.lower()
+    for suffix, scale in _SIZE_SUFFIXES:
+        if lowered.endswith(suffix):
+            stem = token[: -len(suffix)]
+            try:
+                return int(float(stem) * scale)
+            except ValueError:
+                break
+    for convert in (int, float):
+        try:
+            return convert(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _build_axes(args: argparse.Namespace) -> List[Any]:
+    from .dse import axis_grid, axis_log2, axis_values
+
+    axes: List[Any] = []
+    for raw in args.axis or []:
+        path, sep, values = raw.partition("=")
+        if not sep or not values:
+            raise ValueError(
+                f"--axis must look like PATH=V1,V2,... got {raw!r}"
+            )
+        axes.append(
+            axis_values(path, [_parse_axis_value(v) for v in values.split(",")])
+        )
+    for raw in args.log2 or []:
+        path, sep, bounds = raw.partition("=")
+        parts = bounds.split(":")
+        if not sep or len(parts) != 2:
+            raise ValueError(
+                f"--log2 must look like PATH=START:STOP, got {raw!r}"
+            )
+        axes.append(
+            axis_log2(path, _parse_axis_value(parts[0]), _parse_axis_value(parts[1]))
+        )
+    for raw in args.grid or []:
+        path, sep, bounds = raw.partition("=")
+        parts = bounds.split(":")
+        if not sep or len(parts) != 3:
+            raise ValueError(
+                f"--grid must look like PATH=START:STOP:STEP, got {raw!r}"
+            )
+        axes.append(axis_grid(path, *(_parse_axis_value(p) for p in parts)))
+    return axes
+
+
+def _run_dse(args: argparse.Namespace) -> int:
+    from .dse import (
+        DesignSpace,
+        DesignSpaceError,
+        ProgressMismatchError,
+        axis_values,
+        explore,
+        to_json_dict,
+        write_csv,
+        write_json,
+        write_markdown,
+    )
+
+    KiB = 1024
+    if args.smoke:
+        # Tiny space x tiny machine x one small layer: the CI path that
+        # proves the whole subsystem (space -> sweep -> frontier ->
+        # report) end to end in seconds.  It overrides the space and
+        # workload flags, so explicitly combining them is a mistake.
+        if args.axis or args.log2 or args.grid or args.networks != ["resnet18"]:
+            print(
+                "error: --smoke runs a fixed tiny sweep and ignores "
+                "--axis/--log2/--grid/--networks; drop --smoke to sweep "
+                "your own space",
+                file=sys.stderr,
+            )
+            return 2
+        space = DesignSpace(
+            "tiny",
+            [
+                axis_values(
+                    "caches.L2.capacity_bytes", [32 * KiB, 64 * KiB]
+                ),
+                axis_values("cores", [2, 4]),
+            ],
+            name="dse-smoke",
+        )
+        workloads: List[str] = ["resnet18/R12"]
+    else:
+        try:
+            axes = _build_axes(args)
+            space = DesignSpace(args.machine, axes) if axes else None
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if space is None:
+            print(
+                "error: dse needs at least one axis, e.g. "
+                "--axis caches.L2.capacity_bytes=128KiB,256KiB,512KiB "
+                "or --log2 caches.L3.capacity_bytes=2MiB:16MiB "
+                "(or use --smoke)",
+                file=sys.stderr,
+            )
+            return 2
+        workloads = list(args.networks)
+
+    def _print_progress(done: int, total: int) -> None:
+        print(f"  swept {done}/{total} machines", file=sys.stderr, flush=True)
+
+    try:
+        result = explore(
+            space,
+            workloads,
+            strategy=args.strategy,
+            strategy_options=_strategy_options(args),
+            cache=args.cache_dir if args.cache_dir else None,
+            batch=args.batch,
+            chunk_size=args.chunk_size,
+            max_workers=args.max_workers,
+            progress=args.progress,
+            on_progress=None if args.json else _print_progress,
+        )
+    except (DesignSpaceError, ProgressMismatchError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    objectives = ("total_time_seconds", args.frontier_cost)
+    if args.json:
+        print(
+            json.dumps(
+                to_json_dict(result, objectives=objectives),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(result.summary())
+        frontier = result.frontier(objectives)
+        print(f"Pareto frontier ({objectives[0]} vs. {objectives[1]}):")
+        for outcome in sorted(frontier, key=lambda o: o.total_time_seconds):
+            print("  " + outcome.summary())
+        for line in result.sensitivity():
+            print("  " + line)
+    if args.out:
+        print(f"wrote {write_json(result, args.out, objectives=objectives)}")
+    if args.csv:
+        print(f"wrote {write_csv(result, args.csv, objectives=objectives)}")
+    if args.md:
+        print(f"wrote {write_markdown(result, args.md, objectives=objectives)}")
     return 0
 
 
@@ -426,7 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
     warm = sub.add_parser(
         "warm", help="pre-solve workloads into the result cache"
     )
-    _add_session_options(warm)
+    _add_session_options(warm, multi_machine=True)
     warm.add_argument(
         "--networks",
         nargs="+",
@@ -451,6 +653,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--out", default=None, help="also write JSON here")
 
+    dse = sub.add_parser(
+        "dse",
+        help="design-space exploration: sweep hypothetical machines",
+        description=(
+            "Sweep a machine design space and report the Pareto frontier "
+            "of predicted time vs. hardware cost.  Axes address machine "
+            "parameters by path (cores, caches.L2.capacity_bytes, "
+            "isa.vector_bytes, ...); candidate machines that violate the "
+            "hierarchy invariants are pruned automatically."
+        ),
+    )
+    _add_session_options(dse)
+    dse.set_defaults(strategy="onednn")  # sweep-friendly default; mopt works too
+    dse.add_argument(
+        "--networks",
+        nargs="+",
+        default=["resnet18"],
+        help="workloads to evaluate each candidate machine on",
+    )
+    dse.add_argument(
+        "--axis",
+        action="append",
+        metavar="PATH=V1,V2,...",
+        help="explicit axis values (sizes accept KiB/MiB suffixes; repeatable)",
+    )
+    dse.add_argument(
+        "--log2",
+        action="append",
+        metavar="PATH=START:STOP",
+        help="power-of-two axis from START to STOP inclusive (repeatable)",
+    )
+    dse.add_argument(
+        "--grid",
+        action="append",
+        metavar="PATH=START:STOP:STEP",
+        help="arithmetic axis (repeatable)",
+    )
+    dse.add_argument("--batch", type=int, default=1, help="batch size")
+    dse.add_argument(
+        "--chunk-size", type=int, default=16,
+        help="progress-report cadence (print every N completed machines)",
+    )
+    dse.add_argument("--max-workers", type=int, default=None)
+    dse.add_argument(
+        "--progress",
+        default=None,
+        metavar="PATH",
+        help="JSON-lines progress store making the sweep resumable",
+    )
+    dse.add_argument(
+        "--frontier-cost",
+        default="total_sram_bytes",
+        choices=("total_sram_bytes", "compute_lanes", "peak_gflops", "cores"),
+        help="hardware-cost objective paired with predicted time",
+    )
+    dse.add_argument("--out", default=None, help="write the full JSON report here")
+    dse.add_argument("--csv", default=None, help="write a per-candidate CSV here")
+    dse.add_argument("--md", default=None, help="write a markdown summary here")
+    dse.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny built-in sweep (tiny machine, 4 candidates) for CI",
+    )
+    dse.add_argument("--json", action="store_true", help="print the JSON report")
+
     list_cmd = sub.add_parser(
         "list", help="registered machines, strategies and networks"
     )
@@ -465,6 +732,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "optimize": _run_optimize,
         "warm": _run_warm,
         "bench": _run_bench,
+        "dse": _run_dse,
         "list": _run_list,
     }
     try:

@@ -1,0 +1,600 @@
+"""Sweep executor: fan a candidate-machine x workload matrix through the engine.
+
+:func:`explore` evaluates every candidate machine of a
+:class:`~repro.dse.space.DesignSpace` on every requested workload, going
+through the exact same path every other front end uses — a
+:class:`repro.api.Session` per candidate over one *shared*
+:class:`~repro.engine.cache.ResultCache` and one shared strategy
+instance — so operator dedup, the two-tier cache (whose keys already
+content-hash the machine) and the vectorized batched core are all
+reused.  Candidates are processed in chunks on a thread pool (solving
+is serial *within* a candidate to avoid nested pools).
+
+Sweeps are **resumable**: pass ``progress=<path>`` and every completed
+candidate is appended to a JSON-lines progress store as soon as it is
+evaluated.  A sweep interrupted at machine 400/1000 restarts warm — the
+400 recorded outcomes are loaded instead of recomputed, and anything
+the interrupted machine had already solved is still in the result
+cache.  The store's header binds it to the (space, strategy, workloads,
+batch) combination, so accidentally resuming a different sweep fails
+loudly instead of mixing results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.tensor_spec import ConvSpec
+from ..engine import cache as engine_cache
+from ..engine.cache import ResultCache, resolve_cache
+from ..engine.serialization import machine_key, spec_shape_key, stable_hash
+from ..engine.strategy import SearchStrategy, get_strategy
+from ..machine.spec import MachineSpec
+from .space import Candidate, DesignSpace, ExpandedSpace
+
+#: Format marker of the progress store; bump on incompatible changes.
+PROGRESS_FORMAT_VERSION = 1
+
+#: One sweep workload: a network name, a layer reference, one operator
+#: or an explicit operator list (everything ``Session.optimize`` takes).
+SweepWorkload = Union[str, ConvSpec, Sequence[ConvSpec]]
+
+
+@dataclass(frozen=True)
+class WorkloadOutcome:
+    """One workload's predicted figures on one candidate machine."""
+
+    label: str
+    time_seconds: float
+    gflops: float
+    num_operators: int
+    cache_hits: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form, inverse of :meth:`from_dict`."""
+        return {
+            "label": self.label,
+            "time_seconds": float(self.time_seconds),
+            "gflops": float(self.gflops),
+            "num_operators": int(self.num_operators),
+            "cache_hits": int(self.cache_hits),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WorkloadOutcome":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            label=payload["label"],
+            time_seconds=float(payload["time_seconds"]),
+            gflops=float(payload["gflops"]),
+            num_operators=int(payload["num_operators"]),
+            cache_hits=int(payload["cache_hits"]),
+        )
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One candidate machine's full sweep record.
+
+    Carries the predicted-performance side (per-workload and summed
+    times) *and* the hardware-cost side (total SRAM bytes, compute
+    lanes, peak GFLOP/s) so Pareto analyses need nothing but a list of
+    these.
+    """
+
+    machine_name: str
+    machine_digest: str
+    parameters: Tuple[Tuple[str, Any], ...]
+    workloads: Tuple[WorkloadOutcome, ...]
+    total_time_seconds: float
+    total_sram_bytes: int
+    compute_lanes: int
+    peak_gflops: float
+    cores: int
+    cache_hits: int
+    wall_seconds: float
+
+    def parameter(self, path: str) -> Any:
+        """The value this candidate takes on one swept axis."""
+        for key, value in self.parameters:
+            if key == path:
+                return value
+        raise KeyError(f"candidate {self.machine_name!r} has no axis {path!r}")
+
+    def parameters_dict(self) -> Dict[str, Any]:
+        """Axis path -> value, in axis order."""
+        return dict(self.parameters)
+
+    def workload(self, label: str) -> WorkloadOutcome:
+        """Look one workload's figures up by label."""
+        for outcome in self.workloads:
+            if outcome.label == label:
+                return outcome
+        raise KeyError(f"candidate {self.machine_name!r} has no workload {label!r}")
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.machine_name}: {self.total_time_seconds * 1e3:.3f} ms "
+            f"predicted, {self.total_sram_bytes // 1024} KiB SRAM, "
+            f"{self.compute_lanes} lanes"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form, inverse of :meth:`from_dict`."""
+        return {
+            "machine_name": self.machine_name,
+            "machine_digest": self.machine_digest,
+            "parameters": [[path, value] for path, value in self.parameters],
+            "workloads": [w.to_dict() for w in self.workloads],
+            "total_time_seconds": float(self.total_time_seconds),
+            "total_sram_bytes": int(self.total_sram_bytes),
+            "compute_lanes": int(self.compute_lanes),
+            "peak_gflops": float(self.peak_gflops),
+            "cores": int(self.cores),
+            "cache_hits": int(self.cache_hits),
+            "wall_seconds": float(self.wall_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CandidateOutcome":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            machine_name=payload["machine_name"],
+            machine_digest=payload["machine_digest"],
+            parameters=tuple(
+                (path, value) for path, value in payload["parameters"]
+            ),
+            workloads=tuple(
+                WorkloadOutcome.from_dict(w) for w in payload["workloads"]
+            ),
+            total_time_seconds=float(payload["total_time_seconds"]),
+            total_sram_bytes=int(payload["total_sram_bytes"]),
+            compute_lanes=int(payload["compute_lanes"]),
+            peak_gflops=float(payload["peak_gflops"]),
+            cores=int(payload["cores"]),
+            cache_hits=int(payload["cache_hits"]),
+            wall_seconds=float(payload["wall_seconds"]),
+        )
+
+
+class ProgressMismatchError(ValueError):
+    """Raised when a progress store belongs to a different sweep."""
+
+
+class SweepProgress:
+    """Append-only JSON-lines store of completed candidate outcomes.
+
+    The first line is a header identifying the sweep (space name,
+    strategy + options digest, workload signature, batch); every further
+    line is one :class:`CandidateOutcome`.  Appends are flushed line-by-
+    line so an interrupted sweep loses at most the candidate being
+    written; a truncated trailing line is tolerated on load.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path).expanduser()
+        self._lock = threading.Lock()
+
+    def load(self, header: Mapping[str, Any]) -> Dict[str, CandidateOutcome]:
+        """Load completed outcomes keyed by machine digest.
+
+        Creates the store (with ``header``) when the file does not exist.
+        Raises :class:`ProgressMismatchError` when the stored header does
+        not match ``header`` — the store belongs to a different sweep.
+        """
+        if not self.path.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("w", encoding="utf-8") as handle:
+                handle.write(json.dumps(dict(header), sort_keys=True) + "\n")
+            return {}
+        outcomes: Dict[str, CandidateOutcome] = {}
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        if not lines:
+            with self.path.open("w", encoding="utf-8") as handle:
+                handle.write(json.dumps(dict(header), sort_keys=True) + "\n")
+            return {}
+        try:
+            stored = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise ProgressMismatchError(
+                f"progress store {self.path} has an unreadable header; "
+                f"delete it to start the sweep fresh"
+            ) from None
+        if stored != dict(header):
+            differing = sorted(
+                key
+                for key in set(stored) | set(dict(header))
+                if stored.get(key) != dict(header).get(key)
+            )
+            raise ProgressMismatchError(
+                f"progress store {self.path} belongs to a different sweep "
+                f"(differing fields: {differing}); pass a fresh --progress "
+                f"path or delete the file"
+            )
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                outcome = CandidateOutcome.from_dict(payload)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # A crash mid-append leaves at most one torn trailing
+                # line; treat it (and anything unreadable) as not-done.
+                continue
+            outcomes[outcome.machine_digest] = outcome
+        return outcomes
+
+    def append(self, outcome: CandidateOutcome) -> None:
+        """Record one completed candidate (thread-safe, flushed)."""
+        line = json.dumps(outcome.to_dict(), sort_keys=True)
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Outcome of one design-space sweep, in candidate (axis) order."""
+
+    space: DesignSpace
+    workload_labels: Tuple[str, ...]
+    strategy: str
+    batch: int
+    outcomes: Tuple[CandidateOutcome, ...]
+    grid_size: int
+    invalid_machines: int
+    constraint_rejected: int
+    resumed: int
+    evaluated: int
+    wall_seconds: float
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of valid candidate machines evaluated or resumed."""
+        return len(self.outcomes)
+
+    @property
+    def machines_per_second(self) -> float:
+        """Sweep throughput over candidates actually evaluated this run."""
+        return self.evaluated / max(self.wall_seconds, 1e-9)
+
+    def best(self) -> CandidateOutcome:
+        """The fastest candidate (minimum predicted total time)."""
+        return min(self.outcomes, key=lambda o: o.total_time_seconds)
+
+    def frontier(
+        self,
+        objectives: Sequence[str] = ("total_time_seconds", "total_sram_bytes"),
+    ) -> List[CandidateOutcome]:
+        """Pareto-optimal candidates under the given minimized objectives.
+
+        Memoized per objectives tuple on this result: summary, JSON,
+        CSV and markdown emission all ask for the same frontier, and
+        the O(n^2) scan runs once per sweep instead of once per
+        artifact.
+        """
+        key = tuple(objectives)
+        memo = getattr(self, "_frontier_memo", None)
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_frontier_memo", memo)
+        if key not in memo:
+            from .frontier import pareto_frontier
+
+            memo[key] = pareto_frontier(self.outcomes, objectives=key)
+        return list(memo[key])
+
+    def sensitivity(self, threshold: float = 0.02) -> List[str]:
+        """Per-axis diminishing-returns summaries (see :mod:`repro.dse.frontier`)."""
+        from .frontier import sensitivity_summary
+
+        return sensitivity_summary(
+            self.outcomes, [axis.path for axis in self.space.axes],
+            threshold=threshold,
+        )
+
+    def summary(self) -> str:
+        """Short human-readable aggregate description."""
+        best = self.best()
+        return (
+            f"{self.space.space_name} x {list(self.workload_labels)} via "
+            f"{self.strategy!r}: {self.num_candidates} candidates "
+            f"({self.resumed} resumed, {self.evaluated} evaluated), "
+            f"best {best.machine_name} at "
+            f"{best.total_time_seconds * 1e3:.3f} ms, "
+            f"wall {self.wall_seconds:.2f} s "
+            f"({self.machines_per_second:.1f} machines/s)"
+        )
+
+
+def _workload_label(workload: SweepWorkload) -> str:
+    if isinstance(workload, str):
+        return workload.strip()
+    if isinstance(workload, ConvSpec):
+        return workload.name
+    return f"custom[{len(list(workload))}]"
+
+
+def _dedupe_labels(labels: Sequence[str]) -> List[str]:
+    """Make labels unique (``custom[4]``, ``custom[4]#2``, ...).
+
+    Two distinct spec lists of equal length (or one network requested
+    twice) would otherwise collide: ``CandidateOutcome.workload`` and
+    the per-workload CSV columns key results by label.
+    """
+    used = set()
+    out: List[str] = []
+    for label in labels:
+        candidate, suffix = label, 1
+        while candidate in used:
+            suffix += 1
+            candidate = f"{label}#{suffix}"
+        used.add(candidate)
+        out.append(candidate)
+    return out
+
+
+def _workload_signature(
+    resolved: Sequence[Union[ConvSpec, List[ConvSpec]]]
+) -> str:
+    """Content hash of the resolved workload list (order-sensitive)."""
+    payload = [
+        [spec_shape_key(item)]
+        if isinstance(item, ConvSpec)
+        else [spec_shape_key(spec) for spec in item]
+        for item in resolved
+    ]
+    return stable_hash(payload)
+
+
+#: Memory-tier size of sweep caches: a sweep touches (machines x
+#: operators) keys, far more than the engine default of 512.  Shared
+#: caches (e.g. a Session's, via ``Session.explore``) are grown to this
+#: bound, never shrunk.
+_SWEEP_MEMORY_ENTRIES = 8192
+
+
+def _evaluate_candidate(
+    candidate: Candidate,
+    workloads: Sequence[SweepWorkload],
+    labels: Sequence[str],
+    strategy: SearchStrategy,
+    cache: Optional[ResultCache],
+    batch: int,
+) -> CandidateOutcome:
+    """Run one candidate through the Session path and summarize it."""
+    from ..api.session import Session
+
+    start = time.perf_counter()
+    session = Session(
+        machine=candidate.machine,
+        strategy=strategy,
+        cache=cache if cache is not None else False,
+        executor="serial",
+    )
+    results = session.optimize_many(list(workloads), batch=batch)
+    workload_outcomes: List[WorkloadOutcome] = []
+    cache_hits = 0
+    for label, result in zip(labels, results):
+        if hasattr(result, "operators"):  # NetworkResult
+            hits = result.cache_hits
+            workload_outcomes.append(
+                WorkloadOutcome(
+                    label=label,
+                    time_seconds=result.total_time_seconds,
+                    gflops=result.total_gflops,
+                    num_operators=result.num_operators,
+                    cache_hits=hits,
+                )
+            )
+        else:  # OpResult
+            hits = 1 if result.cached else 0
+            workload_outcomes.append(
+                WorkloadOutcome(
+                    label=label,
+                    time_seconds=result.time_seconds,
+                    gflops=result.gflops,
+                    num_operators=1,
+                    cache_hits=hits,
+                )
+            )
+        cache_hits += hits
+    machine = candidate.machine
+    return CandidateOutcome(
+        machine_name=machine.name,
+        machine_digest=machine_key(machine),
+        parameters=candidate.parameters,
+        workloads=tuple(workload_outcomes),
+        total_time_seconds=sum(w.time_seconds for w in workload_outcomes),
+        total_sram_bytes=machine.total_sram_bytes,
+        compute_lanes=machine.compute_lanes,
+        peak_gflops=machine.peak_gflops(),
+        cores=machine.cores,
+        cache_hits=cache_hits,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+def explore(
+    space: DesignSpace,
+    workloads: Union[SweepWorkload, Sequence[SweepWorkload]] = ("resnet18",),
+    *,
+    strategy: Union[str, SearchStrategy] = "onednn",
+    strategy_options: Optional[Mapping[str, Any]] = None,
+    cache: Union[None, bool, str, Path, ResultCache] = None,
+    batch: int = 1,
+    chunk_size: int = 16,
+    max_workers: Optional[int] = None,
+    progress: Optional[Union[str, Path]] = None,
+    on_progress: Optional[Callable[[int, int], None]] = None,
+) -> ExplorationResult:
+    """Evaluate every candidate machine of ``space`` on ``workloads``.
+
+    Parameters
+    ----------
+    space:
+        The declarative design space (base preset + swept axes).
+    workloads:
+        Anything :meth:`repro.api.Session.optimize` accepts: network
+        names, ``"net/layer"`` references, specs or spec lists.
+    strategy / strategy_options:
+        Search strategy shared by all candidates.  Defaults to the fast
+        heuristic ``"onednn"`` dispatch — sweep-friendly at thousands of
+        machines; pass ``"mopt"`` for the paper's analytical search.
+    cache:
+        Shared result cache: ``None`` (default) one fresh in-memory
+        cache for the sweep, a path for persistence across runs, a
+        :class:`ResultCache` to share with other components, ``False``
+        to disable.
+    batch:
+        Workload batch size.
+    chunk_size / max_workers:
+        Candidates all feed one thread pool of ``max_workers`` (default:
+        min(pending, cores, 8)); solves are serial within a candidate.
+        ``chunk_size`` is the ``on_progress``/progress-print cadence
+        (every N completed candidates).
+    progress:
+        Optional path of a JSON-lines progress store making the sweep
+        resumable across interruptions and processes.
+    on_progress:
+        Optional ``(done, total)`` callback fired after every chunk.
+    """
+    start = time.perf_counter()
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy, **dict(strategy_options or {}))
+    elif strategy_options:
+        raise ValueError(
+            "strategy_options only apply to by-name strategies; "
+            "configure the instance instead"
+        )
+    shared_cache = resolve_cache(cache, memory_entries=_SWEEP_MEMORY_ENTRIES)
+    expanded: ExpandedSpace = space.expand()
+    if isinstance(workloads, (str, ConvSpec)):
+        # A bare workload (the Session.optimize calling convention) —
+        # not a sequence to iterate character-by-character.
+        workloads = [workloads]
+    else:
+        # Materialize spec-list elements so one-shot iterables are not
+        # exhausted by labeling and every candidate sees the same specs.
+        workloads = [
+            w if isinstance(w, (str, ConvSpec)) else list(w)
+            for w in workloads
+        ]
+    if not workloads or any(
+        not w for w in workloads if isinstance(w, list)
+    ):
+        raise ValueError("explore needs at least one non-empty workload")
+    labels = _dedupe_labels([_workload_label(w) for w in workloads])
+
+    # Resolve once (up front) for the progress-store identity; candidate
+    # sessions re-resolve by name, which is cheap and keeps labels intact.
+    from ..api.spec import parse
+
+    resolved = [
+        parse(w, batch=batch) if isinstance(w, str) else w for w in workloads
+    ]
+    completed: Dict[str, CandidateOutcome] = {}
+    store: Optional[SweepProgress] = None
+    if progress is not None:
+        store = SweepProgress(progress)
+        header = {
+            "kind": "header",
+            "version": PROGRESS_FORMAT_VERSION,
+            # Outcomes are served from the store without consulting the
+            # versioned result cache, so numerics changes must
+            # invalidate the store the same way they invalidate keys.
+            "strategy_version": engine_cache.STRATEGY_VERSION,
+            "space": space.space_name,
+            "base": space.base_machine.name,
+            "strategy": strategy.name,
+            "strategy_token": stable_hash(dict(strategy.cache_token())),
+            "workloads": _workload_signature(resolved),
+            "workload_labels": labels,
+            "batch": batch,
+        }
+        completed = store.load(header)
+
+    digests = [machine_key(c.machine) for c in expanded.candidates]
+    pending = [
+        (digest, candidate)
+        for digest, candidate in zip(digests, expanded.candidates)
+        if digest not in completed
+    ]
+    resumed = len(expanded.candidates) - len(pending)
+    done = resumed
+    total = len(expanded.candidates)
+    if pending:
+        chunk_size = max(1, chunk_size)
+        workers = max_workers or min(len(pending), os.cpu_count() or 4, 8)
+        pool = ThreadPoolExecutor(max_workers=workers)
+        try:
+            futures = {
+                pool.submit(
+                    _evaluate_candidate,
+                    candidate,
+                    workloads,
+                    labels,
+                    strategy,
+                    shared_cache,
+                    batch,
+                ): digest
+                for digest, candidate in pending
+            }
+            # Record outcomes as they finish, not in submission order:
+            # an interrupt then loses only the candidates still in
+            # flight, never already-completed ones — and no candidate
+            # waits on a slower one (the pool bounds concurrency).
+            for future in as_completed(futures):
+                outcome = future.result()
+                completed[futures[future]] = outcome
+                if store is not None:
+                    store.append(outcome)
+                done += 1
+                if on_progress is not None and (
+                    done % chunk_size == 0 or done == total
+                ):
+                    on_progress(done, total)
+        finally:
+            # Ctrl-C (or a failed candidate) must stop the sweep, not
+            # silently run the queued remainder to completion with
+            # nobody left to record the outcomes — resume finishes it.
+            pool.shutdown(wait=True, cancel_futures=True)
+    elif on_progress is not None:
+        on_progress(done, total)
+
+    outcomes = tuple(completed[digest] for digest in digests)
+    return ExplorationResult(
+        space=space,
+        workload_labels=tuple(labels),
+        strategy=strategy.name,
+        batch=batch,
+        outcomes=outcomes,
+        grid_size=expanded.grid_size,
+        invalid_machines=expanded.invalid_machines,
+        constraint_rejected=expanded.constraint_rejected,
+        resumed=resumed,
+        evaluated=len(pending),
+        wall_seconds=time.perf_counter() - start,
+    )

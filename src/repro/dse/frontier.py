@@ -1,0 +1,171 @@
+"""Pareto frontiers and per-axis sensitivity over sweep outcomes.
+
+The output of a hardware sweep is a cloud of candidate machines, each
+with a predicted network time and a hardware cost (total SRAM bytes,
+compute lanes).  The interesting candidates are the **non-dominated**
+ones: no other candidate is at least as good on every objective and
+strictly better on one.  :func:`pareto_frontier` extracts that set for
+any combination of minimized objectives; :func:`axis_sensitivity` and
+:func:`sensitivity_summary` answer the buying-advice question — "L2
+capacity past 512KiB buys <2%" — by tracking the best achievable time
+as a function of one axis.
+
+Objectives name either :class:`~repro.dse.explorer.CandidateOutcome`
+attributes (``total_time_seconds``, ``total_sram_bytes``,
+``compute_lanes``, ``peak_gflops``, ``cores``) or swept axis paths
+(``caches.L2.capacity_bytes``); larger-is-better figures must be
+negated by the caller (every objective here is minimized).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .space import format_axis_value
+from .explorer import CandidateOutcome
+
+
+def objective_value(outcome: CandidateOutcome, objective: str) -> float:
+    """Extract one minimized objective from an outcome.
+
+    ``objective`` is an outcome attribute or a swept axis path.
+    """
+    value = getattr(outcome, objective, None)
+    if value is None:
+        try:
+            value = outcome.parameter(objective)
+        except KeyError:
+            raise KeyError(
+                f"unknown objective {objective!r}: not a CandidateOutcome "
+                f"attribute and not a swept axis of "
+                f"{outcome.machine_name!r}"
+            ) from None
+    return float(value)
+
+
+def dominates(
+    a: CandidateOutcome, b: CandidateOutcome, objectives: Sequence[str]
+) -> bool:
+    """True when ``a`` is at least as good as ``b`` everywhere and
+    strictly better somewhere (all objectives minimized)."""
+    strictly_better = False
+    for objective in objectives:
+        va = objective_value(a, objective)
+        vb = objective_value(b, objective)
+        if va > vb:
+            return False
+        if va < vb:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(
+    outcomes: Sequence[CandidateOutcome],
+    *,
+    objectives: Sequence[str] = ("total_time_seconds", "total_sram_bytes"),
+) -> List[CandidateOutcome]:
+    """Non-dominated subset of ``outcomes`` under minimized ``objectives``.
+
+    Returns frontier members in input order.  Duplicate objective
+    vectors are kept once (the first occurrence), so the frontier is
+    non-dominated *and* duplicate-free by construction — the property
+    the DSE acceptance test pins.  (Report emitters share one scan per
+    sweep through :meth:`ExplorationResult.frontier`'s per-instance
+    memo.)
+    """
+    if not outcomes:
+        return []
+    if len(objectives) < 2:
+        raise ValueError("a Pareto frontier needs at least two objectives")
+    vectors = [
+        tuple(objective_value(o, objective) for objective in objectives)
+        for o in outcomes
+    ]
+    frontier: List[CandidateOutcome] = []
+    seen: set = set()
+    for index, (outcome, vector) in enumerate(zip(outcomes, vectors)):
+        if vector in seen:
+            continue
+        dominated = False
+        for other_index, other_vector in enumerate(vectors):
+            if other_index == index:
+                continue
+            at_least_as_good = all(
+                ov <= v for ov, v in zip(other_vector, vector)
+            )
+            strictly_better = any(
+                ov < v for ov, v in zip(other_vector, vector)
+            )
+            if at_least_as_good and strictly_better:
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(outcome)
+            seen.add(vector)
+    return frontier
+
+
+def axis_sensitivity(
+    outcomes: Sequence[CandidateOutcome], path: str
+) -> List[Tuple[Any, float]]:
+    """Best achievable predicted time per value of one swept axis.
+
+    Marginalizes over every other axis: for each value the axis takes,
+    the minimum ``total_time_seconds`` across all candidates with that
+    value.  Returned sorted by axis value.
+    """
+    best: Dict[Any, float] = {}
+    for outcome in outcomes:
+        try:
+            value = outcome.parameter(path)
+        except KeyError:
+            continue
+        time_s = outcome.total_time_seconds
+        if value not in best or time_s < best[value]:
+            best[value] = time_s
+    return sorted(best.items(), key=lambda pair: pair[0])
+
+
+def sensitivity_summary(
+    outcomes: Sequence[CandidateOutcome],
+    axes: Sequence[str],
+    *,
+    threshold: float = 0.02,
+) -> List[str]:
+    """One diminishing-returns line per axis.
+
+    For each axis, finds the smallest value beyond which growing it
+    further improves the best achievable time by less than
+    ``threshold`` (relative) — the "L2 capacity past 512KiB buys <2%"
+    statement of the paper's design-space discussion.  Axes whose best
+    time keeps improving by more than the threshold all the way up are
+    reported as not saturating inside the swept range.
+    """
+    lines: List[str] = []
+    for path in axes:
+        curve = axis_sensitivity(outcomes, path)
+        if len(curve) < 2:
+            continue
+        saturation = None
+        for index, (value, best_time) in enumerate(curve[:-1]):
+            remaining_best = min(time_s for _, time_s in curve[index + 1 :])
+            gain = (best_time - remaining_best) / max(best_time, 1e-30)
+            if gain < threshold:
+                saturation = value
+                break
+        if saturation is not None:
+            lines.append(
+                f"{path} past {format_axis_value(path, saturation)} buys "
+                f"<{threshold:.0%} predicted time"
+            )
+        else:
+            last = curve[-1][0]
+            first_best = curve[0][1]
+            last_best = curve[-1][1]
+            total_gain = (first_best - last_best) / max(first_best, 1e-30)
+            lines.append(
+                f"{path} does not saturate within the sweep: best time "
+                f"still improving at {format_axis_value(path, last)} "
+                f"({total_gain:.1%} better than at the smallest value)"
+            )
+    return lines

@@ -1,0 +1,237 @@
+"""Report emission for design-space sweeps: JSON, CSV and markdown.
+
+One :class:`~repro.dse.explorer.ExplorationResult` in, three artifact
+shapes out:
+
+* :func:`to_json_dict` / :func:`write_json` — the full machine-readable
+  record (every candidate, the frontier, sensitivity lines, sweep
+  metadata) for downstream tooling,
+* :func:`to_csv` / :func:`write_csv` — one row per candidate with the
+  axis values as columns, for spreadsheets and plotting,
+* :func:`to_markdown` / :func:`write_markdown` — a human-readable
+  summary: sweep header, Pareto frontier table and sensitivity notes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from .explorer import CandidateOutcome, ExplorationResult
+from .frontier import sensitivity_summary
+from ..machine.spec import format_bytes
+from .space import format_axis_value
+
+#: Default Pareto objectives: predicted time vs. cache silicon spent.
+DEFAULT_OBJECTIVES = ("total_time_seconds", "total_sram_bytes")
+
+
+def to_json_dict(
+    result: ExplorationResult,
+    *,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    threshold: float = 0.02,
+) -> Dict[str, Any]:
+    """Full machine-readable record of one sweep."""
+    frontier = result.frontier(objectives)
+    frontier_digests = {o.machine_digest for o in frontier}
+    return {
+        "space": result.space.space_name,
+        "base_machine": result.space.base_machine.name,
+        "axes": [
+            {"path": axis.path, "values": list(axis.values)}
+            for axis in result.space.axes
+        ],
+        "workloads": list(result.workload_labels),
+        "strategy": result.strategy,
+        "batch": result.batch,
+        "grid_size": result.grid_size,
+        "invalid_machines": result.invalid_machines,
+        "constraint_rejected": result.constraint_rejected,
+        "num_candidates": result.num_candidates,
+        "resumed": result.resumed,
+        "evaluated": result.evaluated,
+        "wall_seconds": result.wall_seconds,
+        "machines_per_second": result.machines_per_second,
+        "objectives": list(objectives),
+        "best": result.best().to_dict(),
+        "frontier": [o.to_dict() for o in frontier],
+        "sensitivity": sensitivity_summary(
+            result.outcomes,
+            [axis.path for axis in result.space.axes],
+            threshold=threshold,
+        ),
+        "candidates": [
+            dict(o.to_dict(), on_frontier=o.machine_digest in frontier_digests)
+            for o in result.outcomes
+        ],
+    }
+
+
+def write_json(
+    result: ExplorationResult,
+    path: Union[str, Path],
+    *,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+) -> Path:
+    """Write :func:`to_json_dict` to ``path`` (returned)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(to_json_dict(result, objectives=objectives), indent=2,
+                   sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def _csv_rows(
+    result: ExplorationResult, objectives: Sequence[str]
+) -> List[Dict[str, Any]]:
+    frontier_digests = {
+        o.machine_digest for o in result.frontier(objectives)
+    }
+    rows: List[Dict[str, Any]] = []
+    for outcome in result.outcomes:
+        row: Dict[str, Any] = {"machine": outcome.machine_name}
+        for path, value in outcome.parameters:
+            row[path] = value
+        row.update(
+            total_time_seconds=outcome.total_time_seconds,
+            total_sram_bytes=outcome.total_sram_bytes,
+            compute_lanes=outcome.compute_lanes,
+            peak_gflops=outcome.peak_gflops,
+            cores=outcome.cores,
+            cache_hits=outcome.cache_hits,
+            on_frontier=int(outcome.machine_digest in frontier_digests),
+        )
+        for workload in outcome.workloads:
+            row[f"time_s[{workload.label}]"] = workload.time_seconds
+            row[f"gflops[{workload.label}]"] = workload.gflops
+        rows.append(row)
+    return rows
+
+
+def to_csv(
+    result: ExplorationResult,
+    *,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+) -> str:
+    """CSV rendering: one row per candidate, axes as columns."""
+    rows = _csv_rows(result, objectives)
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_csv(
+    result: ExplorationResult,
+    path: Union[str, Path],
+    *,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+) -> Path:
+    """Write :func:`to_csv` to ``path`` (returned)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_csv(result, objectives=objectives), encoding="utf-8")
+    return path
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def to_markdown(
+    result: ExplorationResult,
+    *,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    threshold: float = 0.02,
+) -> str:
+    """Human-readable markdown summary of one sweep."""
+    frontier = result.frontier(objectives)
+    parts: List[str] = [
+        f"# Design-space sweep: {result.space.space_name}",
+        "",
+        f"- base machine: `{result.space.base_machine.name}`",
+        f"- workloads: {', '.join(f'`{w}`' for w in result.workload_labels)}"
+        f" (batch {result.batch})",
+        f"- strategy: `{result.strategy}`",
+        f"- candidates: {result.num_candidates} valid of "
+        f"{result.grid_size} grid points "
+        f"({result.invalid_machines} invalid, "
+        f"{result.constraint_rejected} constraint-rejected); "
+        f"{result.resumed} resumed, {result.evaluated} evaluated in "
+        f"{result.wall_seconds:.2f} s "
+        f"({result.machines_per_second:.1f} machines/s)",
+        "",
+        f"## Pareto frontier ({' vs. '.join(objectives)})",
+        "",
+    ]
+    headers = ["machine", "predicted time (ms)", "total SRAM", "lanes"] + [
+        axis.path for axis in result.space.axes
+    ]
+    rows = []
+    for outcome in sorted(frontier, key=lambda o: o.total_time_seconds):
+        rows.append(
+            [
+                f"`{outcome.machine_name}`",
+                f"{outcome.total_time_seconds * 1e3:.3f}",
+                format_bytes(outcome.total_sram_bytes),
+                str(outcome.compute_lanes),
+            ]
+            + [
+                format_axis_value(axis.path, outcome.parameter(axis.path))
+                for axis in result.space.axes
+            ]
+        )
+    parts.append(_markdown_table(headers, rows))
+    sensitivity = sensitivity_summary(
+        result.outcomes,
+        [axis.path for axis in result.space.axes],
+        threshold=threshold,
+    )
+    if sensitivity:
+        parts += ["", "## Sensitivity", ""]
+        parts += [f"- {line}" for line in sensitivity]
+    best = result.best()
+    parts += [
+        "",
+        "## Best candidate",
+        "",
+        f"`{best.machine_name}`: {best.total_time_seconds * 1e3:.3f} ms "
+        f"predicted over {len(best.workloads)} workload(s), "
+        f"{format_bytes(best.total_sram_bytes)} "
+        f"total SRAM, {best.compute_lanes} lanes.",
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def write_markdown(
+    result: ExplorationResult,
+    path: Union[str, Path],
+    *,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+) -> Path:
+    """Write :func:`to_markdown` to ``path`` (returned)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_markdown(result, objectives=objectives), encoding="utf-8")
+    return path

@@ -1,0 +1,412 @@
+"""Declarative machine design spaces: axes, constraints and candidates.
+
+The paper's title promises *design space exploration*, and because the
+cost model is analytical (no hardware in the loop) the system can rate
+thousands of hypothetical machines in the time an autotuner spends on
+one.  This module is the vocabulary for describing those hypothetical
+machines: a :class:`DesignSpace` is a base :class:`~repro.machine.spec.
+MachineSpec` preset plus a set of swept :class:`Axis` objects, each
+naming one machine parameter by *path* and listing the values to try::
+
+    from repro.dse import DesignSpace, axis_log2, axis_values
+
+    space = DesignSpace(
+        base="i7-9700k",
+        axes=[
+            axis_log2("caches.L2.capacity_bytes", 64 * KiB, 1 * MiB),
+            axis_values("cores", [4, 8]),
+        ],
+    )
+    for candidate in space.expand().candidates:
+        print(candidate.name, candidate.machine.total_sram_bytes)
+
+Axis paths address the machine description structurally:
+
+* ``cores``, ``frequency_ghz``, ``dram_bandwidth_gbps``,
+  ``parallel_dram_bandwidth_gbps`` — top-level scalars,
+* ``caches.<LEVEL>.<field>`` — any :class:`~repro.machine.spec.CacheLevel`
+  field of a named level (``capacity_bytes``, ``bandwidth_gbps``,
+  ``associativity``, ``line_bytes``),
+* ``isa.<field>`` — any :class:`~repro.machine.spec.VectorISA` field
+  (``vector_bytes``, ``fma_units``, ``num_vector_registers``, ...).
+
+Expansion takes the cross-product of all axes and *prunes* it: machine
+descriptions that violate the :class:`MachineSpec` construction
+invariants (e.g. an L1 bigger than the L2 it fills from) are dropped, as
+is anything rejected by user ``constraints`` predicates.  A space whose
+every grid point is pruned raises :class:`EmptyDesignSpaceError` with
+the counts, so a bad sweep fails with an explanation instead of an
+empty report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..machine.presets import get_machine
+from ..machine.spec import (
+    CacheLevel,
+    MachineSpec,
+    MachineSpecError,
+    VectorISA,
+    format_bytes,
+)
+
+
+class DesignSpaceError(ValueError):
+    """Raised for malformed design-space descriptions."""
+
+
+class EmptyDesignSpaceError(DesignSpaceError):
+    """Raised when pruning leaves no valid candidate machine."""
+
+
+#: Top-level MachineSpec scalars addressable as bare axis paths.
+_SCALAR_PATHS = (
+    "cores",
+    "frequency_ghz",
+    "dram_bandwidth_gbps",
+    "parallel_dram_bandwidth_gbps",
+)
+_CACHE_FIELDS = tuple(f.name for f in dataclasses.fields(CacheLevel) if f.name != "name")
+_ISA_FIELDS = tuple(f.name for f in dataclasses.fields(VectorISA) if f.name != "name")
+
+#: Compact path abbreviations used in derived machine names.
+_SHORT_FIELD = {
+    "capacity_bytes": "cap",
+    "bandwidth_gbps": "bw",
+    "associativity": "assoc",
+    "line_bytes": "line",
+    "vector_bytes": "vec",
+    "num_vector_registers": "regs",
+    "fma_units": "fma",
+    "fma_latency_cycles": "fmalat",
+    "frequency_ghz": "ghz",
+    "dram_bandwidth_gbps": "dram",
+    "parallel_dram_bandwidth_gbps": "pdram",
+}
+
+#: Paths whose values are byte counts (rendered as 512KiB, 1MiB, ...).
+_BYTE_FIELDS = ("capacity_bytes", "vector_bytes", "line_bytes")
+
+
+def _split_path(path: str) -> Tuple[str, ...]:
+    parts = tuple(path.split("."))
+    if len(parts) == 1 and parts[0] in _SCALAR_PATHS:
+        return parts
+    if len(parts) == 2 and parts[0] == "isa" and parts[1] in _ISA_FIELDS:
+        return parts
+    if len(parts) == 3 and parts[0] == "caches" and parts[2] in _CACHE_FIELDS:
+        return parts
+    raise DesignSpaceError(
+        f"unknown axis path {path!r}; valid forms: "
+        f"{', '.join(_SCALAR_PATHS)}, "
+        f"isa.<{('|'.join(_ISA_FIELDS))}>, "
+        f"caches.<LEVEL>.<{('|'.join(_CACHE_FIELDS))}>"
+    )
+
+
+def apply_axis(machine: MachineSpec, path: str, value: Any) -> MachineSpec:
+    """Derive a machine with the parameter at ``path`` set to ``value``.
+
+    Raises :class:`DesignSpaceError` for unknown paths or cache levels
+    and :class:`~repro.machine.spec.MachineSpecError` for values that
+    violate the machine invariants (the expansion treats the latter as a
+    pruned candidate, not an error).
+    """
+    parts = _split_path(path)
+    if len(parts) == 1:
+        return dataclasses.replace(machine, **{parts[0]: value})
+    if parts[0] == "isa":
+        return machine.with_isa(**{parts[1]: value})
+    level = parts[1]
+    if level not in machine.cache_names:
+        raise DesignSpaceError(
+            f"axis {path!r}: machine {machine.name!r} has no cache level "
+            f"{level!r} (levels: {machine.cache_names})"
+        )
+    return machine.with_cache(level, **{parts[2]: value})
+
+
+def format_axis_value(path: str, value: Any) -> str:
+    """Render one axis value compactly (byte counts get KiB/MiB units)."""
+    leaf = path.split(".")[-1]
+    if leaf in _BYTE_FIELDS and isinstance(value, (int, float)):
+        return format_bytes(int(value))
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _short_path(path: str) -> str:
+    parts = path.split(".")
+    if parts[0] == "caches":
+        return f"{parts[1]}.{_SHORT_FIELD.get(parts[2], parts[2])}"
+    if parts[0] == "isa":
+        return _SHORT_FIELD.get(parts[1], parts[1])
+    return _SHORT_FIELD.get(path, path)
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept machine parameter: a path plus the values to try."""
+
+    path: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        _split_path(self.path)  # validate eagerly
+        if not self.values:
+            raise DesignSpaceError(f"axis {self.path!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise DesignSpaceError(f"axis {self.path!r} has duplicate values")
+
+    def label(self, value: Any) -> str:
+        """``L2.cap=512KiB``-style fragment for candidate names."""
+        return f"{_short_path(self.path)}={format_axis_value(self.path, value)}"
+
+
+def axis_values(path: str, values: Sequence[Any]) -> Axis:
+    """Axis from an explicit value list."""
+    return Axis(path, tuple(values))
+
+
+def _require_numeric(path: str, **bounds: Any) -> None:
+    for name, value in bounds.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise DesignSpaceError(
+                f"axis {path!r}: {name} must be numeric, got {value!r}"
+            )
+
+
+def axis_grid(path: str, start: float, stop: float, step: float) -> Axis:
+    """Axis from an arithmetic range ``start, start+step, ... <= stop``.
+
+    Values are kept integral when all of start/stop/step are integral
+    (capacities, core counts); otherwise they are floats.
+    """
+    _require_numeric(path, start=start, stop=stop, step=step)
+    if step <= 0:
+        raise DesignSpaceError(f"axis {path!r}: step must be positive")
+    if stop < start:
+        raise DesignSpaceError(f"axis {path!r}: stop {stop} is below start {start}")
+    integral = all(float(v) == int(v) for v in (start, stop, step))
+    values: List[Any] = []
+    value = start
+    while value <= stop * (1 + 1e-12):
+        values.append(int(round(value)) if integral else float(value))
+        value += step
+    return Axis(path, tuple(values))
+
+
+def axis_log2(path: str, start: float, stop: float) -> Axis:
+    """Axis of doubling steps: ``start, 2*start, ... <= stop``.
+
+    The natural grammar for cache capacities and vector widths, which
+    only come in powers of two.  Integral values stay ``int``.
+    """
+    _require_numeric(path, start=start, stop=stop)
+    if start <= 0:
+        raise DesignSpaceError(f"axis {path!r}: start must be positive")
+    if stop < start:
+        raise DesignSpaceError(f"axis {path!r}: stop {stop} is below start {start}")
+    values: List[Any] = []
+    value = start
+    while value <= stop:
+        values.append(int(value) if float(value) == int(value) else float(value))
+        value *= 2
+    return Axis(path, tuple(values))
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One derived machine plus the axis values that produced it."""
+
+    machine: MachineSpec
+    parameters: Tuple[Tuple[str, Any], ...]
+
+    @property
+    def name(self) -> str:
+        """The derived machine's name (deterministic from the parameters)."""
+        return self.machine.name
+
+    def parameter(self, path: str) -> Any:
+        """The value this candidate takes on one axis."""
+        for key, value in self.parameters:
+            if key == path:
+                return value
+        raise KeyError(f"candidate {self.name!r} has no axis {path!r}")
+
+    def parameters_dict(self) -> Dict[str, Any]:
+        """Axis path -> value, in axis order."""
+        return dict(self.parameters)
+
+
+@dataclass(frozen=True)
+class ExpandedSpace:
+    """Outcome of :meth:`DesignSpace.expand`: candidates plus pruning stats."""
+
+    candidates: Tuple[Candidate, ...]
+    grid_size: int
+    invalid_machines: int
+    constraint_rejected: int
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self) -> Iterator[Candidate]:
+        return iter(self.candidates)
+
+    def summary(self) -> str:
+        """One-line description of the expansion."""
+        return (
+            f"{len(self.candidates)} candidate machines "
+            f"(grid {self.grid_size}, pruned {self.invalid_machines} invalid "
+            f"+ {self.constraint_rejected} constraint-rejected)"
+        )
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A base machine preset plus swept axes and validity constraints.
+
+    Parameters
+    ----------
+    base:
+        Preset name (resolved through the machine registry) or a
+        :class:`MachineSpec` to derive candidates from.
+    axes:
+        The swept parameters.  Axis paths must be distinct.
+    constraints:
+        Extra validity predicates ``MachineSpec -> bool``; candidates
+        for which any predicate returns falsy are pruned.  (The
+        :class:`MachineSpec` construction invariants — monotone
+        capacities, non-increasing bandwidths, power-of-two vector
+        widths — are always enforced and need no predicate.)
+    name:
+        Optional space name for reports; defaults to ``<base>-space``.
+    """
+
+    base: Union[str, MachineSpec]
+    axes: Tuple[Axis, ...]
+    constraints: Tuple[Callable[[MachineSpec], bool], ...] = ()
+    name: Optional[str] = None
+
+    def __init__(
+        self,
+        base: Union[str, MachineSpec],
+        axes: Sequence[Axis],
+        constraints: Sequence[Callable[[MachineSpec], bool]] = (),
+        name: Optional[str] = None,
+    ):
+        axes = tuple(axes)
+        if not axes:
+            raise DesignSpaceError("a design space needs at least one axis")
+        paths = [axis.path for axis in axes]
+        if len(set(paths)) != len(paths):
+            raise DesignSpaceError(f"duplicate axis paths: {paths}")
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "axes", axes)
+        object.__setattr__(self, "constraints", tuple(constraints))
+        object.__setattr__(self, "name", name)
+
+    @property
+    def base_machine(self) -> MachineSpec:
+        """The resolved base preset."""
+        return get_machine(self.base) if isinstance(self.base, str) else self.base
+
+    @property
+    def space_name(self) -> str:
+        """Name used in reports and progress-store headers."""
+        return self.name or f"{self.base_machine.name}-space"
+
+    @property
+    def grid_size(self) -> int:
+        """Cross-product size before any pruning."""
+        size = 1
+        for axis in self.axes:
+            size *= len(axis.values)
+        return size
+
+    # ------------------------------------------------------------------
+    def _derive(self, base: MachineSpec, assignment: Sequence[Any]) -> Candidate:
+        machine = base
+        labels: List[str] = []
+        parameters: List[Tuple[str, Any]] = []
+        for axis, value in zip(self.axes, assignment):
+            try:
+                machine = apply_axis(machine, axis.path, value)
+            except TypeError as error:
+                # A wrongly-typed value (e.g. a string for a core count)
+                # is a malformed *space*, not a prunable candidate —
+                # surface it as such instead of a raw traceback.
+                raise DesignSpaceError(
+                    f"axis {axis.path!r}: value {value!r} "
+                    f"({type(value).__name__}) is not valid for this "
+                    f"parameter: {error}"
+                ) from error
+            labels.append(axis.label(value))
+            parameters.append((axis.path, value))
+        machine = machine.renamed(f"{base.name}[{','.join(labels)}]")
+        return Candidate(machine=machine, parameters=tuple(parameters))
+
+    def expand(self) -> ExpandedSpace:
+        """Enumerate all valid candidates (cross-product minus pruning).
+
+        Candidate machine names are deterministic functions of the axis
+        values, so re-expanding the same space yields the same machines
+        — which is what makes sweep results cacheable and resumable.
+        Raises :class:`EmptyDesignSpaceError` when nothing survives.
+        """
+        base = self.base_machine
+        candidates: List[Candidate] = []
+        invalid = 0
+        rejected = 0
+        for assignment in itertools.product(*(axis.values for axis in self.axes)):
+            try:
+                candidate = self._derive(base, assignment)
+            except MachineSpecError:
+                invalid += 1
+                continue
+            if not all(check(candidate.machine) for check in self.constraints):
+                rejected += 1
+                continue
+            candidates.append(candidate)
+        if not candidates:
+            raise EmptyDesignSpaceError(
+                f"design space {self.space_name!r} has no valid candidates: "
+                f"all {self.grid_size} grid points were pruned "
+                f"({invalid} invalid machine descriptions, "
+                f"{rejected} rejected by constraints); widen the axes or "
+                f"relax the constraints"
+            )
+        return ExpandedSpace(
+            candidates=tuple(candidates),
+            grid_size=self.grid_size,
+            invalid_machines=invalid,
+            constraint_rejected=rejected,
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the space."""
+        lines = [f"{self.space_name}: base {self.base_machine.name}"]
+        for axis in self.axes:
+            rendered = ", ".join(
+                format_axis_value(axis.path, value) for value in axis.values
+            )
+            lines.append(f"  {axis.path}: {rendered}")
+        lines.append(f"  grid size: {self.grid_size}")
+        return "\n".join(lines)

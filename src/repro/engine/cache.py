@@ -45,7 +45,10 @@ CACHE_FORMAT_VERSION = 1
 #: 1 — PR 1 (network engine, crc32-stable virtual measurements).
 #: 2 — PR 2 (vectorized analytical core: batched solver path is the
 #:     default, reseeded-generator measurement noise).
-STRATEGY_VERSION = 2
+#: 3 — PR 5 (``MachineSpec.peak_gflops`` clamps the core argument to the
+#:     machine's core count: results computed with ``threads > cores``
+#:     changed).
+STRATEGY_VERSION = 3
 
 
 def result_cache_key(
@@ -238,9 +241,15 @@ class ResultCache:
         self,
         path: Optional[Union[str, Path]] = None,
         *,
-        memory_entries: int = 512,
+        memory_entries: Optional[int] = None,
         max_disk_entries: Optional[int] = None,
     ):
+        # An explicitly passed bound is a caller contract and is pinned;
+        # the implicit default (512) may be grown by sweep-style callers
+        # via reserve_memory_entries.
+        self._memory_entries_pinned = memory_entries is not None
+        if memory_entries is None:
+            memory_entries = 512
         if memory_entries < 1:
             raise ValueError("memory_entries must be >= 1")
         self.memory_entries = memory_entries
@@ -253,6 +262,19 @@ class ResultCache:
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._inflight: Dict[str, _InFlight] = {}
+
+    def reserve_memory_entries(self, entries: int) -> None:
+        """Grow (never shrink) the memory tier's LRU bound.
+
+        Sweep-style callers touch (machines x operators) keys — far more
+        than the default bound — and call this on shared caches so warm
+        re-runs stay in the memory tier.  A cache whose bound was set
+        explicitly at construction is pinned: the caller sized it on
+        purpose, and this call leaves it untouched.
+        """
+        with self._lock:
+            if not self._memory_entries_pinned and entries > self.memory_entries:
+                self.memory_entries = entries
 
     # ------------------------------------------------------------------
     def key_for(
@@ -430,3 +452,34 @@ class ResultCache:
             self._memory.clear()
         if disk and self.disk is not None:
             self.disk.clear()
+
+
+def resolve_cache(
+    cache: Union[None, bool, str, Path, ResultCache],
+    *,
+    memory_entries: Optional[int] = None,
+) -> Optional[ResultCache]:
+    """Resolve the cache argument every front door accepts.
+
+    ``None`` — a fresh in-memory :class:`ResultCache`; ``False`` —
+    caching off; a directory path — a persistent cache rooted there; a
+    :class:`ResultCache` — shared as-is.  ``memory_entries`` sizes the
+    memory tier of caches created here; for a shared instance it is a
+    *reservation* (:meth:`ResultCache.reserve_memory_entries`) that
+    grows implicitly-sized caches and leaves explicitly-sized ones
+    alone.
+    """
+    if cache is None:
+        return ResultCache(memory_entries=memory_entries)
+    if cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        if memory_entries is not None:
+            cache.reserve_memory_entries(memory_entries)
+        return cache
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache, memory_entries=memory_entries)
+    raise TypeError(
+        "cache must be None (fresh in-memory), False (disabled), a directory "
+        f"path or a ResultCache, got {type(cache).__name__}"
+    )

@@ -1,0 +1,242 @@
+"""Experiment ``dse_cache_hierarchy``: what cache hierarchy should you buy?
+
+The paper's second promise — *design space exploration* — inverted into
+the hardware question: with the workload fixed (Table 1 networks), which
+cache hierarchy gives the best predicted network time per byte of SRAM
+spent?  Because every evaluation is analytical, this sweeps >100
+hypothetical variants of the i7-9700K — every combination of
+
+* L1 capacity:  8, 16, 32, 64 KiB,
+* L2 capacity: 32 KiB ... 1 MiB (powers of two),
+* L3 capacity:  1 ... 16 MiB (powers of two),
+
+minus the combinations pruned by the hierarchy invariants (an L1 larger
+than its L2) — over ResNet-18 and MobileNet through the cached engine
+path, then reports the Pareto frontier of predicted time vs. total SRAM
+bytes and the per-axis sensitivity ("L2 past X buys <2%").
+
+The sweep is resumable and warm-restartable: every completed candidate
+is recorded in a JSON-lines progress store and every solved operator in
+the persistent result cache, so re-running the same sweep (or resuming
+an interrupted one) is orders of magnitude faster than the cold run —
+the experiment measures and reports both restart modes.
+
+Run with::
+
+    PYTHONPATH=src python -m repro.experiments.dse_cache_hierarchy \
+        [--quick] [--out-dir DIR] [--strategy onednn] [--resume]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..dse import (
+    DesignSpace,
+    ExplorationResult,
+    axis_log2,
+    dominates,
+    sensitivity_summary,
+    write_csv,
+    write_json,
+    write_markdown,
+)
+
+KiB = 1024
+MiB = 1024 * KiB
+
+#: The two Table 1 networks the candidates are rated on.
+DEFAULT_NETWORKS: Tuple[str, ...] = ("resnet18", "mobilenet")
+
+#: Pareto objectives: predicted network time vs. cache silicon spent.
+OBJECTIVES: Tuple[str, str] = ("total_time_seconds", "total_sram_bytes")
+
+
+def cache_hierarchy_space(*, quick: bool = False) -> DesignSpace:
+    """The swept cache-capacity space over the i7-9700K base preset.
+
+    The full space has 120 grid points of which 115 are valid (the
+    L1 = 64 KiB x L2 = 32 KiB corner violates capacity monotonicity and
+    is pruned); ``quick`` shrinks it to 12 candidates for smoke runs.
+    """
+    if quick:
+        axes = [
+            axis_log2("caches.L1.capacity_bytes", 16 * KiB, 32 * KiB),
+            axis_log2("caches.L2.capacity_bytes", 128 * KiB, 512 * KiB),
+            axis_log2("caches.L3.capacity_bytes", 4 * MiB, 8 * MiB),
+        ]
+    else:
+        axes = [
+            axis_log2("caches.L1.capacity_bytes", 8 * KiB, 64 * KiB),
+            axis_log2("caches.L2.capacity_bytes", 32 * KiB, 1 * MiB),
+            axis_log2("caches.L3.capacity_bytes", 1 * MiB, 16 * MiB),
+        ]
+    return DesignSpace("i7-9700k", axes, name="cache-hierarchy")
+
+
+@dataclass(frozen=True)
+class DseCacheHierarchyResult:
+    """Cold sweep, warm-restart figures and report paths."""
+
+    result: ExplorationResult
+    cold_seconds: float
+    restart_seconds: float
+    cache_warm_seconds: float
+    restart_speedup: float
+    cache_warm_speedup: float
+    report_paths: Tuple[Path, ...]
+    text: str
+
+
+def _verify_frontier(result: ExplorationResult) -> List:
+    """Frontier members, defensively re-checked for non-domination."""
+    frontier = result.frontier(OBJECTIVES)
+    for member in frontier:
+        for other in result.outcomes:
+            if dominates(other, member, OBJECTIVES):
+                raise AssertionError(
+                    f"frontier member {member.machine_name} is dominated "
+                    f"by {other.machine_name}"
+                )
+    return frontier
+
+
+def run_dse_cache_hierarchy(
+    *,
+    out_dir: Path = Path("dse-results"),
+    networks: Sequence[str] = DEFAULT_NETWORKS,
+    strategy: str = "onednn",
+    strategy_options: Optional[Dict[str, Any]] = None,
+    quick: bool = False,
+    resume: bool = False,
+    chunk_size: int = 16,
+) -> DseCacheHierarchyResult:
+    """Sweep the cache-hierarchy space cold, then re-run it warm twice.
+
+    The three timed passes:
+
+    1. **cold** — nothing cached; every (machine, operator) pair is
+       solved through the engine path and recorded,
+    2. **restart** — same sweep again: every candidate is loaded from
+       the progress store (the "interrupted at machine 400/1000" path,
+       taken to completion),
+    3. **cache-tier warm** — progress store cleared but the result
+       cache kept: every candidate is re-aggregated from cached solves.
+
+    ``resume=True`` keeps existing progress/cache state (continuing an
+    interrupted sweep) instead of starting cold.
+    """
+    out_dir = Path(out_dir)
+    progress = out_dir / "cache_hierarchy_progress.jsonl"
+    cache_dir = out_dir / "result-cache"
+    if not resume:
+        if progress.exists():
+            progress.unlink()
+        if cache_dir.exists():
+            shutil.rmtree(cache_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    space = cache_hierarchy_space(quick=quick)
+    options = dict(strategy_options or {})
+    if strategy == "onednn" and "threads" not in options:
+        options["threads"] = 8
+    sweep = dict(
+        workloads=list(networks),
+        strategy=strategy,
+        strategy_options=options,
+        cache=cache_dir,
+        chunk_size=chunk_size,
+    )
+
+    from ..dse import explore
+
+    lines: List[str] = [space.describe(), ""]
+    start = time.perf_counter()
+    result = explore(space, progress=progress, **sweep)
+    cold_seconds = time.perf_counter() - start
+    lines.append(f"cold sweep:      {result.summary()}")
+
+    start = time.perf_counter()
+    restarted = explore(space, progress=progress, **sweep)
+    restart_seconds = time.perf_counter() - start
+    if restarted.evaluated != 0 or restarted.resumed != result.num_candidates:
+        raise AssertionError(
+            f"warm restart recomputed {restarted.evaluated} candidates "
+            f"(expected 0) and resumed {restarted.resumed}"
+        )
+    lines.append(f"warm restart:    {restarted.summary()}")
+
+    progress.unlink()
+    start = time.perf_counter()
+    cache_warm = explore(space, progress=progress, **sweep)
+    cache_warm_seconds = time.perf_counter() - start
+    lines.append(f"cache-tier warm: {cache_warm.summary()}")
+
+    restart_speedup = cold_seconds / max(restart_seconds, 1e-9)
+    cache_warm_speedup = cold_seconds / max(cache_warm_seconds, 1e-9)
+    lines.append(
+        f"cold {cold_seconds:.2f} s -> restart {restart_seconds * 1e3:.0f} ms "
+        f"({restart_speedup:.0f}x), cache-tier warm "
+        f"{cache_warm_seconds * 1e3:.0f} ms ({cache_warm_speedup:.0f}x)"
+    )
+
+    frontier = _verify_frontier(result)
+    lines += ["", f"Pareto frontier ({OBJECTIVES[0]} vs. {OBJECTIVES[1]}):"]
+    for outcome in sorted(frontier, key=lambda o: o.total_time_seconds):
+        lines.append("  " + outcome.summary())
+    lines.append("")
+    for line in sensitivity_summary(
+        result.outcomes, [axis.path for axis in space.axes]
+    ):
+        lines.append("  " + line)
+
+    paths = (
+        write_json(result, out_dir / "cache_hierarchy.json", objectives=OBJECTIVES),
+        write_csv(result, out_dir / "cache_hierarchy.csv", objectives=OBJECTIVES),
+        write_markdown(result, out_dir / "cache_hierarchy.md", objectives=OBJECTIVES),
+    )
+    lines += ["", "reports: " + ", ".join(str(p) for p in paths)]
+
+    return DseCacheHierarchyResult(
+        result=result,
+        cold_seconds=cold_seconds,
+        restart_seconds=restart_seconds,
+        cache_warm_seconds=cache_warm_seconds,
+        restart_speedup=restart_speedup,
+        cache_warm_speedup=cache_warm_speedup,
+        report_paths=paths,
+        text="\n".join(lines),
+    )
+
+
+def main() -> None:
+    """Run and print the cache-hierarchy exploration (module entry point)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default="dse-results", type=Path)
+    parser.add_argument("--strategy", default="onednn")
+    parser.add_argument(
+        "--quick", action="store_true", help="12-candidate smoke configuration"
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="keep existing progress/cache state instead of starting cold",
+    )
+    args = parser.parse_args()
+    outcome = run_dse_cache_hierarchy(
+        out_dir=args.out_dir,
+        strategy=args.strategy,
+        quick=args.quick,
+        resume=args.resume,
+    )
+    print("Cache-hierarchy design-space exploration (paper Section 1/12 claim)")
+    print(outcome.text)
+
+
+if __name__ == "__main__":
+    main()

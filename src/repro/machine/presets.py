@@ -124,12 +124,27 @@ class MachineRegistry:
         self._factories: Dict[str, Callable[[], MachineSpec]] = {}
 
     def register(
-        self, name: str, factory: Callable[[], MachineSpec]
+        self,
+        name: str,
+        factory: Callable[[], MachineSpec],
+        *,
+        replace: bool = False,
     ) -> Callable[[], MachineSpec]:
-        """Register ``factory`` under ``name`` (returns the factory)."""
+        """Register ``factory`` under ``name`` (returns the factory).
+
+        Registering a name twice raises unless ``replace=True`` — a
+        silently shadowed preset would make every by-name entry point
+        (Session, CLI, DSE sweeps) resolve to the wrong machine.
+        """
         if not name:
             raise ValueError("machine name must be non-empty")
-        self._factories[name.lower()] = factory
+        key = name.lower()
+        if not replace and key in self._factories:
+            raise ValueError(
+                f"machine {name!r} is already registered; pass replace=True "
+                f"to overwrite it (registered: {self.names()})"
+            )
+        self._factories[key] = factory
         return factory
 
     def create(self, name: str) -> MachineSpec:
@@ -161,9 +176,11 @@ machine_registry.register("i9-10980xe", cascade_lake_i9_10980xe)
 machine_registry.register("tiny", tiny_test_machine)
 
 
-def register_machine(name: str, factory: Callable[[], MachineSpec]) -> None:
+def register_machine(
+    name: str, factory: Callable[[], MachineSpec], *, replace: bool = False
+) -> None:
     """Register a new machine preset in the shared registry."""
-    machine_registry.register(name, factory)
+    machine_registry.register(name, factory, replace=replace)
 
 
 def available_machines() -> Tuple[str, ...]:

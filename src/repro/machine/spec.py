@@ -18,11 +18,22 @@ way Section 7 describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 class MachineSpecError(ValueError):
     """Raised for malformed machine descriptions."""
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Human-readable byte count (``32KiB``, ``1.5MiB``) for messages/names."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            text = f"{value:.6g}"
+            return f"{text}{unit}"
+        value /= 1024
+    return f"{num_bytes}B"
 
 
 @dataclass(frozen=True)
@@ -87,6 +98,24 @@ class VectorISA:
     fma_latency_cycles: float = 5.0
     num_vector_registers: int = 16
 
+    def __post_init__(self) -> None:
+        if self.vector_bytes <= 0 or self.vector_bytes & (self.vector_bytes - 1):
+            raise MachineSpecError(
+                f"vector width must be a positive power of two bytes, "
+                f"got {self.vector_bytes}"
+            )
+        if self.fma_units <= 0:
+            raise MachineSpecError(f"fma_units must be positive, got {self.fma_units}")
+        if self.fma_latency_cycles <= 0:
+            raise MachineSpecError(
+                f"fma_latency_cycles must be positive, got {self.fma_latency_cycles}"
+            )
+        if self.num_vector_registers <= 0:
+            raise MachineSpecError(
+                f"num_vector_registers must be positive, "
+                f"got {self.num_vector_registers}"
+            )
+
     def vector_lanes(self, dtype_bytes: int = 4) -> int:
         """Number of elements per vector register."""
         return max(1, self.vector_bytes // dtype_bytes)
@@ -135,6 +164,38 @@ class MachineSpec:
         names = [c.name for c in self.caches]
         if len(set(names)) != len(names):
             raise MachineSpecError(f"duplicate cache level names: {names}")
+        if self.dtype_bytes <= 0:
+            raise MachineSpecError("dtype_bytes must be positive")
+        if self.dram_bandwidth_gbps <= 0:
+            raise MachineSpecError("dram_bandwidth_gbps must be positive")
+        if (
+            self.parallel_dram_bandwidth_gbps is not None
+            and self.parallel_dram_bandwidth_gbps < self.dram_bandwidth_gbps
+        ):
+            raise MachineSpecError(
+                f"parallel DRAM bandwidth "
+                f"({self.parallel_dram_bandwidth_gbps} GB/s) cannot be below "
+                f"the single-core figure ({self.dram_bandwidth_gbps} GB/s)"
+            )
+        # Hierarchy sanity from L1 outwards: capacities must not shrink and
+        # fill bandwidths must not grow (bandwidth is this model's proxy for
+        # latency — an outer level is never faster to read than an inner one).
+        # Malformed design-space candidates fail here, fast and loudly,
+        # instead of producing nonsense cost tables.
+        for inner, outer in zip(self.caches, self.caches[1:]):
+            if outer.capacity_bytes < inner.capacity_bytes:
+                raise MachineSpecError(
+                    f"cache capacities must be non-decreasing from L1 "
+                    f"outwards: {outer.name} ({format_bytes(outer.capacity_bytes)}) "
+                    f"is smaller than {inner.name} "
+                    f"({format_bytes(inner.capacity_bytes)})"
+                )
+            if outer.bandwidth_gbps > inner.bandwidth_gbps:
+                raise MachineSpecError(
+                    f"cache bandwidths must be non-increasing from L1 "
+                    f"outwards: {outer.name} ({outer.bandwidth_gbps} GB/s) is "
+                    f"faster than {inner.name} ({inner.bandwidth_gbps} GB/s)"
+                )
 
     # -- lookups ----------------------------------------------------------
     @property
@@ -167,8 +228,14 @@ class MachineSpec:
 
     # -- bandwidths ---------------------------------------------------------
     def peak_gflops(self, cores: Optional[int] = None) -> float:
-        """Peak single-precision GFLOP/s (2 flops per FMA element)."""
-        cores = self.cores if cores is None else cores
+        """Peak single-precision GFLOP/s (2 flops per FMA element).
+
+        ``cores`` is clamped to the machine's core count, mirroring the
+        bandwidth model's thread clamp: when a fixed thread setting
+        meets a smaller candidate machine (a core-count sweep), the
+        candidate must not be credited with compute it does not have.
+        """
+        cores = self.cores if cores is None else min(cores, self.cores)
         return (
             2.0
             * self.isa.fma_per_cycle(self.dtype_bytes)
@@ -218,9 +285,81 @@ class MachineSpec:
         levels.extend(self.cache_names)
         return tuple(levels)
 
+    # -- derivation (design-space exploration) -------------------------------
     def with_cores(self, cores: int) -> "MachineSpec":
         """Copy of the machine with a different active core count."""
         return replace(self, cores=cores)
+
+    def renamed(self, name: str) -> "MachineSpec":
+        """Copy of the machine under a different name (cache keys change)."""
+        return replace(self, name=name)
+
+    def with_cache(self, level: str, **changes: Any) -> "MachineSpec":
+        """Copy with one cache level's fields changed (others untouched).
+
+        ``changes`` are :class:`CacheLevel` field overrides, e.g.
+        ``machine.with_cache("L2", capacity_bytes=512 * 1024,
+        associativity=8)``.  The hierarchy invariants are re-validated, so
+        a derivation that breaks capacity/bandwidth monotonicity raises
+        :class:`MachineSpecError` — this is what lets design-space sweeps
+        prune malformed candidates instead of costing them.
+        """
+        self.cache(level)  # raise early with the known-levels message
+        caches = tuple(
+            replace(cache, **changes) if cache.name == level else cache
+            for cache in self.caches
+        )
+        return replace(self, caches=caches)
+
+    def with_cache_capacity(self, level: str, capacity_bytes: int) -> "MachineSpec":
+        """Copy with one cache level resized (the classic DSE axis)."""
+        return self.with_cache(level, capacity_bytes=capacity_bytes)
+
+    def with_isa(self, **changes: Any) -> "MachineSpec":
+        """Copy with :class:`VectorISA` field overrides (others untouched)."""
+        return replace(self, isa=replace(self.isa, **changes))
+
+    def with_vector_bytes(self, vector_bytes: int) -> "MachineSpec":
+        """Copy with a different SIMD register width."""
+        return self.with_isa(vector_bytes=vector_bytes)
+
+    def with_dram_bandwidth(
+        self, single_core_gbps: float, parallel_gbps: Optional[float] = None
+    ) -> "MachineSpec":
+        """Copy with different memory bandwidths.
+
+        ``parallel_gbps`` defaults to scaling the existing parallel figure
+        by the same factor as the single-core one, preserving the preset's
+        saturation behavior.
+        """
+        if parallel_gbps is None and self.parallel_dram_bandwidth_gbps is not None:
+            parallel_gbps = self.parallel_dram_bandwidth_gbps * (
+                single_core_gbps / self.dram_bandwidth_gbps
+            )
+        return replace(
+            self,
+            dram_bandwidth_gbps=single_core_gbps,
+            parallel_dram_bandwidth_gbps=parallel_gbps,
+        )
+
+    # -- hardware-cost axes --------------------------------------------------
+    @property
+    def total_sram_bytes(self) -> int:
+        """Total on-chip SRAM: per-core private caches times cores, shared once.
+
+        The hardware-cost axis of the Pareto analyses in :mod:`repro.dse`:
+        what you pay in silicon for the cache hierarchy.
+        """
+        total = 0
+        for cache in self.caches:
+            total += cache.capacity_bytes * (1 if cache.shared else self.cores)
+        return total
+
+    @property
+    def compute_lanes(self) -> int:
+        """Total vector lanes across the machine (``cores x lanes``) —
+        the compute-cost axis of the Pareto analyses."""
+        return self.cores * self.isa.vector_lanes(self.dtype_bytes)
 
     def describe(self) -> str:
         """Multi-line human readable description."""

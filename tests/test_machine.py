@@ -59,6 +59,14 @@ class TestMachineSpec:
         assert i7_machine.peak_gflops() == pytest.approx(2 * 16 * 3.6 * 8, rel=1e-6)
         assert i7_machine.peak_gflops(1) == pytest.approx(2 * 16 * 3.6, rel=1e-6)
 
+    def test_peak_gflops_clamped_to_core_count(self, i7_machine):
+        # A thread setting above the core count (core-count sweeps with a
+        # fixed strategy threads option) must not invent compute.
+        assert i7_machine.peak_gflops(16) == i7_machine.peak_gflops(8)
+        assert i7_machine.with_cores(4).peak_gflops(8) == pytest.approx(
+            i7_machine.peak_gflops(4)
+        )
+
     def test_register_capacity(self, i7_machine):
         assert i7_machine.register_capacity_elements == 16 * 8
 
@@ -99,6 +107,131 @@ class TestMachineSpec:
             MachineSpec("bad", 4, 3.0, ())
 
 
+class TestSpecInvariants:
+    """Construction-time validation: malformed DSE candidates fail fast."""
+
+    def _machine(self, caches, **overrides):
+        kwargs = dict(name="probe", cores=4, frequency_ghz=3.0, caches=caches)
+        kwargs.update(overrides)
+        return MachineSpec(**kwargs)
+
+    def test_shrinking_capacity_rejected(self):
+        with pytest.raises(MachineSpecError, match="non-decreasing.*L2.*16KiB"):
+            self._machine(
+                (CacheLevel("L1", 32 * 1024), CacheLevel("L2", 16 * 1024))
+            )
+
+    def test_equal_capacities_allowed(self):
+        machine = self._machine(
+            (CacheLevel("L1", 32 * 1024), CacheLevel("L2", 32 * 1024))
+        )
+        assert machine.cache("L2").capacity_bytes == 32 * 1024
+
+    def test_growing_bandwidth_outward_rejected(self):
+        with pytest.raises(MachineSpecError, match="non-increasing"):
+            self._machine(
+                (
+                    CacheLevel("L1", 32 * 1024, bandwidth_gbps=100.0),
+                    CacheLevel("L2", 64 * 1024, bandwidth_gbps=200.0),
+                )
+            )
+
+    def test_non_power_of_two_vector_width_rejected(self):
+        with pytest.raises(MachineSpecError, match="power of two"):
+            VectorISA("weird", vector_bytes=48)
+        with pytest.raises(MachineSpecError, match="power of two"):
+            VectorISA("weird", vector_bytes=0)
+
+    def test_isa_positive_fields(self):
+        with pytest.raises(MachineSpecError):
+            VectorISA(fma_units=0)
+        with pytest.raises(MachineSpecError):
+            VectorISA(num_vector_registers=0)
+        with pytest.raises(MachineSpecError):
+            VectorISA(fma_latency_cycles=0)
+
+    def test_parallel_dram_below_single_core_rejected(self):
+        with pytest.raises(MachineSpecError, match="parallel DRAM"):
+            self._machine(
+                (CacheLevel("L1", 32 * 1024),),
+                dram_bandwidth_gbps=40.0,
+                parallel_dram_bandwidth_gbps=20.0,
+            )
+
+    def test_dram_and_dtype_must_be_positive(self):
+        with pytest.raises(MachineSpecError):
+            self._machine((CacheLevel("L1", 1024),), dram_bandwidth_gbps=0)
+        with pytest.raises(MachineSpecError):
+            self._machine((CacheLevel("L1", 1024),), dtype_bytes=0)
+
+    def test_presets_satisfy_invariants(self):
+        # The invariants must hold for every shipped preset.
+        for name in available_machines():
+            get_machine(name)
+
+
+class TestSpecDerivation:
+    """with_* helpers: touched fields change, everything else is preserved."""
+
+    def test_with_cache_capacity(self, i7_machine):
+        derived = i7_machine.with_cache_capacity("L2", 512 * 1024)
+        assert derived.cache("L2").capacity_bytes == 512 * 1024
+        # Untouched fields of the resized level survive.
+        assert derived.cache("L2").associativity == i7_machine.cache("L2").associativity
+        assert derived.cache("L2").bandwidth_gbps == i7_machine.cache("L2").bandwidth_gbps
+        # Untouched levels and everything else survive.
+        assert derived.cache("L1") == i7_machine.cache("L1")
+        assert derived.cache("L3") == i7_machine.cache("L3")
+        assert derived.isa == i7_machine.isa
+        assert derived.cores == i7_machine.cores
+        assert derived.name == i7_machine.name
+
+    def test_with_cache_multiple_fields(self, i7_machine):
+        derived = i7_machine.with_cache("L1", capacity_bytes=64 * 1024,
+                                        associativity=16)
+        assert derived.cache("L1").capacity_bytes == 64 * 1024
+        assert derived.cache("L1").associativity == 16
+        assert derived.cache("L1").line_bytes == i7_machine.cache("L1").line_bytes
+
+    def test_with_cache_unknown_level(self, i7_machine):
+        with pytest.raises(MachineSpecError, match="unknown cache level"):
+            i7_machine.with_cache("L9", capacity_bytes=1024)
+
+    def test_with_cache_revalidates_invariants(self, i7_machine):
+        with pytest.raises(MachineSpecError, match="non-decreasing"):
+            i7_machine.with_cache_capacity("L2", 16 * 1024)  # below L1
+
+    def test_with_isa_and_vector_bytes(self, i7_machine):
+        derived = i7_machine.with_vector_bytes(64)
+        assert derived.isa.vector_bytes == 64
+        assert derived.isa.fma_units == i7_machine.isa.fma_units
+        assert derived.isa.name == i7_machine.isa.name
+        with pytest.raises(MachineSpecError, match="power of two"):
+            i7_machine.with_vector_bytes(48)
+
+    def test_with_dram_bandwidth_scales_parallel(self, i7_machine):
+        derived = i7_machine.with_dram_bandwidth(40.0)
+        assert derived.dram_bandwidth_gbps == 40.0
+        # 38 * (40/20): the saturation ratio of the preset is preserved.
+        assert derived.parallel_dram_bandwidth_gbps == pytest.approx(76.0)
+        explicit = i7_machine.with_dram_bandwidth(40.0, 50.0)
+        assert explicit.parallel_dram_bandwidth_gbps == 50.0
+
+    def test_renamed(self, i7_machine):
+        assert i7_machine.renamed("probe").name == "probe"
+        assert i7_machine.renamed("probe").caches == i7_machine.caches
+
+    def test_total_sram_bytes(self):
+        tiny = tiny_test_machine()
+        # private L1/L2 x 4 cores + shared L3 once.
+        expected = (4 * 1024 + 32 * 1024) * 4 + 256 * 1024
+        assert tiny.total_sram_bytes == expected
+
+    def test_compute_lanes(self):
+        tiny = tiny_test_machine()
+        assert tiny.compute_lanes == 4 * 8  # 4 cores x 8 avx2 lanes
+
+
 class TestPresets:
     def test_available_machines(self):
         assert set(available_machines()) == {"i7-9700k", "i9-10980xe", "tiny"}
@@ -113,6 +246,38 @@ class TestPresets:
     def test_tiny_machine_is_small(self):
         tiny = tiny_test_machine()
         assert tiny.cache("L1").capacity_bytes < 16 * 1024
+
+    def test_unknown_machine_message_lists_presets(self):
+        with pytest.raises(KeyError, match="available"):
+            get_machine("epyc")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.machine.presets import machine_registry, register_machine
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_machine("tiny", tiny_test_machine)
+        # Case-insensitive: TINY collides with tiny.
+        with pytest.raises(ValueError, match="already registered"):
+            register_machine("TINY", tiny_test_machine)
+        # Explicit replacement is allowed.
+        register_machine("tiny", tiny_test_machine, replace=True)
+        assert "tiny" in machine_registry
+
+    def test_empty_name_rejected(self):
+        from repro.machine.presets import register_machine
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register_machine("", tiny_test_machine)
+
+    def test_runtime_registration_round_trip(self):
+        from repro.machine.presets import machine_registry, register_machine
+
+        register_machine("machine-test-probe", tiny_test_machine)
+        try:
+            assert get_machine("Machine-Test-Probe").name == "tiny-test"
+            assert "machine-test-probe" in machine_registry
+        finally:
+            machine_registry._factories.pop("machine-test-probe", None)
 
 
 class TestBandwidthModel:
