@@ -15,6 +15,11 @@ perf trajectory across commits:
   under the hood).
 * ``cold_network_batched_workload_s`` — the same network at batch size 8
   (the "batched workload" axis of the ROADMAP), vectorized path only.
+* ``mopt_cold_*`` — the raw-speed-round-2 cold path: single operator and
+  whole network timed from a *cleared* process-global compile cache, so
+  the figures include shape-family plan compilation.  The payload also
+  records the resolved intra-operator worker count and the compile-cache
+  counters after the run.
 * ``warm_network_s`` — the same network re-run against the persistent
   cache (the PR 1 warm path).
 * ``serving_*`` — concurrent-client figures from the async serving
@@ -81,12 +86,13 @@ def _timed(fn) -> float:
 
 
 def _network_seconds(settings, specs, cache=None) -> float:
+    # max_workers is left at the CPU-aware engine default: an explicit
+    # width oversubscribes small CI containers and undersells big ones.
     session = Session(
         "i7-9700k",
         "mopt",
         strategy_options={"settings": settings, "threads": THREADS, "measure": False},
         cache=cache if cache is not None else False,
-        max_workers=4,
     )
     return _timed(lambda: session.optimize(specs))
 
@@ -120,6 +126,24 @@ def main() -> int:
         lambda: MOptOptimizer(machine, scalar).optimize(spec)
     )
     print(f"  {stages['cold_operator_scalar_s']:.2f} s")
+
+    print("mopt cold path (cleared compile cache): single operator ...")
+    from repro.core import solve_pool
+    from repro.core.cost_model import DEFAULT_COMPILE_CACHE
+
+    DEFAULT_COMPILE_CACHE.clear()
+    stages["mopt_cold_operator_s"] = _timed(
+        lambda: MOptOptimizer(machine, vectorized).optimize(spec)
+    )
+    print(f"  {stages['mopt_cold_operator_s']:.2f} s")
+    print(f"mopt cold path (cleared compile cache): {NETWORK} network ...")
+    DEFAULT_COMPILE_CACHE.clear()
+    stages["mopt_cold_network_s"] = _network_seconds(vectorized, specs)
+    print(f"  {stages['mopt_cold_network_s']:.2f} s")
+    payload_mopt = {
+        "class_workers": solve_pool.resolve_workers(vectorized.class_workers, 8),
+        "compile_cache": DEFAULT_COMPILE_CACHE.stats(),
+    }
 
     print(f"cold {NETWORK} network search ({len(specs)} layers), vectorized ...")
     cache = ResultCache()
@@ -220,6 +244,7 @@ def main() -> int:
         "wall_s": stages,
         "serving": payload_serving,
         "dse": payload_dse,
+        "mopt_cold": payload_mopt,
     }
     if "cold_network_scalar_s" in stages:
         payload["network_speedup"] = (

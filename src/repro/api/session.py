@@ -396,6 +396,27 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+    def performance_stats(self) -> Dict[str, Any]:
+        """Counters of the process-wide solver infrastructure.
+
+        Mirrors the serving engine's stats probe for embedded sessions:
+        the shape-family compile cache (one bounded table shared by every
+        optimizer, network sweep and DSE exploration in the process), the
+        batched cost-table memo, and the intra-operator solve pool.  All
+        three are reuse/fan-out mechanisms — they never change results —
+        so these counters are observability, not configuration.
+        """
+        from ..core import solve_pool
+        from ..core.batched import table_cache_stats
+        from ..core.cost_model import DEFAULT_COMPILE_CACHE
+
+        return {
+            "compile_cache": DEFAULT_COMPILE_CACHE.stats(),
+            "batched_table_cache": table_cache_stats(),
+            "solve_pool": dict(solve_pool.pool_stats()),
+        }
+
+    # ------------------------------------------------------------------
     # async path (serving engine)
     # ------------------------------------------------------------------
     async def optimize_async(

@@ -665,7 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_session_options(dse)
-    dse.set_defaults(strategy="onednn")  # sweep-friendly default; mopt works too
+    dse.set_defaults(strategy="mopt")  # exact mopt is fast enough to be default
     dse.add_argument(
         "--networks",
         nargs="+",

@@ -27,7 +27,7 @@ necessarily bit-for-bit.  ``tests/test_batched.py`` pins the agreement.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -232,8 +232,22 @@ def table_for(
 ) -> BatchedCostTable:
     """Memoized :class:`BatchedCostTable` for a permutation tuple.
 
-    The optimizer asks for the same (permutation, stride, dilation)
-    combinations for every operator of a network sweep; the table's
-    pre-analysis is pure, so instances are shared.
+    Keyed by *shape family* — the permutation tuple plus stride/dilation,
+    never the loop extents — like the compile cache in
+    :mod:`repro.core.cost_model`: the optimizer asks for the same
+    combinations for every operator of a network sweep, and the table's
+    pre-analysis is pure, so instances are shared.  The memo is bounded
+    (LRU) so a long-lived serving process cannot grow it without limit.
     """
     return BatchedCostTable(permutations, stride=stride, dilation=dilation)
+
+
+def table_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the family-table memo (stats probe)."""
+    info = table_for.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "size": info.currsize,
+        "maxsize": info.maxsize,
+    }

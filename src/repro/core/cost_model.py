@@ -39,8 +39,9 @@ stride and dilation.
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from .config import TilingConfig
@@ -611,16 +612,190 @@ class CompiledPermutationCost:
         """
         return combined_footprint_nd(tiles, stride=self.stride, dilation=self.dilation)
 
+    # -- interval bounds (basin lower bounds for the min-max solve) --------
+    def volume_interval_bound(
+        self, problem_lo, problem_hi, tiles_lo, tiles_hi, *, upper: bool = False
+    ) -> float:
+        """Sound bound on :meth:`volume_floats` over a box of inputs.
 
-@lru_cache(maxsize=512)
+        All four arguments are sequences in :data:`LOOP_INDICES` order
+        bounding the problem extents and tile sizes coordinatewise.  The
+        bound assumes the nesting invariant ``problem >= tiles`` holds at
+        every feasible point (so every ``N_j / T_j`` ratio is at least 1),
+        which lets the lower bound clamp each ratio factor at 1 instead of
+        the vacuous ``p_lo / t_hi``.  Correlations between the footprint
+        factors and the ratio denominators are ignored — the bound is
+        conservative, never tight beyond degenerate (point) intervals.
+
+        The optimizer uses the lower bound as the certified floor of a
+        permutation class's bandwidth-scaled time (no feasible tiling of
+        the class can beat it), and the upper bound to box the bottleneck
+        variable of the min-max solve.
+        """
+        p = self._p
+        stride, dilation = self.stride, self.dilation
+        if upper:
+            t_fp = tiles_hi  # footprints grow with the tiles
+            t_ratio = tiles_lo  # ratios grow as the tile shrinks
+            p_ratio = problem_hi
+        else:
+            t_fp = tiles_lo
+            t_ratio = tiles_hi
+            p_ratio = problem_lo
+        f_n, f_k, f_c = t_fp[p["n"]], t_fp[p["k"]], t_fp[p["c"]]
+        f_r, f_s, f_h, f_w = t_fp[p["r"]], t_fp[p["s"]], t_fp[p["h"]], t_fp[p["w"]]
+        ext_h = (f_h - 1) * stride + (f_r - 1) * dilation + 1
+        ext_w = (f_w - 1) * stride + (f_s - 1) * dilation + 1
+        footprints = {
+            "Out": f_n * f_k * f_h * f_w,
+            "Ker": f_k * f_c * f_r * f_s,
+            "In": f_n * f_c * ext_h * ext_w,
+        }
+        total = 0.0
+        for tensor, idx, partial, iterator in self._float_plans:
+            product = 1.0
+            for position in idx:
+                ratio = p_ratio[position] / t_ratio[position]
+                if not upper and ratio < 1.0:
+                    ratio = 1.0  # nesting guarantees N_j >= T_j
+                product *= ratio
+            footprint = footprints[tensor]
+            if partial:
+                extra = 0.0
+                if upper:
+                    steps = max(p_ratio[iterator] / t_ratio[iterator] - 1.0, 0.0)
+                    name = self._iterator_name[iterator]
+                    if name == "w":
+                        extra = f_n * f_c * ext_h * min(ext_w, f_w * stride) * steps
+                    elif name == "s":
+                        extra = f_n * f_c * ext_h * min(ext_w, f_s * dilation) * steps
+                    elif name == "h":
+                        extra = f_n * f_c * min(ext_h, f_h * stride) * ext_w * steps
+                    else:
+                        extra = f_n * f_c * min(ext_h, f_r * dilation) * ext_w * steps
+                total += product * (extra + footprint)
+            else:
+                factor = OUT_TRAFFIC_FACTOR if tensor == "Out" else 1.0
+                total += factor * product * footprint
+        return total
+
+    # -- effective-plan signature (pinned-extent class collapse) -----------
+    def plan_signature(self, pinned: frozenset) -> Tuple:
+        """Signature of the cost expression modulo pinned (extent-1) loops.
+
+        ``pinned`` holds the positions (LOOP_INDICES order) of loops whose
+        problem extent is 1.  Such loops have tile bounds ``(1, 1)`` at
+        every level, so at every point the solver can visit their ratio
+        factors are exactly ``1.0`` and their partial-reuse step counts
+        exactly ``0.0`` — multiplying by 1.0 and adding 0.0 are exact in
+        IEEE-754, so two permutations whose plans agree after dropping
+        pinned members evaluate bitwise-identically everywhere.  A partial
+        plan whose reuse iterator is pinned degenerates to the case-1
+        expression at the same position.  The signature captures exactly
+        that equivalence: ordered non-pinned members per tensor plus the
+        effective case/iterator, so equal signatures certify bitwise-equal
+        solves (see ``MOptOptimizer``'s class dedup).
+        """
+        signature = []
+        for tensor, idx, partial, iterator in self._float_plans:
+            effective = tuple(position for position in idx if position not in pinned)
+            live_partial = partial and iterator not in pinned
+            signature.append(
+                (tensor, effective, live_partial, iterator if live_partial else -1)
+            )
+        return (self.stride, self.dilation, tuple(signature))
+
+
+class CompileCache:
+    """Bounded, thread-safe LRU memo for :class:`CompiledPermutationCost`.
+
+    The compiled plans depend only on the *shape family* of an operator —
+    the permutation plus its stride/dilation — never on the loop extents,
+    so one table serves every operator of a network and every machine of a
+    design-space sweep.  Earlier revisions used an unbounded
+    ``functools.lru_cache``; a long-lived serving process that sees many
+    stride/dilation combinations now evicts least-recently-used plans at
+    ``maxsize`` instead of growing without limit, and the hit/miss/eviction
+    counters feed the serving stats probe.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("CompileCache maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[Tuple, CompiledPermutationCost]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(
+        self, permutation: Sequence[str], *, stride: int = 1, dilation: int = 1
+    ) -> CompiledPermutationCost:
+        """The compiled plans for one (permutation, stride, dilation) family."""
+        key = (tuple(permutation), int(stride), int(dilation))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self._misses += 1
+        # Compile outside the lock: the analysis is pure, so a rare
+        # duplicate compile under contention is only wasted work.
+        compiled = CompiledPermutationCost(key[0], stride=key[1], dilation=key[2])
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = compiled
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return compiled
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (serving stats probe payload)."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Process-global compile cache shared by default between every optimizer,
+#: network sweep and DSE exploration in the process.
+DEFAULT_COMPILE_CACHE = CompileCache()
+
+
 def compiled_cost_for(
-    permutation: Tuple[str, ...], stride: int = 1, dilation: int = 1
+    permutation: Tuple[str, ...],
+    stride: int = 1,
+    dilation: int = 1,
+    *,
+    cache: Optional[CompileCache] = None,
 ) -> CompiledPermutationCost:
     """Memoized :class:`CompiledPermutationCost` for one permutation.
 
     The permutation analysis is pure and the instances are effectively
     immutable; network sweeps ask for the same eight representatives for
     every operator, so sharing the compiled plans avoids rebuilding them
-    once per (operator, class) pair.
+    once per (operator, class) pair.  Served from ``cache`` when given,
+    else from the process-global :data:`DEFAULT_COMPILE_CACHE`.
     """
-    return CompiledPermutationCost(permutation, stride=stride, dilation=dilation)
+    return (cache if cache is not None else DEFAULT_COMPILE_CACHE).get(
+        permutation, stride=stride, dilation=dilation
+    )

@@ -7,16 +7,29 @@ formulation of Section 5:
 1. The register-level tile is either fixed by the microkernel design
    (Section 6/8: the microkernel shape depends only on the machine) or left
    to the solver.
-2. While unvisited levels remain, every unvisited level is hypothesised in
-   turn to be the *most constraining* one: its bandwidth-scaled data volume
-   is minimized subject to capacity/nesting constraints and to the
-   constraint that it dominates every other level's bandwidth-scaled
-   volume.  The hypothesis with the smallest cost identifies the true
+2. While unvisited levels remain, one *epigraph* problem is solved per
+   round: minimize a bottleneck variable ``tau`` over the tile sizes of
+   all unvisited levels subject to capacity/nesting constraints and
+   ``tau >= t_l`` for every level's bandwidth-scaled data time.  Because
+   the level times are posynomial-like (near-convex in log coordinates),
+   this single certified solve is an exact reformulation of the paper's
+   per-level bottleneck-hypothesis scan — each hypothesis problem is the
+   restriction of the min-max problem to the piece of the space where that
+   level dominates, and the pieces cover the space — at a fraction of the
+   solves (one per round instead of one per unvisited level plus relaxed
+   fallbacks).  The level attaining ``tau`` at the optimum is the true
    bottleneck; its tile sizes are frozen and the loop repeats on the
-   remaining levels.
+   remaining levels, warm-started from the previous round's solution.
 3. The real-valued solution is floored/snapped to integer tile sizes and,
    in the parallel case, a core-distribution plan is chosen and load
    balanced (Section 7, Algorithm 1 lines 23–24).
+
+Permutation classes whose cost expressions coincide after dropping
+extent-1 loops (e.g. all the spatial loops of a matmul-like operator) are
+solved once and the solution is shared — the collapse is certified
+bitwise-exact by :meth:`CompiledPermutationCost.plan_signature`.  The
+per-class solves are independent, so they can also be fanned out across a
+process pool (``OptimizerSettings.class_workers``).
 
 The result records every candidate (one per permutation class) so the
 ``MOpt-5`` variant of the paper's evaluation (take the best of the top five
@@ -32,9 +45,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..machine.spec import MachineSpec
-from .capacity import level_capacities, max_feasible_uniform_tile
+from .capacity import level_capacities
 from .config import MultiLevelConfig, TilingConfig
-from .cost_model import CompiledPermutationCost, compiled_cost_for
+from .cost_model import (
+    CompileCache,
+    CompiledPermutationCost,
+    compiled_cost_for,
+)
 from .loadbalance import integerize_config
 from .microkernel import MicrokernelDesign, design_microkernel
 from .multilevel import MultiLevelCost, multilevel_cost
@@ -45,7 +62,7 @@ from .parallel import (
     parallel_multilevel_cost,
 )
 from .pruning import PermutationClass, pruned_permutation_classes
-from .solver import ConstrainedProblem, SolverOptions, minimize_constrained
+from .solver import ConstrainedProblem, SolverOptions, minimize_from_starts
 from .tensor_spec import LOOP_INDICES, ConvSpec
 
 
@@ -82,13 +99,27 @@ class OptimizerSettings:
         Restrict the search to a subset of the eight pruned classes (mainly
         for tests and ablations); ``None`` searches all eight.
     vectorized:
-        Solve through the batched evaluation core (default): multistart
-        candidates are screened in vectorized sweeps and SLSQP runs receive
-        batched finite-difference jacobians, making a cold search several
-        times faster.  ``False`` selects the original scalar path (scipy
-        differences the Python objective point-by-point); both paths solve
-        the same problems and agree on the chosen configurations to solver
-        tolerance — ``tests/test_batched.py`` pins the equivalence.
+        Solve through the batched evaluation core (default): SLSQP runs
+        receive batched finite-difference jacobians instead of letting
+        scipy difference the Python objective point-by-point, making a
+        cold search several times faster.  ``False`` selects the original
+        scalar path; both paths solve the same problems and agree on the
+        chosen configurations bitwise — ``tests/test_batched.py`` and
+        ``tests/test_differential.py`` pin the equivalence.
+    dedup_classes:
+        Collapse permutation classes whose cost expressions coincide once
+        extent-1 loops are dropped (see
+        :meth:`~repro.core.cost_model.CompiledPermutationCost.plan_signature`)
+        and solve each group once.  The collapse is certified bitwise-exact,
+        so this is purely an execution knob; matmul-like operators shrink
+        from eight solves to two.
+    class_workers:
+        Fan the independent per-class solves of this *single* operator out
+        across a process pool.  ``None`` or ``1`` solves serially; the pool
+        is also suppressed inside operator-level worker processes, so a
+        network sweep's process budget is never multiplied (one budget for
+        both fan-out layers).  Results are bitwise-identical to the serial
+        order — this knob never enters cache keys.
     """
 
     levels: Tuple[str, ...] = ("Reg", "L1", "L2", "L3")
@@ -102,6 +133,8 @@ class OptimizerSettings:
     solver: SolverOptions = field(default_factory=SolverOptions)
     permutation_class_names: Optional[Tuple[str, ...]] = None
     vectorized: bool = True
+    dedup_classes: bool = True
+    class_workers: Optional[int] = None
 
     def with_solver(self, solver: SolverOptions) -> "OptimizerSettings":
         """Copy with different solver options."""
@@ -183,9 +216,16 @@ class MOptOptimizer:
         topk = result.top(5)          # MOpt-5 candidates
     """
 
-    def __init__(self, machine: MachineSpec, settings: Optional[OptimizerSettings] = None):
+    def __init__(
+        self,
+        machine: MachineSpec,
+        settings: Optional[OptimizerSettings] = None,
+        *,
+        compile_cache: Optional[CompileCache] = None,
+    ):
         self.machine = machine
         self.settings = settings or OptimizerSettings()
+        self.compile_cache = compile_cache
         unknown = [
             level
             for level in self.settings.levels
@@ -197,6 +237,14 @@ class MOptOptimizer:
                 f"available: {('Reg',) + machine.cache_names}"
             )
 
+    def _compiled_for(self, permutation: Sequence[str], spec: ConvSpec) -> CompiledPermutationCost:
+        return compiled_cost_for(
+            tuple(permutation),
+            stride=spec.stride,
+            dilation=spec.dilation,
+            cache=self.compile_cache,
+        )
+
     # ------------------------------------------------------------------
     def optimize(self, spec: ConvSpec) -> OptimizationResult:
         """Run Algorithm 1 and return all candidate solutions, best first."""
@@ -204,10 +252,28 @@ class MOptOptimizer:
         start = time.perf_counter()
         microkernel = design_microkernel(self.machine, spec)
         classes = self._permutation_classes()
-        candidates: List[CandidateSolution] = []
-        for cls in classes:
-            candidate = self._solve_class(spec, cls, microkernel)
-            candidates.append(candidate)
+        groups = self._collapse_groups(spec, classes)
+        tiles_by_group = self._solve_groups(spec, groups, microkernel)
+        # Fill per-class results in the original class order (shared tiles
+        # within a group) so candidate tie-breaking is group-independent.
+        by_name: Dict[str, CandidateSolution] = {}
+        levels = tuple(settings.levels)
+        for group, tiles in zip(groups, tiles_by_group):
+            for cls in group:
+                config = MultiLevelConfig(
+                    levels,
+                    tuple(
+                        TilingConfig(cls.representative, tiles[level])
+                        for level in levels
+                    ),
+                )
+                config = integerize_config(
+                    spec, config, snap_to_divisors=settings.snap_to_divisors
+                )
+                by_name[cls.name] = self._evaluate_candidate(
+                    spec, cls, config, microkernel
+                )
+        candidates = [by_name[cls.name] for cls in classes]
         candidates.sort(key=lambda c: c.predicted_time_seconds)
         elapsed = time.perf_counter() - start
         return OptimizationResult(
@@ -218,6 +284,64 @@ class MOptOptimizer:
             search_seconds=elapsed,
             microkernel=microkernel,
         )
+
+    # ------------------------------------------------------------------
+    def _collapse_groups(
+        self, spec: ConvSpec, classes: Sequence[PermutationClass]
+    ) -> List[List[PermutationClass]]:
+        """Group classes whose solves are certified bitwise-identical.
+
+        Loops of extent 1 have tile bounds ``(1, 1)`` at every level, so
+        their ratio factors are exactly 1.0 and their partial-reuse steps
+        exactly 0.0 at every point the solver can visit; classes whose
+        compiled plans agree modulo such loops evaluate identically
+        everywhere and therefore produce the same solver trajectory.  One
+        solve per group suffices — each member still gets its own
+        permutation in the final configuration.
+        """
+        if not self.settings.dedup_classes:
+            return [[cls] for cls in classes]
+        pinned = frozenset(
+            position
+            for position, index in enumerate(LOOP_INDICES)
+            if spec.loop_extents[index] <= 1
+        )
+        groups: "Dict[Tuple, List[PermutationClass]]" = {}
+        order: List[Tuple] = []
+        for cls in classes:
+            compiled = self._compiled_for(cls.representative, spec)
+            signature = compiled.plan_signature(pinned)
+            if signature not in groups:
+                groups[signature] = []
+                order.append(signature)
+            groups[signature].append(cls)
+        return [groups[signature] for signature in order]
+
+    def _solve_groups(
+        self,
+        spec: ConvSpec,
+        groups: Sequence[Sequence[PermutationClass]],
+        microkernel: MicrokernelDesign,
+    ) -> List[Dict[str, Dict[str, float]]]:
+        """Solve one representative per group, serially or across the pool."""
+        from . import solve_pool
+
+        representatives = [group[0] for group in groups]
+        workers = solve_pool.resolve_workers(
+            self.settings.class_workers, len(representatives)
+        )
+        if workers > 1:
+            return solve_pool.run_class_solves(
+                self.machine,
+                self.settings,
+                spec,
+                [cls.name for cls in representatives],
+                workers,
+            )
+        return [
+            self._solve_class_tiles(spec, cls, microkernel)
+            for cls in representatives
+        ]
 
     # ------------------------------------------------------------------
     def _permutation_classes(self) -> Tuple[PermutationClass, ...]:
@@ -255,17 +379,16 @@ class MOptOptimizer:
         }
 
     # ------------------------------------------------------------------
-    def _solve_class(
+    def _solve_class_tiles(
         self,
         spec: ConvSpec,
         cls: PermutationClass,
         microkernel: MicrokernelDesign,
-    ) -> CandidateSolution:
+    ) -> Dict[str, Dict[str, float]]:
+        """Algorithm 1's round loop for one class: real-valued tiles per level."""
         settings = self.settings
         permutation = cls.representative
-        compiled = compiled_cost_for(
-            tuple(permutation), stride=spec.stride, dilation=spec.dilation
-        )
+        compiled = self._compiled_for(permutation, spec)
         levels = list(settings.levels)
         extents = {i: float(e) for i, e in spec.loop_extents.items()}
         capacities = self._capacities()
@@ -279,13 +402,13 @@ class MOptOptimizer:
             }
 
         not_visited = [level for level in levels if level not in fixed]
+        warm: Optional[Dict[str, Dict[str, float]]] = None
         while not_visited:
-            best_level: Optional[str] = None
-            best_cost = float("inf")
-            best_tiles: Optional[Dict[str, Dict[str, float]]] = None
-            for objective_level in not_visited:
-                cost, tiles = self._arg_min_solve(
-                    spec,
+            if len(not_visited) > 1:
+                # Selection solve: the epigraph min-max identifies the
+                # round's bottleneck level in one solve (the old scan needed
+                # one hypothesis solve per unvisited level just to rank them).
+                times, tiles = self._bottleneck_solve(
                     compiled,
                     levels,
                     extents,
@@ -293,24 +416,39 @@ class MOptOptimizer:
                     bandwidths,
                     fixed,
                     not_visited,
-                    objective_level,
+                    warm,
                 )
-                if cost < best_cost:
-                    best_cost = cost
-                    best_level = objective_level
-                    best_tiles = tiles
-            assert best_level is not None and best_tiles is not None
-            fixed[best_level] = best_tiles[best_level]
+                # The level attaining the bottleneck at the min-max optimum
+                # is the round's most constraining unvisited level (ties keep
+                # the innermost, matching the hypothesis-scan order).
+                best_level = not_visited[0]
+                for level in not_visited[1:]:
+                    if times[level] > times[best_level]:
+                        best_level = level
+                warm = tiles
+            else:
+                best_level = not_visited[0]
+            # Refine solve: the min-max optimum is flat in coordinates that
+            # do not touch the bottleneck, so its tiles are a poor freeze.
+            # Re-solve the round as the *hypothesis problem* for the selected
+            # level (minimize that level's time subject to it dominating,
+            # with the relaxed fallback of the original scan) and freeze the
+            # refined tiles — the objective now shapes every coordinate.
+            _, tiles = self._refine_solve(
+                compiled,
+                levels,
+                extents,
+                capacities,
+                bandwidths,
+                fixed,
+                not_visited,
+                best_level,
+                dominate=len(not_visited) > 1,
+            )
+            fixed[best_level] = tiles[best_level]
             not_visited.remove(best_level)
-
-        config = MultiLevelConfig(
-            tuple(levels),
-            tuple(TilingConfig(permutation, fixed[level]) for level in levels),
-        )
-        config = integerize_config(
-            spec, config, snap_to_divisors=settings.snap_to_divisors
-        )
-        return self._evaluate_candidate(spec, cls, config, microkernel)
+            warm = tiles
+        return fixed
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -333,9 +471,460 @@ class MOptOptimizer:
         count = float(np.prod(extents_array / outer))
         return volume * count / bandwidths[level]
 
-    def _arg_min_solve(
+    def _bottleneck_solve(
         self,
-        spec: ConvSpec,
+        compiled: CompiledPermutationCost,
+        levels: Sequence[str],
+        extents: Mapping[str, float],
+        capacities: Mapping[str, float],
+        bandwidths: Mapping[str, float],
+        fixed: Mapping[str, Mapping[str, float]],
+        not_visited: Sequence[str],
+        warm: Optional[Mapping[str, Mapping[str, float]]],
+    ) -> Tuple[Dict[str, float], Dict[str, Dict[str, float]]]:
+        """One epigraph round of Algorithm 1: min ``tau`` s.t. every level fits.
+
+        The decision vector is the concatenated tile sizes of the unvisited
+        levels plus the bottleneck variable ``tau``; the constraints are the
+        capacity and nesting conditions of the hypothesis scan plus
+        ``tau >= t_l`` for *every* level.  Minimizing ``tau`` solves the
+        round's min-max problem directly: the old per-level hypothesis
+        problems are exactly the restrictions of this problem to the pieces
+        of the space where one level dominates, so their scan minimum
+        equals this single optimum — without the per-hypothesis SLSQP runs
+        or the relaxed re-solves infeasible hypotheses used to need.
+
+        ``tau`` is boxed between a *certified interval lower bound* of the
+        achievable bottleneck time (no feasible tiling of this class can
+        beat it — the per-class basin floor) and the best starting point's
+        bottleneck value.  The problem is declared ``single_basin`` (the
+        level times are posynomial-like, hence near-convex in log
+        coordinates), so the solver polishes the best-ranked start only and
+        the screened and exact solver modes coincide bitwise.
+
+        With ``settings.vectorized`` the problem additionally carries
+        batched evaluators over ``(M, D)`` point matrices so SLSQP receives
+        batched finite-difference jacobians.  The scalar closures below
+        remain the single source of truth for the problem's semantics and
+        are what SLSQP's line search evaluates on both paths.
+
+        Returns the per-level times at the solution and the per-level tile
+        sizes (free and fixed).
+        """
+        free_levels = list(not_visited)
+        level_order = list(levels)
+        extents_array = np.array([extents[i] for i in LOOP_INDICES], dtype=float)
+        fixed_arrays = {
+            level: np.array([values[i] for i in LOOP_INDICES], dtype=float)
+            for level, values in fixed.items()
+        }
+
+        # Bounds: each free level's tile is bounded below by the nearest fixed
+        # inner level (or 1) and above by the nearest fixed outer level (or N).
+        bounds: List[Tuple[float, float]] = []
+        lower_by_level: Dict[str, np.ndarray] = {}
+        upper_by_level: Dict[str, np.ndarray] = {}
+        for level in free_levels:
+            idx = level_order.index(level)
+            lower = np.ones(7)
+            for inner_idx in range(idx - 1, -1, -1):
+                if level_order[inner_idx] in fixed_arrays:
+                    lower = fixed_arrays[level_order[inner_idx]]
+                    break
+            upper = extents_array
+            for outer_idx in range(idx + 1, len(level_order)):
+                if level_order[outer_idx] in fixed_arrays:
+                    upper = fixed_arrays[level_order[outer_idx]]
+                    break
+            low_arr = np.minimum(lower, upper)
+            high_arr = np.maximum(low_arr, upper)
+            lower_by_level[level] = low_arr
+            upper_by_level[level] = high_arr
+            for position in range(7):
+                bounds.append((float(low_arr[position]), float(high_arr[position])))
+
+        def unpack(x: np.ndarray) -> Dict[str, np.ndarray]:
+            tiles_arrays: Dict[str, np.ndarray] = dict(fixed_arrays)
+            for pos, level in enumerate(free_levels):
+                tiles_arrays[level] = x[pos * 7 : (pos + 1) * 7]
+            return tiles_arrays
+
+        # Certified floor of the bottleneck: interval arithmetic over the
+        # tile boxes bounds every level's time from below; no feasible
+        # tiling of this permutation class can beat the largest floor.
+        def level_box(level: str) -> Tuple[np.ndarray, np.ndarray]:
+            if level in fixed_arrays:
+                array = fixed_arrays[level]
+                return array, array
+            return lower_by_level[level], upper_by_level[level]
+
+        floor_by_level: Dict[str, float] = {}
+        for index, level in enumerate(level_order):
+            inner_lo, inner_hi = level_box(level)
+            if index + 1 < len(level_order):
+                outer_lo, outer_hi = level_box(level_order[index + 1])
+            else:
+                outer_lo = outer_hi = extents_array
+            volume_floor = compiled.volume_interval_bound(
+                outer_lo.tolist(),
+                outer_hi.tolist(),
+                inner_lo.tolist(),
+                inner_hi.tolist(),
+                upper=False,
+            )
+            count_floor = float(np.prod(extents_array / outer_hi))
+            floor_by_level[level] = volume_floor * count_floor / bandwidths[level]
+        tau_floor = max(floor_by_level.values())
+
+        # SLSQP evaluates the objective and the constraint function at the
+        # same points (and at finite-difference perturbations of them); a tiny
+        # memo keyed on the raw tile bytes avoids recomputing the per-level
+        # times twice per point.
+        times_cache: Dict[bytes, Dict[str, float]] = {}
+
+        def level_times(tiles_vector: np.ndarray) -> Dict[str, float]:
+            key = tiles_vector.tobytes()
+            cached = times_cache.get(key)
+            if cached is not None:
+                return cached
+            tiles_arrays = unpack(tiles_vector)
+            times = {
+                level: self._level_time_array(
+                    compiled, level_order, tiles_arrays, extents_array, bandwidths, level
+                )
+                for level in level_order
+            }
+            if len(times_cache) > 4096:
+                times_cache.clear()
+            times_cache[key] = times
+            return times
+
+        # The solver works in log coordinates: the decision vector is
+        # ``z = [log(tiles), v]`` with ``v = log(tau)``.  The level times are
+        # posynomial-like, so ``log t_l`` is a near-convex, O(1)-scaled
+        # function of ``log(tiles)`` (the geometric-programming form), the
+        # nesting constraints become *linear* variable differences, and the
+        # objective ``v`` is linear — SLSQP converges on this form where the
+        # linear-coordinate epigraph (tau spanning eight decades against
+        # tile extents in the thousands) stalls its line search.
+        lows_arr = np.array([b[0] for b in bounds], dtype=float)
+        highs_arr = np.array([b[1] for b in bounds], dtype=float)
+        log_bounds: List[Tuple[float, float]] = [
+            (float(lo), float(hi))
+            for lo, hi in zip(np.log(lows_arr), np.log(highs_arr))
+        ]
+
+        # Starting points: the previous round's solution (warm handoff), the
+        # deterministic interior points of the multistart recipe, and the
+        # all-lows corner.  The corner equals the nearest fixed inner tile
+        # (or all ones) at every free level, so it satisfies nesting and
+        # capacity by construction — its bottleneck value is therefore a
+        # *sound* upper bound on the constrained optimum, which makes the
+        # tau box below provably non-empty.  Each start is augmented with
+        # its own bottleneck value and ranked by it — on a single-basin
+        # problem the best-ranked start is polished and the rest are
+        # deterministic failovers.
+        raw_tile_starts: List[np.ndarray] = []
+        if warm is not None:
+            raw_tile_starts.append(
+                np.concatenate(
+                    [
+                        np.array([warm[level][i] for i in LOOP_INDICES], dtype=float)
+                        for level in free_levels
+                    ]
+                )
+            )
+        raw_tile_starts.extend(
+            [
+                lows_arr + 0.5 * (highs_arr - lows_arr),
+                np.sqrt(
+                    np.maximum(lows_arr, 1e-12) * np.maximum(highs_arr, 1e-12)
+                ),
+                lows_arr + 0.15 * (highs_arr - lows_arr),
+                highs_arr.copy(),
+                lows_arr.copy(),
+            ]
+        )
+        scored_starts: List[Tuple[float, int, np.ndarray]] = []
+        for order_index, tile_start in enumerate(raw_tile_starts):
+            clipped = np.minimum(np.maximum(tile_start, lows_arr), highs_arr)
+            # Round-trip through log space so the scored bottleneck value is
+            # exactly the one the solver's constraints see at this start.
+            log_tiles = np.log(clipped)
+            effective = np.exp(log_tiles)
+            tau_start = max(level_times(effective).values())
+            scored_starts.append((tau_start, order_index, log_tiles))
+        scored_starts.sort(key=lambda item: (item[0], item[1]))
+
+        tau_ceiling = max(item[0] for item in scored_starts)
+        tau_floor = max(tau_floor, tau_ceiling * 1e-12, 1e-300)
+        if not tau_ceiling > tau_floor:  # degenerate box: keep tau movable
+            tau_ceiling = tau_floor * (1.0 + 1e-9)
+        v_floor = float(np.log(tau_floor))
+        v_ceiling = float(np.log(tau_ceiling))
+        log_bounds.append((v_floor, v_ceiling))
+        starts = [
+            np.concatenate(
+                [log_tiles, [min(max(float(np.log(tau)), v_floor), v_ceiling)]]
+            )
+            for tau, _, log_tiles in scored_starts
+        ]
+
+        def objective(x: np.ndarray) -> float:
+            return float(x[-1])
+
+        # Single vectorized inequality function: capacity constraints of the
+        # free levels, nesting between adjacent levels that involve a free
+        # level (linear in log coordinates), and ``v`` dominating every
+        # level's log-time.
+        nesting_pairs = [
+            (level_order[idx], level_order[idx + 1])
+            for idx in range(len(level_order) - 1)
+            if level_order[idx] in free_levels or level_order[idx + 1] in free_levels
+        ]
+        fixed_logs = {
+            level: np.log(array) for level, array in fixed_arrays.items()
+        }
+
+        def unpack_logs(y: np.ndarray) -> Dict[str, np.ndarray]:
+            logs: Dict[str, np.ndarray] = dict(fixed_logs)
+            for pos, level in enumerate(free_levels):
+                logs[level] = y[pos * 7 : (pos + 1) * 7]
+            return logs
+
+        def constraints(x: np.ndarray) -> np.ndarray:
+            x = np.asarray(x, dtype=float)
+            y = x[:-1]
+            v = float(x[-1])
+            tiles_vector = np.exp(y)
+            tiles_arrays = unpack(tiles_vector)
+            log_arrays = unpack_logs(y)
+            values: List[float] = []
+            for level in free_levels:
+                cap = capacities[level]
+                values.append((cap - compiled.footprint_array(tiles_arrays[level])) / cap)
+            for inner_level, outer_level in nesting_pairs:
+                diff = log_arrays[outer_level] - log_arrays[inner_level]
+                values.extend(diff.tolist())
+            times = level_times(tiles_vector)
+            for level in level_order:
+                values.append(v - float(np.log(times[level])))
+            return np.array(values)
+
+        batch_objective = batch_full = None
+        if self.settings.vectorized:
+            level_order_list = list(level_order)
+            num_order = len(level_order_list)
+            bandwidth_row = np.array(
+                [bandwidths[level] for level in level_order_list], dtype=float
+            )
+            bandwidth_list = bandwidth_row.tolist()
+            extents_list = extents_array.tolist()
+            fixed_floats = {
+                level: array.tolist() for level, array in fixed_arrays.items()
+            }
+            capacity_list = [capacities[level] for level in free_levels]
+
+            # Fast per-point closures on plain floats: bitwise-identical to
+            # the memoized array closures above but without NumPy-scalar
+            # overhead.  SLSQP's line search calls these thousands of times.
+            float_memo: Dict[bytes, Dict[str, float]] = {}
+
+            def float_level_times(tiles_vector: np.ndarray) -> Dict[str, float]:
+                key = tiles_vector.tobytes()
+                cached = float_memo.get(key)
+                if cached is not None:
+                    return cached
+                flat = tiles_vector.tolist()
+                tiles_f = dict(fixed_floats)
+                for position, level in enumerate(free_levels):
+                    tiles_f[level] = flat[position * 7 : (position + 1) * 7]
+                times: Dict[str, float] = {}
+                for index, level in enumerate(level_order_list):
+                    outer = (
+                        tiles_f[level_order_list[index + 1]]
+                        if index + 1 < num_order
+                        else extents_list
+                    )
+                    volume = compiled.volume_floats(outer, tiles_f[level])
+                    count = extents_list[0] / outer[0]
+                    for j in range(1, 7):
+                        count *= extents_list[j] / outer[j]
+                    times[level] = volume * count / bandwidth_list[index]
+                if len(float_memo) > 4096:
+                    float_memo.clear()
+                float_memo[key] = times
+                return times
+
+            def fast_objective(x: np.ndarray) -> float:
+                return float(np.asarray(x, dtype=float)[-1])
+
+            fixed_log_floats = {
+                level: array.tolist() for level, array in fixed_logs.items()
+            }
+            constraint_memo: Dict[bytes, np.ndarray] = {}
+
+            def fast_constraints(x: np.ndarray) -> np.ndarray:
+                x = np.asarray(x, dtype=float)
+                key = x.tobytes()
+                cached = constraint_memo.get(key)
+                if cached is not None:
+                    return cached
+                y = x[:-1]
+                v = float(x[-1])
+                tiles_vector = np.exp(y)
+                flat = tiles_vector.tolist()
+                ylist = y.tolist()
+                tiles_f = dict(fixed_floats)
+                logs_f = dict(fixed_log_floats)
+                for position, level in enumerate(free_levels):
+                    tiles_f[level] = flat[position * 7 : (position + 1) * 7]
+                    logs_f[level] = ylist[position * 7 : (position + 1) * 7]
+                values: List[float] = []
+                for index, level in enumerate(free_levels):
+                    cap = capacity_list[index]
+                    values.append((cap - compiled.footprint_floats(tiles_f[level])) / cap)
+                for inner_level, outer_level in nesting_pairs:
+                    outer_y, inner_y = logs_f[outer_level], logs_f[inner_level]
+                    values.extend(outer_y[j] - inner_y[j] for j in range(7))
+                times = float_level_times(tiles_vector)
+                for level in level_order_list:
+                    values.append(v - float(np.log(times[level])))
+                result = np.array(values)
+                if len(constraint_memo) > 4096:
+                    constraint_memo.clear()
+                constraint_memo[key] = result
+                return result
+
+            # One-slot memo: the FD sweep asks for the objective and the
+            # constraint values of the same point matrix back to back.
+            memo: Dict[str, object] = {}
+            # Broadcast views of the fixed tiles / problem extents per batch
+            # size (almost always the FD sweep's D probes).
+            broadcast_cache: Dict[int, Dict[str, np.ndarray]] = {}
+
+            def batch_eval(points: np.ndarray):
+                points = np.asarray(points, dtype=float)
+                key = points.tobytes()
+                if memo.get("key") == key:
+                    return memo["value"]
+                count_points = points.shape[0]
+                y_points = points[:, :-1]
+                tile_points = np.exp(y_points)
+                v_column = points[:, -1]
+                fixed_views = broadcast_cache.get(count_points)
+                if fixed_views is None:
+                    fixed_views = {
+                        level: np.broadcast_to(array, (count_points, 7))
+                        for level, array in fixed_arrays.items()
+                    }
+                    fixed_views["__whole__"] = np.broadcast_to(
+                        extents_array, (count_points, 7)
+                    )
+                    for level, array in fixed_logs.items():
+                        fixed_views["log:" + level] = np.broadcast_to(
+                            array, (count_points, 7)
+                        )
+                    if len(broadcast_cache) > 8:
+                        broadcast_cache.clear()
+                    broadcast_cache[count_points] = fixed_views
+                tiles_by_level = {
+                    level: view
+                    for level, view in fixed_views.items()
+                    if not level.startswith("log:") and level != "__whole__"
+                }
+                logs_by_level = {
+                    level[len("log:") :]: view
+                    for level, view in fixed_views.items()
+                    if level.startswith("log:")
+                }
+                whole = fixed_views["__whole__"]
+                for position, level in enumerate(free_levels):
+                    tiles_by_level[level] = tile_points[
+                        :, position * 7 : (position + 1) * 7
+                    ]
+                    logs_by_level[level] = y_points[
+                        :, position * 7 : (position + 1) * 7
+                    ]
+                # All (level, point) volumes in one fused sweep of the
+                # row-batched cost model.
+                outer_stack = np.concatenate(
+                    [
+                        tiles_by_level[level_order_list[index + 1]]
+                        if index + 1 < num_order
+                        else whole
+                        for index in range(num_order)
+                    ]
+                )
+                inner_stack = np.concatenate(
+                    [tiles_by_level[level] for level in level_order_list]
+                )
+                volumes = compiled.volume_rows(outer_stack, inner_stack).reshape(
+                    num_order, count_points
+                )
+                counts = np.prod(extents_array / outer_stack, axis=-1).reshape(
+                    num_order, count_points
+                )
+                times = volumes * counts / bandwidth_row[:, None]
+                free_stack = np.concatenate(
+                    [tiles_by_level[level] for level in free_levels]
+                )
+                footprints = compiled.footprint_rows(free_stack).reshape(
+                    len(free_levels), count_points
+                )
+                columns: List[np.ndarray] = []
+                for index, level in enumerate(free_levels):
+                    cap = capacities[level]
+                    columns.append(((cap - footprints[index]) / cap)[:, None])
+                for inner_level, outer_level in nesting_pairs:
+                    columns.append(
+                        logs_by_level[outer_level] - logs_by_level[inner_level]
+                    )
+                log_times = np.log(times)
+                dominance = [
+                    (v_column - log_times[index])[:, None]
+                    for index in range(num_order)
+                ]
+                full_columns = np.concatenate(columns + dominance, axis=1)
+                value = (times, full_columns)
+                memo["key"] = key
+                memo["value"] = value
+                return value
+
+            def batch_objective(points: np.ndarray) -> np.ndarray:
+                return np.asarray(points, dtype=float)[:, -1]
+
+            def batch_full(points: np.ndarray) -> np.ndarray:
+                return batch_eval(points)[1]
+
+        if batch_objective is not None:
+            problem = ConstrainedProblem(
+                fast_objective,
+                (fast_constraints,),
+                tuple(log_bounds),
+                batch_objective=batch_objective,
+                batch_inequalities=batch_full,
+                single_basin=True,
+            )
+        else:
+            problem = ConstrainedProblem(
+                objective, (constraints,), tuple(log_bounds), single_basin=True
+            )
+        result = minimize_from_starts(problem, starts, self.settings.solver)
+
+        x = np.asarray(result.x, dtype=float)
+        tiles_vector = np.exp(x[:-1])
+        times = level_times(tiles_vector)
+        tiles_arrays = unpack(tiles_vector)
+        tiles_by_level = {
+            level: {index: float(value) for index, value in zip(LOOP_INDICES, array)}
+            for level, array in tiles_arrays.items()
+        }
+        return times, tiles_by_level
+
+    # ------------------------------------------------------------------
+    def _refine_solve(
+        self,
         compiled: CompiledPermutationCost,
         levels: Sequence[str],
         extents: Mapping[str, float],
@@ -344,8 +933,9 @@ class MOptOptimizer:
         fixed: Mapping[str, Mapping[str, float]],
         not_visited: Sequence[str],
         objective_level: str,
+        dominate: bool = True,
     ) -> Tuple[float, Dict[str, Dict[str, float]]]:
-        """One ``ArgMinSolve`` call of Algorithm 1 (line 9).
+        """One ``ArgMinSolve`` call of Algorithm 1 (line 9) for one level.
 
         Minimizes the bandwidth-scaled volume of ``objective_level`` over the
         tile sizes of all unvisited levels, subject to capacity and nesting
@@ -353,14 +943,31 @@ class MOptOptimizer:
         Returns the achieved cost and the per-level tile sizes (free and
         fixed).
 
-        With ``settings.vectorized`` the problem additionally carries
-        batched evaluators (objective, constraints) over ``(M, D)`` point
-        matrices; :func:`~repro.core.solver.minimize_from_starts` then
-        screens the multistart pool in one sweep and feeds SLSQP batched
-        finite-difference jacobians, which is where the cold-search speedup
-        comes from.  The scalar closures below remain the single source of
-        truth for the problem's semantics and are what SLSQP's line search
-        evaluates on both paths.
+        This is the freeze-quality half of each round: the epigraph solve
+        (:meth:`_bottleneck_solve`) identifies the round's bottleneck level
+        in one solve, but its min-max optimum is flat in every coordinate
+        that does not touch the bottleneck, so its tiles are a poor freeze.
+        The hypothesis objective below shapes them all.  The problem is
+        solved in *linear* tile coordinates on purpose — its optimum sits on
+        a near-flat ridge (the dominance boundary), and the linear-space
+        SLSQP trajectories from the interior starts stop at the small-tile
+        end of the ridge, which survives integerization and parallel
+        planning far better than the large-tile end the log-space
+        trajectories drift to.
+
+        The problems are marked ``polish_all`` and solved from three
+        deterministic interior starts only (no seeded random starts): every
+        start is polished and the best kept, so the screened and exact
+        solver modes coincide bitwise (no lossy top-k start screening on
+        this path) and the result is independent of the solver seed.
+
+        ``dominate=False`` skips the dominance-constrained solve and goes
+        straight to the relaxed problem.  The caller passes it on the final
+        round: with a single unvisited level there is no selection left for
+        the dominance hypothesis to inform, and that hypothesis (the
+        innermost remaining level out-timing every frozen outer level) is
+        almost always infeasible — solving it first just to discard it
+        roughly doubled the cost of every final round.
         """
         free_levels = list(not_visited)
         level_order = list(levels)
@@ -633,18 +1240,31 @@ class MOptOptimizer:
             def batch_relaxed(points: np.ndarray) -> np.ndarray:
                 return batch_eval(points)[1]
 
-        if batch_objective is not None:
-            problem = ConstrainedProblem(
-                fast_objective,
-                (fast_constraints,),
-                tuple(bounds),
-                batch_objective=batch_objective,
-                batch_inequalities=batch_full,
-            )
-        else:
-            problem = ConstrainedProblem(objective, (constraints,), tuple(bounds))
-        result = minimize_constrained(problem, self.settings.solver)
-        if not result.feasible:
+        lows_arr = np.array([b[0] for b in bounds], dtype=float)
+        highs_arr = np.array([b[1] for b in bounds], dtype=float)
+        refine_starts = [
+            lows_arr + 0.5 * (highs_arr - lows_arr),
+            np.sqrt(np.maximum(lows_arr, 1e-12) * np.maximum(highs_arr, 1e-12)),
+            highs_arr.copy(),
+        ]
+
+        result = None
+        if dominate:
+            if batch_objective is not None:
+                problem = ConstrainedProblem(
+                    fast_objective,
+                    (fast_constraints,),
+                    tuple(bounds),
+                    batch_objective=batch_objective,
+                    batch_inequalities=batch_full,
+                    polish_all=True,
+                )
+            else:
+                problem = ConstrainedProblem(
+                    objective, (constraints,), tuple(bounds), polish_all=True
+                )
+            result = minimize_from_starts(problem, refine_starts, self.settings.solver)
+        if result is None or not result.feasible:
             # The hypothesis "objective_level dominates all other levels" may
             # simply be unsatisfiable for this permutation (that level can
             # never be the bottleneck).  Re-solve without the dominance
@@ -674,12 +1294,15 @@ class MOptOptimizer:
                     tuple(bounds),
                     batch_objective=batch_objective,
                     batch_inequalities=batch_relaxed,
+                    polish_all=True,
                 )
             else:
                 relaxed = ConstrainedProblem(
-                    objective, (relaxed_constraints,), tuple(bounds)
+                    objective, (relaxed_constraints,), tuple(bounds), polish_all=True
                 )
-            result = minimize_constrained(relaxed, self.settings.solver)
+            result = minimize_from_starts(
+                relaxed, refine_starts, self.settings.solver
+            )
 
         times = level_times(np.asarray(result.x, dtype=float))
         # Algorithm 1 compares hypotheses by the cost of the level assumed to

@@ -140,15 +140,24 @@ def pruned_representatives() -> Tuple[Tuple[str, ...], ...]:
     return tuple(cls.representative for cls in pruned_permutation_classes())
 
 
+@lru_cache(maxsize=1)
+def _classes_by_name() -> "Dict[str, PermutationClass]":
+    return {cls.name: cls for cls in pruned_permutation_classes()}
+
+
 def get_class(name: str) -> PermutationClass:
-    """Look up one of the eight classes by name."""
-    for cls in pruned_permutation_classes():
-        if cls.name == name:
-            return cls
-    raise InvalidSpecError(
-        f"unknown permutation class {name!r}; "
-        f"known: {[c.name for c in pruned_permutation_classes()]}"
-    )
+    """Look up one of the eight classes by name.
+
+    Dict-backed rather than a scan: the intra-operator solve pool ships
+    class *names* (picklable) and resolves them here once per task.
+    """
+    try:
+        return _classes_by_name()[name]
+    except KeyError:
+        raise InvalidSpecError(
+            f"unknown permutation class {name!r}; "
+            f"known: {[c.name for c in pruned_permutation_classes()]}"
+        ) from None
 
 
 def classify(permutation: Sequence[str]) -> Optional[PermutationClass]:

@@ -1,0 +1,133 @@
+"""Process-pool fan-out for the per-class solves of a single operator.
+
+The eight (post-collapse, usually two to eight) permutation-class solves of
+one operator are independent, so they can run in separate processes.  This
+module owns that pool and the policy that keeps it composable with the
+operator-level fan-out in :mod:`repro.engine.network`:
+
+* ``resolve_workers`` returns 1 unless intra-operator parallelism was
+  requested explicitly (``OptimizerSettings.class_workers > 1``) *and* the
+  current process is not itself a pool worker.  Operator-level worker
+  processes call :func:`mark_worker` (directly or via the pool initializer),
+  so the two fan-out layers never multiply into ``workers**2`` processes —
+  one budget covers both.
+* Tasks ship ``(machine, settings, spec, class_name)`` — all plain picklable
+  dataclasses — and rebuild the optimizer in the worker.  Under the default
+  fork start method the workers inherit the parent's warm
+  :data:`~repro.core.cost_model.DEFAULT_COMPILE_CACHE` at fork time (the
+  shared-table warm handoff), so class compilation is never repeated.
+
+Results are returned in submission order and each task runs the exact same
+serial code path (``class_workers`` is forced to 1 inside the task), so the
+fan-out is bitwise-identical to the serial solve order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+_IN_WORKER = False
+
+_STATS = {"pool_batches": 0, "pool_solves": 0}
+
+
+def mark_worker() -> None:
+    """Flag this process as a pool worker: it must never spawn nested pools."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def inside_worker() -> bool:
+    """True when the current process is a solve/search pool worker."""
+    return _IN_WORKER
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(requested: Optional[int], n_tasks: int) -> int:
+    """Process count for ``n_tasks`` independent class solves.
+
+    Serial (1) unless parallelism was requested explicitly; an explicit
+    request wins over core count (the caller may know better), but never
+    exceeds the task count, and is always suppressed inside a pool worker.
+    """
+    if requested is None or requested <= 1:
+        return 1
+    if n_tasks <= 1 or inside_worker():
+        return 1
+    return min(requested, n_tasks)
+
+
+def pool_stats() -> Dict[str, int]:
+    """Counters of pool activity in this process (for the stats probe)."""
+    return dict(_STATS)
+
+
+_EXECUTOR: Optional[ProcessPoolExecutor] = None
+_EXECUTOR_SIZE = 0
+
+
+def _get_executor(workers: int) -> ProcessPoolExecutor:
+    global _EXECUTOR, _EXECUTOR_SIZE
+    if _EXECUTOR is None or _EXECUTOR_SIZE < workers:
+        if _EXECUTOR is not None:
+            _EXECUTOR.shutdown(wait=False)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            context = multiprocessing.get_context()
+        _EXECUTOR = ProcessPoolExecutor(
+            max_workers=workers, mp_context=context, initializer=mark_worker
+        )
+        _EXECUTOR_SIZE = workers
+    return _EXECUTOR
+
+
+def shutdown_pool() -> None:
+    """Tear the pool down (tests / long-lived servers reclaiming workers)."""
+    global _EXECUTOR, _EXECUTOR_SIZE
+    if _EXECUTOR is not None:
+        _EXECUTOR.shutdown(wait=True)
+    _EXECUTOR = None
+    _EXECUTOR_SIZE = 0
+
+
+def _solve_task(machine, settings, spec, class_name: str):
+    """Worker-side solve of one permutation class (serial inside the worker)."""
+    from .microkernel import design_microkernel
+    from .optimizer import MOptOptimizer
+    from .pruning import get_class
+
+    optimizer = MOptOptimizer(machine, replace(settings, class_workers=1))
+    cls = get_class(class_name)
+    microkernel = design_microkernel(machine, spec)
+    return optimizer._solve_class_tiles(spec, cls, microkernel)
+
+
+def run_class_solves(
+    machine,
+    settings,
+    spec,
+    class_names: Sequence[str],
+    workers: int,
+) -> List[Dict[str, Dict[str, float]]]:
+    """Solve the named classes across the pool; results in submission order."""
+    executor = _get_executor(workers)
+    futures = [
+        executor.submit(_solve_task, machine, settings, spec, name)
+        for name in class_names
+    ]
+    results = [future.result() for future in futures]
+    _STATS["pool_batches"] += 1
+    _STATS["pool_solves"] += len(class_names)
+    return results

@@ -93,6 +93,27 @@ class ConstrainedProblem:
     jacobians instead of letting scipy difference the scalar callables one
     coordinate at a time — this is where the vectorized optimizer path gets
     its speed.  They must agree numerically with the scalar callables.
+
+    ``single_basin`` declares that the problem has (to solver tolerance) a
+    single basin of attraction — e.g. the optimizer's epigraph min-max
+    problems, whose objective and constraints are posynomial-like and
+    hence near-convex in log coordinates.  The multistart driver then
+    polishes starts *in order* and stops at the first feasible local
+    minimum: every start leads to the same basin floor, so additional
+    polishes cannot improve the result.  The policy never consults
+    ``SolverOptions.polish_starts``, which makes the screened and exact
+    solver modes identical by construction on such problems (the loss-free
+    screening contract pinned by ``tests/test_differential.py``).
+
+    ``polish_all`` is the opposite declaration for problems whose optimum
+    sits on a near-flat ridge (e.g. the optimizer's hypothesis-refine
+    problems, where the dominance boundary pins the objective): distinct
+    polishes land on distinct ridge points whose downstream value differs
+    far more than their objective values, so *every* start must be
+    polished and the best kept.  Like ``single_basin`` it never consults
+    ``SolverOptions.polish_starts`` — screened and exact modes again
+    coincide by construction, this time by doing the exact mode's full
+    work on a deliberately small start list.
     """
 
     objective: Callable[[np.ndarray], float]
@@ -100,6 +121,8 @@ class ConstrainedProblem:
     bounds: Tuple[Tuple[float, float], ...]
     batch_objective: Optional[Callable[[np.ndarray], np.ndarray]] = None
     batch_inequalities: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    single_basin: bool = False
+    polish_all: bool = False
 
     @property
     def dimension(self) -> int:
@@ -407,13 +430,33 @@ def minimize_from_starts(
     """
     options = options or SolverOptions()
     starts = [problem.clip(np.asarray(s, dtype=float)) for s in starts]
+    # Clipping collapses starts that differ only outside the box (or only
+    # in pinned coordinates) onto the same point; polishing a duplicate
+    # start re-runs an identical SLSQP trajectory whose result the strict
+    # best-value comparison below would discard anyway, so dropping
+    # duplicates is loss-free on every path.
+    seen_starts: set = set()
+    deduped: List[np.ndarray] = []
+    for candidate in starts:
+        key = candidate.tobytes()
+        if key not in seen_starts:
+            seen_starts.add(key)
+            deduped.append(candidate)
+    starts = deduped
     batched = problem.batch_objective is not None
     # Screening: rank basins by the batched refiner, polish only the most
     # promising starts up front, and keep the rest as rescue candidates.
     # Kept starts are polished from their *original* positions, so a kept
     # start produces exactly the SLSQP run the scalar multistart would.
+    # Single-basin problems skip the refiner entirely: their loss-free
+    # policy (first feasible polish wins) lives in the polish loop below.
     screened_out: List[Tuple[np.ndarray, float]] = []
-    if batched and 0 < options.polish_starts < len(starts):
+    if (
+        not problem.single_basin
+        and not problem.polish_all
+        and batched
+        and 0 < options.polish_starts < len(starts)
+    ):
         scores = _refine_scores(problem, starts)
         order = np.argsort(scores, kind="stable")
         screened_out = [
@@ -541,8 +584,13 @@ def minimize_from_starts(
             best_x = x
             message = str(result.message)
 
+    polished = 0
     for start in starts:
         polish(start)
+        polished += 1
+        if problem.single_basin and best_x is not None:
+            # One basin: the first feasible local minimum is the minimum.
+            break
 
     # Adaptive rescue for screened-out starts.  (a) If no kept run produced
     # a feasible point, polish the remainder so screening can never flip
@@ -555,6 +603,7 @@ def minimize_from_starts(
     for start, score in screened_out:
         if best_x is None or score < float(np.log(max(best_value, 1e-300))) - 0.02:
             polish(start)
+            polished += 1
 
     if best_x is None:
         fallback = _fallback_search(problem, options)
@@ -573,7 +622,7 @@ def minimize_from_starts(
         feasible=problem.is_feasible(np.asarray(best_x)),
         success=any_success,
         message=message,
-        starts_tried=len(starts),
+        starts_tried=polished,
     )
 
 

@@ -441,7 +441,7 @@ def explore(
     space: DesignSpace,
     workloads: Union[SweepWorkload, Sequence[SweepWorkload]] = ("resnet18",),
     *,
-    strategy: Union[str, SearchStrategy] = "onednn",
+    strategy: Union[str, SearchStrategy] = "mopt",
     strategy_options: Optional[Mapping[str, Any]] = None,
     cache: Union[None, bool, str, Path, ResultCache] = None,
     batch: int = 1,
@@ -460,9 +460,12 @@ def explore(
         Anything :meth:`repro.api.Session.optimize` accepts: network
         names, ``"net/layer"`` references, specs or spec lists.
     strategy / strategy_options:
-        Search strategy shared by all candidates.  Defaults to the fast
-        heuristic ``"onednn"`` dispatch — sweep-friendly at thousands of
-        machines; pass ``"mopt"`` for the paper's analytical search.
+        Search strategy shared by all candidates.  Defaults to the
+        paper's analytical ``"mopt"`` search — the raw-speed rework
+        (shape-family compile sharing, loss-free screening, refine-solve
+        restructure) made exact mopt cheap enough to be the sweep
+        default; pass ``"onednn"`` for the heuristic dispatch when a
+        sweep only needs a coarse ranking.
     cache:
         Shared result cache: ``None`` (default) one fresh in-memory
         cache for the sweep, a path for persistence across runs, a

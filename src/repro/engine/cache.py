@@ -48,7 +48,11 @@ CACHE_FORMAT_VERSION = 1
 #: 3 — PR 5 (``MachineSpec.peak_gflops`` clamps the core argument to the
 #:     machine's core count: results computed with ``threads > cores``
 #:     changed).
-STRATEGY_VERSION = 3
+#: 4 — PR 6 (loss-free screening rework: the mopt round loop is an
+#:     epigraph selection solve plus a linear-coordinate ``polish_all``
+#:     refine solve from three deterministic starts; per-class tiles and
+#:     predicted times moved, and screened ≡ exact by construction).
+STRATEGY_VERSION = 4
 
 
 def result_cache_key(

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..analysis.stats import geometric_mean
+from ..core import solve_pool
 from ..core.tensor_spec import ConvSpec
 from ..machine.spec import MachineSpec
 from ..workloads.benchmarks import network_benchmarks
@@ -300,7 +301,7 @@ class NetworkOptimizer:
         are deterministic — and exists for debugging and tests.
     max_workers:
         Pool width for the pooled modes (default: number of distinct
-        operators, capped at 8).
+        operators, capped at 8 and at the CPUs usable by this process).
     """
 
     def __init__(
@@ -410,13 +411,27 @@ class NetworkOptimizer:
         """
         if not specs:
             return []
-        workers = self.max_workers or min(len(specs), 8)
+        # Default pool width is CPU-aware: strategy searches are pure
+        # CPU-bound Python, so threads beyond the usable cores only add
+        # GIL contention (a 1-core container runs fastest serial).  An
+        # explicit ``max_workers`` is a caller contract and still wins.
+        workers = self.max_workers or min(
+            len(specs), 8, max(1, solve_pool.available_cpus())
+        )
         if self.executor == "serial" or workers <= 1 or len(specs) == 1:
             return [self.strategy.search(spec, self.machine) for spec in specs]
-        pool_cls = (
-            ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
-        )
-        with pool_cls(max_workers=workers) as pool:
+        if self.executor == "thread":
+            # Threads share the process, hence also the (bounded) intra-op
+            # solve pool — one process budget for both fan-out layers.
+            pool_cls = ThreadPoolExecutor
+            pool_kwargs: Dict[str, Any] = {}
+        else:
+            # Operator-level worker processes are marked so they never spawn
+            # nested per-class pools (``OptimizerSettings.class_workers`` is
+            # suppressed inside workers).
+            pool_cls = ProcessPoolExecutor
+            pool_kwargs = {"initializer": solve_pool.mark_worker}
+        with pool_cls(max_workers=workers, **pool_kwargs) as pool:
             futures = [
                 pool.submit(_search_worker, self.strategy, spec, self.machine)
                 for spec in specs

@@ -96,8 +96,18 @@ def solver_options_to_dict(options: SolverOptions) -> Dict[str, Any]:
 
 
 def settings_to_dict(settings: OptimizerSettings) -> Dict[str, Any]:
-    """Plain-dict form of :class:`OptimizerSettings` (solver included)."""
+    """Plain-dict form of :class:`OptimizerSettings` (solver included).
+
+    ``class_workers`` is deliberately excluded: it only controls *where*
+    the per-class solves run (process-pool fan-out), never *what* they
+    compute — results are bitwise-identical at any worker count, so it
+    must not perturb cache keys or recorded experiment settings.
+    ``dedup_classes`` stays: collapsing pinned-identical classes changes
+    how many solves run, and the flag documents which route produced a
+    recorded result.
+    """
     payload = dataclasses.asdict(settings)
+    payload.pop("class_workers", None)
     payload["levels"] = list(settings.levels)
     if settings.permutation_class_names is not None:
         payload["permutation_class_names"] = list(settings.permutation_class_names)
@@ -105,13 +115,19 @@ def settings_to_dict(settings: OptimizerSettings) -> Dict[str, Any]:
 
 
 def settings_from_dict(payload: Mapping[str, Any]) -> OptimizerSettings:
-    """Rebuild :class:`OptimizerSettings` from :func:`settings_to_dict` output."""
+    """Rebuild :class:`OptimizerSettings` from :func:`settings_to_dict` output.
+
+    Tolerates payloads recorded before (or after) execution-only fields
+    like ``class_workers`` existed: unknown keys are dropped rather than
+    crashing, and missing fields fall back to dataclass defaults.
+    """
     data = dict(payload)
     data["levels"] = tuple(data["levels"])
     if data.get("permutation_class_names") is not None:
         data["permutation_class_names"] = tuple(data["permutation_class_names"])
     data["solver"] = SolverOptions(**data["solver"])
-    return OptimizerSettings(**data)
+    known = {f.name for f in dataclasses.fields(OptimizerSettings)}
+    return OptimizerSettings(**{k: v for k, v in data.items() if k in known})
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,9 @@ The server also exposes a **solve-count probe**
 (:attr:`OptimizationServer.solve_counts`): how many times each cache key
 was actually computed.  Tests and the demo use it to verify the
 "every duplicate operator solved exactly once" property end to end.
+:meth:`OptimizationServer.stats_snapshot` widens the probe into one
+JSON-ready payload that also covers the process-global compile cache
+(shape-family plan reuse) and the intra-operator solve pool.
 
 A thin TCP transport (:func:`start_tcp_server`) frames the same protocol
 as JSON lines over a socket for out-of-process clients.
@@ -30,6 +33,7 @@ as JSON lines over a socket for out-of-process clients.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import threading
 import time
@@ -37,6 +41,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, AsyncIterator, Dict, List, Mapping, Optional, Tuple, Union
 
+from ..core import solve_pool
+from ..core.batched import table_cache_stats
+from ..core.cost_model import DEFAULT_COMPILE_CACHE
 from ..core.tensor_spec import ConvSpec
 from ..engine.cache import ResultCache
 from ..engine.network import build_network_result, dedup_specs, resolve_network
@@ -351,6 +358,24 @@ class OptimizationServer:
     def duplicate_solves(self) -> int:
         """How many solves were redundant (same key computed again)."""
         return sum(count - 1 for count in self.solve_counts.values() if count > 1)
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready dict of every observable server counter.
+
+        Besides the request/solve lifecycle counters this folds in the
+        process-global compile cache (shape-family plan sharing) and the
+        intra-operator solve pool, so an operator probing a long-lived
+        server can see plan-reuse hit rates and pool fan-out without
+        reaching into module globals.
+        """
+        payload = dataclasses.asdict(self.stats)
+        payload["queue_depth"] = self.queue_depth
+        payload["active_requests"] = len(self._handles)
+        payload["duplicate_solves"] = self.duplicate_solves()
+        payload["compile_cache"] = DEFAULT_COMPILE_CACHE.stats()
+        payload["batched_table_cache"] = table_cache_stats()
+        payload["solve_pool"] = dict(solve_pool.pool_stats())
+        return payload
 
     # ------------------------------------------------------------------
     # admission

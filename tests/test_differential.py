@@ -9,16 +9,17 @@ counts, spatial extents, kernel sizes, strides, dilations, batch sizes):
   path must reproduce the scalar multistart run *bitwise* — identical
   integerized configurations and identical predicted times, per
   permutation class;
-* **default (screened) mode**: the batched refiner screens which starts
-  get polished, so it may settle in a different basin of the same model
-  — but its predicted time must agree with the scalar path within a
-  fixed band, in both directions;
-* **screened-mode gap regression**: for the known full-machine layers
-  where the greedy screening cascade lands on a different local optimum
-  than the scalar path, the screened predicted time must never be worse
-  than exact mode by more than a fixed tolerance (the ROADMAP's
-  "screened-mode robustness" follow-on, pinned so it cannot regress
-  silently).
+* **default (screened) mode**: since the loss-free screening rework the
+  entire mopt solve path runs on ``single_basin`` (epigraph selection)
+  and ``polish_all`` (hypothesis refine) problems, neither of which
+  consults ``SolverOptions.polish_starts`` — so screened mode must now
+  reproduce the scalar path *bitwise* as well, not merely within a
+  band;
+* **screened ≡ exact equality**: the historical gap pins for the layers
+  where the old greedy screening cascade settled in a different basin
+  (the ROADMAP's "screened-mode robustness" follow-on) are promoted to
+  exact equalities: screened and exact mode must return identical
+  configurations and identical predicted times.
 
 The generator is deterministic per seed, so a failure is reproducible
 from the test id alone.
@@ -120,20 +121,28 @@ def _assert_exact_mode_bitwise(machine, spec: ConvSpec) -> None:
         )
 
 
-def _assert_screened_agreement(machine, spec: ConvSpec, band: float) -> None:
-    """Default screened mode agrees with the scalar path within ``band``."""
+def _assert_screened_bitwise(machine, spec: ConvSpec) -> None:
+    """Default screened mode == scalar path, bitwise, per class.
+
+    The mopt solve path no longer consults ``polish_starts`` (every
+    problem is either ``single_basin`` or ``polish_all``), so the
+    screened defaults must coincide with the scalar reference exactly.
+    """
     vec = MOptOptimizer(machine, _settings()).optimize(spec)
     ref = MOptOptimizer(machine, _settings(vectorized=False)).optimize(spec)
     vec.best.config.validate(spec, integral=True)
-    assert vec.best.predicted_time_seconds <= ref.best.predicted_time_seconds * band, (
-        f"{spec.name}: screened path lost too much "
-        f"({vec.best.predicted_time_seconds:.3e} vs "
-        f"{ref.best.predicted_time_seconds:.3e})"
-    )
-    assert ref.best.predicted_time_seconds <= vec.best.predicted_time_seconds * band, (
-        f"{spec.name}: scalar path unexpectedly behind the screened one "
-        "beyond the agreement band"
-    )
+    by_name = {c.class_name: c for c in vec.candidates}
+    assert set(by_name) == {c.class_name for c in ref.candidates}
+    for expected in ref.candidates:
+        got = by_name[expected.class_name]
+        assert got.config == expected.config, (
+            f"{spec.name}/{expected.class_name}: screened configuration diverged"
+        )
+        assert got.predicted_time_seconds == expected.predicted_time_seconds, (
+            f"{spec.name}/{expected.class_name}: screened predicted time "
+            f"diverged ({got.predicted_time_seconds:.17e} vs "
+            f"{expected.predicted_time_seconds:.17e})"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -145,10 +154,8 @@ class TestDifferentialSweep:
         _assert_exact_mode_bitwise(tiny_machine, random_operator_spec(seed))
 
     @pytest.mark.parametrize("seed", FAST_SEEDS)
-    def test_screened_mode_agreement(self, tiny_machine, seed):
-        _assert_screened_agreement(
-            tiny_machine, random_operator_spec(seed), band=1.5
-        )
+    def test_screened_mode_bitwise_identity(self, tiny_machine, seed):
+        _assert_screened_bitwise(tiny_machine, random_operator_spec(seed))
 
     def test_generator_is_deterministic(self):
         for seed in FAST_SEEDS + SLOW_SEEDS:
@@ -185,62 +192,62 @@ class TestDifferentialSweepExtended:
         _assert_exact_mode_bitwise(tiny_machine, random_operator_spec(seed))
 
     @pytest.mark.parametrize("seed", SLOW_SEEDS)
-    def test_screened_mode_agreement(self, tiny_machine, seed):
-        _assert_screened_agreement(
-            tiny_machine, random_operator_spec(seed), band=1.5
-        )
+    def test_screened_mode_bitwise_identity(self, tiny_machine, seed):
+        _assert_screened_bitwise(tiny_machine, random_operator_spec(seed))
 
 
 # ----------------------------------------------------------------------
-# Screened-mode gap regression (known divergent layers)
+# Screened ≡ exact (formerly: gap regression on known divergent layers)
 # ----------------------------------------------------------------------
-#: Layers where the greedy screening cascade is known to settle in a
+#: Layers where the *old* greedy screening cascade settled in a
 #: different basin than the scalar multistart on the paper's 4-level
-#: machine (see ROADMAP, "screened-mode robustness").
+#: machine (see ROADMAP, "screened-mode robustness").  The loss-free
+#: screening rework removed that divergence entirely: the mopt path is
+#: built from ``single_basin`` and ``polish_all`` problems only, so
+#: ``polish_starts`` never changes which starts get polished.  These
+#: layers stay pinned — now at bitwise equality — so a future screening
+#: shortcut cannot silently reintroduce a gap.
 KNOWN_DIVERGENT_LAYERS = (
     ConvSpec("golden-r4", 1, 32, 32, 7, 7, 3, 3, padding=1),
     ConvSpec("r12-like", 1, 64, 64, 7, 7, 3, 3, padding=1),
 )
 
-#: Screened mode may trade the scalar argmin for a nearby local optimum;
-#: it must never be worse than exact mode by more than this factor.
-SCREENED_GAP_TOLERANCE = 1.5
+
+def _assert_screened_equals_exact(machine, settings: OptimizerSettings, spec) -> None:
+    screened = MOptOptimizer(machine, settings).optimize(spec)
+    exact = MOptOptimizer(
+        machine, settings.with_solver(replace(settings.solver, polish_starts=0))
+    ).optimize(spec)
+    screened.best.config.validate(spec, integral=True)
+    by_name = {c.class_name: c for c in screened.candidates}
+    assert set(by_name) == {c.class_name for c in exact.candidates}
+    for expected in exact.candidates:
+        got = by_name[expected.class_name]
+        assert got.config == expected.config, (
+            f"{spec.name}/{expected.class_name}: screened != exact configuration"
+        )
+        assert got.predicted_time_seconds == expected.predicted_time_seconds, (
+            f"{spec.name}/{expected.class_name}: screened != exact predicted "
+            f"time ({got.predicted_time_seconds:.17e} vs "
+            f"{expected.predicted_time_seconds:.17e})"
+        )
 
 
-class TestScreenedModeGapRegression:
+class TestScreenedModeEqualsExact:
     @pytest.mark.parametrize(
         "spec", KNOWN_DIVERGENT_LAYERS, ids=lambda spec: spec.name
     )
-    def test_screened_never_worse_than_exact_beyond_tolerance(
+    def test_screened_equals_exact_on_formerly_divergent_layers(
         self, i7_machine, spec
     ):
         base = fast_settings(
             solver=QUICK,
             permutation_class_names=("inner-w", "inner-s", "inner-wk", "inner-sk"),
         )
-        screened = MOptOptimizer(i7_machine, base).optimize(spec)
-        exact = MOptOptimizer(
-            i7_machine, base.with_solver(replace(QUICK, polish_starts=0))
-        ).optimize(spec)
-        screened.best.config.validate(spec, integral=True)
-        assert (
-            screened.best.predicted_time_seconds
-            <= exact.best.predicted_time_seconds * SCREENED_GAP_TOLERANCE
-        ), (
-            f"{spec.name}: screened gap regressed — "
-            f"{screened.best.predicted_time_seconds:.3e} vs exact "
-            f"{exact.best.predicted_time_seconds:.3e}"
-        )
+        _assert_screened_equals_exact(i7_machine, base, spec)
 
     @pytest.mark.parametrize("seed", FAST_SEEDS[:3])
-    def test_screened_gap_bounded_on_random_specs(self, tiny_machine, seed):
-        """The same bound holds on the random family (2-level machine)."""
+    def test_screened_equals_exact_on_random_specs(self, tiny_machine, seed):
+        """The same equality holds on the random family (2-level machine)."""
         spec = random_operator_spec(seed)
-        screened = MOptOptimizer(tiny_machine, _settings()).optimize(spec)
-        exact = MOptOptimizer(
-            tiny_machine, _settings(solver=replace(QUICK, polish_starts=0))
-        ).optimize(spec)
-        assert (
-            screened.best.predicted_time_seconds
-            <= exact.best.predicted_time_seconds * SCREENED_GAP_TOLERANCE
-        )
+        _assert_screened_equals_exact(tiny_machine, _settings(), spec)
