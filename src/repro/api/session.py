@@ -362,6 +362,8 @@ class Session:
         max_workers: Optional[int] = None,
         progress: Optional[Union[str, Path]] = None,
         on_progress: Optional[Callable[[int, int], None]] = None,
+        max_failures: Optional[int] = None,
+        retry: Any = None,
     ):
         """Sweep a machine design space with the session's strategy/cache.
 
@@ -372,7 +374,11 @@ class Session:
         workload through the same engine path :meth:`optimize_many`
         uses, sharing this session's result cache (whose keys already
         content-hash the machine), and the sweep is resumable via
-        ``progress``.  Returns a
+        ``progress``.  A raising candidate is isolated as a
+        ``status="failed"`` record instead of killing the sweep
+        (``max_failures`` sets an abort threshold; ``retry`` — a
+        :class:`repro.reliability.RetryPolicy` — retries transient
+        failures first).  Returns a
         :class:`repro.dse.explorer.ExplorationResult` — see
         :mod:`repro.dse` for frontier/sensitivity/report helpers.
         """
@@ -393,6 +399,8 @@ class Session:
             max_workers=max_workers,
             progress=progress,
             on_progress=on_progress,
+            max_failures=max_failures,
+            retry=retry,
         )
 
     # ------------------------------------------------------------------
@@ -405,15 +413,33 @@ class Session:
         batched cost-table memo, and the intra-operator solve pool.  All
         three are reuse/fan-out mechanisms — they never change results —
         so these counters are observability, not configuration.
+
+        The ``"reliability"`` entry folds in the process-wide health
+        counters of :mod:`repro.reliability` (``pool_rebuilds``,
+        ``serial_fallbacks``, ``cache.quarantined``, ...) plus this
+        session's disk-cache state (``cache``: quarantined entries,
+        write errors, memory-only degradation) — every degradation or
+        recovery the infrastructure performed while serving results.
         """
         from ..core import solve_pool
         from ..core.batched import table_cache_stats
         from ..core.cost_model import DEFAULT_COMPILE_CACHE
+        from ..reliability import health_counters
 
+        if self.cache is not None:
+            cache_reliability = self.cache.reliability_stats()
+        else:
+            cache_reliability = {
+                "quarantined": 0, "write_errors": 0, "degraded": False,
+            }
         return {
             "compile_cache": DEFAULT_COMPILE_CACHE.stats(),
             "batched_table_cache": table_cache_stats(),
             "solve_pool": dict(solve_pool.pool_stats()),
+            "reliability": {
+                **health_counters(),
+                "cache": cache_reliability,
+            },
         }
 
     # ------------------------------------------------------------------

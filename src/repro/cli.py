@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
 import sys
 import time
@@ -436,6 +437,7 @@ def _run_dse(args: argparse.Namespace) -> int:
         DesignSpace,
         DesignSpaceError,
         ProgressMismatchError,
+        TooManyFailuresError,
         axis_values,
         explore,
         to_json_dict,
@@ -490,20 +492,37 @@ def _run_dse(args: argparse.Namespace) -> int:
     def _print_progress(done: int, total: int) -> None:
         print(f"  swept {done}/{total} machines", file=sys.stderr, flush=True)
 
-    try:
-        result = explore(
-            space,
-            workloads,
-            strategy=args.strategy,
-            strategy_options=_strategy_options(args),
-            cache=args.cache_dir if args.cache_dir else None,
-            batch=args.batch,
-            chunk_size=args.chunk_size,
-            max_workers=args.max_workers,
-            progress=args.progress,
-            on_progress=None if args.json else _print_progress,
+    # Chaos knob: arm the dse.evaluate fault point so one candidate's
+    # evaluation raises — the CI proof that a poisoned candidate is
+    # recorded as failed while the sweep still exits 0.
+    injected = contextlib.nullcontext()
+    if args.inject_candidate_failure is not None:
+        from .reliability import FaultInjector, activate
+
+        injected = activate(
+            FaultInjector().arm(
+                "dse.evaluate",
+                error=lambda: RuntimeError("injected candidate failure"),
+                times=1,
+                key=args.inject_candidate_failure or None,
+            )
         )
-    except (DesignSpaceError, ProgressMismatchError) as error:
+    try:
+        with injected:
+            result = explore(
+                space,
+                workloads,
+                strategy=args.strategy,
+                strategy_options=_strategy_options(args),
+                cache=args.cache_dir if args.cache_dir else None,
+                batch=args.batch,
+                chunk_size=args.chunk_size,
+                max_workers=args.max_workers,
+                progress=args.progress,
+                on_progress=None if args.json else _print_progress,
+                max_failures=args.max_failures,
+            )
+    except (DesignSpaceError, ProgressMismatchError, TooManyFailuresError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     objectives = ("total_time_seconds", args.frontier_cost)
@@ -517,6 +536,10 @@ def _run_dse(args: argparse.Namespace) -> int:
         )
     else:
         print(result.summary())
+        if result.failures:
+            print(f"failed candidates ({result.failures}):")
+            for outcome in result.failed_outcomes():
+                print("  " + outcome.summary())
         frontier = result.frontier(objectives)
         print(f"Pareto frontier ({objectives[0]} vs. {objectives[1]}):")
         for outcome in sorted(frontier, key=lambda o: o.total_time_seconds):
@@ -715,6 +738,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="tiny built-in sweep (tiny machine, 4 candidates) for CI",
+    )
+    dse.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort the sweep once more than N candidates fail "
+        "(default: never — failures are isolated per candidate)",
+    )
+    dse.add_argument(
+        "--inject-candidate-failure",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="MACHINE",
+        help="chaos testing: make one candidate's evaluation raise "
+        "(optionally only the named machine) to exercise failure "
+        "isolation; the sweep must still finish with the failure recorded",
     )
     dse.add_argument("--json", action="store_true", help="print the JSON report")
 

@@ -20,19 +20,40 @@ operator-level fan-out in :mod:`repro.engine.network`:
 Results are returned in submission order and each task runs the exact same
 serial code path (``class_workers`` is forced to 1 inside the task), so the
 fan-out is bitwise-identical to the serial solve order.
+
+The pool is also **fault-tolerant**: a worker killed mid-solve (OOM
+killer, operator ``kill -9``, a crashing extension) breaks the whole
+:class:`~concurrent.futures.ProcessPoolExecutor`, which used to abort
+the entire optimize run.  :func:`run_class_solves` now catches the
+broken pool, rebuilds the executor once and re-dispatches only the lost
+class solves; if the rebuilt pool breaks too, the remaining solves run
+serially in-process — the same code path the workers execute, so the
+recovered results are bitwise-identical to an undisturbed run.  The
+``pool_rebuilds`` / ``serial_fallbacks`` counters (mirrored into
+:mod:`repro.reliability.health`) record every recovery, and the
+``solve_pool.kill_worker`` fault point lets tests kill a worker on a
+chosen dispatch deterministically.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
+from ..reliability import health
+from ..reliability.faults import fault_fires
+
 _IN_WORKER = False
 
-_STATS = {"pool_batches": 0, "pool_solves": 0}
+_STATS = {
+    "pool_batches": 0,
+    "pool_solves": 0,
+    "pool_rebuilds": 0,
+    "serial_fallbacks": 0,
+}
 
 
 def mark_worker() -> None:
@@ -102,6 +123,20 @@ def shutdown_pool() -> None:
     _EXECUTOR_SIZE = 0
 
 
+def _discard_broken_executor() -> None:
+    """Drop a broken executor without waiting on its dead workers."""
+    global _EXECUTOR, _EXECUTOR_SIZE
+    if _EXECUTOR is not None:
+        _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+    _EXECUTOR = None
+    _EXECUTOR_SIZE = 0
+
+
+def _crash_worker_task() -> None:  # pragma: no cover - runs in the worker
+    """Fault-injection payload: die the way an OOM-killed worker does."""
+    os._exit(86)
+
+
 def _solve_task(machine, settings, spec, class_name: str):
     """Worker-side solve of one permutation class (serial inside the worker)."""
     from .microkernel import design_microkernel
@@ -121,13 +156,58 @@ def run_class_solves(
     class_names: Sequence[str],
     workers: int,
 ) -> List[Dict[str, Dict[str, float]]]:
-    """Solve the named classes across the pool; results in submission order."""
-    executor = _get_executor(workers)
-    futures = [
-        executor.submit(_solve_task, machine, settings, spec, name)
-        for name in class_names
-    ]
-    results = [future.result() for future in futures]
+    """Solve the named classes across the pool; results in submission order.
+
+    A broken pool (a worker died) is rebuilt once and only the lost
+    solves are re-dispatched; a second break degrades the remainder to
+    serial in-process execution.  Every path runs the identical solve
+    code, so recovery never changes results.
+    """
+    results: List[Optional[Dict[str, Dict[str, float]]]] = [None] * len(class_names)
+    pending = list(range(len(class_names)))
+    rebuilt = False
+    while pending:
+        broken = False
+        lost: List[int] = []
+        try:
+            executor = _get_executor(workers)
+            if fault_fires("solve_pool.kill_worker"):
+                # Deterministic chaos: one worker dies the hard way
+                # before this batch's real tasks reach it.
+                executor.submit(_crash_worker_task)
+            futures = {
+                index: executor.submit(
+                    _solve_task, machine, settings, spec, class_names[index]
+                )
+                for index in pending
+            }
+        except BrokenExecutor:
+            broken, lost = True, list(pending)
+        else:
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    lost.append(index)
+        if not broken:
+            break
+        pending = lost
+        _discard_broken_executor()
+        if not rebuilt:
+            rebuilt = True
+            _STATS["pool_rebuilds"] += 1
+            health.incr("pool_rebuilds")
+            continue
+        # The rebuilt pool broke too: finish serially in-process (the
+        # exact code path the workers run — bitwise-identical results).
+        _STATS["serial_fallbacks"] += 1
+        health.incr("serial_fallbacks")
+        for index in pending:
+            results[index] = _solve_task(
+                machine, settings, spec, class_names[index]
+            )
+        break
     _STATS["pool_batches"] += 1
     _STATS["pool_solves"] += len(class_names)
-    return results
+    return results  # type: ignore[return-value]

@@ -42,6 +42,7 @@ from .explorer import (
     ExplorationResult,
     ProgressMismatchError,
     SweepProgress,
+    TooManyFailuresError,
     WorkloadOutcome,
     explore,
 )
@@ -83,6 +84,7 @@ __all__ = [
     "ExplorationResult",
     "ProgressMismatchError",
     "SweepProgress",
+    "TooManyFailuresError",
     "WorkloadOutcome",
     "apply_axis",
     "axis_grid",

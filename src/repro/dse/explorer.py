@@ -18,6 +18,18 @@ the interrupted machine had already solved is still in the result
 cache.  The store's header binds it to the (space, strategy, workloads,
 batch) combination, so accidentally resuming a different sweep fails
 loudly instead of mixing results.
+
+Sweeps are also **failure-isolated**: a candidate whose evaluation
+raises (a degenerate machine the solver chokes on, a transient error)
+is recorded as a ``status="failed"`` :class:`CandidateOutcome` — error
+string and retry count included — and the sweep continues; analyses
+(:meth:`ExplorationResult.best`, Pareto frontier, sensitivity) skip
+failed candidates automatically.  Failed records persist in the
+progress store, so a resumed sweep keeps them instead of re-raising.
+``max_failures`` turns systemic breakage into a loud
+:class:`TooManyFailuresError` abort, and an optional
+:class:`~repro.reliability.RetryPolicy` retries transient candidate
+failures before recording them.
 """
 
 from __future__ import annotations
@@ -27,7 +39,7 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import (
     Any,
@@ -47,6 +59,8 @@ from ..engine.cache import ResultCache, resolve_cache
 from ..engine.serialization import machine_key, spec_shape_key, stable_hash
 from ..engine.strategy import SearchStrategy, get_strategy
 from ..machine.spec import MachineSpec
+from ..reliability import RetryPolicy, health
+from ..reliability.faults import fault_point
 from .space import Candidate, DesignSpace, ExpandedSpace
 
 #: Format marker of the progress store; bump on incompatible changes.
@@ -97,6 +111,12 @@ class CandidateOutcome:
     times) *and* the hardware-cost side (total SRAM bytes, compute
     lanes, peak GFLOP/s) so Pareto analyses need nothing but a list of
     these.
+
+    A candidate whose evaluation raised is recorded with
+    ``status="failed"``: ``error`` holds the exception, ``retries`` how
+    many retry attempts were burned, ``workloads`` is empty and
+    ``total_time_seconds`` is ``inf`` (so naive min() never picks it).
+    ``status`` defaults keep pre-existing progress stores loadable.
     """
 
     machine_name: str
@@ -110,6 +130,14 @@ class CandidateOutcome:
     cores: int
     cache_hits: int
     wall_seconds: float
+    status: str = "ok"
+    error: Optional[str] = None
+    retries: int = 0
+
+    @property
+    def failed(self) -> bool:
+        """Whether this candidate's evaluation raised instead of finishing."""
+        return self.status != "ok"
 
     def parameter(self, path: str) -> Any:
         """The value this candidate takes on one swept axis."""
@@ -131,6 +159,11 @@ class CandidateOutcome:
 
     def summary(self) -> str:
         """One-line human-readable description."""
+        if self.failed:
+            return (
+                f"{self.machine_name}: FAILED after {self.retries} "
+                f"retries ({self.error})"
+            )
         return (
             f"{self.machine_name}: {self.total_time_seconds * 1e3:.3f} ms "
             f"predicted, {self.total_sram_bytes // 1024} KiB SRAM, "
@@ -151,6 +184,9 @@ class CandidateOutcome:
             "cores": int(self.cores),
             "cache_hits": int(self.cache_hits),
             "wall_seconds": float(self.wall_seconds),
+            "status": self.status,
+            "error": self.error,
+            "retries": int(self.retries),
         }
 
     @classmethod
@@ -172,11 +208,31 @@ class CandidateOutcome:
             cores=int(payload["cores"]),
             cache_hits=int(payload["cache_hits"]),
             wall_seconds=float(payload["wall_seconds"]),
+            status=str(payload.get("status", "ok")),
+            error=payload.get("error"),
+            retries=int(payload.get("retries", 0)),
         )
 
 
 class ProgressMismatchError(ValueError):
     """Raised when a progress store belongs to a different sweep."""
+
+
+class TooManyFailuresError(RuntimeError):
+    """The sweep crossed its ``max_failures`` threshold and was aborted.
+
+    Everything evaluated before the abort (including the failed
+    records) is already in the progress store, so a resume after fixing
+    the systemic problem restarts warm.
+    """
+
+    def __init__(self, failures: int, max_failures: int, last_error: str):
+        super().__init__(
+            f"design-space sweep aborted: {failures} candidate failures "
+            f"exceed max_failures={max_failures} (last: {last_error})"
+        )
+        self.failures = failures
+        self.max_failures = max_failures
 
 
 class SweepProgress:
@@ -280,9 +336,27 @@ class ExplorationResult:
         """Sweep throughput over candidates actually evaluated this run."""
         return self.evaluated / max(self.wall_seconds, 1e-9)
 
+    @property
+    def failures(self) -> int:
+        """How many candidates failed (recorded, isolated, skipped)."""
+        return sum(1 for o in self.outcomes if o.failed)
+
+    def failed_outcomes(self) -> List[CandidateOutcome]:
+        """The failed candidates' records (error strings, retry counts)."""
+        return [o for o in self.outcomes if o.failed]
+
+    def succeeded(self) -> List[CandidateOutcome]:
+        """Only the candidates that evaluated cleanly, in axis order."""
+        return [o for o in self.outcomes if not o.failed]
+
     def best(self) -> CandidateOutcome:
-        """The fastest candidate (minimum predicted total time)."""
-        return min(self.outcomes, key=lambda o: o.total_time_seconds)
+        """The fastest *successful* candidate (minimum predicted time)."""
+        succeeded = self.succeeded()
+        if not succeeded:
+            raise ValueError(
+                f"all {len(self.outcomes)} candidates failed; no best"
+            )
+        return min(succeeded, key=lambda o: o.total_time_seconds)
 
     def frontier(
         self,
@@ -303,7 +377,7 @@ class ExplorationResult:
         if key not in memo:
             from .frontier import pareto_frontier
 
-            memo[key] = pareto_frontier(self.outcomes, objectives=key)
+            memo[key] = pareto_frontier(self.succeeded(), objectives=key)
         return list(memo[key])
 
     def sensitivity(self, threshold: float = 0.02) -> List[str]:
@@ -311,18 +385,26 @@ class ExplorationResult:
         from .frontier import sensitivity_summary
 
         return sensitivity_summary(
-            self.outcomes, [axis.path for axis in self.space.axes],
+            self.succeeded(), [axis.path for axis in self.space.axes],
             threshold=threshold,
         )
 
     def summary(self) -> str:
         """Short human-readable aggregate description."""
+        failed = self.failures
+        failed_note = f", {failed} failed" if failed else ""
+        if failed == len(self.outcomes):
+            return (
+                f"{self.space.space_name} x {list(self.workload_labels)} via "
+                f"{self.strategy!r}: all {self.num_candidates} candidates "
+                f"failed, wall {self.wall_seconds:.2f} s"
+            )
         best = self.best()
         return (
             f"{self.space.space_name} x {list(self.workload_labels)} via "
             f"{self.strategy!r}: {self.num_candidates} candidates "
-            f"({self.resumed} resumed, {self.evaluated} evaluated), "
-            f"best {best.machine_name} at "
+            f"({self.resumed} resumed, {self.evaluated} evaluated"
+            f"{failed_note}), best {best.machine_name} at "
             f"{best.total_time_seconds * 1e3:.3f} ms, "
             f"wall {self.wall_seconds:.2f} s "
             f"({self.machines_per_second:.1f} machines/s)"
@@ -388,6 +470,9 @@ def _evaluate_candidate(
     from ..api.session import Session
 
     start = time.perf_counter()
+    # Chaos hook: raise for a chosen candidate (keyed by machine name)
+    # to exercise the failure-isolation path deterministically.
+    fault_point("dse.evaluate", key=candidate.machine.name)
     session = Session(
         machine=candidate.machine,
         strategy=strategy,
@@ -437,6 +522,72 @@ def _evaluate_candidate(
     )
 
 
+def _failed_outcome(
+    candidate: Candidate, error: BaseException, retries: int, wall: float
+) -> CandidateOutcome:
+    """A recordable ``status="failed"`` stand-in for a raising candidate."""
+    machine = candidate.machine
+    return CandidateOutcome(
+        machine_name=machine.name,
+        machine_digest=machine_key(machine),
+        parameters=candidate.parameters,
+        workloads=(),
+        total_time_seconds=float("inf"),
+        total_sram_bytes=machine.total_sram_bytes,
+        compute_lanes=machine.compute_lanes,
+        peak_gflops=machine.peak_gflops(),
+        cores=machine.cores,
+        cache_hits=0,
+        wall_seconds=wall,
+        status="failed",
+        error=f"{type(error).__name__}: {error}",
+        retries=retries,
+    )
+
+
+def _evaluate_isolated(
+    candidate: Candidate,
+    workloads: Sequence[SweepWorkload],
+    labels: Sequence[str],
+    strategy: SearchStrategy,
+    cache: Optional[ResultCache],
+    batch: int,
+    retry: Optional[RetryPolicy],
+) -> CandidateOutcome:
+    """One candidate's evaluation with failures contained to its record.
+
+    Transient exceptions are retried on ``retry``'s backoff schedule
+    (when given); whatever still raises becomes a ``status="failed"``
+    outcome instead of poisoning the whole sweep.
+    """
+    start = time.perf_counter()
+    retries = 0
+
+    def attempt() -> CandidateOutcome:
+        return _evaluate_candidate(
+            candidate, workloads, labels, strategy, cache, batch
+        )
+
+    try:
+        if retry is None:
+            return attempt()
+
+        def count_retry(attempt_no: int, error: BaseException) -> None:
+            nonlocal retries
+            retries += 1
+
+        outcome = retry.run(
+            attempt, on_retry=count_retry, counter="dse.candidate_retries"
+        )
+        # "Succeeded after N retries" is part of the record too.
+        return replace(outcome, retries=retries) if retries else outcome
+    except Exception as error:  # noqa: BLE001 - isolation is the point
+        health.incr("dse.candidate_failures")
+        return _failed_outcome(
+            candidate, error, retries, time.perf_counter() - start
+        )
+
+
 def explore(
     space: DesignSpace,
     workloads: Union[SweepWorkload, Sequence[SweepWorkload]] = ("resnet18",),
@@ -449,6 +600,8 @@ def explore(
     max_workers: Optional[int] = None,
     progress: Optional[Union[str, Path]] = None,
     on_progress: Optional[Callable[[int, int], None]] = None,
+    max_failures: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ExplorationResult:
     """Evaluate every candidate machine of ``space`` on ``workloads``.
 
@@ -483,6 +636,14 @@ def explore(
         resumable across interruptions and processes.
     on_progress:
         Optional ``(done, total)`` callback fired after every chunk.
+    max_failures:
+        Abort the sweep with :class:`TooManyFailuresError` once more
+        than this many candidates (including resumed failed records)
+        have failed.  ``None`` (default) never aborts — every failure
+        is isolated to its own ``status="failed"`` record.
+    retry:
+        Optional :class:`~repro.reliability.RetryPolicy` retrying each
+        failing candidate before recording it as failed.
     """
     start = time.perf_counter()
     if isinstance(strategy, str):
@@ -552,16 +713,18 @@ def explore(
         chunk_size = max(1, chunk_size)
         workers = max_workers or min(len(pending), os.cpu_count() or 4, 8)
         pool = ThreadPoolExecutor(max_workers=workers)
+        failures = sum(1 for o in completed.values() if o.failed)
         try:
             futures = {
                 pool.submit(
-                    _evaluate_candidate,
+                    _evaluate_isolated,
                     candidate,
                     workloads,
                     labels,
                     strategy,
                     shared_cache,
                     batch,
+                    retry,
                 ): digest
                 for digest, candidate in pending
             }
@@ -574,6 +737,12 @@ def explore(
                 completed[futures[future]] = outcome
                 if store is not None:
                     store.append(outcome)
+                if outcome.failed:
+                    failures += 1
+                    if max_failures is not None and failures > max_failures:
+                        raise TooManyFailuresError(
+                            failures, max_failures, outcome.error or "?"
+                        )
                 done += 1
                 if on_progress is not None and (
                     done % chunk_size == 0 or done == total

@@ -54,13 +54,14 @@ def to_json_dict(
         "num_candidates": result.num_candidates,
         "resumed": result.resumed,
         "evaluated": result.evaluated,
+        "failures": result.failures,
         "wall_seconds": result.wall_seconds,
         "machines_per_second": result.machines_per_second,
         "objectives": list(objectives),
         "best": result.best().to_dict(),
         "frontier": [o.to_dict() for o in frontier],
         "sensitivity": sensitivity_summary(
-            result.outcomes,
+            result.succeeded(),
             [axis.path for axis in result.space.axes],
             threshold=threshold,
         ),
@@ -108,6 +109,7 @@ def _csv_rows(
             cores=outcome.cores,
             cache_hits=outcome.cache_hits,
             on_frontier=int(outcome.machine_digest in frontier_digests),
+            status=outcome.status,
         )
         for workload in outcome.workloads:
             row[f"time_s[{workload.label}]"] = workload.time_seconds
@@ -203,7 +205,7 @@ def to_markdown(
         )
     parts.append(_markdown_table(headers, rows))
     sensitivity = sensitivity_summary(
-        result.outcomes,
+        result.succeeded(),
         [axis.path for axis in result.space.axes],
         threshold=threshold,
     )

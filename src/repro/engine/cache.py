@@ -10,7 +10,15 @@ settings)`` combination an O(1) lookup instead of a solver run.
 * Tier 2 is an on-disk JSON store, one file per key under a root
   directory, written atomically (temp file + ``os.replace``) so a
   crashed or concurrent writer can never leave a truncated entry.
-  Corrupt or unreadable entries are treated as misses and rewritten.
+  Corrupt entries are **quarantined** (renamed to ``<key>.json.corrupt``
+  and subtracted from the LRU accounting) instead of being silently
+  re-read forever, and persistent write failures — disk full, read-only
+  filesystem — **degrade the store to memory-only mode** with a single
+  warning instead of raising ``OSError`` into the middle of a solve.
+  Both events are counted on the store (``quarantined``,
+  ``write_errors``, ``degraded``) and in
+  :mod:`repro.reliability.health` (``cache.quarantined``,
+  ``cache.write_errors``, ``cache.degraded``).
 
 Keys are content hashes (:func:`repro.engine.serialization.stable_hash`)
 of everything that determines the result: the operator *shape* (name
@@ -20,10 +28,12 @@ description and the strategy's name + :meth:`cache_token`.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,6 +41,8 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
 
 from ..core.tensor_spec import ConvSpec
 from ..machine.spec import MachineSpec
+from ..reliability import health
+from ..reliability.faults import fault_fires, fault_point
 from .serialization import machine_to_dict, spec_to_dict, stable_hash
 from .strategy import SearchStrategy, StrategyResult
 
@@ -83,13 +95,40 @@ class DiskResultStore:
     behavior.
     """
 
+    #: Consecutive generic write failures tolerated before the store
+    #: degrades to memory-only mode.  Environmental errnos (disk full,
+    #: read-only filesystem, permission denied, quota) degrade at once.
+    MAX_WRITE_FAILURES = 3
+
+    _DEGRADE_ERRNOS = frozenset(
+        code
+        for code in (
+            errno.ENOSPC,
+            errno.EROFS,
+            errno.EACCES,
+            errno.EPERM,
+            getattr(errno, "EDQUOT", None),
+        )
+        if code is not None
+    )
+
     def __init__(self, root: Union[str, Path], *, max_entries: Optional[int] = None):
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.root = Path(root).expanduser()
-        self.root.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
         self.evictions = 0
+        self.quarantined = 0
+        self.write_errors = 0
+        self.degraded = False
+        self._consecutive_write_failures = 0
+        self._warned_degraded = False
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            # An uncreatable root (read-only parent) must not abort the
+            # solve the cache was meant to accelerate.
+            self._note_write_failure(error)
         # Approximate entry count so an under-cap put stays O(1); the full
         # directory scan only happens when this says the cap is exceeded,
         # and the scan re-synchronizes it (concurrent writers can make it
@@ -99,15 +138,68 @@ class DiskResultStore:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _note_write_failure(self, error: OSError) -> None:
+        """Count one failed write; degrade to memory-only when persistent."""
+        self.write_errors += 1
+        self._consecutive_write_failures += 1
+        health.incr("cache.write_errors")
+        persistent = (
+            error.errno in self._DEGRADE_ERRNOS
+            or self._consecutive_write_failures >= self.MAX_WRITE_FAILURES
+        )
+        if persistent and not self.degraded:
+            self.degraded = True
+            health.incr("cache.degraded")
+        if self.degraded and not self._warned_degraded:
+            self._warned_degraded = True
+            warnings.warn(
+                f"result cache at {self.root} degraded to memory-only mode "
+                f"after a write failure: {error}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def _quarantine(self, path: Path) -> None:
+        """Move one corrupt entry aside so it stops masquerading as data.
+
+        The ``.corrupt`` rename takes the file out of the ``*.json``
+        namespace — it no longer counts against ``max_entries`` and is
+        never re-read — while keeping the bytes around for post-mortems.
+        A store that cannot rename (read-only dir) falls back to
+        deletion, and failing that simply reports the miss.
+        """
+        try:
+            os.replace(path, Path(f"{path}.corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return  # nothing we can do; the entry stays a miss
+        self.quarantined += 1
+        health.incr("cache.quarantined")
+        if self.max_entries is not None and self._entry_count > 0:
+            self._entry_count -= 1
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Load one entry's payload, or ``None`` on miss/corruption."""
+        """Load one entry's payload, or ``None`` on miss/corruption.
+
+        Corrupt or format-incompatible entries are quarantined (see
+        :meth:`_quarantine`) so every future lookup of the key is a
+        clean miss instead of a parse-and-fail loop.
+        """
         path = self._path(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except json.JSONDecodeError:
+            self._quarantine(path)
+            return None
+        except (OSError, UnicodeDecodeError) as error:
+            if isinstance(error, UnicodeDecodeError):
+                self._quarantine(path)
             return None
         if not isinstance(entry, dict) or entry.get("version") != CACHE_FORMAT_VERSION:
+            self._quarantine(path)
             return None
         if self.max_entries is not None:
             try:
@@ -117,23 +209,40 @@ class DiskResultStore:
         return entry.get("result")
 
     def put(self, key: str, payload: Mapping[str, Any]) -> None:
-        """Atomically persist one entry (temp file + rename)."""
+        """Atomically persist one entry (temp file + rename).
+
+        Never raises ``OSError`` into the caller's solve: write failures
+        are counted, and persistent ones (disk full, read-only) degrade
+        the store to memory-only mode with a single warning.
+        """
+        if self.degraded:
+            return
         entry = {"version": CACHE_FORMAT_VERSION, "key": key, "result": dict(payload)}
         target = self._path(key)
-        is_new = not target.exists()
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.root
-        )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True)
-            os.replace(tmp_name, target)
-        except BaseException:
+            fault_point("cache.put_oserror", key=key)
+            is_new = not target.exists()
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key[:16]}-", suffix=".tmp", dir=self.root
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(tmp_name, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            self._note_write_failure(error)
+            return
+        self._consecutive_write_failures = 0
+        if fault_fires("cache.corrupt_entry", key=key):
+            # Deterministic chaos: the entry that just landed is torn,
+            # as if the writer died after the rename but mid-flush.
+            target.write_text('{"torn', encoding="utf-8")
         if self.max_entries is not None:
             if is_new:
                 self._entry_count += 1
@@ -279,6 +388,21 @@ class ResultCache:
         with self._lock:
             if not self._memory_entries_pinned and entries > self.memory_entries:
                 self.memory_entries = entries
+
+    def reliability_stats(self) -> Dict[str, Any]:
+        """Degradation counters of the disk tier (zeros when memory-only).
+
+        ``quarantined`` — corrupt entries moved aside; ``write_errors``
+        — failed disk writes; ``degraded`` — whether persistent write
+        failures switched the store to memory-only mode.
+        """
+        if self.disk is None:
+            return {"quarantined": 0, "write_errors": 0, "degraded": False}
+        return {
+            "quarantined": self.disk.quarantined,
+            "write_errors": self.disk.write_errors,
+            "degraded": self.disk.degraded,
+        }
 
     # ------------------------------------------------------------------
     def key_for(

@@ -1,0 +1,50 @@
+"""Process-wide health counters of the reliability substrate.
+
+Every degradation or recovery event in the hot paths — a rebuilt solve
+pool, a quarantined cache entry, a serving request answered by the
+fallback strategy, a sweep candidate recorded as failed — increments one
+named counter here.  The registry is deliberately tiny: a flat
+``name -> int`` map behind one lock, snapshot into
+:meth:`repro.api.Session.performance_stats` and
+:meth:`repro.serving.server.OptimizationServer.stats_snapshot` under the
+``"reliability"`` key, so an operator (or a chaos test) can see exactly
+which degradation paths fired without reaching into module globals.
+
+Counter names are dotted ``subsystem.event`` strings except the two
+pool counters the original solve-pool stats already used flat names
+for (``pool_rebuilds``, ``serial_fallbacks``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+_LOCK = threading.Lock()
+_COUNTERS: Dict[str, int] = {}
+
+
+def incr(name: str, amount: int = 1) -> int:
+    """Increment counter ``name`` by ``amount``; returns the new value."""
+    with _LOCK:
+        value = _COUNTERS.get(name, 0) + amount
+        _COUNTERS[name] = value
+        return value
+
+
+def get(name: str) -> int:
+    """Current value of counter ``name`` (0 if it never fired)."""
+    with _LOCK:
+        return _COUNTERS.get(name, 0)
+
+
+def health_counters() -> Dict[str, int]:
+    """Snapshot of every counter that has fired in this process."""
+    with _LOCK:
+        return dict(_COUNTERS)
+
+
+def reset() -> None:
+    """Zero every counter (tests isolating chaos scenarios)."""
+    with _LOCK:
+        _COUNTERS.clear()

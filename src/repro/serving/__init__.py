@@ -12,7 +12,9 @@ shared store of results.  This package is that front-end:
   single-flight coalescing of identical in-flight operator solves on
   top of the thread-safe two-tier result cache.
 * :class:`ServingClient` / :class:`TCPServingClient` — in-process and
-  JSON-lines-over-TCP clients with overload retry.
+  JSON-lines-over-TCP clients with overload retry; the TCP client adds
+  connect/read/write timeouts (``timeout_s``) and
+  :class:`~repro.reliability.RetryPolicy`-driven reconnect.
 * :mod:`repro.serving.protocol` — the plain-data events and responses
   flowing through both transports (the request type is the API-wide
   :class:`repro.api.types.OptimizeRequest`, re-exported here).
@@ -52,7 +54,7 @@ Quick in-process use::
     asyncio.run(main())
 """
 
-from .client import ServingClient, TCPServingClient
+from .client import ServingClient, ServingTimeoutError, TCPServingClient
 from .coalescing import SingleFlight
 from .protocol import (
     AcceptedEvent,
@@ -104,6 +106,7 @@ __all__ = [
     "ServerStats",
     "ServingClient",
     "ServingEvent",
+    "ServingTimeoutError",
     "SingleFlight",
     "TCPServingClient",
     "collect_operator_events",

@@ -12,12 +12,24 @@ Both expose the same surface: ``optimize(...)`` returns the terminal
 back-pressure by retrying after the hinted delay, up to
 ``max_retries``), with an optional ``on_event`` callback observing the
 streaming per-operator progress.
+
+The TCP client is additionally hardened against a misbehaving peer:
+``timeout_s`` bounds connect, write-drain and the silence between
+events (a hung server raises :class:`ServingTimeoutError` instead of
+blocking forever), and an optional
+:class:`~repro.reliability.RetryPolicy` drives automatic reconnect — a
+dropped/hung connection is reopened on the policy's backoff schedule
+and the request resent (idempotent server-side: re-solves hit the
+shared cache).  Reconnects increment the ``tcp.reconnects`` health
+counter.
 """
 
 from __future__ import annotations
 
 import asyncio
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..reliability import RetryPolicy, health
 
 from ..core.tensor_spec import ConvSpec
 from .protocol import (
@@ -41,6 +53,10 @@ from .server import (
 
 EventCallback = Callable[[ServingEvent], None]
 NetworkArg = Union[str, Sequence[ConvSpec]]
+
+
+class ServingTimeoutError(Exception):
+    """The TCP peer went silent past the client's ``timeout_s``."""
 
 
 def _as_request(
@@ -145,6 +161,14 @@ class TCPServingClient:
 
     One connection can carry many concurrent requests; events are routed
     back to their request by ``request_id``.
+
+    ``timeout_s`` (default 30 s, ``None`` disables) bounds the connect,
+    each write-drain, and the maximum silence between events of an
+    in-flight request; past it :class:`ServingTimeoutError` is raised.
+    ``reconnect`` (a :class:`~repro.reliability.RetryPolicy`) makes a
+    client built via :meth:`connect` transparently reopen a dropped or
+    hung connection and resend the interrupted request on the policy's
+    backoff schedule; without it connection errors propagate as before.
     """
 
     def __init__(
@@ -153,21 +177,41 @@ class TCPServingClient:
         writer: asyncio.StreamWriter,
         *,
         max_retries: int = 5,
+        timeout_s: Optional[float] = 30.0,
+        reconnect: Optional[RetryPolicy] = None,
     ):
         self._reader = reader
         self._writer = writer
         self.max_retries = max_retries
+        self.timeout_s = timeout_s
+        self.reconnect = reconnect
         self.rejections = 0
+        self.reconnects = 0
         self._streams: dict = {}
         self._reader_task: Optional["asyncio.Task[None]"] = None
+        # Populated by connect(); reconnect only works with an address.
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 8763, *, max_retries: int = 5
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8763,
+        *,
+        max_retries: int = 5,
+        timeout_s: Optional[float] = 30.0,
+        reconnect: Optional[RetryPolicy] = None,
     ) -> "TCPServingClient":
-        """Open a connection to a serving endpoint."""
-        reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer, max_retries=max_retries)
+        """Open a connection to a serving endpoint (bounded by ``timeout_s``)."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout_s
+        )
+        client = cls(
+            reader, writer,
+            max_retries=max_retries, timeout_s=timeout_s, reconnect=reconnect,
+        )
+        client._host, client._port = host, port
         client._reader_task = asyncio.ensure_future(client._read_loop())
         return client
 
@@ -212,6 +256,61 @@ class TCPServingClient:
             for queue in self._streams.values():
                 queue.put_nowait(eof)
 
+    async def _reconnect(self) -> None:
+        """Tear down the dead connection and open a fresh one."""
+        assert self._host is not None and self._port is not None
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            await asyncio.gather(self._reader_task, return_exceptions=True)
+            self._reader_task = None
+        try:
+            self._writer.close()
+        except Exception:
+            pass  # the transport may already be gone
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self._host, self._port), self.timeout_s
+        )
+        self._reader, self._writer = reader, writer
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self.reconnects += 1
+        health.incr("tcp.reconnects")
+
+    async def _roundtrip_reconnecting(
+        self, request: OptimizeRequest, on_event: Optional[EventCallback]
+    ) -> Tuple[Optional[OptimizeResponse], Optional[ServingEvent]]:
+        """One request, transparently resent across reconnects.
+
+        Connection loss and peer silence are retried on the ``reconnect``
+        policy's backoff schedule (when one was given and the client
+        knows its address); resending is safe because the server treats
+        each line independently and re-solves hit the shared cache.
+        """
+        attempt = 0
+        while True:
+            try:
+                return await self._roundtrip(request, on_event)
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                ServingTimeoutError,
+                OSError,
+            ):
+                policy = self.reconnect
+                attempt += 1
+                if (
+                    policy is None
+                    or self._host is None
+                    or attempt >= policy.max_attempts
+                ):
+                    raise
+                await asyncio.sleep(policy.delay_for(attempt))
+                try:
+                    await self._reconnect()
+                except (OSError, asyncio.TimeoutError):
+                    # Peer still down: burn this attempt and let the next
+                    # loop iteration surface the failure (or retry again).
+                    continue
+
     async def _roundtrip(
         self, request: OptimizeRequest, on_event: Optional[EventCallback]
     ) -> Tuple[Optional[OptimizeResponse], Optional[ServingEvent]]:
@@ -220,9 +319,20 @@ class TCPServingClient:
         self._streams[request.request_id] = queue
         try:
             self._writer.write(encode_message(request.to_dict()))
-            await self._writer.drain()
+            try:
+                await asyncio.wait_for(self._writer.drain(), self.timeout_s)
+            except asyncio.TimeoutError:
+                raise ServingTimeoutError(
+                    f"write stalled past {self.timeout_s:.1f}s"
+                ) from None
             while True:
-                event = await queue.get()
+                try:
+                    event = await asyncio.wait_for(queue.get(), self.timeout_s)
+                except asyncio.TimeoutError:
+                    raise ServingTimeoutError(
+                        f"no event from server within {self.timeout_s:.1f}s "
+                        f"for request {request.request_id}"
+                    ) from None
                 if isinstance(event, BaseException):
                     raise event
                 if on_event is not None:
@@ -263,7 +373,9 @@ class TCPServingClient:
                 priority=priority,
                 deadline_s=deadline_s,
             )
-            response, rejection = await self._roundtrip(request, on_event)
+            response, rejection = await self._roundtrip_reconnecting(
+                request, on_event
+            )
             if response is not None:
                 return response
             assert rejection is not None

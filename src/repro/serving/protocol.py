@@ -176,6 +176,13 @@ class OptimizeResponse:
     ``queued_s`` is the time spent waiting for a worker, ``service_s``
     the time spent solving (or waiting on coalesced solves), and their
     sum is the end-to-end latency the client observed server-side.
+
+    ``degraded`` marks a response answered by the server's *fallback*
+    strategy because the primary exceeded its per-request solve budget
+    (``ServerConfig.solve_timeout_s``): the figures are real, just from
+    a cheaper search, and ``strategy`` names the fallback that produced
+    them.  Absent on the wire it decodes as ``False``, so pre-existing
+    peers interoperate unchanged.
     """
 
     request_id: str
@@ -191,6 +198,7 @@ class OptimizeResponse:
     queued_s: float
     service_s: float
     operators: Tuple[OperatorFigure, ...]
+    degraded: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -212,6 +220,7 @@ class OptimizeResponse:
             "queued_s": float(self.queued_s),
             "service_s": float(self.service_s),
             "operators": [figure.to_dict() for figure in self.operators],
+            "degraded": bool(self.degraded),
         }
 
     @classmethod
@@ -232,6 +241,7 @@ class OptimizeResponse:
             operators=tuple(
                 OperatorFigure.from_dict(entry) for entry in payload["operators"]
             ),
+            degraded=bool(payload.get("degraded", False)),
         )
 
     @classmethod
@@ -243,6 +253,7 @@ class OptimizeResponse:
         coalesced: int,
         queued_s: float,
         service_s: float,
+        degraded: bool = False,
     ) -> "OptimizeResponse":
         """Project an engine-level result into the wire response."""
         return cls(
@@ -267,6 +278,7 @@ class OptimizeResponse:
                 )
                 for o in result.operators
             ),
+            degraded=degraded,
         )
 
 

@@ -28,6 +28,22 @@ JSON-ready payload that also covers the process-global compile cache
 
 A thin TCP transport (:func:`start_tcp_server`) frames the same protocol
 as JSON lines over a socket for out-of-process clients.
+
+**Failure handling.**  A long-lived replica must degrade, not die:
+
+* ``ServerConfig.solve_timeout_s`` bounds each request's *primary*
+  solve; past the budget the request is re-answered by the configured
+  cheaper ``fallback_strategy`` and the response is marked
+  ``degraded=True`` (the primary's pool solves keep running in the
+  background and still warm the shared cache for the next request);
+* a **watchdog** task sweeps in-flight requests every
+  ``watchdog_interval_s`` and force-expires any still live past its
+  deadline — hung requests (a wedged worker, a stuck solve thread) get
+  a terminal :class:`~repro.serving.protocol.ExpiredEvent` instead of
+  holding a slot forever (counter ``serving.watchdog_failures``);
+* every degradation/recovery increments
+  :mod:`repro.reliability.health` counters, surfaced under the
+  ``"reliability"`` key of :meth:`OptimizationServer.stats_snapshot`.
 """
 
 from __future__ import annotations
@@ -50,6 +66,8 @@ from ..engine.network import build_network_result, dedup_specs, resolve_network
 from ..engine.serialization import spec_shape_key
 from ..engine.strategy import SearchStrategy, StrategyResult, get_strategy
 from ..machine.spec import MachineSpec
+from ..reliability import health
+from ..reliability.faults import fault_point
 from .coalescing import SingleFlight
 from .protocol import (
     AcceptedEvent,
@@ -93,6 +111,13 @@ class ServerConfig:
     code (the hard cap on CPU oversubscription no matter how many
     requests are in flight); ``retry_after_s`` seeds the back-off hint
     given to rejected clients.
+
+    ``solve_timeout_s`` is the per-request budget of the *primary*
+    strategy: when it is exceeded and ``fallback_strategy`` names a
+    (cheaper) registered strategy, the request is re-answered by the
+    fallback and the response marked ``degraded`` instead of expiring.
+    ``watchdog_interval_s`` is how often the watchdog sweeps in-flight
+    requests for ones hung past their deadline.
     """
 
     max_queue_depth: int = 64
@@ -100,6 +125,9 @@ class ServerConfig:
     solve_threads: int = 4
     retry_after_s: float = 0.25
     default_deadline_s: Optional[float] = None
+    solve_timeout_s: Optional[float] = None
+    fallback_strategy: Optional[str] = None
+    watchdog_interval_s: float = 0.1
 
 
 @dataclass
@@ -122,6 +150,10 @@ class ServerStats:
     operators_cached: int = 0
     operators_coalesced: int = 0
     solves: int = 0
+    #: Completed via the fallback strategy (primary blew its budget).
+    degraded: int = 0
+    #: In-flight requests the watchdog force-expired at their deadline.
+    watchdog_failed: int = 0
 
 
 class RequestHandle:
@@ -146,6 +178,9 @@ class RequestHandle:
         self.specs = specs
         self.strategy = strategy
         self.submitted_at = time.perf_counter()
+        # ``time.monotonic()`` moment this request must be terminal by,
+        # stamped when a worker claims it; the watchdog enforces it.
+        self.expires_at: Optional[float] = None
         self._events: "asyncio.Queue[ServingEvent]" = asyncio.Queue()
         self._future: "asyncio.Future[OptimizeResponse]" = loop.create_future()
         # Set by OptimizationServer.cancel(): a mid-flight worker races
@@ -230,6 +265,13 @@ class OptimizationServer:
                 )
             self.default_strategy = strategy
             self.default_strategy_name = strategy.name
+        # Resolve the degraded-path fallback eagerly: a typo'd name must
+        # fail at construction, not mid-incident.
+        self._fallback_strategy: Optional[SearchStrategy] = (
+            get_strategy(self.config.fallback_strategy)
+            if self.config.fallback_strategy is not None
+            else None
+        )
         self.cache = cache if cache is not None else ResultCache()
         self.stats = ServerStats()
         #: Cache key -> number of times the strategy actually solved it.
@@ -243,6 +285,7 @@ class OptimizationServer:
         self._singleflight = SingleFlight()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._workers: List["asyncio.Task[None]"] = []
+        self._watchdog: Optional["asyncio.Task[None]"] = None
         # Keyed by handle identity, NOT by request_id: ids are chosen by
         # clients (unique per client process, not across processes), so
         # two TCP clients can legitimately both send "req-1".
@@ -276,6 +319,7 @@ class OptimizationServer:
             asyncio.ensure_future(self._worker_loop())
             for _ in range(self.config.workers)
         ]
+        self._watchdog = asyncio.ensure_future(self._watchdog_loop())
         self._running = True
 
     async def drain(self, timeout: Optional[float] = None) -> bool:
@@ -318,6 +362,10 @@ class OptimizationServer:
             worker.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            await asyncio.gather(self._watchdog, return_exceptions=True)
+            self._watchdog = None
         if self._queue is not None:
             self._queue.drain()
         # Fail every non-terminal request — queued or mid-flight when the
@@ -375,6 +423,10 @@ class OptimizationServer:
         payload["compile_cache"] = DEFAULT_COMPILE_CACHE.stats()
         payload["batched_table_cache"] = table_cache_stats()
         payload["solve_pool"] = dict(solve_pool.pool_stats())
+        payload["reliability"] = {
+            **health.health_counters(),
+            "cache": self.cache.reliability_stats(),
+        }
         return payload
 
     # ------------------------------------------------------------------
@@ -460,12 +512,58 @@ class OptimizationServer:
         assert self._queue is not None
         while True:
             handle, expires_at = await self._queue.get()
+            handle.expires_at = expires_at  # watchdog enforcement point
             try:
                 await self._process(handle, expires_at)
             except asyncio.CancelledError:
                 raise
             except BaseException as error:  # pragma: no cover - defensive
                 self._finish_failed(handle, error)
+
+    async def _watchdog_loop(self) -> None:
+        """Fail in-flight requests hung past their deadline.
+
+        The normal deadline path races the solve against the remaining
+        budget inside :meth:`_process`; the watchdog is the backstop for
+        requests whose worker never reaches (or never returns from) that
+        race — a wedged coroutine, a stuck solve thread.  It is the only
+        component that can terminate such a request, because it runs
+        outside the per-request control flow.
+        """
+        while True:
+            await asyncio.sleep(self.config.watchdog_interval_s)
+            fault_point("serving.watchdog_tick")
+            now = time.monotonic()
+            for handle in list(self._handles.values()):
+                if handle.expires_at is not None and now > handle.expires_at:
+                    self._watchdog_expire(handle)
+
+    def _watchdog_expire(self, handle: RequestHandle) -> None:
+        if self._handles.pop(id(handle), None) is None:
+            return  # reached a terminal state while we were sweeping
+        self.stats.expired += 1
+        self.stats.watchdog_failed += 1
+        health.incr("serving.watchdog_failures")
+        waited = time.perf_counter() - handle.submitted_at
+        deadline = (
+            handle.request.deadline_s or self.config.default_deadline_s or 0.0
+        )
+        handle._emit(
+            ExpiredEvent(
+                request_id=handle.request_id,
+                deadline_s=deadline,
+                waited_s=waited,
+            )
+        )
+        handle._fail(
+            DeadlineExpiredError(
+                f"request {handle.request_id} hung in flight; watchdog "
+                f"expired it after {waited * 1e3:.1f} ms"
+            )
+        )
+        # Release the worker if it is still racing solve vs. cancel; the
+        # handle is already out of _handles so the worker stays quiet.
+        handle._cancel_event.set()
 
     def _expire_queued(self, handle: RequestHandle, overstay: float) -> None:
         """Queue callback: a request's deadline passed while it waited."""
@@ -505,12 +603,24 @@ class OptimizationServer:
             # Cancelled between queue claim and processing: cancel()
             # already emitted the terminal event and failed the future.
             return
+        degraded = False
         try:
             remaining = None
             if expires_at is not None:
                 remaining = expires_at - time.monotonic()
                 if remaining <= 0:
                     raise asyncio.TimeoutError
+            # The primary solve runs under the tighter of the deadline
+            # and the per-request solve budget; overrunning the budget
+            # degrades to the fallback strategy instead of expiring.
+            budget = self.config.solve_timeout_s
+            budget_bound = (
+                budget is not None
+                and self._fallback_strategy is not None
+                and strategy.name != self._fallback_strategy.name
+                and (remaining is None or budget < remaining)
+            )
+            timeout = budget if budget_bound else remaining
             solve = asyncio.ensure_future(
                 self._solve_distinct(handle, strategy, specs, distinct, keys)
             )
@@ -518,9 +628,39 @@ class OptimizationServer:
             try:
                 done, _ = await asyncio.wait(
                     {solve, watch_cancel},
-                    timeout=remaining,
+                    timeout=timeout,
                     return_when=asyncio.FIRST_COMPLETED,
                 )
+                if solve not in done and watch_cancel not in done and budget_bound:
+                    # The primary blew its solve budget: abandon the wait
+                    # (its pool solves keep running and still warm the
+                    # shared cache) and answer with the cheaper fallback
+                    # within whatever deadline budget remains.
+                    solve.cancel()
+                    await asyncio.gather(solve, return_exceptions=True)
+                    degraded = True
+                    self.stats.degraded += 1
+                    health.incr("serving.degraded")
+                    assert self._fallback_strategy is not None
+                    strategy = self._fallback_strategy
+                    fallback_keys = {
+                        shape_key: self._cache_key(shape_key, spec, strategy)
+                        for shape_key, spec in distinct.items()
+                    }
+                    if expires_at is not None:
+                        remaining = expires_at - time.monotonic()
+                        if remaining <= 0:
+                            raise asyncio.TimeoutError
+                    solve = asyncio.ensure_future(
+                        self._solve_distinct(
+                            handle, strategy, specs, distinct, fallback_keys
+                        )
+                    )
+                    done, _ = await asyncio.wait(
+                        {solve, watch_cancel},
+                        timeout=remaining,
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
                 if solve not in done:
                     # Deadline or client cancellation won the race: stop
                     # waiting and release this worker.  Underlying pool
@@ -529,7 +669,7 @@ class OptimizationServer:
                     solve.cancel()
                     await asyncio.gather(solve, return_exceptions=True)
                     if watch_cancel in done:
-                        return  # cancel() already finished the handle
+                        return  # cancel()/watchdog already finished it
                     raise asyncio.TimeoutError
                 solved, cached_keys, coalesced_ops = solve.result()
             except asyncio.CancelledError:
@@ -540,6 +680,8 @@ class OptimizationServer:
             finally:
                 watch_cancel.cancel()
         except asyncio.TimeoutError:
+            if self._handles.pop(id(handle), None) is None:
+                return  # the watchdog (or cancel) beat us to the expiry
             self.stats.expired += 1
             waited = time.perf_counter() - handle.submitted_at
             deadline = (
@@ -558,7 +700,6 @@ class OptimizationServer:
                     f"{waited * 1e3:.1f} ms"
                 )
             )
-            self._handles.pop(id(handle), None)
             return
         except asyncio.CancelledError:
             raise
@@ -566,6 +707,8 @@ class OptimizationServer:
             self._finish_failed(handle, error)
             return
 
+        if self._handles.pop(id(handle), None) is None:
+            return  # watchdog-expired or cancelled while we finished
         network_result = build_network_result(
             network=network_name,
             machine_name=self.machine.name,
@@ -581,6 +724,7 @@ class OptimizationServer:
             coalesced=coalesced_ops,
             queued_s=queued_s,
             service_s=time.perf_counter() - service_start,
+            degraded=degraded,
         )
         self.stats.completed += 1
         self.stats.operators_served += len(specs)
@@ -588,9 +732,10 @@ class OptimizationServer:
         handle._emit(
             CompletedEvent(request_id=request.request_id, response=response)
         )
-        self._handles.pop(id(handle), None)
 
     def _finish_failed(self, handle: RequestHandle, error: BaseException) -> None:
+        if id(handle) not in self._handles:
+            return  # already terminal (watchdog expiry or cancellation)
         self.stats.failed += 1
         failure = RequestFailedError(
             f"request {handle.request_id} failed: {error}"
@@ -691,6 +836,9 @@ class OptimizationServer:
                         self.solve_counts.get(cache_key, 0) + 1
                     )
                     self.stats.solves += 1
+                # Chaos hook: stall/raise one strategy's solves (keyed by
+                # strategy name so a fallback solve can stay healthy).
+                fault_point("serving.solve", key=strategy.name)
                 return strategy.search(distinct[shape_key], self.machine)
 
             def get_or_compute() -> StrategyResult:

@@ -271,7 +271,9 @@ class TestServingStatsProbe:
         for key in ("hits", "misses", "size", "maxsize"):
             assert key in snapshot["compile_cache"]
             assert key in snapshot["batched_table_cache"]
-        assert set(snapshot["solve_pool"]) == {"pool_batches", "pool_solves"}
+        assert set(snapshot["solve_pool"]) == {
+            "pool_batches", "pool_solves", "pool_rebuilds", "serial_fallbacks",
+        }
         assert snapshot["accepted"] == 0
         assert snapshot["queue_depth"] == 0
 
@@ -283,6 +285,7 @@ class TestServingStatsProbe:
             "compile_cache",
             "batched_table_cache",
             "solve_pool",
+            "reliability",
         }
         for key in ("hits", "misses", "size", "maxsize"):
             assert key in stats["compile_cache"]

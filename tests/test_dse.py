@@ -394,9 +394,9 @@ class TestExplore:
         with pytest.raises(ProgressMismatchError, match="strategy_version"):
             _explore(progress=progress)
 
-    def test_failure_cancels_queued_candidates(self, monkeypatch):
-        # A failed (or interrupted) sweep must not run the queued
-        # remainder to completion with nobody recording the outcomes.
+    def test_failures_isolated_per_candidate(self, monkeypatch):
+        # A raising candidate becomes a recorded ``failed`` outcome;
+        # the rest of the sweep still runs (and analyses skip it).
         import repro.dse.explorer as explorer_mod
 
         calls = []
@@ -407,8 +407,30 @@ class TestExplore:
 
         monkeypatch.setattr(explorer_mod, "_evaluate_candidate", failing)
         space = DesignSpace("tiny", [axis_values("cores", [2, 4, 8])])
-        with pytest.raises(RuntimeError, match="boom"):
-            _explore(space, max_workers=1)
+        result = _explore(space, max_workers=1)
+        assert len(calls) == 3
+        assert result.failures == 3
+        assert all(o.failed and "boom" in o.error for o in result.outcomes)
+        assert result.frontier() == []
+        with pytest.raises(ValueError, match="all 3 candidates failed"):
+            result.best()
+
+    def test_max_failures_cancels_queued_candidates(self, monkeypatch):
+        # Past the abort threshold the sweep must not run the queued
+        # remainder to completion with nobody left to act on it.
+        import repro.dse.explorer as explorer_mod
+        from repro.dse import TooManyFailuresError
+
+        calls = []
+
+        def failing(candidate, *args, **kwargs):
+            calls.append(candidate.name)
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(explorer_mod, "_evaluate_candidate", failing)
+        space = DesignSpace("tiny", [axis_values("cores", [2, 4, 8])])
+        with pytest.raises(TooManyFailuresError, match="boom"):
+            _explore(space, max_workers=1, max_failures=0)
         assert len(calls) < 3  # the queued tail was cancelled
 
     def test_one_shot_iterable_workload_not_exhausted(self):
