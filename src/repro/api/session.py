@@ -134,8 +134,12 @@ class Session:
     cache:
         ``None`` (default) — a fresh in-memory
         :class:`~repro.engine.cache.ResultCache` private to the session;
-        a directory path — a persistent cache rooted there; a
-        :class:`ResultCache` — shared as-is; ``False`` — caching off.
+        a directory path — a persistent cache rooted there (a
+        ``"chunked:"`` prefix, or an existing chunked layout, selects
+        the sweep-scale
+        :class:`~repro.engine.chunk_store.ChunkedResultStore` backend);
+        a :class:`ResultCache` or disk store instance — shared as-is;
+        ``False`` — caching off.
     executor / max_workers:
         Fan-out configuration of the synchronous paths (see
         :class:`~repro.engine.network.NetworkOptimizer`).
@@ -361,9 +365,11 @@ class Session:
         chunk_size: int = 16,
         max_workers: Optional[int] = None,
         progress: Optional[Union[str, Path]] = None,
+        progress_durability: str = "fsync",
         on_progress: Optional[Callable[[int, int], None]] = None,
         max_failures: Optional[int] = None,
         retry: Any = None,
+        shard: Optional[str] = None,
     ):
         """Sweep a machine design space with the session's strategy/cache.
 
@@ -378,7 +384,10 @@ class Session:
         ``status="failed"`` record instead of killing the sweep
         (``max_failures`` sets an abort threshold; ``retry`` — a
         :class:`repro.reliability.RetryPolicy` — retries transient
-        failures first).  Returns a
+        failures first).  ``shard="i/n"`` evaluates one deterministic
+        partition of the candidates (one shard per host, merged back
+        with ``python -m repro dse merge``); ``progress_durability``
+        picks the progress store's flush policy.  Returns a
         :class:`repro.dse.explorer.ExplorationResult` — see
         :mod:`repro.dse` for frontier/sensitivity/report helpers.
         """
@@ -398,9 +407,11 @@ class Session:
             chunk_size=chunk_size,
             max_workers=max_workers,
             progress=progress,
+            progress_durability=progress_durability,
             on_progress=on_progress,
             max_failures=max_failures,
             retry=retry,
+            shard=shard,
         )
 
     # ------------------------------------------------------------------

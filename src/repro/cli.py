@@ -108,7 +108,11 @@ def _add_session_options(
         help="extra strategy option (repeatable; value parsed as JSON)",
     )
     parser.add_argument(
-        "--cache-dir", default=None, help="persistent result-cache directory"
+        "--cache-dir",
+        default=None,
+        help="persistent result-cache directory; prefix with 'chunked:' "
+        "for the chunked sweep-scale store (an existing chunked layout "
+        "is auto-detected)",
     )
 
 
@@ -432,7 +436,45 @@ def _build_axes(args: argparse.Namespace) -> List[Any]:
     return axes
 
 
+def _run_dse_merge(args: argparse.Namespace) -> int:
+    from .dse import ProgressMismatchError, merge_progress_stores
+
+    if args.cache and not args.cache_out:
+        print("error: --cache requires --cache-out", file=sys.stderr)
+        return 2
+    try:
+        report = merge_progress_stores(
+            args.out,
+            args.stores,
+            require_same_sweep=not args.allow_mixed_sweeps,
+        )
+    except (OSError, ProgressMismatchError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload = report.to_json_dict()
+    payload["out"] = str(args.out)
+    cache_report = None
+    if args.cache:
+        from .engine import merge_result_stores
+
+        cache_report = merge_result_stores(args.cache_out, args.cache)
+        payload["cache"] = dict(cache_report, out=str(args.cache_out))
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"{report.summary()} -> {args.out}")
+        if cache_report is not None:
+            print(
+                f"merged cache: {cache_report['merged']} entries from "
+                f"{cache_report['sources']} stores "
+                f"({cache_report['skipped']} duplicates) -> {args.cache_out}"
+            )
+    return 0
+
+
 def _run_dse(args: argparse.Namespace) -> int:
+    if getattr(args, "dse_command", None) == "merge":
+        return _run_dse_merge(args)
     from .dse import (
         DesignSpace,
         DesignSpaceError,
@@ -519,10 +561,17 @@ def _run_dse(args: argparse.Namespace) -> int:
                 chunk_size=args.chunk_size,
                 max_workers=args.max_workers,
                 progress=args.progress,
+                progress_durability=args.progress_durability,
                 on_progress=None if args.json else _print_progress,
                 max_failures=args.max_failures,
+                shard=args.shard,
             )
-    except (DesignSpaceError, ProgressMismatchError, TooManyFailuresError) as error:
+    except (
+        ValueError,
+        DesignSpaceError,
+        ProgressMismatchError,
+        TooManyFailuresError,
+    ) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     objectives = ("total_time_seconds", args.frontier_cost)
@@ -726,6 +775,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON-lines progress store making the sweep resumable",
     )
     dse.add_argument(
+        "--progress-durability",
+        default="fsync",
+        choices=("fsync", "flush"),
+        help="progress-store flush policy: fsync per candidate (default) "
+        "or OS-buffered flush (cheaper for huge sweeps)",
+    )
+    dse.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="evaluate only the I-th of N deterministic partitions of the "
+        "candidate list (one shard per host; combine with 'dse merge')",
+    )
+    dse.add_argument(
         "--frontier-cost",
         default="total_sram_bytes",
         choices=("total_sram_bytes", "compute_lanes", "peak_gflops", "cores"),
@@ -758,6 +821,49 @@ def build_parser() -> argparse.ArgumentParser:
         "isolation; the sweep must still finish with the failure recorded",
     )
     dse.add_argument("--json", action="store_true", help="print the JSON report")
+
+    dse_sub = dse.add_subparsers(dest="dse_command", metavar="subcommand")
+    merge = dse_sub.add_parser(
+        "merge",
+        help="merge shard progress stores (and caches) into one result set",
+        description=(
+            "Merge the progress stores of a sharded sweep (dse --shard "
+            "1/2, 2/2, ... each with its own --progress) into one store "
+            "deduplicated by machine digest; the merged store is directly "
+            "resumable by the unsharded sweep.  Optionally also merge the "
+            "shards' result-cache directories into one chunked store."
+        ),
+    )
+    merge.add_argument(
+        "stores",
+        nargs="+",
+        metavar="STORE",
+        help="shard progress stores, in precedence order (first wins on ties)",
+    )
+    merge.add_argument(
+        "--out", required=True, metavar="PATH", help="merged progress store"
+    )
+    merge.add_argument(
+        "--allow-mixed-sweeps",
+        action="store_true",
+        help="skip the header cross-check that all stores belong to the "
+        "same sweep",
+    )
+    merge.add_argument(
+        "--cache",
+        action="append",
+        default=None,
+        metavar="DIR",
+        help="shard result-cache directory to merge (repeatable; chunked "
+        "or one-file-per-entry, auto-detected)",
+    )
+    merge.add_argument(
+        "--cache-out",
+        default=None,
+        metavar="DIR",
+        help="destination chunked result store for --cache sources",
+    )
+    merge.add_argument("--json", action="store_true", help="print JSON counters")
 
     list_cmd = sub.add_parser(
         "list", help="registered machines, strategies and networks"

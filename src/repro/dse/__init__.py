@@ -29,6 +29,9 @@ The pieces:
 * :mod:`repro.dse.explorer` — the sweep executor: candidate x workload
   fan-out through the shared engine/Session path, chunked parallel
   execution, resumable JSON-lines progress.
+* :mod:`repro.dse.merge` — distributed sweeps: merge per-shard
+  progress stores (``explore(shard="i/n")`` per host) back into one
+  result set deduped by machine digest.
 * :mod:`repro.dse.frontier` — Pareto frontiers and per-axis
   sensitivity summaries.
 * :mod:`repro.dse.report` — JSON/CSV/markdown emission.
@@ -45,6 +48,13 @@ from .explorer import (
     TooManyFailuresError,
     WorkloadOutcome,
     explore,
+    parse_shard,
+    shard_candidates,
+)
+from .merge import (
+    MergeReport,
+    merge_progress_stores,
+    read_progress_store,
 )
 from .frontier import (
     axis_sensitivity,
@@ -82,6 +92,7 @@ __all__ = [
     "EmptyDesignSpaceError",
     "ExpandedSpace",
     "ExplorationResult",
+    "MergeReport",
     "ProgressMismatchError",
     "SweepProgress",
     "TooManyFailuresError",
@@ -93,7 +104,11 @@ __all__ = [
     "axis_values",
     "dominates",
     "explore",
+    "merge_progress_stores",
+    "parse_shard",
     "pareto_frontier",
+    "read_progress_store",
+    "shard_candidates",
     "sensitivity_summary",
     "to_csv",
     "to_json_dict",

@@ -235,26 +235,72 @@ class TooManyFailuresError(RuntimeError):
         self.max_failures = max_failures
 
 
+def parse_shard(shard: str) -> Tuple[int, int]:
+    """Parse an ``"i/n"`` shard selector into ``(index, count)``.
+
+    ``index`` is 1-based (matching the CLI's ``--shard 1/2`` spelling);
+    anything malformed or out of range raises ``ValueError``.
+    """
+    text = str(shard).strip()
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like 'i/n' (e.g. '1/4'), got {shard!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"shard index must satisfy 1 <= i <= n, got {shard!r}"
+        )
+    return index, count
+
+
+def shard_candidates(items: Sequence[Any], index: int, count: int) -> List[Any]:
+    """Deterministic ``i/n`` partition of an expanded candidate list.
+
+    Candidate ``pos`` (expansion order, which is deterministic for a
+    given space) belongs to shard ``pos % count + 1`` — round-robin, so
+    shards stay balanced even when expensive candidates cluster at one
+    end of an axis.  The ``n`` partitions are disjoint and cover the
+    list exactly.
+    """
+    return [item for pos, item in enumerate(items) if pos % count == index - 1]
+
+
 class SweepProgress:
     """Append-only JSON-lines store of completed candidate outcomes.
 
     The first line is a header identifying the sweep (space name,
-    strategy + options digest, workload signature, batch); every further
-    line is one :class:`CandidateOutcome`.  Appends are flushed line-by-
-    line so an interrupted sweep loses at most the candidate being
-    written; a truncated trailing line is tolerated on load.
+    strategy + options digest, workload signature, batch — and the
+    shard, when the sweep is one shard of a partitioned run); every
+    further line is one :class:`CandidateOutcome`.  One append handle
+    is kept open for the sweep's lifetime (the old open-per-candidate
+    behavior paid a file open *and* an fsync per candidate), and
+    ``durability`` picks the flush policy per append: ``"fsync"``
+    (default, unchanged — an interrupted sweep loses at most the
+    candidate being written) or ``"flush"`` (OS-buffered; a power loss
+    may drop the last few records, which resume simply re-evaluates).
+    A truncated trailing line is tolerated on load.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], *, durability: str = "fsync"):
+        if durability not in ("fsync", "flush"):
+            raise ValueError(
+                f"durability must be 'fsync' or 'flush', got {durability!r}"
+            )
         self.path = Path(path).expanduser()
+        self.durability = durability
         self._lock = threading.Lock()
+        self._handle = None
 
     def load(self, header: Mapping[str, Any]) -> Dict[str, CandidateOutcome]:
         """Load completed outcomes keyed by machine digest.
 
         Creates the store (with ``header``) when the file does not exist.
         Raises :class:`ProgressMismatchError` when the stored header does
-        not match ``header`` — the store belongs to a different sweep.
+        not match ``header`` — the store belongs to a different sweep
+        (or a different shard of this sweep).
         """
         if not self.path.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -262,52 +308,75 @@ class SweepProgress:
                 handle.write(json.dumps(dict(header), sort_keys=True) + "\n")
             return {}
         outcomes: Dict[str, CandidateOutcome] = {}
+        # Stream line-by-line: a long-running sweep's store can hold
+        # thousands of records and never needs to be in memory at once.
         with self.path.open("r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        if not lines:
-            with self.path.open("w", encoding="utf-8") as handle:
-                handle.write(json.dumps(dict(header), sort_keys=True) + "\n")
-            return {}
-        try:
-            stored = json.loads(lines[0])
-        except json.JSONDecodeError:
-            raise ProgressMismatchError(
-                f"progress store {self.path} has an unreadable header; "
-                f"delete it to start the sweep fresh"
-            ) from None
-        if stored != dict(header):
-            differing = sorted(
-                key
-                for key in set(stored) | set(dict(header))
-                if stored.get(key) != dict(header).get(key)
-            )
-            raise ProgressMismatchError(
-                f"progress store {self.path} belongs to a different sweep "
-                f"(differing fields: {differing}); pass a fresh --progress "
-                f"path or delete the file"
-            )
-        for line in lines[1:]:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-                outcome = CandidateOutcome.from_dict(payload)
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                # A crash mid-append leaves at most one torn trailing
-                # line; treat it (and anything unreadable) as not-done.
-                continue
-            outcomes[outcome.machine_digest] = outcome
-        return outcomes
+            first = handle.readline()
+            if not first:
+                pass  # empty file: re-headered below
+            else:
+                try:
+                    stored = json.loads(first)
+                except json.JSONDecodeError:
+                    raise ProgressMismatchError(
+                        f"progress store {self.path} has an unreadable header; "
+                        f"delete it to start the sweep fresh"
+                    ) from None
+                if stored != dict(header):
+                    differing = sorted(
+                        key
+                        for key in set(stored) | set(dict(header))
+                        if stored.get(key) != dict(header).get(key)
+                    )
+                    raise ProgressMismatchError(
+                        f"progress store {self.path} belongs to a different "
+                        f"sweep (differing fields: {differing}); pass a fresh "
+                        f"--progress path or delete the file"
+                    )
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                        outcome = CandidateOutcome.from_dict(payload)
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        # A crash mid-append leaves at most one torn
+                        # trailing line; treat anything unreadable as
+                        # not-done.
+                        continue
+                    outcomes[outcome.machine_digest] = outcome
+                return outcomes
+        with self.path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(dict(header), sort_keys=True) + "\n")
+        return {}
 
     def append(self, outcome: CandidateOutcome) -> None:
-        """Record one completed candidate (thread-safe, flushed)."""
+        """Record one completed candidate (thread-safe, one shared handle)."""
         line = json.dumps(outcome.to_dict(), sort_keys=True)
         with self._lock:
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
+            if self._handle is None:
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.durability == "fsync":
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the append handle (reopened lazily by the next append)."""
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    def __enter__(self) -> "SweepProgress":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -325,6 +394,9 @@ class ExplorationResult:
     resumed: int
     evaluated: int
     wall_seconds: float
+    #: ``"i/n"`` when this result covers one shard of a partitioned
+    #: sweep (``outcomes`` then holds only that shard's candidates).
+    shard: Optional[str] = None
 
     @property
     def num_candidates(self) -> int:
@@ -393,16 +465,17 @@ class ExplorationResult:
         """Short human-readable aggregate description."""
         failed = self.failures
         failed_note = f", {failed} failed" if failed else ""
+        shard_note = f" [shard {self.shard}]" if self.shard else ""
         if failed == len(self.outcomes):
             return (
                 f"{self.space.space_name} x {list(self.workload_labels)} via "
-                f"{self.strategy!r}: all {self.num_candidates} candidates "
-                f"failed, wall {self.wall_seconds:.2f} s"
+                f"{self.strategy!r}{shard_note}: all {self.num_candidates} "
+                f"candidates failed, wall {self.wall_seconds:.2f} s"
             )
         best = self.best()
         return (
             f"{self.space.space_name} x {list(self.workload_labels)} via "
-            f"{self.strategy!r}: {self.num_candidates} candidates "
+            f"{self.strategy!r}{shard_note}: {self.num_candidates} candidates "
             f"({self.resumed} resumed, {self.evaluated} evaluated"
             f"{failed_note}), best {best.machine_name} at "
             f"{best.total_time_seconds * 1e3:.3f} ms, "
@@ -599,9 +672,11 @@ def explore(
     chunk_size: int = 16,
     max_workers: Optional[int] = None,
     progress: Optional[Union[str, Path]] = None,
+    progress_durability: str = "fsync",
     on_progress: Optional[Callable[[int, int], None]] = None,
     max_failures: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
+    shard: Optional[str] = None,
 ) -> ExplorationResult:
     """Evaluate every candidate machine of ``space`` on ``workloads``.
 
@@ -634,6 +709,11 @@ def explore(
     progress:
         Optional path of a JSON-lines progress store making the sweep
         resumable across interruptions and processes.
+    progress_durability:
+        ``"fsync"`` (default) syncs the progress store per candidate;
+        ``"flush"`` leaves flushing to the OS — cheaper for huge sweeps
+        of cheap candidates, at worst re-evaluating the last few records
+        after a power loss.
     on_progress:
         Optional ``(done, total)`` callback fired after every chunk.
     max_failures:
@@ -644,6 +724,15 @@ def explore(
     retry:
         Optional :class:`~repro.reliability.RetryPolicy` retrying each
         failing candidate before recording it as failed.
+    shard:
+        Optional ``"i/n"`` selector evaluating only the ``i``-th of
+        ``n`` deterministic partitions of the expanded candidate list
+        (see :func:`shard_candidates`) — the distributed-sweep story:
+        run one shard per host, each with its own ``progress`` store,
+        then combine with :func:`repro.dse.merge_progress_stores` (or
+        ``python -m repro dse merge``).  The shard is recorded in the
+        progress-store header, so resuming shard 2/4's store as shard
+        3/4 (or unsharded) fails loudly.
     """
     start = time.perf_counter()
     if isinstance(strategy, str):
@@ -679,10 +768,17 @@ def explore(
     resolved = [
         parse(w, batch=batch) if isinstance(w, str) else w for w in workloads
     ]
+    candidates = list(expanded.candidates)
+    shard_label: Optional[str] = None
+    if shard is not None:
+        index, count = parse_shard(shard)
+        shard_label = f"{index}/{count}"
+        if count > 1:
+            candidates = shard_candidates(candidates, index, count)
     completed: Dict[str, CandidateOutcome] = {}
     store: Optional[SweepProgress] = None
     if progress is not None:
-        store = SweepProgress(progress)
+        store = SweepProgress(progress, durability=progress_durability)
         header = {
             "kind": "header",
             "version": PROGRESS_FORMAT_VERSION,
@@ -698,63 +794,73 @@ def explore(
             "workload_labels": labels,
             "batch": batch,
         }
+        if shard_label is not None:
+            # Only sharded sweeps carry the key: unsharded headers stay
+            # byte-identical to pre-shard stores (old stores resume),
+            # and a merged store (shard key stripped) resumes under the
+            # full sweep directly.
+            header["shard"] = shard_label
         completed = store.load(header)
 
-    digests = [machine_key(c.machine) for c in expanded.candidates]
+    digests = [machine_key(c.machine) for c in candidates]
     pending = [
         (digest, candidate)
-        for digest, candidate in zip(digests, expanded.candidates)
+        for digest, candidate in zip(digests, candidates)
         if digest not in completed
     ]
-    resumed = len(expanded.candidates) - len(pending)
+    resumed = len(candidates) - len(pending)
     done = resumed
-    total = len(expanded.candidates)
-    if pending:
-        chunk_size = max(1, chunk_size)
-        workers = max_workers or min(len(pending), os.cpu_count() or 4, 8)
-        pool = ThreadPoolExecutor(max_workers=workers)
-        failures = sum(1 for o in completed.values() if o.failed)
-        try:
-            futures = {
-                pool.submit(
-                    _evaluate_isolated,
-                    candidate,
-                    workloads,
-                    labels,
-                    strategy,
-                    shared_cache,
-                    batch,
-                    retry,
-                ): digest
-                for digest, candidate in pending
-            }
-            # Record outcomes as they finish, not in submission order:
-            # an interrupt then loses only the candidates still in
-            # flight, never already-completed ones — and no candidate
-            # waits on a slower one (the pool bounds concurrency).
-            for future in as_completed(futures):
-                outcome = future.result()
-                completed[futures[future]] = outcome
-                if store is not None:
-                    store.append(outcome)
-                if outcome.failed:
-                    failures += 1
-                    if max_failures is not None and failures > max_failures:
-                        raise TooManyFailuresError(
-                            failures, max_failures, outcome.error or "?"
-                        )
-                done += 1
-                if on_progress is not None and (
-                    done % chunk_size == 0 or done == total
-                ):
-                    on_progress(done, total)
-        finally:
-            # Ctrl-C (or a failed candidate) must stop the sweep, not
-            # silently run the queued remainder to completion with
-            # nobody left to record the outcomes — resume finishes it.
-            pool.shutdown(wait=True, cancel_futures=True)
-    elif on_progress is not None:
-        on_progress(done, total)
+    total = len(candidates)
+    try:
+        if pending:
+            chunk_size = max(1, chunk_size)
+            workers = max_workers or min(len(pending), os.cpu_count() or 4, 8)
+            pool = ThreadPoolExecutor(max_workers=workers)
+            failures = sum(1 for o in completed.values() if o.failed)
+            try:
+                futures = {
+                    pool.submit(
+                        _evaluate_isolated,
+                        candidate,
+                        workloads,
+                        labels,
+                        strategy,
+                        shared_cache,
+                        batch,
+                        retry,
+                    ): digest
+                    for digest, candidate in pending
+                }
+                # Record outcomes as they finish, not in submission order:
+                # an interrupt then loses only the candidates still in
+                # flight, never already-completed ones — and no candidate
+                # waits on a slower one (the pool bounds concurrency).
+                for future in as_completed(futures):
+                    outcome = future.result()
+                    completed[futures[future]] = outcome
+                    if store is not None:
+                        store.append(outcome)
+                    if outcome.failed:
+                        failures += 1
+                        if max_failures is not None and failures > max_failures:
+                            raise TooManyFailuresError(
+                                failures, max_failures, outcome.error or "?"
+                            )
+                    done += 1
+                    if on_progress is not None and (
+                        done % chunk_size == 0 or done == total
+                    ):
+                        on_progress(done, total)
+            finally:
+                # Ctrl-C (or a failed candidate) must stop the sweep, not
+                # silently run the queued remainder to completion with
+                # nobody left to record the outcomes — resume finishes it.
+                pool.shutdown(wait=True, cancel_futures=True)
+        elif on_progress is not None:
+            on_progress(done, total)
+    finally:
+        if store is not None:
+            store.close()
 
     outcomes = tuple(completed[digest] for digest in digests)
     return ExplorationResult(
@@ -769,4 +875,5 @@ def explore(
         resumed=resumed,
         evaluated=len(pending),
         wall_seconds=time.perf_counter() - start,
+        shard=shard_label,
     )

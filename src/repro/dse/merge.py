@@ -1,0 +1,206 @@
+"""Combine sharded sweep artifacts back into one result set.
+
+A distributed sweep runs ``explore(..., shard="i/n", progress=...)``
+once per host; each shard leaves behind (a) its JSON-lines progress
+store of :class:`~repro.dse.explorer.CandidateOutcome` records and (b),
+when given a persistent ``cache``, its share of the result-cache
+entries.  This module is the reassembly step:
+
+* :func:`merge_progress_stores` concatenates shard progress stores into
+  one store **deduplicated by machine digest** with deterministic
+  precedence — a succeeded record always beats a failed one, otherwise
+  the first-listed source wins.  The merged header drops the ``shard``
+  key, so the output is directly resumable by the *unsharded* sweep:
+  ``explore(space, ..., progress=merged)`` verifies completeness and
+  evaluates only candidates no shard covered.
+* Result-cache chunks are merged separately with
+  :func:`repro.engine.merge_result_stores` (the CLI's ``dse merge
+  --cache-dir ... --cache-out ...``), building the shared warm fabric
+  serving replicas mount read-only.
+
+Shard stores are validated against each other before merging: headers
+must agree on everything except ``shard`` (same space, strategy +
+options digest, workload signature, batch, strategy version), so
+accidentally merging two different sweeps fails loudly instead of
+producing a silently mixed result set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .explorer import CandidateOutcome, ProgressMismatchError
+
+__all__ = ["MergeReport", "merge_progress_stores", "read_progress_store"]
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """Counters of one :func:`merge_progress_stores` run."""
+
+    #: How many shard stores were read.
+    sources: int
+    #: Total records across all sources (before dedup).
+    total: int
+    #: Distinct machine digests written to the merged store.
+    merged: int
+    #: Records dropped as duplicates of an earlier (or better) record.
+    duplicates: int
+    #: Failed records replaced by a later source's succeeded record.
+    upgraded: int
+    #: Succeeded records in the merged store.
+    succeeded: int
+    #: Failed records in the merged store.
+    failed: int
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        upgraded_note = f", {self.upgraded} upgraded" if self.upgraded else ""
+        failed_note = f", {self.failed} failed" if self.failed else ""
+        return (
+            f"merged {self.sources} shard stores: {self.merged} candidates "
+            f"({self.duplicates} duplicates dropped{upgraded_note}"
+            f"{failed_note})"
+        )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-able form for ``dse merge --json``."""
+        return {
+            "sources": self.sources,
+            "total": self.total,
+            "merged": self.merged,
+            "duplicates": self.duplicates,
+            "upgraded": self.upgraded,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+        }
+
+
+def read_progress_store(
+    path: Union[str, Path]
+) -> Tuple[Dict[str, Any], List[CandidateOutcome]]:
+    """Read one progress store: ``(header, outcomes in append order)``.
+
+    Streams line-by-line; a torn trailing line (writer died mid-append)
+    is tolerated exactly as on resume.
+    """
+    path = Path(path).expanduser()
+    outcomes: List[CandidateOutcome] = []
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first:
+            raise ProgressMismatchError(f"progress store {path} is empty")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError:
+            raise ProgressMismatchError(
+                f"progress store {path} has an unreadable header"
+            ) from None
+        if not isinstance(header, dict) or header.get("kind") != "header":
+            raise ProgressMismatchError(
+                f"progress store {path} has no sweep header"
+            )
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                outcomes.append(CandidateOutcome.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue
+    return header, outcomes
+
+
+def _sweep_identity(header: Mapping[str, Any]) -> Dict[str, Any]:
+    """A header with its shard selector stripped — the sweep identity."""
+    return {key: value for key, value in header.items() if key != "shard"}
+
+
+def merge_progress_stores(
+    dest: Union[str, Path],
+    sources: Sequence[Union[str, Path]],
+    *,
+    require_same_sweep: bool = True,
+) -> MergeReport:
+    """Merge shard progress stores into one, deduped by machine digest.
+
+    Precedence is deterministic: a ``status="ok"`` record always
+    replaces a failed one for the same digest (whichever source order
+    they arrive in); between records of equal status the first-listed
+    source wins.  The merged store's header is the common sweep identity
+    without the ``shard`` key, so the unsharded sweep resumes from it
+    directly.  ``require_same_sweep=False`` skips the header cross-check
+    (merging stores whose sweeps legitimately differ — e.g. the same
+    space re-swept after a strategy-version bump — is then the caller's
+    responsibility).
+
+    The merged store is written atomically (temp file + rename): an
+    interrupted merge never leaves a half-written ``dest`` behind.
+    """
+    if not sources:
+        raise ValueError("merge needs at least one source progress store")
+    identity: Optional[Dict[str, Any]] = None
+    order: List[str] = []
+    best: Dict[str, CandidateOutcome] = {}
+    total = duplicates = upgraded = 0
+    for source in sources:
+        header, outcomes = read_progress_store(source)
+        if identity is None:
+            identity = _sweep_identity(header)
+        elif require_same_sweep and _sweep_identity(header) != identity:
+            differing = sorted(
+                key
+                for key in set(identity) | set(_sweep_identity(header))
+                if identity.get(key) != _sweep_identity(header).get(key)
+            )
+            raise ProgressMismatchError(
+                f"shard store {source} belongs to a different sweep than "
+                f"{sources[0]} (differing fields: {differing})"
+            )
+        for outcome in outcomes:
+            total += 1
+            digest = outcome.machine_digest
+            existing = best.get(digest)
+            if existing is None:
+                best[digest] = outcome
+                order.append(digest)
+            elif existing.failed and not outcome.failed:
+                best[digest] = outcome
+                upgraded += 1
+            else:
+                duplicates += 1
+    assert identity is not None  # sources is non-empty
+    dest = Path(dest).expanduser()
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{dest.name}-", suffix=".tmp", dir=dest.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(identity, sort_keys=True) + "\n")
+            for digest in order:
+                handle.write(
+                    json.dumps(best[digest].to_dict(), sort_keys=True) + "\n"
+                )
+        os.replace(tmp_name, dest)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    failed = sum(1 for outcome in best.values() if outcome.failed)
+    return MergeReport(
+        sources=len(sources),
+        total=total,
+        merged=len(best),
+        duplicates=duplicates,
+        upgraded=upgraded,
+        succeeded=len(best) - failed,
+        failed=failed,
+    )

@@ -72,7 +72,15 @@ from .cache import (
     CacheStats,
     DiskResultStore,
     ResultCache,
+    resolve_cache,
     result_cache_key,
+)
+from .chunk_store import (
+    CHUNK_FORMAT_VERSION,
+    ChunkedResultStore,
+    is_chunked_store,
+    merge_result_stores,
+    open_result_store,
 )
 from .network import (
     EXECUTOR_MODES,
@@ -117,7 +125,9 @@ from .strategy import (
 __all__ = [
     "AutoTVMStrategy",
     "CACHE_FORMAT_VERSION",
+    "CHUNK_FORMAT_VERSION",
     "CacheStats",
+    "ChunkedResultStore",
     "DiskResultStore",
     "EXECUTOR_MODES",
     "GridSearchStrategy",
@@ -142,10 +152,14 @@ __all__ = [
     "config_to_dict",
     "dedup_specs",
     "get_strategy",
+    "is_chunked_store",
     "resolve_network",
     "machine_to_dict",
+    "merge_result_stores",
+    "open_result_store",
     "optimize_network",
     "register_strategy",
+    "resolve_cache",
     "result_cache_key",
     "settings_from_dict",
     "settings_to_dict",

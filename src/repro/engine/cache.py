@@ -129,10 +129,11 @@ class DiskResultStore:
             # An uncreatable root (read-only parent) must not abort the
             # solve the cache was meant to accelerate.
             self._note_write_failure(error)
-        # Approximate entry count so an under-cap put stays O(1); the full
+        # Approximate entry count so a warm put stays stat-free; the full
         # directory scan only happens when this says the cap is exceeded,
-        # and the scan re-synchronizes it (concurrent writers can make it
-        # drift between scans, which merely delays one eviction pass).
+        # and the scan re-synchronizes it.  Overwrites and concurrent
+        # writers can make it drift *high* between scans, which merely
+        # triggers one eviction pass early (the scan corrects the count).
         self._entry_count = len(self) if max_entries is not None else 0
 
     def _path(self, key: str) -> Path:
@@ -221,7 +222,6 @@ class DiskResultStore:
         target = self._path(key)
         try:
             fault_point("cache.put_oserror", key=key)
-            is_new = not target.exists()
             fd, tmp_name = tempfile.mkstemp(
                 prefix=f".{key[:16]}-", suffix=".tmp", dir=self.root
             )
@@ -244,25 +244,32 @@ class DiskResultStore:
             # as if the writer died after the rename but mid-flush.
             target.write_text('{"torn', encoding="utf-8")
         if self.max_entries is not None:
-            if is_new:
-                self._entry_count += 1
+            # The maintained counter replaces the per-put target.exists()
+            # stat: overwrites (rare for a content-addressed cache) drift
+            # it high, which only triggers the next eviction scan early.
+            self._entry_count += 1
             if self._entry_count > self.max_entries:
                 self._evict_over_cap()
 
     def _evict_over_cap(self) -> None:
-        """Delete least-recently-touched entries until within ``max_entries``.
+        """Evict least-recently-touched entries in one batch, to ~90% of cap.
 
-        Concurrent writers may race on the same files; a vanished entry is
-        simply treated as already evicted.  The scan also re-synchronizes
-        the approximate entry counter.
+        This is the *only* place that scans the directory.  Evicting down
+        to ``ceil(0.9 * max_entries)`` (instead of exactly to cap) buys
+        ~10% of the cap in counter headroom, so a store running at
+        capacity rescans once per ~``max_entries / 10`` puts rather than
+        on every single one.  Concurrent writers may race on the same
+        files; a vanished entry is simply treated as already evicted.
+        The scan also re-synchronizes the approximate entry counter.
         """
+        target = -(-self.max_entries * 9 // 10)  # ceil(0.9 * cap)
         entries = []
         for path in self.root.glob("*.json"):
             try:
                 entries.append((path.stat().st_mtime, path))
             except OSError:
                 continue
-        excess = len(entries) - self.max_entries
+        excess = len(entries) - target
         if excess <= 0:
             self._entry_count = len(entries)
             return
@@ -282,6 +289,34 @@ class DiskResultStore:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
+
+    def keys(self) -> list:
+        """Every entry key currently on disk (snapshot)."""
+        return [path.stem for path in self.root.glob("*.json")]
+
+    def items(self):
+        """Stream ``(key, result payload)`` pairs — the merge/iteration
+        path shared with :class:`~repro.engine.chunk_store.ChunkedResultStore`.
+        Corrupt entries are skipped (not quarantined: iteration must not
+        mutate a store another process may still be writing)."""
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if (
+                isinstance(entry, dict)
+                and entry.get("version") == CACHE_FORMAT_VERSION
+            ):
+                yield path.stem, entry.get("result")
+
+    def reliability_stats(self) -> Dict[str, Any]:
+        """Degradation counters, in the shape ResultCache reports."""
+        return {
+            "quarantined": self.quarantined,
+            "write_errors": self.write_errors,
+            "degraded": self.degraded,
+        }
 
     def clear(self) -> None:
         """Delete every entry (the directory itself is kept)."""
@@ -332,11 +367,18 @@ class _InFlight:
 
 
 class ResultCache:
-    """In-memory LRU in front of an optional :class:`DiskResultStore`.
+    """In-memory LRU in front of an optional on-disk store.
 
     ``path=None`` gives a purely in-memory cache; passing a directory
-    path enables persistence across processes and sessions.  All values
-    are :class:`~repro.engine.strategy.StrategyResult` instances and are
+    path enables persistence across processes and sessions.  The disk
+    tier is a :class:`DiskResultStore` (one JSON file per entry) or a
+    :class:`~repro.engine.chunk_store.ChunkedResultStore` (bounded
+    binary chunks — the sweep-scale backend): pass ``backend="chunked"``
+    (or a ``"chunked:<dir>"`` path, or an already-constructed store
+    instance), and ``backend="auto"`` (default) recognizes an existing
+    chunked layout on disk so replicas sharing one warm fabric need no
+    extra configuration.  All values are
+    :class:`~repro.engine.strategy.StrategyResult` instances and are
     round-tripped through their ``to_dict``/``from_dict`` serialization
     on the disk tier, so a disk hit is bit-identical to a fresh store.
     ``max_disk_entries`` caps the disk tier with LRU eviction (``None``
@@ -352,10 +394,11 @@ class ResultCache:
 
     def __init__(
         self,
-        path: Optional[Union[str, Path]] = None,
+        path: Optional[Union[str, Path, Any]] = None,
         *,
         memory_entries: Optional[int] = None,
         max_disk_entries: Optional[int] = None,
+        backend: str = "auto",
     ):
         # An explicitly passed bound is a caller contract and is pinned;
         # the implicit default (512) may be grown by sweep-style callers
@@ -367,11 +410,25 @@ class ResultCache:
             raise ValueError("memory_entries must be >= 1")
         self.memory_entries = memory_entries
         self._memory: "OrderedDict[str, StrategyResult]" = OrderedDict()
-        self.disk: Optional[DiskResultStore] = (
-            DiskResultStore(path, max_entries=max_disk_entries)
-            if path is not None
-            else None
-        )
+        if path is None:
+            self.disk = None
+        elif isinstance(path, (str, Path)):
+            # Lazy import: chunk_store imports this module at its top.
+            from .chunk_store import open_result_store
+
+            self.disk = open_result_store(
+                path, max_entries=max_disk_entries, backend=backend
+            )
+        elif hasattr(path, "get") and hasattr(path, "put"):
+            # An already-constructed store (DiskResultStore or
+            # ChunkedResultStore) — shared as-is, e.g. one chunked store
+            # behind several serving replicas.
+            self.disk = path
+        else:
+            raise TypeError(
+                "path must be None, a directory path or a disk store "
+                f"instance, got {type(path).__name__}"
+            )
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._inflight: Dict[str, _InFlight] = {}
@@ -394,15 +451,13 @@ class ResultCache:
 
         ``quarantined`` — corrupt entries moved aside; ``write_errors``
         — failed disk writes; ``degraded`` — whether persistent write
-        failures switched the store to memory-only mode.
+        failures switched the store to memory-only mode.  A chunked
+        backend adds its layout counters (``chunks``, ``compactions``,
+        ...) on top of this common shape.
         """
         if self.disk is None:
             return {"quarantined": 0, "write_errors": 0, "degraded": False}
-        return {
-            "quarantined": self.disk.quarantined,
-            "write_errors": self.disk.write_errors,
-            "degraded": self.disk.degraded,
-        }
+        return self.disk.reliability_stats()
 
     # ------------------------------------------------------------------
     def key_for(
@@ -583,14 +638,20 @@ class ResultCache:
 
 
 def resolve_cache(
-    cache: Union[None, bool, str, Path, ResultCache],
+    cache: Union[None, bool, str, Path, ResultCache, Any],
     *,
     memory_entries: Optional[int] = None,
+    backend: str = "auto",
 ) -> Optional[ResultCache]:
     """Resolve the cache argument every front door accepts.
 
     ``None`` — a fresh in-memory :class:`ResultCache`; ``False`` —
-    caching off; a directory path — a persistent cache rooted there; a
+    caching off; a directory path — a persistent cache rooted there
+    (``backend`` or a ``"chunked:"``/``"json:"`` path prefix selects the
+    disk layout; ``"auto"`` detects an existing chunked store); a disk
+    store instance (:class:`DiskResultStore` or
+    :class:`~repro.engine.chunk_store.ChunkedResultStore`) — wrapped so
+    serving replicas can share one warm chunked fabric; a
     :class:`ResultCache` — shared as-is.  ``memory_entries`` sizes the
     memory tier of caches created here; for a shared instance it is a
     *reservation* (:meth:`ResultCache.reserve_memory_entries`) that
@@ -605,9 +666,12 @@ def resolve_cache(
         if memory_entries is not None:
             cache.reserve_memory_entries(memory_entries)
         return cache
-    if isinstance(cache, (str, Path)):
-        return ResultCache(cache, memory_entries=memory_entries)
+    if isinstance(cache, (str, Path)) or (
+        hasattr(cache, "get") and hasattr(cache, "put")
+    ):
+        return ResultCache(cache, memory_entries=memory_entries, backend=backend)
     raise TypeError(
         "cache must be None (fresh in-memory), False (disabled), a directory "
-        f"path or a ResultCache, got {type(cache).__name__}"
+        "path, a disk store instance or a ResultCache, "
+        f"got {type(cache).__name__}"
     )

@@ -55,13 +55,14 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, AsyncIterator, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..core import solve_pool
 from ..core.batched import table_cache_stats
 from ..core.cost_model import DEFAULT_COMPILE_CACHE
 from ..core.tensor_spec import ConvSpec
-from ..engine.cache import ResultCache
+from ..engine.cache import ResultCache, resolve_cache
 from ..engine.network import build_network_result, dedup_specs, resolve_network
 from ..engine.serialization import spec_shape_key
 from ..engine.strategy import SearchStrategy, StrategyResult, get_strategy
@@ -236,6 +237,13 @@ class OptimizationServer:
             async for event in handle.events():
                 ...                       # streaming per-operator progress
             response = await handle.result()
+
+    ``cache`` takes anything :func:`~repro.engine.cache.resolve_cache`
+    accepts: a :class:`ResultCache`, a directory path (a ``"chunked:"``
+    prefix or an existing chunked layout selects the chunked backend),
+    or a disk store instance — which is how replicas of a fleet mount
+    one merged warm fabric.  ``None`` keeps the historical default of a
+    fresh in-memory cache.
     """
 
     def __init__(
@@ -244,7 +252,7 @@ class OptimizationServer:
         strategy: Union[str, SearchStrategy] = "mopt",
         *,
         strategy_options: Optional[Mapping[str, Any]] = None,
-        cache: Optional[ResultCache] = None,
+        cache: Union[None, str, Path, ResultCache, Any] = None,
         config: Optional[ServerConfig] = None,
     ):
         self.machine = machine
@@ -272,7 +280,13 @@ class OptimizationServer:
             if self.config.fallback_strategy is not None
             else None
         )
-        self.cache = cache if cache is not None else ResultCache()
+        resolved_cache = resolve_cache(cache)
+        # resolve_cache(None) hands back a fresh in-memory cache, the
+        # server's historical default; caching cannot be disabled here
+        # (single-flight coalescing is built on it), so False is not
+        # accepted by the signature.
+        assert resolved_cache is not None
+        self.cache = resolved_cache
         self.stats = ServerStats()
         #: Cache key -> number of times the strategy actually solved it.
         #: With single-flight coalescing this stays at 1 per key no

@@ -280,6 +280,46 @@ class TestDiskEvictionAndVersioning:
         assert store.get("old") is not None
         assert store.get("new") is None
 
+    def test_at_cap_puts_do_not_rescan_every_call(self, tmp_path, monkeypatch):
+        """Regression: the eviction scan must be batched, not per-put.
+
+        The old ``put`` stat'd the target and glob+stat'd the whole
+        directory on *every* put once at cap.  With the maintained
+        counter and the evict-to-90% batch, 10 at-cap puts trigger at
+        most a few scans (cap 30 -> ~3 puts of headroom per scan).
+        """
+        store = DiskResultStore(tmp_path, max_entries=30)
+        for index in range(30):
+            store.put(f"key{index}", _constant_result(f"s{index}").to_dict())
+        scans = []
+        original = DiskResultStore._evict_over_cap
+        monkeypatch.setattr(
+            DiskResultStore,
+            "_evict_over_cap",
+            lambda self: (scans.append(1), original(self))[1],
+        )
+        for index in range(30, 40):
+            store.put(f"key{index}", _constant_result(f"s{index}").to_dict())
+        assert len(scans) <= 4  # the per-put behavior would be 10
+        assert len(store) <= 30
+
+    def test_put_warm_path_never_stats_the_target(self, tmp_path, monkeypatch):
+        """Regression: ``put`` used to ``target.exists()`` on every call."""
+        from pathlib import Path
+
+        store = DiskResultStore(tmp_path, max_entries=100)
+        payload = _constant_result("s").to_dict()
+        exists_calls = []
+        original = Path.exists
+        monkeypatch.setattr(
+            Path,
+            "exists",
+            lambda self, **kw: (exists_calls.append(self), original(self, **kw))[1],
+        )
+        for index in range(20):
+            store.put(f"key{index}", payload)
+        assert exists_calls == []
+
     def test_unbounded_store_never_evicts(self, tmp_path):
         store = DiskResultStore(tmp_path)
         for index in range(8):
