@@ -20,6 +20,10 @@ perf trajectory across commits:
   the figures include shape-family plan compilation.  The payload also
   records the resolved intra-operator worker count and the compile-cache
   counters after the run.
+* ``obs_untraced_operator_s`` / ``obs_traced_operator_s`` — the same
+  cold single-operator solve with tracing off and on, recorded under
+  ``obs_overhead`` with the derived overhead percentage (the tracing
+  subsystem's pinned <=3% budget).
 * ``warm_network_s`` — the same network re-run against the persistent
   cache (the PR 1 warm path).
 * ``serving_*`` — concurrent-client figures from the async serving
@@ -147,6 +151,43 @@ def main() -> int:
         "class_workers": solve_pool.resolve_workers(vectorized.class_workers, 8),
         "compile_cache": DEFAULT_COMPILE_CACHE.stats(),
     }
+
+    print("tracing overhead: cold single-operator solve, untraced vs traced ...")
+    from repro.obs import trace as obs_trace
+
+    def _cold_solve() -> None:
+        DEFAULT_COMPILE_CACHE.clear()
+        MOptOptimizer(machine, vectorized).optimize(spec)
+
+    reps = 1 if args.quick else 3
+    stages["obs_untraced_operator_s"] = min(
+        _timed(_cold_solve) for _ in range(reps)
+    )
+    obs_trace.enable()
+    try:
+        stages["obs_traced_operator_s"] = min(
+            _timed(_cold_solve) for _ in range(reps)
+        )
+    finally:
+        obs_trace.disable()
+        spans_recorded = len(obs_trace.drain())
+    payload_obs = {
+        "untraced_s": stages["obs_untraced_operator_s"],
+        "traced_s": stages["obs_traced_operator_s"],
+        "spans_per_solve": spans_recorded // reps,
+        "overhead_pct": 100.0
+        * (
+            stages["obs_traced_operator_s"]
+            / max(stages["obs_untraced_operator_s"], 1e-9)
+            - 1.0
+        ),
+    }
+    print(
+        f"  untraced {stages['obs_untraced_operator_s']:.2f} s, "
+        f"traced {stages['obs_traced_operator_s']:.2f} s "
+        f"({payload_obs['overhead_pct']:+.1f}%, "
+        f"{payload_obs['spans_per_solve']} spans/solve)"
+    )
 
     print(f"cold {NETWORK} network search ({len(specs)} layers), vectorized ...")
     cache = ResultCache()
@@ -291,6 +332,7 @@ def main() -> int:
         "serving": payload_serving,
         "dse": payload_dse,
         "mopt_cold": payload_mopt,
+        "obs_overhead": payload_obs,
         "chunk_store": payload_chunk,
     }
     if "cold_network_scalar_s" in stages:

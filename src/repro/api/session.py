@@ -37,7 +37,6 @@ there.
 from __future__ import annotations
 
 import asyncio
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -65,6 +64,8 @@ from ..engine.serialization import spec_shape_key
 from ..engine.strategy import SearchStrategy, StrategyResult, get_strategy
 from ..machine.presets import get_machine
 from ..machine.spec import MachineSpec
+from ..obs import trace as obs_trace
+from ..obs.trace import span
 from ..workloads.benchmarks import network_names
 from .spec import parse
 
@@ -146,6 +147,11 @@ class Session:
     server_config:
         Optional :class:`~repro.serving.server.ServerConfig` for the
         async path's embedded server.
+    trace:
+        ``None`` (default) — tracing off; ``True`` — enable the
+        process-wide structured tracer (:mod:`repro.obs.trace`) and
+        buffer spans in memory; a path — enable tracing *and* remember
+        where :meth:`export_trace` should write the JSON-lines trace.
     """
 
     def __init__(
@@ -158,9 +164,15 @@ class Session:
         executor: str = "thread",
         max_workers: Optional[int] = None,
         server_config: Optional[Any] = None,
+        trace: Union[None, bool, str, Path] = None,
     ):
         self.machine = _resolve_machine(machine)
         self.cache = _resolve_cache(cache)
+        self.trace_path: Optional[Path] = None
+        if trace:
+            obs_trace.enable()
+            if not isinstance(trace, bool):
+                self.trace_path = Path(trace).expanduser()
         if isinstance(strategy, str):
             self.strategy: SearchStrategy = get_strategy(
                 strategy, **dict(strategy_options or {})
@@ -271,18 +283,21 @@ class Session:
         in input order, each with the type :meth:`optimize` would have
         returned for it.
         """
-        start = time.perf_counter()
-        resolved = [self.resolve(workload, batch=batch) for workload in workloads]
-        all_specs: List[ConvSpec] = []
-        for item in resolved:
-            if isinstance(item, ConvSpec):
-                all_specs.append(item)
-            else:
-                all_specs.extend(item)
-        solved, cached_keys = self._solve_distinct(dedup_specs(all_specs))
+        with span("session.optimize_many", items=len(workloads)) as sp:
+            resolved = [
+                self.resolve(workload, batch=batch) for workload in workloads
+            ]
+            all_specs: List[ConvSpec] = []
+            for item in resolved:
+                if isinstance(item, ConvSpec):
+                    all_specs.append(item)
+                else:
+                    all_specs.extend(item)
+            solved, cached_keys = self._solve_distinct(dedup_specs(all_specs))
         # The fan-out is shared, so each network result carries the wall
-        # time of the whole batch (there is no meaningful per-item cost).
-        wall_seconds = time.perf_counter() - start
+        # time of the whole batch (there is no meaningful per-item cost);
+        # the span's clock is that wall, so trace and result agree.
+        wall_seconds = sp.elapsed
 
         results: List[Union[OpResult, NetworkResult]] = []
         for original, item in zip(workloads, resolved):
@@ -324,33 +339,37 @@ class Session:
         if self.cache is None:
             raise ValueError("warm_cache requires a session with a cache")
         names = tuple(networks) if networks is not None else network_names()
-        start = time.perf_counter()
-        specs: List[ConvSpec] = []
-        for name in names:
-            resolved = self.resolve(name, batch=batch)
-            specs.extend(
-                [resolved] if isinstance(resolved, ConvSpec) else resolved
-            )
-        distinct = dedup_specs(specs)
-        if dry_run:
-            keys = [
-                self.cache.key_for(spec, self.machine, self.strategy)
-                for spec in distinct.values()
-            ]
-            hits = self.cache.get_many(keys, record_misses=False)
-            already_cached = sum(1 for key in keys if hits.get(key) is not None)
-            solved = 0
-        else:
-            _, cached_keys = self._solve_distinct(distinct)
-            already_cached = len(cached_keys)
-            solved = len(distinct) - already_cached
+        with span(
+            "session.warm_cache", networks=",".join(names), dry_run=dry_run
+        ) as sp:
+            specs: List[ConvSpec] = []
+            for name in names:
+                resolved = self.resolve(name, batch=batch)
+                specs.extend(
+                    [resolved] if isinstance(resolved, ConvSpec) else resolved
+                )
+            distinct = dedup_specs(specs)
+            if dry_run:
+                keys = [
+                    self.cache.key_for(spec, self.machine, self.strategy)
+                    for spec in distinct.values()
+                ]
+                hits = self.cache.get_many(keys, record_misses=False)
+                already_cached = sum(
+                    1 for key in keys if hits.get(key) is not None
+                )
+                solved = 0
+            else:
+                _, cached_keys = self._solve_distinct(distinct)
+                already_cached = len(cached_keys)
+                solved = len(distinct) - already_cached
         return WarmCacheReport(
             networks=names,
             distinct_operators=len(distinct),
             already_cached=already_cached,
             solved=solved,
             dry_run=dry_run,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=sp.elapsed,
         )
 
     # ------------------------------------------------------------------
@@ -432,26 +451,42 @@ class Session:
         write errors, memory-only degradation) — every degradation or
         recovery the infrastructure performed while serving results.
         """
-        from ..core import solve_pool
-        from ..core.batched import table_cache_stats
-        from ..core.cost_model import DEFAULT_COMPILE_CACHE
-        from ..reliability import health_counters
+        # Importing the subsystems registers their stat collectors with
+        # the unified registry; the payload below is then a pure view
+        # over one `metrics.snapshot()`, its shape unchanged since PR 7.
+        from ..core import batched, cost_model, solve_pool  # noqa: F401
+        from ..obs import metrics
 
         if self.cache is not None:
             cache_reliability = self.cache.reliability_stats()
         else:
-            cache_reliability = {
-                "quarantined": 0, "write_errors": 0, "degraded": False,
-            }
+            cache_reliability = ResultCache.empty_reliability_stats()
+        snap = metrics.snapshot()
         return {
-            "compile_cache": DEFAULT_COMPILE_CACHE.stats(),
-            "batched_table_cache": table_cache_stats(),
-            "solve_pool": dict(solve_pool.pool_stats()),
+            "compile_cache": snap["compile_cache"],
+            "batched_table_cache": snap["batched_table_cache"],
+            "solve_pool": snap["solve_pool"],
             "reliability": {
-                **health_counters(),
+                **snap["reliability"],
                 "cache": cache_reliability,
             },
         }
+
+    def export_trace(
+        self, path: Union[None, str, Path] = None
+    ) -> Optional[Path]:
+        """Write the buffered trace as JSON-lines; returns the path.
+
+        ``path`` defaults to the one given at construction
+        (``Session(trace="trace.jsonl")``).  Returns ``None`` (writing
+        nothing) when no path is known — a ``trace=True`` session that
+        only wanted in-memory spans.
+        """
+        target = Path(path).expanduser() if path is not None else self.trace_path
+        if target is None:
+            return None
+        obs_trace.export_jsonl(target)
+        return target
 
     # ------------------------------------------------------------------
     # async path (serving engine)

@@ -186,7 +186,10 @@ def _op_payload(result) -> Dict[str, Any]:
 
 def _run_optimize(args: argparse.Namespace) -> int:
     session = _build_session(
-        args, executor=args.executor, max_workers=args.max_workers
+        args,
+        executor=args.executor,
+        max_workers=args.max_workers,
+        trace=getattr(args, "trace", None),
     )
     payloads: List[Dict[str, Any]] = []
     for reference in args.workload:
@@ -214,6 +217,9 @@ def _run_optimize(args: argparse.Namespace) -> int:
     if args.json:
         out = payloads[0] if len(payloads) == 1 else payloads
         print(json.dumps(out, indent=2, sort_keys=True))
+    trace_path = session.export_trace()
+    if trace_path is not None and not args.json:
+        print(f"trace written to {trace_path}")
     return 0
 
 
@@ -472,9 +478,35 @@ def _run_dse_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_dse_status(args: argparse.Namespace) -> int:
+    from .obs.heartbeat import render_status, status_payload
+
+    payload = status_payload(args.directory, stale_after=args.stale_after)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_status(payload))
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from .obs.summary import render_summary, summarize
+    from .obs.trace import load_jsonl
+
+    records = load_jsonl(args.trace_file)
+    summary = summarize(records)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
 def _run_dse(args: argparse.Namespace) -> int:
     if getattr(args, "dse_command", None) == "merge":
         return _run_dse_merge(args)
+    if getattr(args, "dse_command", None) == "status":
+        return _run_dse_status(args)
     from .dse import (
         DesignSpace,
         DesignSpaceError,
@@ -664,6 +696,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-layer", action="store_true", help="print one line per layer"
     )
     optimize.add_argument("--json", action="store_true", help="print JSON")
+    optimize.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="enable structured tracing and write the JSON-lines trace "
+        "here (inspect with `repro trace summary FILE`)",
+    )
 
     serve = sub.add_parser("serve", help="run a TCP optimization endpoint")
     _add_session_options(serve)
@@ -865,6 +904,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument("--json", action="store_true", help="print JSON counters")
 
+    status = dse_sub.add_parser(
+        "status",
+        help="fleet health of a running/finished sweep from its heartbeats",
+        description=(
+            "Scan a directory for sweep heartbeat sidecars (*.hb.json, "
+            "written next to each shard's --progress store) and render "
+            "per-shard progress, rate, failures and staleness."
+        ),
+    )
+    status.add_argument(
+        "directory", metavar="DIR", help="directory holding heartbeat sidecars"
+    )
+    status.add_argument(
+        "--stale-after",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="flag running shards with no heartbeat update for this long "
+        "(default: 60)",
+    )
+    status.add_argument("--json", action="store_true", help="print JSON")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="inspect structured traces (--trace FILE output)"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="per-phase time breakdown of a JSON-lines trace",
+        description=(
+            "Aggregate a JSON-lines trace (written by `optimize --trace` "
+            "or Session(trace=...)) by span name: count, total, mean and "
+            "each phase's share of the traced wall time."
+        ),
+    )
+    trace_summary.add_argument(
+        "trace_file", metavar="FILE", help="JSON-lines trace file"
+    )
+    trace_summary.add_argument("--json", action="store_true", help="print JSON")
+
     list_cmd = sub.add_parser(
         "list", help="registered machines, strategies and networks"
     )
@@ -880,6 +959,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "warm": _run_warm,
         "bench": _run_bench,
         "dse": _run_dse,
+        "trace": _run_trace,
         "list": _run_list,
     }
     try:

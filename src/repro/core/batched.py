@@ -31,6 +31,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY as _METRICS_REGISTRY
 from .config import TilingConfig
 from .cost_model import (
     OUT_TRAFFIC_FACTOR,
@@ -251,3 +252,6 @@ def table_cache_stats() -> Dict[str, int]:
         "size": info.currsize,
         "maxsize": info.maxsize,
     }
+
+
+_METRICS_REGISTRY.register_collector("batched_table_cache", table_cache_stats)

@@ -44,6 +44,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
+from ..obs.metrics import REGISTRY as _METRICS_REGISTRY
 from .config import TilingConfig
 from .tensor_spec import (
     LOOP_INDICES,
@@ -779,6 +780,12 @@ class CompileCache:
 #: Process-global compile cache shared by default between every optimizer,
 #: network sweep and DSE exploration in the process.
 DEFAULT_COMPILE_CACHE = CompileCache()
+
+# The shared cache's counters are one facet of the unified metrics
+# snapshot (same dict `Session.performance_stats()` reports).
+_METRICS_REGISTRY.register_collector(
+    "compile_cache", lambda: DEFAULT_COMPILE_CACHE.stats()
+)
 
 
 def compiled_cost_for(

@@ -38,13 +38,13 @@ modeled configurations) can be reproduced.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..machine.spec import MachineSpec
+from ..obs.trace import span as _span
 from .capacity import level_capacities
 from .config import MultiLevelConfig, TilingConfig
 from .cost_model import (
@@ -249,39 +249,43 @@ class MOptOptimizer:
     def optimize(self, spec: ConvSpec) -> OptimizationResult:
         """Run Algorithm 1 and return all candidate solutions, best first."""
         settings = self.settings
-        start = time.perf_counter()
-        microkernel = design_microkernel(self.machine, spec)
-        classes = self._permutation_classes()
-        groups = self._collapse_groups(spec, classes)
-        tiles_by_group = self._solve_groups(spec, groups, microkernel)
-        # Fill per-class results in the original class order (shared tiles
-        # within a group) so candidate tie-breaking is group-independent.
-        by_name: Dict[str, CandidateSolution] = {}
-        levels = tuple(settings.levels)
-        for group, tiles in zip(groups, tiles_by_group):
-            for cls in group:
-                config = MultiLevelConfig(
-                    levels,
-                    tuple(
-                        TilingConfig(cls.representative, tiles[level])
-                        for level in levels
-                    ),
-                )
-                config = integerize_config(
-                    spec, config, snap_to_divisors=settings.snap_to_divisors
-                )
-                by_name[cls.name] = self._evaluate_candidate(
-                    spec, cls, config, microkernel
-                )
-        candidates = [by_name[cls.name] for cls in classes]
-        candidates.sort(key=lambda c: c.predicted_time_seconds)
-        elapsed = time.perf_counter() - start
+        with _span("solve.operator", operator=spec.name) as op_span:
+            with _span("solve.compile"):
+                microkernel = design_microkernel(self.machine, spec)
+                classes = self._permutation_classes()
+                groups = self._collapse_groups(spec, classes)
+            tiles_by_group = self._solve_groups(spec, groups, microkernel)
+            # Fill per-class results in the original class order (shared tiles
+            # within a group) so candidate tie-breaking is group-independent.
+            by_name: Dict[str, CandidateSolution] = {}
+            levels = tuple(settings.levels)
+            for group, tiles in zip(groups, tiles_by_group):
+                for cls in group:
+                    config = MultiLevelConfig(
+                        levels,
+                        tuple(
+                            TilingConfig(cls.representative, tiles[level])
+                            for level in levels
+                        ),
+                    )
+                    with _span("solve.integerize", class_name=cls.name):
+                        config = integerize_config(
+                            spec, config, snap_to_divisors=settings.snap_to_divisors
+                        )
+                    with _span("solve.parallel_plan", class_name=cls.name):
+                        by_name[cls.name] = self._evaluate_candidate(
+                            spec, cls, config, microkernel
+                        )
+            candidates = [by_name[cls.name] for cls in classes]
+            candidates.sort(key=lambda c: c.predicted_time_seconds)
+        # The span's own clock is the one source of truth for the search
+        # wall: the trace record and `search_seconds` cannot disagree.
         return OptimizationResult(
             spec=spec,
             machine=self.machine,
             settings=settings,
             candidates=tuple(candidates[: max(settings.top_k, 1)]),
-            search_seconds=elapsed,
+            search_seconds=op_span.elapsed,
             microkernel=microkernel,
         )
 
@@ -408,16 +412,17 @@ class MOptOptimizer:
                 # Selection solve: the epigraph min-max identifies the
                 # round's bottleneck level in one solve (the old scan needed
                 # one hypothesis solve per unvisited level just to rank them).
-                times, tiles = self._bottleneck_solve(
-                    compiled,
-                    levels,
-                    extents,
-                    capacities,
-                    bandwidths,
-                    fixed,
-                    not_visited,
-                    warm,
-                )
+                with _span("solve.select", class_name=cls.name):
+                    times, tiles = self._bottleneck_solve(
+                        compiled,
+                        levels,
+                        extents,
+                        capacities,
+                        bandwidths,
+                        fixed,
+                        not_visited,
+                        warm,
+                    )
                 # The level attaining the bottleneck at the min-max optimum
                 # is the round's most constraining unvisited level (ties keep
                 # the innermost, matching the hypothesis-scan order).
@@ -434,17 +439,18 @@ class MOptOptimizer:
             # level (minimize that level's time subject to it dominating,
             # with the relaxed fallback of the original scan) and freeze the
             # refined tiles — the objective now shapes every coordinate.
-            _, tiles = self._refine_solve(
-                compiled,
-                levels,
-                extents,
-                capacities,
-                bandwidths,
-                fixed,
-                not_visited,
-                best_level,
-                dominate=len(not_visited) > 1,
-            )
+            with _span("solve.refine", class_name=cls.name, level=best_level):
+                _, tiles = self._refine_solve(
+                    compiled,
+                    levels,
+                    extents,
+                    capacities,
+                    bandwidths,
+                    fixed,
+                    not_visited,
+                    best_level,
+                    dominate=len(not_visited) > 1,
+                )
             fixed[best_level] = tiles[best_level]
             not_visited.remove(best_level)
             warm = tiles

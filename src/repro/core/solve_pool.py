@@ -43,6 +43,8 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import trace as obs_trace
+from ..obs.metrics import REGISTRY
 from ..reliability import health
 from ..reliability.faults import fault_fires
 
@@ -94,6 +96,9 @@ def pool_stats() -> Dict[str, int]:
     return dict(_STATS)
 
 
+REGISTRY.register_collector("solve_pool", pool_stats)
+
+
 _EXECUTOR: Optional[ProcessPoolExecutor] = None
 _EXECUTOR_SIZE = 0
 
@@ -137,16 +142,26 @@ def _crash_worker_task() -> None:  # pragma: no cover - runs in the worker
     os._exit(86)
 
 
-def _solve_task(machine, settings, spec, class_name: str):
-    """Worker-side solve of one permutation class (serial inside the worker)."""
+def _solve_task(machine, settings, spec, class_name: str, trace_ctx=None):
+    """Worker-side solve of one permutation class (serial inside the worker).
+
+    Returns ``(tiles, spans)``: when the submitting side was tracing it
+    ships its ``(trace_id, span_id)`` as ``trace_ctx``, the worker
+    captures its select/refine spans under that ancestry (the worker
+    cannot reach the parent's ring buffer), and the parent ingests them
+    — so one trace id spans the fork boundary.
+    """
     from .microkernel import design_microkernel
     from .optimizer import MOptOptimizer
     from .pruning import get_class
 
     optimizer = MOptOptimizer(machine, replace(settings, class_workers=1))
     cls = get_class(class_name)
-    microkernel = design_microkernel(machine, spec)
-    return optimizer._solve_class_tiles(spec, cls, microkernel)
+    with obs_trace.remote_capture(trace_ctx) as captured:
+        with obs_trace.span("solve.class", class_name=class_name):
+            microkernel = design_microkernel(machine, spec)
+            tiles = optimizer._solve_class_tiles(spec, cls, microkernel)
+    return tiles, (captured or [])
 
 
 def run_class_solves(
@@ -166,6 +181,7 @@ def run_class_solves(
     results: List[Optional[Dict[str, Dict[str, float]]]] = [None] * len(class_names)
     pending = list(range(len(class_names)))
     rebuilt = False
+    trace_ctx = obs_trace.current_context()
     while pending:
         broken = False
         lost: List[int] = []
@@ -177,7 +193,8 @@ def run_class_solves(
                 executor.submit(_crash_worker_task)
             futures = {
                 index: executor.submit(
-                    _solve_task, machine, settings, spec, class_names[index]
+                    _solve_task, machine, settings, spec,
+                    class_names[index], trace_ctx,
                 )
                 for index in pending
             }
@@ -186,7 +203,8 @@ def run_class_solves(
         else:
             for index, future in futures.items():
                 try:
-                    results[index] = future.result()
+                    results[index], spans = future.result()
+                    obs_trace.ingest(spans)
                 except BrokenExecutor:
                     broken = True
                     lost.append(index)
@@ -204,9 +222,10 @@ def run_class_solves(
         _STATS["serial_fallbacks"] += 1
         health.incr("serial_fallbacks")
         for index in pending:
-            results[index] = _solve_task(
-                machine, settings, spec, class_names[index]
+            results[index], spans = _solve_task(
+                machine, settings, spec, class_names[index], trace_ctx
             )
+            obs_trace.ingest(spans)
         break
     _STATS["pool_batches"] += 1
     _STATS["pool_solves"] += len(class_names)

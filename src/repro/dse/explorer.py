@@ -59,6 +59,8 @@ from ..engine.cache import ResultCache, resolve_cache
 from ..engine.serialization import machine_key, spec_shape_key, stable_hash
 from ..engine.strategy import SearchStrategy, get_strategy
 from ..machine.spec import MachineSpec
+from ..obs import trace as obs_trace
+from ..obs.heartbeat import HeartbeatWriter, heartbeat_path_for
 from ..reliability import RetryPolicy, health
 from ..reliability.faults import fault_point
 from .space import Candidate, DesignSpace, ExpandedSpace
@@ -661,6 +663,30 @@ def _evaluate_isolated(
         )
 
 
+def _evaluate_traced(
+    trace_ctx,
+    candidate: Candidate,
+    workloads: Sequence[SweepWorkload],
+    labels: Sequence[str],
+    strategy: SearchStrategy,
+    cache: Optional[ResultCache],
+    batch: int,
+    retry: Optional[RetryPolicy],
+) -> CandidateOutcome:
+    """Thread-pool entry: adopt the sweep's trace context in the worker.
+
+    Trace ancestry is a context variable and does not cross thread-pool
+    boundaries on its own, so the submitting sweep ships its
+    ``(trace_id, span_id)`` with every work item; the per-candidate span
+    then joins the sweep's trace instead of starting an orphan one.
+    """
+    with obs_trace.activate(trace_ctx):
+        with obs_trace.span("dse.candidate", machine=candidate.machine.name):
+            return _evaluate_isolated(
+                candidate, workloads, labels, strategy, cache, batch, retry
+            )
+
+
 def explore(
     space: DesignSpace,
     workloads: Union[SweepWorkload, Sequence[SweepWorkload]] = ("resnet18",),
@@ -811,16 +837,36 @@ def explore(
     resumed = len(candidates) - len(pending)
     done = resumed
     total = len(candidates)
+    failures = sum(1 for o in completed.values() if o.failed)
+    # Live sweep status: one atomic heartbeat sidecar next to the
+    # progress store (per shard in a sharded run), rendered back by
+    # `python -m repro dse status DIR`.
+    heartbeat: Optional[HeartbeatWriter] = None
+    if progress is not None:
+        heartbeat = HeartbeatWriter(
+            heartbeat_path_for(progress),
+            label=space.space_name,
+            shard=shard_label,
+            total=total,
+        )
+        heartbeat.set_resumed(resumed)
+        heartbeat.update(done, failures, force=True)
+    sweep_span = obs_trace.span(
+        "dse.sweep", space=space.space_name, shard=shard_label or ""
+    )
+    sweep_span.__enter__()
+    finished = False
     try:
         if pending:
             chunk_size = max(1, chunk_size)
             workers = max_workers or min(len(pending), os.cpu_count() or 4, 8)
             pool = ThreadPoolExecutor(max_workers=workers)
-            failures = sum(1 for o in completed.values() if o.failed)
+            trace_ctx = obs_trace.current_context()
             try:
                 futures = {
                     pool.submit(
-                        _evaluate_isolated,
+                        _evaluate_traced,
+                        trace_ctx,
                         candidate,
                         workloads,
                         labels,
@@ -847,6 +893,8 @@ def explore(
                                 failures, max_failures, outcome.error or "?"
                             )
                     done += 1
+                    if heartbeat is not None:
+                        heartbeat.update(done, failures)
                     if on_progress is not None and (
                         done % chunk_size == 0 or done == total
                     ):
@@ -858,7 +906,15 @@ def explore(
                 pool.shutdown(wait=True, cancel_futures=True)
         elif on_progress is not None:
             on_progress(done, total)
+        finished = True
     finally:
+        sweep_span.__exit__(None, None, None)
+        if heartbeat is not None:
+            heartbeat.finish(
+                done,
+                failures,
+                status="done" if finished and done == total else "aborted",
+            )
         if store is not None:
             store.close()
 

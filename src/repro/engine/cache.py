@@ -446,6 +446,16 @@ class ResultCache:
             if not self._memory_entries_pinned and entries > self.memory_entries:
                 self.memory_entries = entries
 
+    @classmethod
+    def empty_reliability_stats(cls) -> Dict[str, Any]:
+        """The zero-state of :meth:`reliability_stats` — the one shape.
+
+        Cache-less callers (a ``cache=False`` session's stats probe)
+        report this instead of fabricating their own dict, so the
+        empty-state payload can never drift from the real one.
+        """
+        return {"quarantined": 0, "write_errors": 0, "degraded": False}
+
     def reliability_stats(self) -> Dict[str, Any]:
         """Degradation counters of the disk tier (zeros when memory-only).
 
@@ -456,7 +466,7 @@ class ResultCache:
         ...) on top of this common shape.
         """
         if self.disk is None:
-            return {"quarantined": 0, "write_errors": 0, "degraded": False}
+            return self.empty_reliability_stats()
         return self.disk.reliability_stats()
 
     # ------------------------------------------------------------------

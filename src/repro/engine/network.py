@@ -23,11 +23,11 @@ the registry, so process-based fan-out only ever pickles plain data.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..obs.trace import span
 from ..analysis.stats import geometric_mean
 from ..core import solve_pool
 from ..core.tensor_spec import ConvSpec
@@ -354,43 +354,45 @@ class NetworkOptimizer:
         :func:`repro.workloads.benchmarks.network_benchmarks`) or an
         explicit operator list.
         """
-        start = time.perf_counter()
-        network_name, specs = resolve_network(network, batch=batch)
+        with span("network.optimize") as net_span:
+            network_name, specs = resolve_network(network, batch=batch)
 
-        # --- 1. deduplicate identical shapes (first occurrence wins).
-        distinct = dedup_specs(specs)
+            # --- 1. deduplicate identical shapes (first occurrence wins).
+            distinct = dedup_specs(specs)
 
-        # --- 2. consult the cache for all distinct shapes in one batch.
-        solved: Dict[str, StrategyResult] = {}
-        cached_keys: set = set()
-        pending: List[Tuple[str, ConvSpec]] = []
-        cache_keys: Dict[str, str] = {}
-        if self.cache is not None:
-            cache_keys = {
-                shape_key: self.cache.key_for(spec, self.machine, self.strategy)
-                for shape_key, spec in distinct.items()
-            }
-            hits = self.cache.get_many(list(cache_keys.values()))
-            for shape_key, spec in distinct.items():
-                hit = hits.get(cache_keys[shape_key])
-                if hit is not None:
-                    solved[shape_key] = hit
-                    cached_keys.add(shape_key)
-                else:
-                    pending.append((shape_key, spec))
-        else:
-            pending = list(distinct.items())
-
-        # --- 3. fan the remaining distinct operators out.
-        for shape_key, result in zip(
-            (key for key, _ in pending),
-            self.solve_specs([spec for _, spec in pending]),
-        ):
-            solved[shape_key] = result
+            # --- 2. consult the cache for all distinct shapes in one batch.
+            solved: Dict[str, StrategyResult] = {}
+            cached_keys: set = set()
+            pending: List[Tuple[str, ConvSpec]] = []
+            cache_keys: Dict[str, str] = {}
             if self.cache is not None:
-                self.cache.put(cache_keys[shape_key], result)
+                cache_keys = {
+                    shape_key: self.cache.key_for(spec, self.machine, self.strategy)
+                    for shape_key, spec in distinct.items()
+                }
+                hits = self.cache.get_many(list(cache_keys.values()))
+                for shape_key, spec in distinct.items():
+                    hit = hits.get(cache_keys[shape_key])
+                    if hit is not None:
+                        solved[shape_key] = hit
+                        cached_keys.add(shape_key)
+                    else:
+                        pending.append((shape_key, spec))
+            else:
+                pending = list(distinct.items())
+
+            # --- 3. fan the remaining distinct operators out.
+            for shape_key, result in zip(
+                (key for key, _ in pending),
+                self.solve_specs([spec for _, spec in pending]),
+            ):
+                solved[shape_key] = result
+                if self.cache is not None:
+                    self.cache.put(cache_keys[shape_key], result)
 
         # --- 4. per-layer outcomes (cached/deduped results relabeled).
+        # Built outside the span so `wall_seconds` is the span's own final
+        # clock — the reported wall and the trace record cannot disagree.
         return build_network_result(
             network=network_name,
             machine_name=self.machine.name,
@@ -398,7 +400,7 @@ class NetworkOptimizer:
             specs=specs,
             solved=solved,
             cached_keys=cached_keys,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=net_span.elapsed,
         )
 
     # ------------------------------------------------------------------

@@ -20,7 +20,6 @@ process-pool workers unchanged.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import (
     Any,
@@ -33,6 +32,7 @@ from typing import (
     runtime_checkable,
 )
 
+from ..obs.trace import span
 from ..baselines.autotvm_like import ConvTemplate, XGBLikeTuner
 from ..baselines.onednn_like import (
     ONEDNN_KERNEL_EFFICIENCY,
@@ -251,16 +251,19 @@ class OneDnnStrategy:
     seed: int = 0
 
     def search(self, spec: ConvSpec, machine: MachineSpec) -> StrategyResult:
-        start = time.perf_counter()
-        outcome = run_onednn_like(spec, machine, threads=self.threads, seed=self.seed)
-        elapsed = time.perf_counter() - start
+        with span(
+            "strategy.search", strategy=self.name, operator=spec.name
+        ) as sp:
+            outcome = run_onednn_like(
+                spec, machine, threads=self.threads, seed=self.seed
+            )
         gflops = outcome.gflops
         return StrategyResult(
             strategy=self.name,
             spec_name=spec.name,
             gflops=gflops,
             time_seconds=_time_from_gflops(spec, gflops),
-            search_seconds=elapsed,
+            search_seconds=sp.elapsed,
             best_config=outcome.schedule.config,
             extras={
                 "schedule": outcome.schedule.name,

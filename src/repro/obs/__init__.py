@@ -1,0 +1,61 @@
+"""Observability subsystem: tracing, metrics, heartbeats, summaries.
+
+Four small, dependency-free layers the rest of the system hangs
+telemetry on (nothing here imports the solver/engine packages, so any
+module may import :mod:`repro.obs` without cycles):
+
+* :mod:`repro.obs.trace` — nestable ``span()`` context managers with
+  trace-id propagation across thread pools and fork-based process
+  pools, a bounded ring buffer, JSON-lines export.
+* :mod:`repro.obs.metrics` — the process-wide registry (counters,
+  gauges, fixed-bucket histograms, named collectors) behind
+  ``metrics.snapshot()``; ``Session.performance_stats()`` and the
+  serving ``stats_snapshot()`` are views over it.
+* :mod:`repro.obs.heartbeat` — atomic progress sidecars for sweeps and
+  shards, read back by ``python -m repro dse status DIR``.
+* :mod:`repro.obs.summary` — per-phase time breakdown over a trace,
+  rendered by ``python -m repro trace summary FILE``.
+"""
+
+from . import metrics, trace
+from .heartbeat import (
+    DEFAULT_STALE_AFTER,
+    HeartbeatWriter,
+    heartbeat_path_for,
+    read_heartbeats,
+    render_status,
+    status_payload,
+)
+from .metrics import REGISTRY, MetricsRegistry
+from .summary import render_summary, summarize
+from .trace import (
+    activate,
+    current_context,
+    export_jsonl,
+    ingest,
+    load_jsonl,
+    remote_capture,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_STALE_AFTER",
+    "HeartbeatWriter",
+    "MetricsRegistry",
+    "REGISTRY",
+    "activate",
+    "current_context",
+    "export_jsonl",
+    "heartbeat_path_for",
+    "ingest",
+    "load_jsonl",
+    "metrics",
+    "read_heartbeats",
+    "remote_capture",
+    "render_status",
+    "render_summary",
+    "span",
+    "status_payload",
+    "summarize",
+    "trace",
+]

@@ -1,0 +1,209 @@
+"""Atomic heartbeat sidecars: live progress for sweeps and shards.
+
+A long sharded sweep runs as N independent processes writing N progress
+stores; until now the only way to see how a fleet was doing was to tail
+each store.  Each sweep (and each shard) now also maintains one small
+JSON *heartbeat* next to its progress store — rewritten atomically
+(temp + rename, the repo's standard torn-read defense) a few times per
+second at most — carrying progress %, evaluation rate, failure count
+and a wall-clock ``updated_at``.  ``python -m repro dse status DIR``
+scans a directory for heartbeats and renders fleet health, flagging
+shards whose heartbeat has gone *stale* (no update within
+``stale_after`` seconds — a hung or killed worker, which a progress
+store alone cannot distinguish from a slow one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "DEFAULT_STALE_AFTER",
+    "HEARTBEAT_SUFFIX",
+    "HeartbeatWriter",
+    "heartbeat_path_for",
+    "read_heartbeats",
+    "render_status",
+    "status_payload",
+]
+
+HEARTBEAT_SUFFIX = ".hb.json"
+SCHEMA_VERSION = 1
+
+#: A shard with no heartbeat update for this many seconds is stale.
+DEFAULT_STALE_AFTER = 60.0
+
+
+def heartbeat_path_for(progress_path: Union[str, Path]) -> Path:
+    """Sidecar path next to a progress store: ``<store>.hb.json``."""
+    progress_path = Path(progress_path).expanduser()
+    return progress_path.with_name(progress_path.name + HEARTBEAT_SUFFIX)
+
+
+class HeartbeatWriter:
+    """Maintains one heartbeat file for a running sweep/shard.
+
+    ``update()`` is throttled (at most one write per ``interval_s``)
+    so calling it per candidate costs nothing on the hot path; the
+    terminal ``finish()`` write always lands.  Write failures are
+    swallowed — a full disk must degrade the *status view*, never the
+    sweep itself (same contract as the cache tiers).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        label: str = "",
+        shard: Optional[str] = None,
+        total: int = 0,
+        interval_s: float = 0.5,
+    ) -> None:
+        self.path = Path(path).expanduser()
+        self.label = label
+        self.shard = shard
+        self.total = int(total)
+        self.interval_s = float(interval_s)
+        self.started_at = time.time()
+        self._last_write = 0.0
+        self._base_done = 0  # resumed outcomes, excluded from the rate
+
+    def set_resumed(self, resumed: int) -> None:
+        """Outcomes carried over from a prior run (don't count in rate)."""
+        self._base_done = int(resumed)
+
+    def update(
+        self,
+        done: int,
+        failed: int = 0,
+        *,
+        status: str = "running",
+        force: bool = False,
+    ) -> None:
+        now = time.time()
+        if not force and now - self._last_write < self.interval_s:
+            return
+        self._last_write = now
+        elapsed = max(now - self.started_at, 1e-9)
+        evaluated = max(done - self._base_done, 0)
+        payload: Dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "label": self.label,
+            "shard": self.shard,
+            "pid": os.getpid(),
+            "status": status,
+            "total": self.total,
+            "done": int(done),
+            "failed": int(failed),
+            "percent": round(100.0 * done / self.total, 2) if self.total else 0.0,
+            "rate_per_s": round(evaluated / elapsed, 4),
+            "started_at": self.started_at,
+            "updated_at": now,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, self.path)
+        except OSError:
+            pass
+
+    def finish(self, done: int, failed: int = 0, *, status: str = "done") -> None:
+        """Terminal write (never throttled): done / aborted / failed."""
+        self.update(done, failed, status=status, force=True)
+
+
+# ----------------------------------------------------------------------
+# reading heartbeats back: `dse status DIR`
+# ----------------------------------------------------------------------
+def read_heartbeats(directory: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every parseable ``*.hb.json`` under ``directory`` (sorted by name).
+
+    Each entry gains a ``"path"`` key.  Corrupt or torn files are
+    skipped — atomic writes make those transient.
+    """
+    directory = Path(directory).expanduser()
+    entries: List[Dict[str, Any]] = []
+    for path in sorted(directory.glob(f"*{HEARTBEAT_SUFFIX}")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if isinstance(payload, dict) and "status" in payload:
+            payload["path"] = str(path)
+            entries.append(payload)
+    return entries
+
+
+def status_payload(
+    directory: Union[str, Path],
+    *,
+    stale_after: float = DEFAULT_STALE_AFTER,
+    now: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Machine-readable fleet status over a directory of heartbeats.
+
+    A *running* shard whose last update is older than ``stale_after``
+    is flagged ``stale`` (finished shards never are — their final write
+    is expected to be the last).  ``now`` is injectable for tests.
+    """
+    now = time.time() if now is None else now
+    shards = []
+    for hb in read_heartbeats(directory):
+        age = max(now - float(hb.get("updated_at", 0.0)), 0.0)
+        shard = dict(hb)
+        shard["age_s"] = round(age, 2)
+        shard["stale"] = hb.get("status") == "running" and age > stale_after
+        shards.append(shard)
+    done = sum(s.get("done", 0) for s in shards)
+    total = sum(s.get("total", 0) for s in shards)
+    return {
+        "directory": str(Path(directory).expanduser()),
+        "shards": shards,
+        "num_shards": len(shards),
+        "running": sum(1 for s in shards if s.get("status") == "running"),
+        "stale": sum(1 for s in shards if s["stale"]),
+        "failed_candidates": sum(s.get("failed", 0) for s in shards),
+        "done": done,
+        "total": total,
+        "percent": round(100.0 * done / total, 2) if total else 0.0,
+    }
+
+
+def render_status(payload: Dict[str, Any]) -> str:
+    """Human-readable fleet-health table for one :func:`status_payload`."""
+    lines = [
+        f"sweep status: {payload['directory']}",
+        f"  shards: {payload['num_shards']}"
+        f"  running: {payload['running']}"
+        f"  stale: {payload['stale']}"
+        f"  progress: {payload['done']}/{payload['total']}"
+        f" ({payload['percent']:.1f}%)",
+    ]
+    if not payload["shards"]:
+        lines.append("  (no heartbeats found)")
+        return "\n".join(lines)
+    header = (
+        f"  {'shard':<12} {'status':<8} {'done':>6} {'total':>6} "
+        f"{'pct':>6} {'fail':>5} {'rate/s':>8} {'age_s':>7}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for hb in payload["shards"]:
+        shard = hb.get("shard") or "-"
+        status = hb.get("status", "?")
+        if hb["stale"]:
+            status = "STALE"
+        lines.append(
+            f"  {shard:<12} {status:<8} {hb.get('done', 0):>6} "
+            f"{hb.get('total', 0):>6} {hb.get('percent', 0.0):>5.1f}% "
+            f"{hb.get('failed', 0):>5} {hb.get('rate_per_s', 0.0):>8.2f} "
+            f"{hb['age_s']:>7.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Phase-time breakdown over a trace: ``python -m repro trace summary``.
+
+Aggregates a list of span records (from :func:`repro.obs.trace.load_jsonl`
+or straight off the ring) by span name into count / total / mean /
+min / max, plus each name's share of the *self time* base — the sum of
+root-span durations, i.e. wall time actually covered by tracing.  The
+rendering is deterministic (sorted by total descending, then name) so
+the CLI output can be golden-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["summarize", "render_summary"]
+
+
+def summarize(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate span records by name.
+
+    Returns ``{"spans": <n>, "traces": <n>, "root_seconds": <s>,
+    "phases": [{name, count, total_s, mean_s, min_s, max_s, share}]}``
+    with phases sorted by total descending (ties by name).  ``share``
+    is ``total_s / root_seconds`` — for non-overlapping child phases of
+    one root span these shares show how the wall decomposes.
+    """
+    by_name: Dict[str, Dict[str, Any]] = {}
+    traces = set()
+    root_seconds = 0.0
+    for rec in records:
+        name = rec.get("name", "?")
+        duration = float(rec.get("duration_s", 0.0))
+        if rec.get("trace_id"):
+            traces.add(rec["trace_id"])
+        if rec.get("parent_id") is None:
+            root_seconds += duration
+        agg = by_name.get(name)
+        if agg is None:
+            agg = by_name[name] = {
+                "name": name, "count": 0, "total_s": 0.0,
+                "min_s": duration, "max_s": duration,
+            }
+        agg["count"] += 1
+        agg["total_s"] += duration
+        agg["min_s"] = min(agg["min_s"], duration)
+        agg["max_s"] = max(agg["max_s"], duration)
+    phases = sorted(
+        by_name.values(), key=lambda a: (-a["total_s"], a["name"])
+    )
+    for agg in phases:
+        agg["mean_s"] = agg["total_s"] / agg["count"]
+        agg["share"] = (
+            agg["total_s"] / root_seconds if root_seconds > 0 else 0.0
+        )
+    return {
+        "spans": len(records),
+        "traces": len(traces),
+        "root_seconds": root_seconds,
+        "phases": phases,
+    }
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """Deterministic phase-time breakdown table for one :func:`summarize`."""
+    lines = [
+        f"trace summary: {summary['spans']} spans, "
+        f"{summary['traces']} traces, "
+        f"{summary['root_seconds']:.3f}s root wall",
+    ]
+    if not summary["phases"]:
+        lines.append("  (no spans)")
+        return "\n".join(lines)
+    header = (
+        f"  {'span':<26} {'count':>6} {'total_s':>9} {'mean_s':>9} "
+        f"{'min_s':>9} {'max_s':>9} {'share':>7}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for agg in summary["phases"]:
+        lines.append(
+            f"  {agg['name']:<26} {agg['count']:>6} "
+            f"{agg['total_s']:>9.3f} {agg['mean_s']:>9.4f} "
+            f"{agg['min_s']:>9.4f} {agg['max_s']:>9.4f} "
+            f"{100.0 * agg['share']:>6.1f}%"
+        )
+    return "\n".join(lines)

@@ -3,12 +3,19 @@
 Every degradation or recovery event in the hot paths — a rebuilt solve
 pool, a quarantined cache entry, a serving request answered by the
 fallback strategy, a sweep candidate recorded as failed — increments one
-named counter here.  The registry is deliberately tiny: a flat
-``name -> int`` map behind one lock, snapshot into
+named counter here, snapshot into
 :meth:`repro.api.Session.performance_stats` and
 :meth:`repro.serving.server.OptimizationServer.stats_snapshot` under the
-``"reliability"`` key, so an operator (or a chaos test) can see exactly
-which degradation paths fired without reaching into module globals.
+``"reliability"`` key.
+
+Since the observability PR this module is a *compat shim* over the
+unified metrics registry (:mod:`repro.obs.metrics`): each health
+counter lives in the registry under the ``health.`` prefix, so one
+``metrics.snapshot()`` sees reliability events next to cache and pool
+stats.  The four historical entry points — :func:`incr`, :func:`get`,
+:func:`health_counters`, :func:`reset` — keep their exact contracts:
+only counters that have fired appear in :func:`health_counters`, and
+:func:`reset` clears (not merely zeroes) them.
 
 Counter names are dotted ``subsystem.event`` strings except the two
 pool counters the original solve-pool stats already used flat names
@@ -17,34 +24,33 @@ for (``pool_rebuilds``, ``serial_fallbacks``).
 
 from __future__ import annotations
 
-import threading
 from typing import Dict
 
-_LOCK = threading.Lock()
-_COUNTERS: Dict[str, int] = {}
+from ..obs.metrics import REGISTRY
+
+#: Registry namespace holding every health counter.
+_PREFIX = "health."
+
+REGISTRY.register_collector(
+    "reliability", lambda: REGISTRY.counters_with_prefix(_PREFIX)
+)
 
 
 def incr(name: str, amount: int = 1) -> int:
     """Increment counter ``name`` by ``amount``; returns the new value."""
-    with _LOCK:
-        value = _COUNTERS.get(name, 0) + amount
-        _COUNTERS[name] = value
-        return value
+    return REGISTRY.counter(_PREFIX + name).inc(amount)
 
 
 def get(name: str) -> int:
     """Current value of counter ``name`` (0 if it never fired)."""
-    with _LOCK:
-        return _COUNTERS.get(name, 0)
+    return REGISTRY.counter_value(_PREFIX + name)
 
 
 def health_counters() -> Dict[str, int]:
     """Snapshot of every counter that has fired in this process."""
-    with _LOCK:
-        return dict(_COUNTERS)
+    return REGISTRY.counters_with_prefix(_PREFIX)
 
 
 def reset() -> None:
     """Zero every counter (tests isolating chaos scenarios)."""
-    with _LOCK:
-        _COUNTERS.clear()
+    REGISTRY.remove(_PREFIX)

@@ -58,15 +58,17 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, AsyncIterator, Dict, List, Mapping, Optional, Tuple, Union
 
-from ..core import solve_pool
-from ..core.batched import table_cache_stats
-from ..core.cost_model import DEFAULT_COMPILE_CACHE
+from ..core import solve_pool  # noqa: F401 — registers its stat collector
+from ..core.batched import table_cache_stats  # noqa: F401 — collector import
+from ..core.cost_model import DEFAULT_COMPILE_CACHE  # noqa: F401 — collector import
 from ..core.tensor_spec import ConvSpec
 from ..engine.cache import ResultCache, resolve_cache
 from ..engine.network import build_network_result, dedup_specs, resolve_network
 from ..engine.serialization import spec_shape_key
 from ..engine.strategy import SearchStrategy, StrategyResult, get_strategy
 from ..machine.spec import MachineSpec
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from ..reliability import health
 from ..reliability.faults import fault_point
 from .coalescing import SingleFlight
@@ -434,11 +436,15 @@ class OptimizationServer:
         payload["queue_depth"] = self.queue_depth
         payload["active_requests"] = len(self._handles)
         payload["duplicate_solves"] = self.duplicate_solves()
-        payload["compile_cache"] = DEFAULT_COMPILE_CACHE.stats()
-        payload["batched_table_cache"] = table_cache_stats()
-        payload["solve_pool"] = dict(solve_pool.pool_stats())
+        # The subsystem blocks are a view over the unified metrics
+        # registry (their collectors registered at import); the payload
+        # shape is unchanged from the pre-registry probes.
+        snap = obs_metrics.snapshot()
+        payload["compile_cache"] = snap["compile_cache"]
+        payload["batched_table_cache"] = snap["batched_table_cache"]
+        payload["solve_pool"] = snap["solve_pool"]
         payload["reliability"] = {
-            **health.health_counters(),
+            **snap["reliability"],
             "cache": self.cache.reliability_stats(),
         }
         return payload
@@ -600,6 +606,16 @@ class OptimizationServer:
         self._handles.pop(id(handle), None)
 
     async def _process(
+        self, handle: RequestHandle, expires_at: Optional[float]
+    ) -> None:
+        with span(
+            "serving.request",
+            request_id=handle.request.request_id,
+            network=handle.network_name,
+        ):
+            await self._process_request(handle, expires_at)
+
+    async def _process_request(
         self, handle: RequestHandle, expires_at: Optional[float]
     ) -> None:
         request = handle.request
