@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Compare two bench payload files: ``python benchmarks/compare.py CUR BASE``.
+
+Thin CLI over :mod:`repro.bench_compare`.  Exits 0 on parity (every
+common stage within tolerance), 1 on regression, 2 on usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench_compare import (  # noqa: E402
+    compare_payloads,
+    format_report,
+    load_payload,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare a bench payload against a baseline payload."
+    )
+    parser.add_argument("current", help="current bench payload (JSON)")
+    parser.add_argument("baseline", help="baseline bench payload (JSON)")
+    parser.add_argument(
+        "--tolerance", type=float, default=10.0,
+        help="allowed slowdown per stage, percent (default 10)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.01,
+        help="baseline floor below which stages never gate (default 0.01)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        current = load_payload(args.current)
+        baseline = load_payload(args.baseline)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = compare_payloads(
+        current, baseline,
+        tolerance_pct=args.tolerance, min_seconds=args.min_seconds,
+    )
+    print(format_report(report))
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -143,7 +143,7 @@ from .serving import (
 )
 from .workloads import all_benchmarks, benchmark_by_name, network_benchmarks
 
-__version__ = "1.5.0"
+__version__ = "1.8.0"
 
 #: Deprecated top-level aliases: name -> (resolver, replacement).  Kept
 #: importable (the api redesign moves the front door without breaking

@@ -54,6 +54,15 @@ class OptimizeRequest:
     ``strategy``/``strategy_options`` override the server's defaults.
     The priority/deadline fields only apply on the async serving path;
     the synchronous Session paths execute immediately and ignore them.
+
+    ``trace_id``/``parent_span`` carry distributed-tracing context over
+    the wire: a traced client stamps its active span here so the
+    server's ``serving.request`` span joins the client's trace instead
+    of starting a fresh one.  ``client_id`` attributes queue/latency
+    telemetry to a tenant; the TCP transport defaults it to the peer
+    address when the client leaves it unset.  All three are optional
+    and omitted from the wire encoding when unset, so old clients and
+    servers interoperate unchanged.
     """
 
     network: Union[str, Tuple[ConvSpec, ...]]
@@ -63,13 +72,16 @@ class OptimizeRequest:
     batch: int = 1
     priority: int = 10
     deadline_s: Optional[float] = None
+    trace_id: Optional[str] = None
+    parent_span: Optional[str] = None
+    client_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         if isinstance(self.network, str):
             network: Any = self.network
         else:
             network = [spec_to_dict(spec) for spec in self.network]
-        return {
+        payload: Dict[str, Any] = {
             "request_id": self.request_id,
             "network": network,
             "strategy": self.strategy,
@@ -78,6 +90,13 @@ class OptimizeRequest:
             "priority": self.priority,
             "deadline_s": self.deadline_s,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.parent_span is not None:
+            payload["parent_span"] = self.parent_span
+        if self.client_id is not None:
+            payload["client_id"] = self.client_id
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "OptimizeRequest":
@@ -93,6 +112,9 @@ class OptimizeRequest:
             batch=int(payload.get("batch", 1)),
             priority=int(payload.get("priority", 10)),
             deadline_s=None if deadline_s is None else float(deadline_s),
+            trace_id=payload.get("trace_id"),
+            parent_span=payload.get("parent_span"),
+            client_id=payload.get("client_id"),
         )
 
 

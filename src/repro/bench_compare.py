@@ -1,0 +1,179 @@
+"""Perf-regression sentinel: compare bench payloads against a baseline.
+
+The repo's benchmark runners (``benchmarks/run_bench.py`` and
+``python -m repro bench``) emit JSON payloads whose per-stage wall
+times live under ``"wall_s"`` (or, for older/flatter payloads, as
+top-level ``*_s`` numeric keys).  This module compares two such
+payloads stage by stage:
+
+* only stages present in **both** payloads are compared — a baseline
+  from a full run still gates a ``--quick`` run on their shared stages;
+* a stage *regresses* when it is slower than baseline by more than the
+  tolerance band **and** the baseline time is above a noise floor
+  (``min_seconds``) — sub-floor stages are reported but never gate;
+* the verdict is the worst stage: exit 0 on parity/improvement,
+  1 on regression (``benchmarks/compare.py`` and ``repro bench
+  --compare`` turn that into the process exit code).
+
+Every gated run appends one JSON line to a history file
+(``BENCH_history.jsonl``) so regressions can be bisected over time
+without re-running old commits.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "append_history",
+    "compare_payloads",
+    "extract_stages",
+    "format_report",
+    "load_payload",
+]
+
+#: Stages faster than this in the baseline never gate (timer noise).
+DEFAULT_MIN_SECONDS = 0.01
+
+
+def load_payload(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read one bench payload (strict: missing/bad files raise)."""
+    with Path(path).expanduser().open("r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: bench payload must be a JSON object")
+    return payload
+
+
+def extract_stages(payload: Mapping[str, Any]) -> Dict[str, float]:
+    """``{stage: seconds}`` from one bench payload.
+
+    Prefers the ``"wall_s"`` section (run_bench's stage dict); falls
+    back to top-level numeric ``*_s`` keys (the ``repro bench`` CLI
+    payload).  Non-numeric entries are skipped, never fatal.
+    """
+    section = payload.get("wall_s")
+    source: Mapping[str, Any]
+    if isinstance(section, Mapping) and section:
+        source = section
+    else:
+        source = {
+            key: value
+            for key, value in payload.items()
+            if key.endswith("_s")
+        }
+    stages: Dict[str, float] = {}
+    for key, value in source.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        stages[str(key)] = float(value)
+    return stages
+
+
+def compare_payloads(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    *,
+    tolerance_pct: float = 10.0,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> Dict[str, Any]:
+    """Stage-by-stage comparison of two bench payloads.
+
+    Returns ``{"ok": bool, "tolerance_pct", "stages": [...],
+    "regressions": [names], "only_current": [...], "only_baseline":
+    [...], "baseline_commit", "current_commit"}``.  Each stage entry
+    carries ``{stage, baseline_s, current_s, delta_pct, gating,
+    regressed}``; ``delta_pct`` is positive when slower.
+    """
+    current_stages = extract_stages(current)
+    baseline_stages = extract_stages(baseline)
+    common = sorted(set(current_stages) & set(baseline_stages))
+    stages: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+    for name in common:
+        base_s = baseline_stages[name]
+        cur_s = current_stages[name]
+        delta_pct = (
+            100.0 * (cur_s - base_s) / base_s if base_s > 0 else 0.0
+        )
+        gating = base_s >= min_seconds
+        regressed = gating and delta_pct > tolerance_pct
+        if regressed:
+            regressions.append(name)
+        stages.append(
+            {
+                "stage": name,
+                "baseline_s": base_s,
+                "current_s": cur_s,
+                "delta_pct": delta_pct,
+                "gating": gating,
+                "regressed": regressed,
+            }
+        )
+    return {
+        "ok": not regressions,
+        "tolerance_pct": float(tolerance_pct),
+        "min_seconds": float(min_seconds),
+        "compared": len(common),
+        "stages": stages,
+        "regressions": regressions,
+        "only_current": sorted(set(current_stages) - set(baseline_stages)),
+        "only_baseline": sorted(set(baseline_stages) - set(current_stages)),
+        "baseline_commit": baseline.get("commit"),
+        "current_commit": current.get("commit"),
+    }
+
+
+def format_report(report: Mapping[str, Any]) -> str:
+    """Human-readable rendering of one :func:`compare_payloads` result."""
+    lines = [
+        f"perf comparison vs baseline commit "
+        f"{report.get('baseline_commit') or '?'} "
+        f"(tolerance ±{report['tolerance_pct']:.0f}%, "
+        f"floor {report['min_seconds']:g}s)",
+    ]
+    if not report["stages"]:
+        lines.append("  no common stages to compare")
+        return "\n".join(lines)
+    header = (
+        f"  {'stage':<34} {'baseline_s':>11} {'current_s':>11} "
+        f"{'delta':>8}  verdict"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header)))
+    for stage in report["stages"]:
+        if stage["regressed"]:
+            verdict = "REGRESSED"
+        elif not stage["gating"]:
+            verdict = "(below floor)"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"  {stage['stage']:<34} {stage['baseline_s']:>11.4f} "
+            f"{stage['current_s']:>11.4f} {stage['delta_pct']:>+7.1f}%  "
+            f"{verdict}"
+        )
+    for name in report["only_current"]:
+        lines.append(f"  {name:<34} (new stage; no baseline)")
+    for name in report["only_baseline"]:
+        lines.append(f"  {name:<34} (baseline only; not run)")
+    if report["ok"]:
+        lines.append(f"PARITY: {report['compared']} stage(s) within tolerance")
+    else:
+        lines.append(
+            "REGRESSION: " + ", ".join(report["regressions"])
+        )
+    return "\n".join(lines)
+
+
+def append_history(
+    path: Union[str, Path], entry: Mapping[str, Any]
+) -> Path:
+    """Append one JSON line to the bench history file (created on first use)."""
+    path = Path(path).expanduser()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(dict(entry), sort_keys=True) + "\n")
+    return path

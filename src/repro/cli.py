@@ -26,8 +26,16 @@ Subcommands::
         --progress sweep.jsonl --csv sweep.csv
     python -m repro dse --smoke
 
-    # Quick cold/warm benchmark through the Session API:
+    # Quick cold/warm benchmark through the Session API, optionally
+    # gated against a baseline payload (nonzero exit on regression):
     python -m repro bench --quick
+    python -m repro bench --quick --compare BENCH_optimizer.json --tolerance 25
+
+    # Telemetry of a running serving endpoint (the TCP `stats` verb):
+    python -m repro stats 127.0.0.1:8763
+    python -m repro stats 127.0.0.1:8763 --prometheus
+    python -m repro top 127.0.0.1:8763 --interval 2
+    python -m repro top --sweep /tmp/sweep-heartbeats
 
     # What is registered: machines, strategies, networks:
     python -m repro list
@@ -43,9 +51,11 @@ import argparse
 import asyncio
 import contextlib
 import json
+import subprocess
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .api.session import Session
 from .engine.strategy import available_strategies
@@ -338,6 +348,17 @@ def _run_warm(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # bench
 # ----------------------------------------------------------------------
+def _current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     session = _build_session(args)
     network = args.network
@@ -358,6 +379,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     print(f"  {warm_s * 1e3:.1f} ms  ({warm.cache_hits} cache hits)")
 
     payload = {
+        "commit": _current_commit(),
         "network": network,
         "layers": len(specs),
         "machine": session.machine.name,
@@ -366,6 +388,13 @@ def _run_bench(args: argparse.Namespace) -> int:
         "cold_s": cold_s,
         "warm_s": warm_s,
         "total_gflops": cold.total_gflops,
+        # Stage names intersect benchmarks/run_bench.py's wall_s section
+        # (the default mopt settings equal run_bench's `vectorized`
+        # settings), so a run_bench baseline can gate this CLI bench.
+        "wall_s": {
+            "cold_network_vectorized_s": cold_s,
+            "warm_network_s": warm_s,
+        },
     }
     print(json.dumps(payload, indent=2, sort_keys=True))
     if args.out:
@@ -373,7 +402,149 @@ def _run_bench(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.out}")
+    exit_code = 0
+    if args.compare:
+        from .bench_compare import (
+            append_history,
+            compare_payloads,
+            format_report,
+            load_payload,
+        )
+
+        try:
+            baseline = load_payload(args.compare)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        report = compare_payloads(
+            payload, baseline, tolerance_pct=args.tolerance
+        )
+        print(format_report(report))
+        history_path = args.history or str(
+            Path(args.compare).resolve().parent / "BENCH_history.jsonl"
+        )
+        append_history(
+            history_path,
+            {
+                "kind": "repro-bench",
+                "time_s": time.time(),
+                "commit": payload["commit"],
+                "baseline_commit": report["baseline_commit"],
+                "quick": payload["quick"],
+                "tolerance_pct": report["tolerance_pct"],
+                "ok": report["ok"],
+                "stages": {
+                    stage["stage"]: stage["current_s"]
+                    for stage in report["stages"]
+                },
+                "regressions": report["regressions"],
+            },
+        )
+        print(f"appended history to {history_path}")
+        if not report["ok"]:
+            exit_code = 1
+    return exit_code
+
+
+# ----------------------------------------------------------------------
+# stats / top — telemetry of a running serving endpoint
+# ----------------------------------------------------------------------
+def _parse_endpoint(endpoint: str) -> Tuple[str, int]:
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"endpoint must look like HOST:PORT, got {endpoint!r}")
+    return host or "127.0.0.1", int(port)
+
+
+async def _run_stats(args: argparse.Namespace) -> int:
+    from .serving.client import TCPServingClient
+
+    try:
+        host, port = _parse_endpoint(args.endpoint)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        client = await TCPServingClient.connect(
+            host, port, timeout_s=args.timeout
+        )
+    except (OSError, asyncio.TimeoutError) as error:
+        print(
+            f"error: cannot connect to {args.endpoint}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.prometheus:
+            text = await client.stats(prometheus=True)
+            print(text, end="")
+        else:
+            print(json.dumps(await client.stats(), indent=2, sort_keys=True))
+    finally:
+        await client.close()
     return 0
+
+
+async def _run_top(args: argparse.Namespace) -> int:
+    from .obs.top import compute_dashboard, render_dashboard
+
+    iterations: Optional[int] = 1 if args.once else args.iterations
+
+    def show(text: str) -> None:
+        if sys.stdout.isatty() and iterations != 1:
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(text, flush=True)
+
+    if args.sweep:
+        # Sweep mode: no server to poll — render the heartbeat sidecars
+        # (the same view as `dse status`, refreshed live).
+        from .obs.heartbeat import render_status, status_payload
+
+        shown = 0
+        while True:
+            show(render_status(status_payload(args.sweep)))
+            shown += 1
+            if iterations is not None and shown >= iterations:
+                return 0
+            await asyncio.sleep(args.interval)
+
+    if not args.endpoint:
+        print("error: top needs HOST:PORT (or --sweep DIR)", file=sys.stderr)
+        return 2
+    from .serving.client import TCPServingClient
+
+    try:
+        host, port = _parse_endpoint(args.endpoint)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        client = await TCPServingClient.connect(
+            host, port, timeout_s=args.timeout
+        )
+    except (OSError, asyncio.TimeoutError) as error:
+        print(
+            f"error: cannot connect to {args.endpoint}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    previous: Optional[Dict[str, Any]] = None
+    last_poll: Optional[float] = None
+    shown = 0
+    try:
+        while True:
+            current = await client.stats()
+            now = time.perf_counter()
+            interval_s = (now - last_poll) if last_poll is not None else 0.0
+            model = compute_dashboard(current, previous, interval_s)
+            show(render_dashboard(model, endpoint=args.endpoint))
+            previous, last_poll = current, now
+            shown += 1
+            if iterations is not None and shown >= iterations:
+                return 0
+            await asyncio.sleep(args.interval)
+    finally:
+        await client.close()
 
 
 # ----------------------------------------------------------------------
@@ -486,6 +657,15 @@ def _run_dse_status(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(render_status(payload))
+    # Automation-friendly verdict: a fleet with hung (stale) or
+    # failed/aborted shards exits 3 so CI and cron wrappers can alert
+    # without parsing the payload.
+    unhealthy = any(
+        shard.get("status") in ("failed", "aborted")
+        for shard in payload.get("shards", [])
+    )
+    if payload.get("stale", 0) or unhealthy:
+        return 3
     return 0
 
 
@@ -763,6 +943,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="first four layers only"
     )
     bench.add_argument("--out", default=None, help="also write JSON here")
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help="perf-regression sentinel: compare this run's stages against "
+        "a baseline bench payload and exit 1 if any common stage is "
+        "slower than --tolerance allows",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="allowed per-stage slowdown vs the baseline, percent "
+        "(default 10)",
+    )
+    bench.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="bench history JSON-lines file gated runs append to "
+        "(default: BENCH_history.jsonl next to the baseline)",
+    )
+
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="fetch a running serving endpoint's telemetry (stats verb)",
+        description=(
+            "Connect to a `repro serve` endpoint and print its stats "
+            "snapshot — lifecycle counters, per-request-class latency "
+            "histograms, per-client attribution, cache and reliability "
+            "state — as JSON, or the process metrics as Prometheus text "
+            "exposition (--prometheus)."
+        ),
+    )
+    stats_cmd.add_argument(
+        "endpoint", metavar="HOST:PORT", help="serving endpoint address"
+    )
+    stats_cmd.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print Prometheus text exposition instead of JSON",
+    )
+    stats_cmd.add_argument(
+        "--timeout", type=float, default=10.0, help="connect/reply timeout"
+    )
+
+    top_cmd = sub.add_parser(
+        "top",
+        help="live dashboard over a serving endpoint (or sweep heartbeats)",
+        description=(
+            "Poll a serving endpoint's stats verb and render req/s, "
+            "p50/p99 latency, cache hit rate, queue depth, per-class and "
+            "per-client counters; with --sweep DIR, render a sharded "
+            "sweep's heartbeat sidecars instead."
+        ),
+    )
+    top_cmd.add_argument(
+        "endpoint",
+        nargs="?",
+        default=None,
+        metavar="HOST:PORT",
+        help="serving endpoint address (omit with --sweep)",
+    )
+    top_cmd.add_argument(
+        "--sweep",
+        default=None,
+        metavar="DIR",
+        help="watch a sweep's heartbeat directory instead of a server",
+    )
+    top_cmd.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    top_cmd.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    top_cmd.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top_cmd.add_argument(
+        "--timeout", type=float, default=10.0, help="connect/reply timeout"
+    )
 
     dse = sub.add_parser(
         "dse",
@@ -962,10 +1228,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _run_trace,
         "list": _run_list,
     }
+    async_runners = {
+        "serve": _run_serve,
+        "demo": _run_demo,
+        "stats": _run_stats,
+        "top": _run_top,
+    }
     try:
-        if args.command in ("serve", "demo"):
-            coro = _run_serve(args) if args.command == "serve" else _run_demo(args)
-            return asyncio.run(coro)
+        if args.command in async_runners:
+            return asyncio.run(async_runners[args.command](args))
         return runners[args.command](args)
     except KeyboardInterrupt:
         return 130

@@ -15,9 +15,14 @@ module may import :mod:`repro.obs` without cycles):
   shards, read back by ``python -m repro dse status DIR``.
 * :mod:`repro.obs.summary` — per-phase time breakdown over a trace,
   rendered by ``python -m repro trace summary FILE``.
+* :mod:`repro.obs.export` — the metrics snapshot rendered as Prometheus
+  text exposition / JSON (the ``stats`` TCP verb, ``repro stats``).
+* :mod:`repro.obs.top` — the ``repro top`` dashboard model (pure
+  functions over serving stats payloads).
 """
 
-from . import metrics, trace
+from . import export, metrics, top, trace
+from .export import histogram_quantile, render_json, render_prometheus
 from .heartbeat import (
     DEFAULT_STALE_AFTER,
     HeartbeatWriter,
@@ -28,12 +33,15 @@ from .heartbeat import (
 )
 from .metrics import REGISTRY, MetricsRegistry
 from .summary import render_summary, summarize
+from .top import compute_dashboard, render_dashboard
 from .trace import (
     activate,
     current_context,
     export_jsonl,
     ingest,
     load_jsonl,
+    new_span_id,
+    record_span,
     remote_capture,
     span,
 )
@@ -44,18 +52,27 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "activate",
+    "compute_dashboard",
     "current_context",
+    "export",
     "export_jsonl",
     "heartbeat_path_for",
+    "histogram_quantile",
     "ingest",
     "load_jsonl",
     "metrics",
+    "new_span_id",
     "read_heartbeats",
+    "record_span",
     "remote_capture",
+    "render_dashboard",
+    "render_json",
+    "render_prometheus",
     "render_status",
     "render_summary",
     "span",
     "status_payload",
     "summarize",
+    "top",
     "trace",
 ]

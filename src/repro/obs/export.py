@@ -1,0 +1,171 @@
+"""Metrics export surface: Prometheus text exposition and JSON.
+
+Renders a :func:`repro.obs.metrics.snapshot` — the one deterministic
+dict over every counter, gauge, histogram and registered collector —
+into the two formats scrape infrastructure actually consumes:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` lines, cumulative ``_bucket{le="..."}`` series, ``_sum``
+  and ``_count``).  Collector payloads (the ``"serving"``,
+  ``"reliability"``, ... sections) are flattened: every numeric leaf
+  becomes one gauge sample named by its path.
+* :func:`render_json` — the snapshot itself, key-sorted and
+  pretty-printed, for machine consumption.
+
+Both renderings are deterministic for a given snapshot (sorted keys
+throughout), which is what lets the serving ``stats`` verb and
+``python -m repro stats`` be golden-tested.
+
+:func:`histogram_quantile` estimates percentiles (p50/p99) from a
+histogram snapshot's cumulative bucket counts — the standard
+Prometheus-style linear interpolation within the winning bucket —
+used by the ``repro top`` dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "histogram_quantile",
+    "render_json",
+    "render_prometheus",
+    "sanitize_metric_name",
+]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A valid Prometheus metric name: ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _bucket_edges(buckets: Mapping[str, int]) -> List[Tuple[float, int]]:
+    """Parse a histogram snapshot's ``le_<edge>``/``le_inf`` bucket map."""
+    edges: List[Tuple[float, int]] = []
+    for key, count in buckets.items():
+        if not key.startswith("le_"):
+            continue
+        raw = key[len("le_"):]
+        edge = math.inf if raw == "inf" else float(raw)
+        edges.append((edge, int(count)))
+    edges.sort(key=lambda pair: pair[0])
+    return edges
+
+
+def _flatten_numeric(
+    payload: Any, path: Tuple[str, ...] = ()
+) -> List[Tuple[str, Any]]:
+    """``[(dotted.path, number)]`` over every numeric leaf of ``payload``."""
+    leaves: List[Tuple[str, Any]] = []
+    if isinstance(payload, Mapping):
+        for key in sorted(payload, key=str):
+            leaves.extend(_flatten_numeric(payload[key], path + (str(key),)))
+    elif isinstance(payload, bool) or isinstance(payload, (int, float)):
+        leaves.append((".".join(path), payload))
+    return leaves
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any], *, prefix: str = "repro"
+) -> str:
+    """Render one metrics snapshot as Prometheus text exposition.
+
+    Counters and gauges map directly; histograms become the standard
+    cumulative ``_bucket``/``_sum``/``_count`` family.  Every other
+    top-level section is a collector payload whose numeric leaves are
+    exported as gauges named ``<prefix>_<section>_<path>``.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, samples: List[Tuple[str, str]]) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            lines.append(f"{name}{labels} {value}")
+
+    for name in sorted(snapshot.get("counters", {})):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        emit(metric, "counter", [("", _format_value(snapshot["counters"][name]))])
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        emit(metric, "gauge", [("", _format_value(snapshot["gauges"][name]))])
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        samples: List[Tuple[str, str]] = []
+        cumulative = 0
+        for edge, count in _bucket_edges(hist.get("buckets", {})):
+            cumulative += count
+            le = "+Inf" if math.isinf(edge) else f"{edge:g}"
+            samples.append((f'_bucket{{le="{le}"}}', _format_value(cumulative)))
+        samples.append(("_sum", _format_value(hist.get("sum", 0.0))))
+        samples.append(("_count", _format_value(hist.get("count", 0))))
+        lines.append(f"# TYPE {metric} histogram")
+        for suffix, value in samples:
+            lines.append(f"{metric}{suffix} {value}")
+    for section in sorted(snapshot):
+        if section in ("counters", "gauges", "histograms"):
+            continue
+        payload = snapshot[section]
+        for path, value in _flatten_numeric(payload, (section,)):
+            metric = f"{prefix}_{sanitize_metric_name(path)}"
+            emit(metric, "gauge", [("", _format_value(value))])
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snapshot: Mapping[str, Any]) -> str:
+    """The snapshot as key-sorted pretty JSON (trailing newline)."""
+    return json.dumps(snapshot, indent=2, sort_keys=True, default=str) + "\n"
+
+
+def histogram_quantile(
+    hist: Mapping[str, Any], quantile: float
+) -> Optional[float]:
+    """Estimate a quantile from one histogram snapshot.
+
+    Standard cumulative-bucket linear interpolation: find the bucket
+    the target rank falls into and interpolate between its edges,
+    clamped by the recorded ``min``/``max`` where they are tighter.
+    Returns ``None`` for an empty histogram.
+    """
+    count = int(hist.get("count", 0))
+    if count <= 0:
+        return None
+    quantile = min(max(quantile, 0.0), 1.0)
+    target = quantile * count
+    edges = _bucket_edges(hist.get("buckets", {}))
+    observed_min = float(hist.get("min", 0.0))
+    observed_max = float(hist.get("max", 0.0))
+    cumulative = 0
+    lower = observed_min
+    for edge, bucket_count in edges:
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= target and bucket_count > 0:
+            upper = observed_max if math.isinf(edge) else min(edge, observed_max)
+            lower = max(lower, observed_min)
+            if upper <= lower:
+                return upper
+            fraction = (target - previous) / bucket_count
+            return lower + fraction * (upper - lower)
+        if not math.isinf(edge):
+            lower = max(edge, observed_min)
+    return observed_max

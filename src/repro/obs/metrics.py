@@ -222,6 +222,20 @@ class MetricsRegistry:
             ]
         return {name: inst.value for name, inst in items}
 
+    def histograms_with_prefix(self, prefix: str) -> Dict[str, Dict[str, Any]]:
+        """``{stripped_name: snapshot}`` for histograms under ``prefix``.
+
+        Same only-what-fired contract as :meth:`counters_with_prefix`:
+        a histogram exists once something observed into it.
+        """
+        with self._lock:
+            items = [
+                (name[len(prefix):], inst)
+                for name, inst in sorted(self._histograms.items())
+                if name.startswith(prefix)
+            ]
+        return {name: inst.snapshot() for name, inst in items}
+
     # -- collectors ----------------------------------------------------
     def register_collector(
         self, name: str, fn: Callable[[], Dict[str, Any]]

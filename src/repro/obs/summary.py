@@ -52,12 +52,52 @@ def summarize(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         agg["share"] = (
             agg["total_s"] / root_seconds if root_seconds > 0 else 0.0
         )
-    return {
+    result = {
         "spans": len(records),
         "traces": len(traces),
         "root_seconds": root_seconds,
         "phases": phases,
     }
+    serving = _summarize_serving(records)
+    if serving is not None:
+        result["serving"] = serving
+    return result
+
+
+def _summarize_serving(records: List[Dict[str, Any]]) -> Any:
+    """Per-request-class latency breakdown over ``serving.request`` spans.
+
+    Returns ``{"requests": <n>, "classes": [{request_class, count,
+    total_s, mean_s, min_s, max_s}]}`` sorted by total descending, or
+    ``None`` when the trace contains no serving spans (so non-serving
+    traces keep their historical summary shape).
+    """
+    by_class: Dict[str, Dict[str, Any]] = {}
+    requests = 0
+    for rec in records:
+        if rec.get("name") != "serving.request":
+            continue
+        requests += 1
+        duration = float(rec.get("duration_s", 0.0))
+        cls = str((rec.get("attrs") or {}).get("request_class", "?"))
+        agg = by_class.get(cls)
+        if agg is None:
+            agg = by_class[cls] = {
+                "request_class": cls, "count": 0, "total_s": 0.0,
+                "min_s": duration, "max_s": duration,
+            }
+        agg["count"] += 1
+        agg["total_s"] += duration
+        agg["min_s"] = min(agg["min_s"], duration)
+        agg["max_s"] = max(agg["max_s"], duration)
+    if not requests:
+        return None
+    classes = sorted(
+        by_class.values(), key=lambda a: (-a["total_s"], a["request_class"])
+    )
+    for agg in classes:
+        agg["mean_s"] = agg["total_s"] / agg["count"]
+    return {"requests": requests, "classes": classes}
 
 
 def render_summary(summary: Dict[str, Any]) -> str:
@@ -83,4 +123,23 @@ def render_summary(summary: Dict[str, Any]) -> str:
             f"{agg['min_s']:>9.4f} {agg['max_s']:>9.4f} "
             f"{100.0 * agg['share']:>6.1f}%"
         )
+    serving = summary.get("serving")
+    if serving:
+        lines.append("")
+        lines.append(
+            f"serving requests: {serving['requests']} "
+            f"(latency by request class)"
+        )
+        header = (
+            f"  {'class':<12} {'count':>6} {'total_s':>9} {'mean_s':>9} "
+            f"{'min_s':>9} {'max_s':>9}"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for agg in serving["classes"]:
+            lines.append(
+                f"  {agg['request_class']:<12} {agg['count']:>6} "
+                f"{agg['total_s']:>9.3f} {agg['mean_s']:>9.4f} "
+                f"{agg['min_s']:>9.4f} {agg['max_s']:>9.4f}"
+            )
     return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""The ``repro top`` live dashboard model and rendering.
+
+Pure functions over serving stats payloads (what the TCP ``stats`` verb
+returns, i.e. :meth:`OptimizationServer.stats_snapshot`):
+
+* :func:`compute_dashboard` — turn the current payload (plus the
+  previous poll, for rates) into one flat dashboard model: request and
+  operator throughput, p50/p99 latency from the per-class histograms,
+  cache hit rate, queue depth, per-class terminal counts, reliability
+  counters and top client talkers.
+* :func:`render_dashboard` — deterministic text rendering of one model
+  (golden-testable; the CLI adds the screen-clear and the poll loop).
+
+Keeping the model pure lets the same code back the one-shot
+``repro top --once`` output, the polling dashboard, and tests that
+never open a socket.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .export import histogram_quantile
+
+__all__ = ["compute_dashboard", "merge_histograms", "render_dashboard"]
+
+
+def merge_histograms(
+    histograms: Mapping[str, Mapping[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    """Merge per-class histogram snapshots into one combined snapshot.
+
+    All serving latency histograms share the same fixed boundaries, so
+    merging is a per-bucket sum.  Returns ``None`` when there is
+    nothing to merge.
+    """
+    merged: Optional[Dict[str, Any]] = None
+    for hist in histograms.values():
+        if not hist.get("count"):
+            continue
+        if merged is None:
+            merged = {
+                "count": int(hist["count"]),
+                "sum": float(hist.get("sum", 0.0)),
+                "min": float(hist.get("min", 0.0)),
+                "max": float(hist.get("max", 0.0)),
+                "buckets": dict(hist.get("buckets", {})),
+            }
+            continue
+        merged["count"] += int(hist["count"])
+        merged["sum"] += float(hist.get("sum", 0.0))
+        merged["min"] = min(merged["min"], float(hist.get("min", 0.0)))
+        merged["max"] = max(merged["max"], float(hist.get("max", 0.0)))
+        for key, count in hist.get("buckets", {}).items():
+            merged["buckets"][key] = merged["buckets"].get(key, 0) + int(count)
+    return merged
+
+
+def _rate(
+    current: Mapping[str, Any],
+    previous: Optional[Mapping[str, Any]],
+    key: str,
+    interval_s: float,
+) -> Optional[float]:
+    if previous is None or interval_s <= 0:
+        return None
+    delta = float(current.get(key, 0)) - float(previous.get(key, 0))
+    return max(delta, 0.0) / interval_s
+
+
+def compute_dashboard(
+    current: Mapping[str, Any],
+    previous: Optional[Mapping[str, Any]] = None,
+    interval_s: float = 0.0,
+) -> Dict[str, Any]:
+    """One flat dashboard model from a stats payload (and the last poll).
+
+    Rates (``req_per_s``/``ops_per_s``) need a previous payload and a
+    positive interval; they are ``None`` on the first poll.  Latency
+    percentiles aggregate every request class's histogram.
+    """
+    latency = merge_histograms(current.get("latency_s", {}) or {})
+    served = int(current.get("operators_served", 0))
+    cached = int(current.get("operators_cached", 0))
+    reliability = current.get("reliability", {}) or {}
+    rel_counters = {
+        key: value
+        for key, value in sorted(reliability.items())
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    clients: List[Tuple[str, int]] = sorted(
+        ((name, int(count)) for name, count in (current.get("clients") or {}).items()),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    return {
+        "completed": int(current.get("completed", 0)),
+        "accepted": int(current.get("accepted", 0)),
+        "req_per_s": _rate(current, previous, "completed", interval_s),
+        "ops_per_s": _rate(current, previous, "operators_served", interval_s),
+        "p50_s": histogram_quantile(latency, 0.50) if latency else None,
+        "p99_s": histogram_quantile(latency, 0.99) if latency else None,
+        "cache_hit_rate": (cached / served) if served else None,
+        "queue_depth": int(current.get("queue_depth", 0)),
+        "active_requests": int(current.get("active_requests", 0)),
+        "requests_by_class": dict(current.get("requests_by_class") or {}),
+        "reliability": rel_counters,
+        "clients": clients[:8],
+    }
+
+
+def _fmt(value: Optional[float], pattern: str = "{:.1f}") -> str:
+    return "-" if value is None else pattern.format(value)
+
+
+def render_dashboard(
+    model: Mapping[str, Any], *, endpoint: str = ""
+) -> str:
+    """Deterministic text rendering of one :func:`compute_dashboard`."""
+    title = "repro top" + (f" — {endpoint}" if endpoint else "")
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"requests   completed={model['completed']} "
+        f"accepted={model['accepted']} "
+        f"req/s={_fmt(model['req_per_s'])} "
+        f"ops/s={_fmt(model['ops_per_s'])}"
+    )
+    lines.append(
+        f"latency    p50={_fmt(model['p50_s'], '{:.4f}s')} "
+        f"p99={_fmt(model['p99_s'], '{:.4f}s')}"
+    )
+    hit = model["cache_hit_rate"]
+    lines.append(
+        f"cache      hit_rate={_fmt(None if hit is None else 100.0 * hit, '{:.1f}%')}"
+    )
+    lines.append(
+        f"queue      depth={model['queue_depth']} "
+        f"active={model['active_requests']}"
+    )
+    by_class = model["requests_by_class"]
+    if by_class:
+        parts = " ".join(
+            f"{name}={count}" for name, count in sorted(by_class.items())
+        )
+        lines.append(f"classes    {parts}")
+    if model["reliability"]:
+        parts = " ".join(
+            f"{name}={count}" for name, count in model["reliability"].items()
+        )
+        lines.append(f"health     {parts}")
+    if model["clients"]:
+        parts = " ".join(
+            f"{name}={count}" for name, count in model["clients"]
+        )
+        lines.append(f"clients    {parts}")
+    return "\n".join(lines)

@@ -32,7 +32,6 @@ import json
 import os
 import threading
 import time
-import uuid
 from collections import deque
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -50,6 +49,8 @@ __all__ = [
     "ingest",
     "is_enabled",
     "load_jsonl",
+    "new_span_id",
+    "record_span",
     "remote_capture",
     "snapshot_spans",
     "span",
@@ -77,7 +78,25 @@ _SINK: ContextVar[Optional[List[Dict[str, Any]]]] = ContextVar(
 
 
 def _new_id() -> str:
-    return uuid.uuid4().hex[:16]
+    # os.urandom reads the kernel CSPRNG: fork-safe like uuid4 (children
+    # cannot replay the parent's stream) at a fifth of the cost — span
+    # ids are minted on the serving hot path, several per request.
+    return os.urandom(8).hex()
+
+
+# getpid() is a syscall; span records are minted several times per
+# serving request, so cache it and refresh in fork children (the solve
+# pool forks workers whose records must carry their own pid).
+_PID = os.getpid()
+
+
+def _refresh_pid() -> None:
+    global _PID
+    _PID = os.getpid()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_refresh_pid)
 
 
 # ----------------------------------------------------------------------
@@ -145,7 +164,7 @@ class Span:
 
     __slots__ = (
         "name", "attrs", "elapsed", "trace_id", "span_id",
-        "_t0", "_wall0", "_token", "_recording",
+        "_t0", "_wall0", "_token", "_recording", "_parent_id",
     )
 
     def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
@@ -156,6 +175,7 @@ class Span:
         self.span_id: Optional[str] = None
         self._token = None
         self._recording = False
+        self._parent_id: Optional[str] = None
 
     def __enter__(self) -> "Span":
         self._recording = _ENABLED or _SINK.get() is not None
@@ -163,11 +183,10 @@ class Span:
             parent = _CURRENT.get()
             if parent is None:
                 self.trace_id = _new_id()
-                parent_id = None
+                self._parent_id = None
             else:
-                self.trace_id, parent_id = parent
+                self.trace_id, self._parent_id = parent
             self.span_id = _new_id()
-            self.attrs["_parent_id"] = parent_id
             self._token = _CURRENT.set((self.trace_id, self.span_id))
             self._wall0 = time.time()
         self._t0 = time.perf_counter()
@@ -178,15 +197,14 @@ class Span:
         if not self._recording:
             return
         _CURRENT.reset(self._token)
-        parent_id = self.attrs.pop("_parent_id", None)
         rec: Dict[str, Any] = {
             "name": self.name,
             "trace_id": self.trace_id,
             "span_id": self.span_id,
-            "parent_id": parent_id,
+            "parent_id": self._parent_id,
             "start_s": self._wall0,
             "duration_s": self.elapsed,
-            "pid": os.getpid(),
+            "pid": _PID,
         }
         if self.attrs:
             rec["attrs"] = self.attrs
@@ -206,6 +224,60 @@ def span(name: str, **attrs: Any) -> Span:
     only while tracing is enabled (or inside :func:`remote_capture`).
     """
     return Span(name, attrs)
+
+
+def new_span_id() -> str:
+    """A fresh span/trace id for callers pre-allocating span identity.
+
+    The serving path allocates the ``serving.request`` span id at
+    admission so queue-time children can parent to it before the span
+    record itself is written (see :func:`record_span`).
+    """
+    return _new_id()
+
+
+def record_span(
+    name: str,
+    duration_s: float,
+    *,
+    trace_id: Optional[str] = None,
+    span_id: Optional[str] = None,
+    parent_id: Optional[str] = None,
+    end_s: Optional[float] = None,
+    **attrs: Any,
+) -> Optional[Dict[str, Any]]:
+    """Record an already-finished span measured outside a ``with`` block.
+
+    Some regions cannot be a live context manager: a request's queue
+    wait starts in ``submit()`` and ends when a worker claims it in a
+    different task, and the full request wall is only known at the
+    terminal event.  This synthesizes the finished record directly
+    (``start_s`` back-dated by ``duration_s`` from ``end_s``/now) and
+    appends it to the same ring/sink a :func:`span` exit would.
+
+    Returns the record, or ``None`` when tracing is off (the call is
+    then two attribute reads — safe on hot paths).
+    """
+    sink = _SINK.get()
+    if not _ENABLED and sink is None:
+        return None
+    end = time.time() if end_s is None else end_s
+    rec: Dict[str, Any] = {
+        "name": name,
+        "trace_id": trace_id or _new_id(),
+        "span_id": span_id or _new_id(),
+        "parent_id": parent_id,
+        "start_s": end - duration_s,
+        "duration_s": float(duration_s),
+        "pid": _PID,
+    }
+    if attrs:
+        rec["attrs"] = attrs
+    if sink is not None:
+        sink.append(rec)
+    else:
+        _record(rec)
+    return rec
 
 
 # ----------------------------------------------------------------------

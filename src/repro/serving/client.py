@@ -27,8 +27,10 @@ counter.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..api.types import next_request_id
+from ..obs.trace import current_context, span
 from ..reliability import RetryPolicy, health
 
 from ..core.tensor_spec import ConvSpec
@@ -67,6 +69,8 @@ def _as_request(
     batch: int,
     priority: int,
     deadline_s: Optional[float],
+    trace_id: Optional[str] = None,
+    parent_span: Optional[str] = None,
 ) -> OptimizeRequest:
     if not isinstance(network, str):
         network = tuple(network)
@@ -77,7 +81,13 @@ def _as_request(
         batch=batch,
         priority=priority,
         deadline_s=deadline_s,
+        trace_id=trace_id,
+        parent_span=parent_span,
     )
+
+
+def _network_label(network: NetworkArg) -> str:
+    return network if isinstance(network, str) else f"<{len(network)} ops>"
 
 
 class ServingClient:
@@ -104,31 +114,45 @@ class ServingClient:
         Overload rejections are retried after the server's
         ``retry_after_s`` hint, up to ``max_retries`` times; the final
         rejection propagates as :class:`ServerOverloadedError`.
+
+        When tracing is enabled the whole call is one
+        ``serving.client.request`` span; the server's ``serving.request``
+        span joins it through the ambient context (same process), so a
+        request's client-side wall and its server-side decomposition
+        land in one trace.
         """
-        request = _as_request(
-            network,
-            strategy=strategy,
-            strategy_options=strategy_options,
-            batch=batch,
-            priority=priority,
-            deadline_s=deadline_s,
-        )
-        attempts = 0
-        while True:
-            try:
-                handle = self.server.submit(request)
-            except ServerOverloadedError as error:
-                self.rejections += 1
-                attempts += 1
-                if attempts > self.max_retries:
-                    raise
-                await asyncio.sleep(error.retry_after_s)
-                continue
-            if on_event is None:
+        with span(
+            "serving.client.request",
+            transport="inproc",
+            network=_network_label(network),
+        ):
+            ctx = current_context()
+            request = _as_request(
+                network,
+                strategy=strategy,
+                strategy_options=strategy_options,
+                batch=batch,
+                priority=priority,
+                deadline_s=deadline_s,
+                trace_id=ctx[0] if ctx else None,
+                parent_span=ctx[1] if ctx else None,
+            )
+            attempts = 0
+            while True:
+                try:
+                    handle = self.server.submit(request)
+                except ServerOverloadedError as error:
+                    self.rejections += 1
+                    attempts += 1
+                    if attempts > self.max_retries:
+                        raise
+                    await asyncio.sleep(error.retry_after_s)
+                    continue
+                if on_event is None:
+                    return await handle.result()
+                async for event in handle.events():
+                    on_event(event)
                 return await handle.result()
-            async for event in handle.events():
-                on_event(event)
-            return await handle.result()
 
     async def optimize_many(
         self,
@@ -245,7 +269,19 @@ class TCPServingClient:
                 if not line:
                     break
                 try:
-                    event = event_from_dict(decode_message(line))
+                    payload = decode_message(line)
+                except (ValueError, KeyError):
+                    continue
+                if payload.get("type") == "stats":
+                    # Stats replies are raw dicts, not serving events —
+                    # route them to their waiter before event decoding
+                    # (which rejects unknown frame types).
+                    queue = self._streams.get(payload.get("request_id"))
+                    if queue is not None:
+                        queue.put_nowait(payload)
+                    continue
+                try:
+                    event = event_from_dict(payload)
                 except (ValueError, KeyError):
                     continue
                 queue = self._streams.get(event.request_id)
@@ -362,25 +398,80 @@ class TCPServingClient:
         deadline_s: Optional[float] = None,
         on_event: Optional[EventCallback] = None,
     ) -> OptimizeResponse:
-        """Submit one request over TCP and await its terminal response."""
-        attempts = 0
-        while True:
-            request = _as_request(
-                network,
-                strategy=strategy,
-                strategy_options=strategy_options,
-                batch=batch,
-                priority=priority,
-                deadline_s=deadline_s,
+        """Submit one request over TCP and await its terminal response.
+
+        When tracing is enabled the whole call is one
+        ``serving.client.request`` span whose ``(trace_id, span_id)``
+        rides the wire in the request payload — the server's
+        ``serving.request`` span (and its queue/coalesce/solve/respond
+        children) parents to it, so one trace id covers the request from
+        the client socket through the solve pool and back.
+        """
+        with span(
+            "serving.client.request",
+            transport="tcp",
+            network=_network_label(network),
+        ):
+            ctx = current_context()
+            attempts = 0
+            while True:
+                request = _as_request(
+                    network,
+                    strategy=strategy,
+                    strategy_options=strategy_options,
+                    batch=batch,
+                    priority=priority,
+                    deadline_s=deadline_s,
+                    trace_id=ctx[0] if ctx else None,
+                    parent_span=ctx[1] if ctx else None,
+                )
+                response, rejection = await self._roundtrip_reconnecting(
+                    request, on_event
+                )
+                if response is not None:
+                    return response
+                assert rejection is not None
+                self.rejections += 1
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise ServerOverloadedError(rejection.retry_after_s)
+                await asyncio.sleep(rejection.retry_after_s)
+
+    async def stats(
+        self, *, prometheus: bool = False
+    ) -> Union[Dict[str, Any], str]:
+        """Fetch the server's stats over the wire (the ``stats`` verb).
+
+        Returns the server's :meth:`OptimizationServer.stats_snapshot`
+        dict, or — with ``prometheus=True`` — the process-wide metrics
+        snapshot rendered as Prometheus text exposition (a ``str``).
+        """
+        request_id = next_request_id("stats")
+        fmt = "prometheus" if prometheus else "json"
+        queue: "asyncio.Queue" = asyncio.Queue()
+        self._streams[request_id] = queue
+        try:
+            self._writer.write(
+                encode_message(
+                    {"verb": "stats", "request_id": request_id, "format": fmt}
+                )
             )
-            response, rejection = await self._roundtrip_reconnecting(
-                request, on_event
-            )
-            if response is not None:
-                return response
-            assert rejection is not None
-            self.rejections += 1
-            attempts += 1
-            if attempts > self.max_retries:
-                raise ServerOverloadedError(rejection.retry_after_s)
-            await asyncio.sleep(rejection.retry_after_s)
+            try:
+                await asyncio.wait_for(self._writer.drain(), self.timeout_s)
+            except asyncio.TimeoutError:
+                raise ServingTimeoutError(
+                    f"write stalled past {self.timeout_s:.1f}s"
+                ) from None
+            try:
+                reply = await asyncio.wait_for(queue.get(), self.timeout_s)
+            except asyncio.TimeoutError:
+                raise ServingTimeoutError(
+                    f"no stats reply within {self.timeout_s:.1f}s"
+                ) from None
+            if isinstance(reply, BaseException):
+                raise reply
+            if isinstance(reply, FailedEvent):
+                raise RequestFailedError(reply.error)
+            return reply["prometheus"] if prometheus else reply["stats"]
+        finally:
+            self._streams.pop(request_id, None)

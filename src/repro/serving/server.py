@@ -68,7 +68,9 @@ from ..engine.serialization import spec_shape_key
 from ..engine.strategy import SearchStrategy, StrategyResult, get_strategy
 from ..machine.spec import MachineSpec
 from ..obs import metrics as obs_metrics
-from ..obs.trace import span
+from ..obs import trace as obs_trace
+from ..obs.export import render_prometheus
+from ..obs.trace import activate, current_context, record_span, span
 from ..reliability import health
 from ..reliability.faults import fault_point
 from .coalescing import SingleFlight
@@ -181,6 +183,14 @@ class RequestHandle:
         self.specs = specs
         self.strategy = strategy
         self.submitted_at = time.perf_counter()
+        #: Telemetry identity, filled in by ``submit()``: the trace this
+        #: request belongs to (from the wire, the submitter's ambient
+        #: span, or fresh), the pre-allocated ``serving.request`` span id
+        #: children parent to, and the tenant the latency is attributed to.
+        self.trace_id: Optional[str] = None
+        self.parent_span_id: Optional[str] = None
+        self.request_span_id: Optional[str] = None
+        self.client_id: Optional[str] = None
         # ``time.monotonic()`` moment this request must be terminal by,
         # stamped when a worker claims it; the watchdog enforces it.
         self.expires_at: Optional[float] = None
@@ -337,6 +347,12 @@ class OptimizationServer:
         ]
         self._watchdog = asyncio.ensure_future(self._watchdog_loop())
         self._running = True
+        # Export the request-lifecycle counters through the unified
+        # registry so the Prometheus rendering (stats verb, `repro
+        # stats --prometheus`) carries them.  Last started server wins
+        # the name — one server per process is the serving deployment
+        # shape; embedded test servers merely overwrite each other.
+        obs_metrics.REGISTRY.register_collector("serving", self._lifecycle_stats)
 
     async def drain(self, timeout: Optional[float] = None) -> bool:
         """Gracefully wind down: stop admissions, finish accepted requests.
@@ -423,6 +439,14 @@ class OptimizationServer:
         """How many solves were redundant (same key computed again)."""
         return sum(count - 1 for count in self.solve_counts.values() if count > 1)
 
+    def _lifecycle_stats(self) -> Dict[str, Any]:
+        """Numeric lifecycle counters (the ``"serving"`` collector body)."""
+        payload = dataclasses.asdict(self.stats)
+        payload["queue_depth"] = self.queue_depth
+        payload["active_requests"] = len(self._handles)
+        payload["duplicate_solves"] = self.duplicate_solves()
+        return payload
+
     def stats_snapshot(self) -> Dict[str, Any]:
         """One JSON-ready dict of every observable server counter.
 
@@ -430,12 +454,24 @@ class OptimizationServer:
         process-global compile cache (shape-family plan sharing) and the
         intra-operator solve pool, so an operator probing a long-lived
         server can see plan-reuse hit rates and pool fan-out without
-        reaching into module globals.
+        reaching into module globals.  Since the telemetry PR it also
+        carries the per-request-class latency histograms
+        (``latency_s``), terminal counts by class
+        (``requests_by_class``) and per-client request attribution
+        (``clients``) — the payload the ``stats`` TCP verb returns and
+        ``repro top`` renders.
         """
-        payload = dataclasses.asdict(self.stats)
-        payload["queue_depth"] = self.queue_depth
-        payload["active_requests"] = len(self._handles)
-        payload["duplicate_solves"] = self.duplicate_solves()
+        payload = self._lifecycle_stats()
+        registry = obs_metrics.REGISTRY
+        payload["latency_s"] = registry.histograms_with_prefix(
+            "serving.latency_s."
+        )
+        payload["requests_by_class"] = registry.counters_with_prefix(
+            "serving.requests."
+        )
+        payload["clients"] = registry.counters_with_prefix(
+            "serving.client_requests."
+        )
         # The subsystem blocks are a view over the unified metrics
         # registry (their collectors registered at import); the payload
         # shape is unchanged from the pre-registry probes.
@@ -452,12 +488,18 @@ class OptimizationServer:
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
-    def submit(self, request: OptimizeRequest) -> RequestHandle:
+    def submit(
+        self, request: OptimizeRequest, *, client_id: Optional[str] = None
+    ) -> RequestHandle:
         """Admit ``request`` or raise :class:`ServerOverloadedError`.
 
         Must be called from the server's event loop.  The returned
         handle immediately carries an :class:`AcceptedEvent`; progress
         and terminal events follow as the request is serviced.
+
+        ``client_id`` is a transport-supplied fallback tenant label
+        (the TCP handler passes the peer address); the request's own
+        ``client_id`` wins when set.
         """
         if not self._running or self._queue is None:
             raise RuntimeError("server is not running (use `async with server:`)")
@@ -472,6 +514,23 @@ class OptimizationServer:
             request, loop,
             network_name=network_name, specs=specs, strategy=strategy,
         )
+        handle.client_id = request.client_id or client_id
+        if obs_trace.is_enabled():
+            # Join the caller's trace: wire fields first (a traced
+            # remote client), the submitter's ambient span second (the
+            # in-process client), a fresh trace last.  The
+            # ``serving.request`` span id is allocated NOW so children
+            # recorded before the terminal event parent to it.
+            if request.trace_id:
+                handle.trace_id = request.trace_id
+                handle.parent_span_id = request.parent_span
+            else:
+                ambient = current_context()
+                if ambient is not None:
+                    handle.trace_id, handle.parent_span_id = ambient
+                else:
+                    handle.trace_id = obs_trace.new_span_id()
+            handle.request_span_id = obs_trace.new_span_id()
         deadline = (
             request.deadline_s
             if request.deadline_s is not None
@@ -483,6 +542,7 @@ class OptimizationServer:
             )
         except QueueFullError as error:
             self.stats.rejected += 1
+            self._observe_terminal(handle, "rejected")
             handle._emit(
                 RejectedEvent(
                     request_id=request.request_id,
@@ -495,10 +555,49 @@ class OptimizationServer:
             raise overloaded from None
         self.stats.accepted += 1
         self._handles[id(handle)] = handle
+        # Enqueue-time saturation gauges: depth is what admission just
+        # saw; backlog counts everything admitted but not yet terminal.
+        registry = obs_metrics.REGISTRY
+        registry.gauge("serving.queue_depth").set(depth)
+        registry.gauge("serving.backlog").set(len(self._handles))
         handle._emit(
             AcceptedEvent(request_id=request.request_id, queue_depth=depth)
         )
         return handle
+
+    def _observe_terminal(self, handle: RequestHandle, request_class: str) -> float:
+        """Record one request reaching a terminal state.
+
+        Feeds the per-class latency histogram, the per-class and
+        per-client counters, refreshes the saturation gauges, and — when
+        the request is traced — synthesizes its ``serving.request`` span
+        covering the full submit-to-terminal wall (a live ``with`` block
+        cannot: the region starts in ``submit()``'s task and ends in a
+        worker's).  Returns the request's wall seconds.
+        """
+        latency_s = time.perf_counter() - handle.submitted_at
+        registry = obs_metrics.REGISTRY
+        registry.histogram(f"serving.latency_s.{request_class}").observe(latency_s)
+        registry.counter(f"serving.requests.{request_class}").inc()
+        if handle.client_id:
+            registry.counter(
+                f"serving.client_requests.{handle.client_id}"
+            ).inc()
+        registry.gauge("serving.queue_depth").set(self.queue_depth)
+        registry.gauge("serving.backlog").set(len(self._handles))
+        if handle.trace_id is not None:
+            record_span(
+                "serving.request",
+                latency_s,
+                trace_id=handle.trace_id,
+                span_id=handle.request_span_id,
+                parent_id=handle.parent_span_id,
+                request_id=handle.request_id,
+                network=handle.network_name,
+                request_class=request_class,
+                client=handle.client_id or "local",
+            )
+        return latency_s
 
     def cancel(
         self, handle: RequestHandle, reason: str = "cancelled by client"
@@ -515,6 +614,7 @@ class OptimizationServer:
         if self._handles.pop(id(handle), None) is None:
             return False  # already terminal (or never admitted)
         self.stats.cancelled += 1
+        self._observe_terminal(handle, "cancelled")
         if self._queue is not None:
             self._queue.remove(handle)
         error = RequestFailedError(f"request {handle.request_id} {reason}")
@@ -564,6 +664,7 @@ class OptimizationServer:
         self.stats.expired += 1
         self.stats.watchdog_failed += 1
         health.incr("serving.watchdog_failures")
+        self._observe_terminal(handle, "expired")
         waited = time.perf_counter() - handle.submitted_at
         deadline = (
             handle.request.deadline_s or self.config.default_deadline_s or 0.0
@@ -588,6 +689,7 @@ class OptimizationServer:
     def _expire_queued(self, handle: RequestHandle, overstay: float) -> None:
         """Queue callback: a request's deadline passed while it waited."""
         self.stats.expired += 1
+        self._observe_terminal(handle, "expired")
         waited = time.perf_counter() - handle.submitted_at
         deadline = handle.request.deadline_s or self.config.default_deadline_s or 0.0
         handle._emit(
@@ -608,18 +710,29 @@ class OptimizationServer:
     async def _process(
         self, handle: RequestHandle, expires_at: Optional[float]
     ) -> None:
-        with span(
-            "serving.request",
-            request_id=handle.request.request_id,
-            network=handle.network_name,
-        ):
-            await self._process_request(handle, expires_at)
+        # The `serving.request` span covers submit -> terminal, so it is
+        # synthesized by ``_observe_terminal`` with exact duration; here
+        # the worker records the queue wait it just ended and adopts the
+        # pre-allocated span as ancestry so every child joins the trace.
+        queued_s = time.perf_counter() - handle.submitted_at
+        ctx: Optional[obs_trace.TraceContext] = None
+        if handle.trace_id is not None and handle.request_span_id is not None:
+            ctx = (handle.trace_id, handle.request_span_id)
+            record_span(
+                "serving.queue_wait",
+                queued_s,
+                trace_id=handle.trace_id,
+                parent_id=handle.request_span_id,
+                request_id=handle.request_id,
+                client=handle.client_id or "local",
+            )
+        with activate(ctx):
+            await self._process_request(handle, expires_at, queued_s)
 
     async def _process_request(
-        self, handle: RequestHandle, expires_at: Optional[float]
+        self, handle: RequestHandle, expires_at: Optional[float], queued_s: float
     ) -> None:
         request = handle.request
-        queued_s = time.perf_counter() - handle.submitted_at
         service_start = time.perf_counter()
         strategy = handle.strategy
         network_name, specs = handle.network_name, handle.specs
@@ -713,6 +826,7 @@ class OptimizationServer:
             if self._handles.pop(id(handle), None) is None:
                 return  # the watchdog (or cancel) beat us to the expiry
             self.stats.expired += 1
+            self._observe_terminal(handle, "expired")
             waited = time.perf_counter() - handle.submitted_at
             deadline = (
                 request.deadline_s or self.config.default_deadline_s or 0.0
@@ -739,6 +853,9 @@ class OptimizationServer:
 
         if self._handles.pop(id(handle), None) is None:
             return  # watchdog-expired or cancelled while we finished
+        # Explicitly timed like the coalesce phase: warm-request hot
+        # path, no child spans under it.
+        respond_start = time.perf_counter()
         network_result = build_network_result(
             network=network_name,
             machine_name=self.machine.name,
@@ -762,11 +879,31 @@ class OptimizationServer:
         handle._emit(
             CompletedEvent(request_id=request.request_id, response=response)
         )
+        record_span(
+            "serving.respond",
+            time.perf_counter() - respond_start,
+            trace_id=handle.trace_id,
+            parent_id=handle.request_span_id,
+            request_id=handle.request_id,
+        )
+        # Request-class taxonomy: the degraded path wins (it answered),
+        # coalescing beats plain cold (some solves were shared), a fully
+        # cache-answered request is warm, everything else is cold.
+        if degraded:
+            request_class = "degraded"
+        elif coalesced_ops > 0:
+            request_class = "coalesced"
+        elif len(cached_keys) == len(distinct):
+            request_class = "warm"
+        else:
+            request_class = "cold"
+        self._observe_terminal(handle, request_class)
 
     def _finish_failed(self, handle: RequestHandle, error: BaseException) -> None:
         if id(handle) not in self._handles:
             return  # already terminal (watchdog expiry or cancellation)
         self.stats.failed += 1
+        self._observe_terminal(handle, "failed")
         failure = RequestFailedError(
             f"request {handle.request_id} failed: {error}"
         )
@@ -798,23 +935,10 @@ class OptimizationServer:
         loop = asyncio.get_running_loop()
         assert self._pool is not None
 
-        # Batched lookup for every distinct key: a synchronous pass over
-        # the memory tier first (no IO — this is what keeps warm requests
-        # in the low-millisecond range), then one thread-pool trip to the
-        # disk tier for whatever is left.
-        cache_hits = self.cache.get_many(list(keys.values()), memory_only=True)
-        disk_keys = [key for key, hit in cache_hits.items() if hit is None]
-        if disk_keys and self.cache.disk is not None:
-            cache_hits.update(
-                await loop.run_in_executor(
-                    self._pool,
-                    lambda: self.cache.get_many(disk_keys, record_misses=False),
-                )
-            )
-
         solved: Dict[str, StrategyResult] = {}
         cached_keys: set = set()
         coalesced_ops = 0
+        misses: List[str] = []
         # Layers grouped by shape so each shape's completion can emit one
         # event per layer that shares it.
         layers_by_shape: Dict[str, List[Tuple[int, ConvSpec]]] = {}
@@ -839,9 +963,27 @@ class OptimizationServer:
                     )
                 )
 
+        # The coalesce phase: resolve every distinct shape against the
+        # cache tiers and partition into inline hits vs. misses.  Timed
+        # explicitly and recorded via the cheaper ``record_span`` (no
+        # contextvar juggling) — this is the warm-request hot path, and
+        # the region opens no child spans that would need the ancestry.
+        coalesce_start = time.perf_counter()
+        # Batched lookup for every distinct key: a synchronous pass
+        # over the memory tier first (no IO — this is what keeps warm
+        # requests in the low-millisecond range), then one
+        # thread-pool trip to the disk tier for whatever is left.
+        cache_hits = self.cache.get_many(list(keys.values()), memory_only=True)
+        disk_keys = [key for key, hit in cache_hits.items() if hit is None]
+        if disk_keys and self.cache.disk is not None:
+            cache_hits.update(
+                await loop.run_in_executor(
+                    self._pool,
+                    lambda: self.cache.get_many(disk_keys, record_misses=False),
+                )
+            )
         # Cache hits complete inline — no tasks, no executor, no loop
         # round-trips; a fully warm request is a synchronous sweep.
-        misses: List[str] = []
         for shape_key in distinct:
             hit = cache_hits.get(keys[shape_key])
             if hit is not None:
@@ -851,49 +993,65 @@ class OptimizationServer:
                 emit_layers(shape_key, hit, True, False)
             else:
                 misses.append(shape_key)
+        record_span(
+            "serving.coalesce",
+            time.perf_counter() - coalesce_start,
+            trace_id=handle.trace_id,
+            parent_id=handle.request_span_id,
+            request_id=handle.request_id,
+            distinct=len(distinct),
+        )
         if not misses:
             return solved, cached_keys, coalesced_ops
 
-        async def solve_shape(shape_key: str) -> Tuple[str, StrategyResult, bool]:
-            cache_key = keys[shape_key]
-            was_inflight = self._singleflight.is_inflight(cache_key)
-            if was_inflight:
-                self.stats.operators_coalesced += len(layers_by_shape[shape_key])
+        with span(
+            "serving.solve", request_id=handle.request_id, misses=len(misses)
+        ):
+            # Solver spans run on pool threads, which do not inherit this
+            # task's contextvars — ship the in-span ancestry explicitly.
+            solve_ctx = current_context()
 
-            def compute() -> StrategyResult:
-                with self._solve_lock:
-                    self.solve_counts[cache_key] = (
-                        self.solve_counts.get(cache_key, 0) + 1
-                    )
-                    self.stats.solves += 1
-                # Chaos hook: stall/raise one strategy's solves (keyed by
-                # strategy name so a fallback solve can stay healthy).
-                fault_point("serving.solve", key=strategy.name)
-                return strategy.search(distinct[shape_key], self.machine)
+            async def solve_shape(shape_key: str) -> Tuple[str, StrategyResult, bool]:
+                cache_key = keys[shape_key]
+                was_inflight = self._singleflight.is_inflight(cache_key)
+                if was_inflight:
+                    self.stats.operators_coalesced += len(layers_by_shape[shape_key])
 
-            def get_or_compute() -> StrategyResult:
-                return self.cache.get_or_compute(cache_key, compute)
+                def compute() -> StrategyResult:
+                    with self._solve_lock:
+                        self.solve_counts[cache_key] = (
+                            self.solve_counts.get(cache_key, 0) + 1
+                        )
+                        self.stats.solves += 1
+                    # Chaos hook: stall/raise one strategy's solves (keyed by
+                    # strategy name so a fallback solve can stay healthy).
+                    fault_point("serving.solve", key=strategy.name)
+                    return strategy.search(distinct[shape_key], self.machine)
 
-            result = await self._singleflight.run(
-                cache_key,
-                lambda: loop.run_in_executor(self._pool, get_or_compute),
-            )
-            return shape_key, result, was_inflight
+                def get_or_compute() -> StrategyResult:
+                    with activate(solve_ctx):
+                        return self.cache.get_or_compute(cache_key, compute)
 
-        tasks = [
-            asyncio.ensure_future(solve_shape(shape_key)) for shape_key in misses
-        ]
-        try:
-            for finished in asyncio.as_completed(tasks):
-                shape_key, result, coalesced = await finished
-                solved[shape_key] = result
-                if coalesced:
-                    coalesced_ops += len(layers_by_shape[shape_key])
-                emit_layers(shape_key, result, False, coalesced)
-        except BaseException:
-            for task in tasks:
-                task.cancel()
-            raise
+                result = await self._singleflight.run(
+                    cache_key,
+                    lambda: loop.run_in_executor(self._pool, get_or_compute),
+                )
+                return shape_key, result, was_inflight
+
+            tasks = [
+                asyncio.ensure_future(solve_shape(shape_key)) for shape_key in misses
+            ]
+            try:
+                for finished in asyncio.as_completed(tasks):
+                    shape_key, result, coalesced = await finished
+                    solved[shape_key] = result
+                    if coalesced:
+                        coalesced_ops += len(layers_by_shape[shape_key])
+                    emit_layers(shape_key, result, False, coalesced)
+            except BaseException:
+                for task in tasks:
+                    task.cancel()
+                raise
         return solved, cached_keys, coalesced_ops
 
     # ------------------------------------------------------------------
@@ -984,8 +1142,11 @@ async def _serve_request_inner(
             )
             await writer.drain()
         return
+    # Attribute telemetry to the TCP peer unless the client named itself.
+    peer = writer.get_extra_info("peername")
+    peer_id = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) and len(peer) >= 2 else None
     try:
-        handle = server.submit(request)
+        handle = server.submit(request, client_id=peer_id)
         submitted.append(handle)
     except ServerOverloadedError as error:
         await send(
@@ -1009,6 +1170,51 @@ async def _serve_request_inner(
         await send(event)
 
 
+async def _serve_stats(
+    server: OptimizationServer,
+    writer: asyncio.StreamWriter,
+    write_lock: asyncio.Lock,
+    payload: Mapping[str, Any],
+) -> None:
+    """Answer one ``stats`` verb line with a single reply frame.
+
+    ``{"verb": "stats", "request_id": ..., "format": "json"|"prometheus"}``
+    gets back ``{"type": "stats", "request_id": ..., "format": ...}``
+    carrying either the raw :meth:`OptimizationServer.stats_snapshot`
+    (json) or the process-wide metrics snapshot rendered as Prometheus
+    text exposition.  Errors come back as a ``FailedEvent`` frame so a
+    confused client is never left hanging.
+    """
+    request_id = str(payload.get("request_id", "stats"))
+    fmt = str(payload.get("format", "json"))
+    try:
+        reply: Dict[str, Any] = {
+            "type": "stats",
+            "request_id": request_id,
+            "format": fmt,
+        }
+        if fmt == "prometheus":
+            reply["prometheus"] = render_prometheus(obs_metrics.snapshot())
+        elif fmt == "json":
+            reply["stats"] = server.stats_snapshot()
+        else:
+            raise ValueError(f"unknown stats format: {fmt!r}")
+    except Exception as error:  # pragma: no cover - defensive
+        async with write_lock:
+            writer.write(
+                encode_message(
+                    event_to_dict(
+                        FailedEvent(request_id=request_id, error=str(error))
+                    )
+                )
+            )
+            await writer.drain()
+        return
+    async with write_lock:
+        writer.write(encode_message(reply))
+        await writer.drain()
+
+
 async def _handle_connection(
     server: OptimizationServer,
     reader: asyncio.StreamReader,
@@ -1028,6 +1234,14 @@ async def _handle_connection(
             try:
                 payload = json.loads(line.decode("utf-8"))
             except ValueError:
+                continue
+            if payload.get("verb") == "stats":
+                pending.append(
+                    asyncio.ensure_future(
+                        _serve_stats(server, writer, write_lock, payload)
+                    )
+                )
+                pending = [task for task in pending if not task.done()]
                 continue
             pending.append(
                 asyncio.ensure_future(
